@@ -1,0 +1,91 @@
+"""E2 + E3 -- Table 1 (GENUS component inventory) and Figure 2 (the
+LEGEND counter generator description).
+
+Table 1 lists the typical LEGEND/GENUS generic components by type
+class; the benchmark instantiates one component per entry through the
+standard library.  Figure 2 is parsed, built, and generated.
+"""
+
+import pytest
+
+from repro.genus import TypeClass, standard_library
+from repro.genus.types import TABLE_1
+from repro.legend import build_library, parse_legend
+from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+
+#: Generator name + parameters exercising each Table-1 entry.
+TABLE1_INSTANCES = [
+    ("GATE", {"GC_GATE_KIND": "NAND"}),
+    ("MUX", {"GC_INPUT_WIDTH": 8, "GC_NUM_INPUTS": 4}),
+    ("SELECTOR", {"GC_INPUT_WIDTH": 8, "GC_NUM_INPUTS": 4}),
+    ("DECODER", {"GC_INPUT_WIDTH": 3}),
+    ("ENCODER", {"GC_INPUT_WIDTH": 3}),
+    ("COMPARATOR", {"GC_INPUT_WIDTH": 8}),
+    ("LU", {"GC_INPUT_WIDTH": 8}),
+    ("ALU", {"GC_INPUT_WIDTH": 8, "GC_NUM_FUNCTIONS": 2,
+             "GC_FUNCTION_LIST": ("ADD", "SUB")}),
+    ("SHIFTER", {"GC_INPUT_WIDTH": 8}),
+    ("BARREL_SHIFTER", {"GC_INPUT_WIDTH": 8}),
+    ("MULTIPLIER", {"GC_INPUT_WIDTH": 8}),
+    ("DIVIDER", {"GC_INPUT_WIDTH": 8}),
+    ("ADDER_SUBTRACTOR", {"GC_INPUT_WIDTH": 8}),
+    ("ADDER", {"GC_INPUT_WIDTH": 8}),
+    ("REGISTER", {"GC_INPUT_WIDTH": 8}),
+    ("REGISTER_FILE", {"GC_INPUT_WIDTH": 8}),
+    ("COUNTER", {"GC_INPUT_WIDTH": 8}),
+    ("STACK", {"GC_INPUT_WIDTH": 8}),
+    ("FIFO", {"GC_INPUT_WIDTH": 8}),
+    ("MEMORY", {"GC_INPUT_WIDTH": 8}),
+    ("PORT", {"GC_INPUT_WIDTH": 8}),
+    ("BUFFER", {}),
+    ("CLOCK_DRIVER", {}),
+    ("SCHMITT_TRIGGER", {}),
+    ("TRISTATE", {}),
+    ("BUS", {"GC_INPUT_WIDTH": 8}),
+    ("DELAY", {}),
+    ("CONCAT", {"GC_INPUT_WIDTH": 8}),
+    ("EXTRACT", {"GC_INPUT_WIDTH": 8, "GC_SRC_WIDTH": 16}),
+    ("CLOCK_GENERATOR", {}),
+    ("WIRED_OR", {}),
+]
+
+
+def instantiate_table1():
+    library = standard_library(fresh=True)
+    components = []
+    for name, params in TABLE1_INSTANCES:
+        components.append(library.generate(name, **params))
+    return components
+
+
+def test_table1_inventory(benchmark):
+    components = benchmark.pedantic(instantiate_table1, iterations=1, rounds=3)
+    assert len(components) == len(TABLE1_INSTANCES)
+    print()
+    print("Table 1: typical LEGEND/GENUS generic components")
+    print("=" * 50)
+    library = standard_library()
+    for type_class, entries in TABLE_1.items():
+        print(f"\n  [{type_class.value}]")
+        for label, ctype in entries:
+            print(f"    {label:<22} -> {ctype}")
+    generated = {c.generator_name for c in components}
+    assert len(generated) == len(TABLE1_INSTANCES)
+
+
+def test_figure2_legend_counter(benchmark):
+    decl = benchmark(parse_legend, FIGURE_2_COUNTER_SOURCE)
+    counter = decl.generators[0]
+    assert counter.name == "COUNTER"
+    assert len(counter.parameters) == 7  # MAX_PARAMS: 7 in the figure
+    assert counter.styles == ("SYNCHRONOUS", "RIPPLE")
+    assert len(counter.operations) == 3  # LOAD, COUNT_UP, COUNT_DOWN
+
+    library = build_library(FIGURE_2_COUNTER_SOURCE)
+    for style in ("SYNCHRONOUS", "RIPPLE"):
+        component = library.generate("COUNTER", GC_INPUT_WIDTH=8,
+                                     GC_STYLE=style)
+        assert component.spec.get("style") == style
+    print()
+    print("Figure 2: LEGEND counter generator parsed, built, and "
+          "instantiated in both styles")

@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.techlib import lsi_logic_library
+
+
+@pytest.fixture(scope="session")
+def lsi():
+    return lsi_logic_library()

@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The environment this reproduction was developed in has no `wheel`
+package and no network, so `pip install -e .` (PEP 517 editable) cannot
+build. `python setup.py develop` achieves the same editable install
+with plain setuptools.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,27 @@
+"""Reproduction of Dutt & Kipps, "Bridging High-Level Synthesis to RTL
+Technology Libraries" (UC Irvine TR 91-28 / DAC 1991).
+
+Subpackages:
+
+- :mod:`repro.genus`   -- GENUS generic component library
+- :mod:`repro.legend`  -- LEGEND generator-description language
+- :mod:`repro.core`    -- DTAS functional synthesis (the contribution)
+- :mod:`repro.techlib` -- RTL cell libraries (reconstructed LSI subset)
+- :mod:`repro.netlist` -- hierarchical netlist substrate
+- :mod:`repro.sim`     -- functional simulation / equivalence checking
+- :mod:`repro.vhdl`    -- structural and behavioral VHDL emission
+- :mod:`repro.hls`     -- high-level synthesis front end
+- :mod:`repro.control` -- control compiler (QM + gate mapping)
+- :mod:`repro.lola`    -- library retargeting assistant
+
+Quickstart::
+
+    from repro.core import synthesize
+    from repro.core.specs import alu_spec
+    from repro.techlib import lsi_logic_library
+
+    result = synthesize(alu_spec(64), lsi_logic_library())
+    print(result.table())
+"""
+
+__version__ = "1.0.0"

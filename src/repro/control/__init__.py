@@ -1,0 +1,24 @@
+"""The control compiler.
+
+Paper Figure 1: "The state sequencing table is accepted by a control
+compiler that extracts the sequencing logic and applies logic-level
+optimizations and technology mapping techniques."
+
+- :mod:`repro.control.qm` -- Quine-McCluskey two-level minimization
+  (prime implicants, essential selection, greedy cover);
+- :mod:`repro.control.compiler` -- state encoding, truth-table
+  extraction from a :class:`~repro.hls.statetable.StateTable`,
+  minimization of every next-state and control output, and emission of
+  a gate-level controller netlist (state register + SOP logic) that can
+  be simulated and mapped onto library gates.
+"""
+
+from repro.control.compiler import CompiledController, compile_controller
+from repro.control.qm import Implicant, minimize
+
+__all__ = [
+    "CompiledController",
+    "Implicant",
+    "compile_controller",
+    "minimize",
+]

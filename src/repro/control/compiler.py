@@ -1,0 +1,274 @@
+"""Compiling a state sequencing table into a gate-level controller.
+
+Pipeline (paper Figure 1, right side):
+
+1. **State encoding** -- binary encoding in row order; the reset state
+   gets code 0 so a plain register bank starts correctly.
+2. **Truth-table extraction** -- next-state bits are functions of
+   (state bits, status bits); control outputs and DONE are Moore
+   functions of the state bits alone.  Unused state codes become
+   don't-cares.
+3. **Two-level minimization** -- Quine-McCluskey per output bit.
+4. **Technology mapping** -- the minimized SOPs become a netlist of
+   inverters, AND, and OR gates plus one state register; DTAS's gate
+   rules (or the cost helper here) map those onto the cell library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.qm import Implicant, cover_cost, evaluate_cover, minimize
+from repro.core.specs import make_spec, port_signature, sel_width
+from repro.hls.statetable import StateTable
+from repro.netlist.nets import Concat, Const, Endpoint, Net
+from repro.netlist.netlist import Netlist
+from repro.netlist.ports import Direction, PinKind, Port
+
+
+@dataclass
+class CompiledController:
+    """The control compiler's output."""
+
+    table: StateTable
+    netlist: Netlist
+    encoding: Dict[str, int]
+    state_bits: int
+    covers: Dict[str, List[Implicant]]
+    input_names: List[str]
+
+    def report(self) -> str:
+        products = sum(len(c) for c in self.covers.values())
+        literals = sum(
+            cover_cost(c, len(self.input_names))[1]
+            for c in self.covers.values()
+        )
+        lines = [
+            f"controller for {self.table.name!r}: "
+            f"{self.table.n_states} states, {self.state_bits} state bits",
+            f"  outputs minimized: {len(self.covers)}; "
+            f"products: {products}; literals: {literals}",
+            f"  gate netlist: {len(self.netlist.modules)} modules",
+        ]
+        return "\n".join(lines)
+
+
+def _truth_tables(table: StateTable, encoding: Dict[str, int],
+                  state_bits: int) -> Tuple[Dict[str, List[int]],
+                                            Dict[str, List[int]], int]:
+    """Return (on_sets, dc_sets, n_vars) per output bit name.
+
+    Variable order (LSB first): state bits, then status bits.
+    """
+    statuses = table.statuses
+    n_vars = state_bits + len(statuses)
+    on: Dict[str, List[int]] = {}
+    dc: Dict[str, List[int]] = {}
+
+    output_bits: List[str] = []
+    for signal in table.signals:
+        for bit in range(signal.width):
+            output_bits.append(f"{signal.name}.{bit}")
+    output_bits.append("DONE")
+    for bit in range(state_bits):
+        output_bits.append(f"NS.{bit}")
+    for name in output_bits:
+        on[name] = []
+        dc[name] = []
+
+    used_codes = set(encoding.values())
+    status_combos = range(1 << len(statuses))
+
+    for code in range(1 << state_bits):
+        if code not in used_codes:
+            for combo in status_combos:
+                assignment = code | (combo << state_bits)
+                for name in output_bits:
+                    dc[name].append(assignment)
+            continue
+        row = next(r for r in table.rows if encoding[r.name] == code)
+        # Moore outputs.
+        moore: Dict[str, int] = {}
+        for signal in table.signals:
+            value = row.assertions.get(signal.name, signal.default)
+            for bit in range(signal.width):
+                moore[f"{signal.name}.{bit}"] = (value >> bit) & 1
+        moore["DONE"] = 1 if row.transition.kind == "halt" else 0
+        for combo in status_combos:
+            assignment = code | (combo << state_bits)
+            for name, value in moore.items():
+                if value:
+                    on[name].append(assignment)
+            # Next state.
+            transition = row.transition
+            if transition.kind == "goto":
+                next_code = encoding[transition.next_state]
+            elif transition.kind == "halt":
+                next_code = code
+            else:
+                status_index = statuses.index(transition.status)
+                bit = (combo >> status_index) & 1
+                taken = bool(bit) == transition.polarity
+                next_code = encoding[
+                    transition.if_true if taken else transition.if_false
+                ]
+            for bit in range(state_bits):
+                if (next_code >> bit) & 1:
+                    on[f"NS.{bit}"].append(assignment)
+    return on, dc, n_vars
+
+
+def _emit_sop_netlist(
+    table: StateTable,
+    covers: Dict[str, List[Implicant]],
+    encoding: Dict[str, int],
+    state_bits: int,
+) -> Netlist:
+    netlist = Netlist(f"{table.name}_controller")
+    status_nets = {
+        name: netlist.add_port(Port(name, 1, Direction.IN))
+        for name in table.statuses
+    }
+    netlist.add_port(Port("CLK", 1, Direction.IN, PinKind.CLOCK))
+    signal_ports = {
+        s.name: netlist.add_port(Port(s.name, s.width, Direction.OUT))
+        for s in table.signals
+    }
+    done_net = netlist.add_port(Port("DONE", 1, Direction.OUT))
+
+    state_q = netlist.add_net("state_q", state_bits)
+    state_d = netlist.add_net("state_d", state_bits)
+
+    # Shared inverters for every variable.
+    var_nets: List[Net] = []
+    inv_nets: Dict[int, Net] = {}
+    for bit in range(state_bits):
+        single = netlist.add_net(f"st_bit{bit}", 1)
+        spec = make_spec("GATE", 1, kind="BUF", n_inputs=1)
+        netlist.add_module(f"b_st{bit}", spec, port_signature(spec),
+                           {"I0": state_q[bit], "O": single.ref()})
+        var_nets.append(single)
+    for name in table.statuses:
+        var_nets.append(status_nets[name])
+
+    def inverted(index: int) -> Net:
+        if index in inv_nets:
+            return inv_nets[index]
+        net = netlist.add_net(f"n_var{index}", 1)
+        spec = make_spec("GATE", 1, kind="NOT", n_inputs=1)
+        netlist.add_module(f"inv{index}", spec, port_signature(spec),
+                           {"I0": var_nets[index].ref(), "O": net.ref()})
+        inv_nets[index] = net
+        return net
+
+    counter = 0
+
+    def sop(name: str, cover: List[Implicant], out: Endpoint) -> None:
+        nonlocal counter
+        n_vars = len(var_nets)
+        if not cover:
+            spec = make_spec("GATE", 1, kind="BUF", n_inputs=1)
+            netlist.add_module(f"zero_{counter}", spec, port_signature(spec),
+                               {"I0": Const(0, 1), "O": out})
+            counter += 1
+            return
+        if len(cover) == 1 and cover[0].mask == (1 << n_vars) - 1:
+            spec = make_spec("GATE", 1, kind="BUF", n_inputs=1)
+            netlist.add_module(f"one_{counter}", spec, port_signature(spec),
+                               {"I0": Const(1, 1), "O": out})
+            counter += 1
+            return
+        products: List[Endpoint] = []
+        for implicant in cover:
+            literals: List[Endpoint] = []
+            for index in range(n_vars):
+                if (implicant.mask >> index) & 1:
+                    continue
+                if (implicant.value >> index) & 1:
+                    literals.append(var_nets[index].ref())
+                else:
+                    literals.append(inverted(index).ref())
+            if not literals:
+                products.append(Const(1, 1))
+            elif len(literals) == 1:
+                products.append(literals[0])
+            else:
+                net = netlist.add_net(f"p{counter}", 1)
+                spec = make_spec("GATE", 1, kind="AND",
+                                 n_inputs=len(literals))
+                module = netlist.add_module(f"and{counter}", spec,
+                                            port_signature(spec),
+                                            {"O": net.ref()})
+                for i, literal in enumerate(literals):
+                    module.connect(f"I{i}", literal)
+                products.append(net.ref())
+                counter += 1
+        if len(products) == 1:
+            spec = make_spec("GATE", 1, kind="BUF", n_inputs=1)
+            netlist.add_module(f"buf{counter}", spec, port_signature(spec),
+                               {"I0": products[0], "O": out})
+            counter += 1
+        else:
+            spec = make_spec("GATE", 1, kind="OR", n_inputs=len(products))
+            module = netlist.add_module(f"or{counter}", spec,
+                                        port_signature(spec), {"O": out})
+            for i, product in enumerate(products):
+                module.connect(f"I{i}", product)
+            counter += 1
+
+    for signal in table.signals:
+        port_net = signal_ports[signal.name]
+        for bit in range(signal.width):
+            out = port_net[bit] if signal.width > 1 else port_net.ref()
+            sop(f"{signal.name}.{bit}", covers[f"{signal.name}.{bit}"], out)
+    sop("DONE", covers["DONE"], done_net.ref())
+    for bit in range(state_bits):
+        sop(f"NS.{bit}", covers[f"NS.{bit}"], state_d[bit])
+
+    reg_spec = make_spec("REG", state_bits)
+    netlist.add_module(
+        "state_reg", reg_spec, port_signature(reg_spec),
+        {"D": state_d.ref(), "CLK": netlist.port_net("CLK").ref(),
+         "Q": state_q.ref()},
+    )
+    return netlist
+
+
+def compile_controller(table: StateTable) -> CompiledController:
+    """State encoding + QM minimization + gate netlist emission."""
+    encoding = {row.name: index for index, row in enumerate(table.rows)}
+    if encoding[table.reset_state] != 0:
+        # Swap so the reset state is code 0 (registers reset to 0).
+        other = next(n for n, c in encoding.items() if c == 0)
+        encoding[other] = encoding[table.reset_state]
+        encoding[table.reset_state] = 0
+    state_bits = max(1, sel_width(table.n_states))
+
+    on, dc, n_vars = _truth_tables(table, encoding, state_bits)
+    covers = {
+        name: minimize(on[name], dc[name], n_vars) for name in on
+    }
+    netlist = _emit_sop_netlist(table, covers, encoding, state_bits)
+    input_names = [f"st{b}" for b in range(state_bits)] + list(table.statuses)
+    return CompiledController(table, netlist, encoding, state_bits, covers,
+                              input_names)
+
+
+class ControllerSimulator:
+    """Cycle-accurate simulation of the compiled gate-level controller
+    (used to verify it against the state table's symbolic semantics)."""
+
+    def __init__(self, controller: CompiledController) -> None:
+        from repro.sim.simulator import NetlistSimulator
+
+        self.controller = controller
+        self.sim = NetlistSimulator(controller.netlist)
+        self.state = self.sim.reset()
+
+    def cycle(self, statuses: Dict[str, int]) -> Dict[str, int]:
+        outputs, self.state = self.sim.step(statuses, self.state)
+        return outputs
+
+    def outputs(self, statuses: Dict[str, int]) -> Dict[str, int]:
+        return self.sim.outputs(statuses, self.state)

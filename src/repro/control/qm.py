@@ -1,0 +1,129 @@
+"""Quine-McCluskey two-level logic minimization.
+
+The paper's control compiler applies "logic-level optimizations"; this
+is the classic exact-prime / heuristic-cover pipeline (ESPRESSO-II's
+ancestor, fitting the 1991 setting): generate all prime implicants by
+iterative combination, pick essential primes, and cover the rest
+greedily (largest coverage first, ties to fewer literals).
+
+Functions are small here (controller next-state logic over a handful
+of variables), so this is exact enough and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over n variables: ``value`` gives the fixed bits,
+    ``mask`` has 1 for every *don't-care* (combined) position."""
+
+    value: int
+    mask: int
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & ~self.mask) == (self.value & ~self.mask)
+
+    def literals(self, n_vars: int) -> int:
+        return n_vars - bin(self.mask).count("1")
+
+    def render(self, names: Sequence[str]) -> str:
+        """Human-readable product, MSB variable first."""
+        n = len(names)
+        parts = []
+        for i in range(n - 1, -1, -1):
+            if (self.mask >> i) & 1:
+                continue
+            name = names[i]
+            parts.append(name if (self.value >> i) & 1 else f"~{name}")
+        return " & ".join(parts) if parts else "1"
+
+
+def _combine(a: Implicant, b: Implicant) -> Optional[Implicant]:
+    if a.mask != b.mask:
+        return None
+    diff = (a.value ^ b.value) & ~a.mask
+    if diff == 0 or (diff & (diff - 1)) != 0:
+        return None
+    return Implicant(a.value & ~diff, a.mask | diff)
+
+
+def prime_implicants(minterms: Iterable[int], dontcares: Iterable[int],
+                     n_vars: int) -> List[Implicant]:
+    """All prime implicants of the on-set (+DC-set)."""
+    current: Set[Implicant] = {
+        Implicant(m, 0) for m in set(minterms) | set(dontcares)
+    }
+    primes: Set[Implicant] = set()
+    while current:
+        combined: Set[Implicant] = set()
+        used: Set[Implicant] = set()
+        items = sorted(current, key=lambda i: (i.mask, i.value))
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                merged = _combine(a, b)
+                if merged is not None:
+                    combined.add(merged)
+                    used.add(a)
+                    used.add(b)
+        primes |= current - used
+        current = combined
+    return sorted(primes, key=lambda i: (i.mask, i.value))
+
+
+def minimize(minterms: Sequence[int], dontcares: Sequence[int],
+             n_vars: int) -> List[Implicant]:
+    """Minimal (heuristic) sum-of-products cover of the on-set.
+
+    Returns an empty list for the constant-0 function and the single
+    all-dontcare implicant for the constant-1 function.
+    """
+    on_set = sorted(set(minterms))
+    if not on_set:
+        return []
+    dc_set = set(dontcares) - set(on_set)
+    universe = 1 << n_vars
+    if len(on_set) + len(dc_set) == universe:
+        return [Implicant(0, universe - 1)]
+
+    primes = prime_implicants(on_set, dc_set, n_vars)
+    uncovered = set(on_set)
+    cover: List[Implicant] = []
+
+    # Essential primes first.
+    for minterm in on_set:
+        covering = [p for p in primes if p.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in cover:
+            cover.append(covering[0])
+    for prime in cover:
+        uncovered -= {m for m in uncovered if prime.covers(m)}
+
+    # Greedy for the remainder.
+    while uncovered:
+        best = max(
+            primes,
+            key=lambda p: (len({m for m in uncovered if p.covers(m)}),
+                           bin(p.mask).count("1")),
+        )
+        gain = {m for m in uncovered if best.covers(m)}
+        if not gain:
+            raise RuntimeError("cover failure (internal error)")
+        cover.append(best)
+        uncovered -= gain
+    return cover
+
+
+def evaluate_cover(cover: Sequence[Implicant], assignment: int) -> int:
+    """Evaluate a SOP cover on a variable assignment (bit i = var i)."""
+    for implicant in cover:
+        if implicant.covers(assignment):
+            return 1
+    return 0
+
+
+def cover_cost(cover: Sequence[Implicant], n_vars: int) -> Tuple[int, int]:
+    """(products, literals) -- the classic two-level cost measure."""
+    return len(cover), sum(i.literals(n_vars) for i in cover)

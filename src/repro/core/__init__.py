@@ -1,0 +1,49 @@
+"""DTAS -- rule-based functional synthesis of generic RTL components.
+
+This package is the paper's primary contribution: it maps netlists of
+generic (GENUS) component instances into hierarchical, library-specific
+netlists through functional decomposition and technology mapping by
+functional matching, with search control via implementation consistency
+and performance filters.
+
+Public entry points:
+
+- :class:`repro.core.specs.ComponentSpec` -- the representation language
+  shared by generic components and library cells,
+- :class:`repro.core.synthesizer.DTAS` -- the synthesis driver,
+- :func:`repro.core.synthesizer.synthesize` -- one-call convenience,
+- :mod:`repro.core.filters` -- performance filters (search control S2).
+"""
+
+from repro.core.specs import ComponentSpec, make_spec, port_signature
+from repro.core.filters import (
+    KeepAllFilter,
+    ParetoFilter,
+    PerformanceFilter,
+    TopKFilter,
+    TradeoffFilter,
+)
+from repro.core.configs import Configuration
+from repro.core.design_space import DesignSpace, Implementation, SpecNode
+from repro.core.rules import Rule, RuleBase
+from repro.core.synthesizer import DTAS, SynthesisResult, synthesize
+
+__all__ = [
+    "ComponentSpec",
+    "Configuration",
+    "DTAS",
+    "DesignSpace",
+    "Implementation",
+    "KeepAllFilter",
+    "ParetoFilter",
+    "PerformanceFilter",
+    "Rule",
+    "RuleBase",
+    "SpecNode",
+    "SynthesisResult",
+    "TopKFilter",
+    "TradeoffFilter",
+    "make_spec",
+    "port_signature",
+    "synthesize",
+]

@@ -1,0 +1,114 @@
+"""Configurations: costed, globally-consistent implementation choices.
+
+DTAS's first search-control principle (S1) says a design may not
+contain "two or more modules with the same component specification that
+are not instances of the same component implementation".  We implement
+that exactly: a :class:`Configuration` carries the full mapping
+*specification -> chosen implementation* for the subtree it describes,
+and combining configurations from sibling modules rejects conflicting
+choices.
+
+A configuration also carries its cost: total area (equivalent NAND
+gates) and the full input-to-output pin delay matrix (nanoseconds), so
+parents can run structural timing over their decomposition netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.specs import ComponentSpec
+
+Choice = Tuple[ComponentSpec, int]  # (specification, implementation index)
+DelayItems = Tuple[Tuple[Tuple[str, str], float], ...]
+
+
+def _spec_key(spec: ComponentSpec) -> str:
+    return f"{spec.ctype}|{spec.width}|{spec.attrs!r}"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One consistent, costed implementation choice for a spec subtree."""
+
+    area: float
+    delays: DelayItems
+    choices: Tuple[Choice, ...]
+
+    @property
+    def delay(self) -> float:
+        """Scalar summary: the worst pin-to-pin delay."""
+        return max((d for _, d in self.delays), default=0.0)
+
+    def delay_matrix(self) -> Dict[Tuple[str, str], float]:
+        return dict(self.delays)
+
+    def choice_map(self) -> Dict[ComponentSpec, int]:
+        return dict(self.choices)
+
+    def chosen_impl(self, spec: ComponentSpec) -> Optional[int]:
+        for s, impl in self.choices:
+            if s == spec:
+                return impl
+        return None
+
+    def describe(self) -> str:
+        return f"area={self.area:.0f} gates, delay={self.delay:.1f} ns"
+
+
+def make_configuration(
+    area: float,
+    delays: Mapping[Tuple[str, str], float],
+    choices: Mapping[ComponentSpec, int],
+) -> Configuration:
+    """Normalized constructor (sorted, hashable tuples)."""
+    delay_items = tuple(sorted(delays.items()))
+    choice_items = tuple(sorted(choices.items(), key=lambda kv: _spec_key(kv[0])))
+    return Configuration(float(area), delay_items, choice_items)
+
+
+def merge_choices(
+    parts: Iterable[Mapping[ComponentSpec, int]]
+) -> Optional[Dict[ComponentSpec, int]]:
+    """Merge choice maps from sibling modules.
+
+    Returns ``None`` when two parts pick different implementations for
+    the same specification -- the combination is rejected, enforcing S1.
+    """
+    merged: Dict[ComponentSpec, int] = {}
+    for part in parts:
+        for spec, impl in part.items():
+            existing = merged.get(spec)
+            if existing is None:
+                merged[spec] = impl
+            elif existing != impl:
+                return None
+    return merged
+
+
+def combine_compatible(
+    option_lists: List[List[Configuration]],
+) -> List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
+    """Cross product of per-spec configuration options, keeping only
+    S1-consistent combinations.
+
+    Returns a list of (chosen configurations, merged choice map).  The
+    cross product is walked incrementally so conflicting prefixes are
+    pruned early.
+    """
+    results: List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]] = [
+        ((), {})
+    ]
+    for options in option_lists:
+        extended = []
+        for chosen, merged in results:
+            for option in options:
+                combined = merge_choices([merged, option.choice_map()])
+                if combined is None:
+                    continue
+                extended.append((chosen + (option,), combined))
+        results = extended
+        if not results:
+            break
+    return results

@@ -1,0 +1,371 @@
+"""The DTAS design space: an acyclic graph of specifications and
+alternative implementations.
+
+From the paper (section 5): "Functional decomposition is implemented
+with a rule-based system that expands the space of component
+decompositions.  This design space is represented as an acyclic graph.
+Nodes consist of component specifications and alternative component
+implementations.  Each component implementation corresponds to a
+library cell or to a netlist of modules."
+
+Expansion interleaves rule application with technology mapping: every
+specification node is first matched against the cell library
+(:mod:`repro.core.mapper`), then decomposed by every applicable rule,
+recursing into the module specifications of each decomposition.
+
+Evaluation computes, bottom-up, the set of costed
+:class:`~repro.core.configs.Configuration` alternatives per node, with
+both search controls applied:
+
+- S1 (implementation consistency) through choice-map merging, and
+- S2 (performance filtering) through the node-level filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configs import (
+    Configuration,
+    combine_compatible,
+    make_configuration,
+    merge_choices,
+)
+from repro.core.filters import ParetoFilter, PerformanceFilter
+from repro.core.mapper import CellBinding, matching_cells
+from repro.core.rules import RuleBase, RuleContext
+from repro.core.specs import ComponentSpec
+from repro.netlist.netlist import ModuleInst, Netlist
+from repro.netlist.timing import port_delay_matrix
+from repro.netlist.validate import NetlistError, validate_netlist
+
+if False:  # typing only; avoids a circular import with repro.techlib
+    from repro.techlib.cells import CellLibrary
+
+
+class SynthesisError(Exception):
+    """No implementation exists for a specification; the message names
+    the leaf specifications that could not be implemented."""
+
+
+@dataclass
+class Implementation:
+    """One alternative implementation of a specification: either a
+    library-cell binding or a decomposition netlist."""
+
+    index: int
+    spec: ComponentSpec
+    kind: str  # "cell" | "decomp"
+    binding: Optional[CellBinding] = None
+    netlist: Optional[Netlist] = None
+    rule_name: str = ""
+
+    @property
+    def label(self) -> str:
+        if self.kind == "cell":
+            return f"cell:{self.binding.cell.name}"
+        return f"rule:{self.rule_name}"
+
+
+@dataclass
+class SpecNode:
+    """A specification node and its alternative implementations."""
+
+    spec: ComponentSpec
+    impls: List[Implementation] = field(default_factory=list)
+    expanded: bool = False
+
+
+@dataclass
+class DesignTree:
+    """A fully-chosen hierarchical design: the paper's 'hierarchical
+    netlist that traces the top-down design of the input netlist into
+    subcomponents', with leaves bound to library cells."""
+
+    spec: ComponentSpec
+    impl: Implementation
+    children: Dict[str, "DesignTree"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.impl.kind == "cell"
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Leaf cell usage, cell name -> count."""
+        if self.is_leaf:
+            return {self.impl.binding.cell.name: 1}
+        totals: Dict[str, int] = {}
+        for child in self.children.values():
+            for name, count in child.cell_counts().items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = f"{pad}{self.spec} <- {self.impl.label}"
+        lines = [line]
+        if not self.is_leaf:
+            for name, child in sorted(self.children.items()):
+                lines.append(f"{pad}  [{name}]")
+                lines.append(child.describe(indent + 2))
+        return "\n".join(lines)
+
+
+class DesignSpace:
+    """Expansion and evaluation of the DTAS design space."""
+
+    def __init__(
+        self,
+        rulebase: RuleBase,
+        library: CellLibrary,
+        perf_filter: Optional[PerformanceFilter] = None,
+        validate: bool = True,
+        max_combinations: int = 20000,
+    ) -> None:
+        self.rulebase = rulebase
+        self.library = library
+        self.perf_filter = perf_filter or ParetoFilter()
+        self.validate = validate
+        self.max_combinations = max_combinations
+        self.context = RuleContext(library)
+        self.nodes: Dict[ComponentSpec, SpecNode] = {}
+        self.failures: Dict[ComponentSpec, str] = {}
+        self._configs: Dict[ComponentSpec, List[Configuration]] = {}
+        self._expanding: set = set()
+        self._evaluating: set = set()
+        self._count_memo: Dict[ComponentSpec, int] = {}
+
+    # ------------------------------------------------------------------
+    # expansion (rules + technology mapping)
+    # ------------------------------------------------------------------
+    def expand(self, spec: ComponentSpec) -> SpecNode:
+        """Expand a specification node (idempotent)."""
+        node = self.nodes.get(spec)
+        if node is not None and node.expanded:
+            return node
+        if node is None:
+            node = SpecNode(spec)
+            self.nodes[spec] = node
+        if spec in self._expanding:
+            return node  # completed by the ancestor call
+        self._expanding.add(spec)
+        try:
+            impls: List[Implementation] = []
+            for binding in matching_cells(spec, self.library):
+                impls.append(
+                    Implementation(len(impls), spec, "cell", binding=binding)
+                )
+            for rule in self.rulebase.rules_for(spec):
+                for netlist in rule.apply(spec, self.context):
+                    if self.validate:
+                        validate_netlist(netlist)
+                    impls.append(
+                        Implementation(
+                            len(impls), spec, "decomp",
+                            netlist=netlist, rule_name=rule.name,
+                        )
+                    )
+            node.impls = impls
+            node.expanded = True
+            for impl in impls:
+                if impl.kind == "decomp":
+                    for module in impl.netlist.modules:
+                        self.expand(module.spec)
+        finally:
+            self._expanding.discard(spec)
+        return node
+
+    # ------------------------------------------------------------------
+    # evaluation (costed configurations with S1 + S2)
+    # ------------------------------------------------------------------
+    def configs(self, spec: ComponentSpec) -> List[Configuration]:
+        """Filtered configurations for a specification (memoized)."""
+        cached = self._configs.get(spec)
+        if cached is not None:
+            return cached
+        if spec in self._evaluating:
+            # A decomposition cycle: treat as unimplementable through
+            # this path; the offending implementation is dropped.
+            return []
+        node = self.expand(spec)
+        self._evaluating.add(spec)
+        try:
+            candidates: List[Configuration] = []
+            for impl in node.impls:
+                candidates.extend(self._impl_configs(spec, impl))
+            selected = self.perf_filter.select(candidates)
+            if not selected:
+                self.failures.setdefault(
+                    spec,
+                    "no matching cell and no applicable rule"
+                    if not node.impls
+                    else "all implementations failed downstream",
+                )
+            self._configs[spec] = selected
+            return selected
+        finally:
+            self._evaluating.discard(spec)
+
+    def _impl_configs(
+        self, spec: ComponentSpec, impl: Implementation
+    ) -> List[Configuration]:
+        if impl.kind == "cell":
+            cell = impl.binding.cell
+            return [
+                make_configuration(
+                    cell.area, cell.delay_matrix(), {spec: impl.index}
+                )
+            ]
+        return self._decomp_configs(spec, impl)
+
+    def _decomp_configs(
+        self, spec: ComponentSpec, impl: Implementation
+    ) -> List[Configuration]:
+        netlist = impl.netlist
+        distinct_specs: List[ComponentSpec] = []
+        for module in netlist.modules:
+            if module.spec not in distinct_specs:
+                distinct_specs.append(module.spec)
+        option_lists = []
+        for sub in distinct_specs:
+            options = self.configs(sub)
+            if not options:
+                return []  # some module is unimplementable
+            option_lists.append(options)
+
+        combos = combine_compatible(option_lists)
+        if len(combos) > self.max_combinations:
+            combos = combos[: self.max_combinations]
+
+        results: List[Configuration] = []
+        for chosen, merged in combos:
+            by_spec = dict(zip(distinct_specs, chosen))
+            own = merge_choices([merged, {spec: impl.index}])
+            if own is None:
+                continue
+            area = sum(by_spec[m.spec].area for m in netlist.modules)
+            delays = port_delay_matrix(
+                netlist, lambda inst: by_spec[inst.spec].delay_matrix()
+            )
+            results.append(make_configuration(area, delays, own))
+        return results
+
+    # ------------------------------------------------------------------
+    # top-level entry points
+    # ------------------------------------------------------------------
+    def alternatives(self, spec: ComponentSpec) -> List[Configuration]:
+        """Expand and evaluate a single component specification."""
+        selected = self.configs(spec)
+        if not selected:
+            raise SynthesisError(self._failure_message(spec))
+        return selected
+
+    def evaluate_netlist(self, netlist: Netlist) -> List[Configuration]:
+        """Alternatives for a whole input netlist of GENUS instances.
+
+        The netlist is treated exactly like a decomposition: one
+        configuration per S1-consistent, filter-surviving combination
+        of module implementations, costed with structural timing.
+        """
+        distinct_specs: List[ComponentSpec] = []
+        for module in netlist.modules:
+            if module.spec not in distinct_specs:
+                distinct_specs.append(module.spec)
+        option_lists = []
+        for sub in distinct_specs:
+            options = self.configs(sub)
+            if not options:
+                raise SynthesisError(self._failure_message(sub))
+            option_lists.append(options)
+        combos = combine_compatible(option_lists)
+        if len(combos) > self.max_combinations:
+            combos = combos[: self.max_combinations]
+        results = []
+        for chosen, merged in combos:
+            by_spec = dict(zip(distinct_specs, chosen))
+            area = sum(by_spec[m.spec].area for m in netlist.modules)
+            delays = port_delay_matrix(
+                netlist, lambda inst: by_spec[inst.spec].delay_matrix()
+            )
+            results.append(make_configuration(area, delays, merged))
+        return self.perf_filter.select(results)
+
+    def _failure_message(self, spec: ComponentSpec) -> str:
+        self.configs(spec)
+        leaves = [
+            f"{s} ({why})"
+            for s, why in sorted(self.failures.items(), key=lambda kv: str(kv[0]))
+            if not self.nodes.get(s) or not self.nodes[s].impls
+        ] or [f"{s} ({why})" for s, why in self.failures.items()]
+        listing = "; ".join(leaves[:6])
+        return f"cannot implement {spec}: {listing}"
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def materialize(self, spec: ComponentSpec, config: Configuration) -> DesignTree:
+        """Build the hierarchical design tree a configuration denotes."""
+        choice = config.chosen_impl(spec)
+        if choice is None:
+            raise SynthesisError(f"configuration does not choose an impl for {spec}")
+        impl = self.nodes[spec].impls[choice]
+        tree = DesignTree(spec, impl)
+        if impl.kind == "decomp":
+            for module in impl.netlist.modules:
+                tree.children[module.name] = self.materialize(module.spec, config)
+        return tree
+
+    # ------------------------------------------------------------------
+    # statistics (paper section 5 sizing claims)
+    # ------------------------------------------------------------------
+    def unconstrained_size(self, spec: ComponentSpec) -> int:
+        """Size of the design space *without* search control: 'the
+        product of the number of alternative implementations for each
+        module in the netlist', summed over this spec's alternatives."""
+        memo = self._count_memo
+        in_progress: set = set()
+
+        def count(s: ComponentSpec) -> int:
+            if s in memo:
+                return memo[s]
+            if s in in_progress:
+                return 0
+            node = self.expand(s)
+            in_progress.add(s)
+            total = 0
+            for impl in node.impls:
+                if impl.kind == "cell":
+                    total += 1
+                else:
+                    product = 1
+                    for module in impl.netlist.modules:
+                        sub = count(module.spec)
+                        if sub == 0:
+                            product = 0
+                            break
+                        product *= sub
+                    total += product
+            in_progress.discard(s)
+            memo[s] = total
+            return total
+
+        return count(spec)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "spec_nodes": len(self.nodes),
+            "implementations": sum(len(n.impls) for n in self.nodes.values()),
+            "cell_bindings": sum(
+                1 for n in self.nodes.values() for i in n.impls if i.kind == "cell"
+            ),
+            "decompositions": sum(
+                1 for n in self.nodes.values() for i in n.impls if i.kind == "decomp"
+            ),
+        }

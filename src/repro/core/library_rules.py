@@ -1,0 +1,266 @@
+"""Library-specific design rules.
+
+"DTAS requires nine library-specific design rules to fully utilize the
+subset of cells from LSI Logic" (paper section 7).  This module
+provides those nine rules for the reconstructed LSI library -- and,
+because each is built by a parametric *factory*, the same knowledge can
+be re-instantiated for a different data book.  That is precisely the
+hook LOLA (:mod:`repro.lola`) uses to retarget DTAS automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext, even_splits
+from repro.core.rulebase.helpers import and2, is_pow2, or2
+from repro.core.specs import ComponentSpec, comparator_spec, gate_spec, make_spec, mux_spec, sel_width
+from repro.netlist.nets import Concat, Const
+
+
+# ---------------------------------------------------------------------------
+# Factories (shared with LOLA)
+# ---------------------------------------------------------------------------
+
+def ripple_chain_rule(name: str, block_width: int,
+                      library_specific: bool = True) -> Rule:
+    """ADD(w) -> ripple chain of ``block_width``-bit adder blocks (the
+    final block covers any remainder)."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        width = spec.width
+        chunks = even_splits(width, block_width)
+        b = DecompBuilder(spec, f"add{width}_ripple{block_width}")
+        carry = b.port("CI").ref() if spec.get("carry_in", False) else Const(0, 1)
+        for i, (lo, part) in enumerate(chunks):
+            last = i == len(chunks) - 1
+            sub = make_spec("ADD", part, carry_in=True,
+                            carry_out=(not last) or spec.get("carry_out", False)
+                            or None)
+            pins = dict(A=b.port("A")[lo:lo + part], B=b.port("B")[lo:lo + part],
+                        CI=carry, S=b.port("S")[lo:lo + part])
+            if not last:
+                nxt = b.net(f"c{i}", 1)
+                pins["CO"] = nxt
+                carry = nxt.ref()
+            elif spec.get("carry_out", False):
+                pins["CO"] = b.port("CO")
+            b.inst(f"a{i}", sub, **pins)
+        yield b.done()
+
+    return Rule(name, "ADD", build,
+                guard=lambda s: s.width > block_width
+                and not s.get("group_carry", False),
+                library_specific=library_specific,
+                description=f"ripple chain of {block_width}-bit adder cells")
+
+
+def addsub_chain_rule(name: str, block_width: int,
+                      library_specific: bool = True) -> Rule:
+    """ADDSUB(w) -> ripple chain of adder/subtractor blocks sharing M."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        width = spec.width
+        chunks = even_splits(width, block_width)
+        b = DecompBuilder(spec, f"addsub{width}_chain{block_width}")
+        if spec.get("carry_in", False):
+            carry = b.port("CI").ref()
+        else:
+            carry = b.port("M").ref()  # two's-complement +1 for subtract
+        for i, (lo, part) in enumerate(chunks):
+            last = i == len(chunks) - 1
+            sub = make_spec("ADDSUB", part, carry_in=True,
+                            carry_out=(not last) or spec.get("carry_out", False)
+                            or None)
+            pins = dict(A=b.port("A")[lo:lo + part], B=b.port("B")[lo:lo + part],
+                        M=b.port("M"), CI=carry, S=b.port("S")[lo:lo + part])
+            if not last:
+                nxt = b.net(f"c{i}", 1)
+                pins["CO"] = nxt
+                carry = nxt.ref()
+            elif spec.get("carry_out", False):
+                pins["CO"] = b.port("CO")
+            b.inst(f"s{i}", sub, **pins)
+        yield b.done()
+
+    return Rule(name, "ADDSUB", build,
+                guard=lambda s: s.width > block_width,
+                library_specific=library_specific,
+                description=f"chain of {block_width}-bit adder/subtractor cells")
+
+
+def mux2_slice_rule(name: str, slice_width: int,
+                    library_specific: bool = True) -> Rule:
+    """MUX(2, w) -> ``slice_width``-bit quad/dual mux slices."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        width = spec.width
+        b = DecompBuilder(spec, f"mux2_{width}_slice{slice_width}")
+        for i, (lo, part) in enumerate(even_splits(width, slice_width)):
+            sub = mux_spec(2, part)
+            b.inst(f"m{i}", sub,
+                   I0=b.port("I0")[lo:lo + part], I1=b.port("I1")[lo:lo + part],
+                   S=b.port("S"), O=b.port("O")[lo:lo + part])
+        yield b.done()
+
+    return Rule(name, "MUX", build,
+                guard=lambda s: s.get("n_inputs", 2) == 2
+                and s.width > slice_width,
+                library_specific=library_specific,
+                description=f"wide 2:1 mux -> {slice_width}-bit mux slices")
+
+
+def mux_radix_tree_rule(name: str, radix: int,
+                        library_specific: bool = True) -> Rule:
+    """MUX(n) -> ``radix`` subtrees + one radix-wide root mux.  Needs
+    power-of-two counts so the select bits split exactly."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        n = spec.get("n_inputs", 2)
+        width = spec.width
+        group = n // radix
+        bits = sel_width(n)
+        low_bits = sel_width(group)
+        b = DecompBuilder(spec, f"mux{n}_radix{radix}")
+        legs = []
+        sub = mux_spec(group, width)
+        for g in range(radix):
+            leg = b.net(f"leg{g}", width)
+            pins = {f"I{i}": b.port(f"I{g * group + i}") for i in range(group)}
+            pins["S"] = b.port("S")[0:low_bits]
+            pins["O"] = leg
+            b.inst(f"m{g}", sub, **pins)
+            legs.append(leg)
+        root = b.inst("root", mux_spec(radix, width),
+                      S=b.port("S")[low_bits:bits], O=b.port("O"))
+        for i, leg in enumerate(legs):
+            root.connect(f"I{i}", leg.ref())
+        yield b.done()
+
+    def guard(spec: ComponentSpec) -> bool:
+        n = spec.get("n_inputs", 2)
+        return (is_pow2(n) and n > radix and n % radix == 0
+                and is_pow2(radix) and n // radix >= 2)
+
+    return Rule(name, "MUX", build, guard=guard,
+                library_specific=library_specific,
+                description=f"radix-{radix} mux tree")
+
+
+def register_pack_rule(name: str, widths: Sequence[int],
+                       library_specific: bool = True) -> Rule:
+    """REG(w) -> greedy packing into the library's register widths."""
+    sorted_widths = sorted(widths, reverse=True)
+
+    def chunks_for(width: int) -> List[Tuple[int, int]]:
+        result = []
+        lo = 0
+        while lo < width:
+            for w in sorted_widths:
+                if w <= width - lo:
+                    result.append((lo, w))
+                    lo += w
+                    break
+            else:
+                result.append((lo, 1))
+                lo += 1
+        return result
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        width = spec.width
+        b = DecompBuilder(spec, f"reg{width}_pack")
+        attrs = dict(enable=spec.get("enable", False) or None,
+                     async_reset=spec.get("async_reset", False) or None)
+        for i, (lo, part) in enumerate(chunks_for(width)):
+            pins = dict(D=b.port("D")[lo:lo + part], CLK=b.port("CLK"),
+                        Q=b.port("Q")[lo:lo + part])
+            if spec.get("enable", False):
+                pins["CEN"] = b.port("CEN")
+            if spec.get("async_reset", False):
+                pins["ARST"] = b.port("ARST")
+            b.inst(f"r{i}", make_spec("REG", part, **attrs), **pins)
+        yield b.done()
+
+    return Rule(name, "REG", build,
+                guard=lambda s: s.width > min(widths)
+                and not s.get("complement_out", False),
+                library_specific=library_specific,
+                description=f"register packing into widths {list(widths)}")
+
+
+def counter_chain_rule(name: str, block_width: int,
+                       library_specific: bool = True) -> Rule:
+    """COUNTER(w) -> cascade of ``block_width``-bit counter blocks with
+    carry-out enabling each higher block (load passes unconditionally)."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        from repro.core.rulebase.counters import counter_cascade_netlist
+
+        yield counter_cascade_netlist(spec, block_width)
+
+    def guard(spec: ComponentSpec) -> bool:
+        return (spec.width % block_width == 0
+                and spec.width // block_width >= 2
+                and spec.get("style", "SYNCHRONOUS") in ("SYNCHRONOUS", None))
+
+    return Rule(name, "COUNTER", build, guard=guard,
+                library_specific=library_specific,
+                description=f"cascade of {block_width}-bit counter cells")
+
+
+def comparator_chain_rule(name: str, block_width: int,
+                          library_specific: bool = True) -> Rule:
+    """COMPARATOR(w) -> LSB-to-MSB chain of cascadable comparator
+    blocks; the LSB block's cascade inputs are tied to identity."""
+
+    def build(spec: ComponentSpec, context: RuleContext):
+        width = spec.width
+        chunks = even_splits(width, block_width)
+        b = DecompBuilder(spec, f"cmp{width}_chain{block_width}")
+        eq_in, lt_in, gt_in = Const(1, 1), Const(0, 1), Const(0, 1)
+        for i, (lo, part) in enumerate(chunks):
+            last = i == len(chunks) - 1
+            sub = comparator_spec(part, ("EQ", "LT", "GT"), cascaded=True)
+            pins = dict(A=b.port("A")[lo:lo + part], B=b.port("B")[lo:lo + part],
+                        EQ_IN=eq_in, LT_IN=lt_in, GT_IN=gt_in)
+            if last:
+                for op in ("EQ", "LT", "GT"):
+                    if b.has_port(op):
+                        pins[op] = b.port(op)
+            else:
+                eq = b.net(f"eq{i}", 1)
+                lt = b.net(f"lt{i}", 1)
+                gt = b.net(f"gt{i}", 1)
+                pins.update(EQ=eq, LT=lt, GT=gt)
+                eq_in, lt_in, gt_in = eq.ref(), lt.ref(), gt.ref()
+            b.inst(f"c{i}", sub, **pins)
+        yield b.done()
+
+    def guard(spec: ComponentSpec) -> bool:
+        return (spec.width > block_width
+                and set(spec.ops or ("EQ", "LT", "GT")) <= {"EQ", "LT", "GT"}
+                and not spec.get("cascaded", False))
+
+    return Rule(name, "COMPARATOR", build, guard=guard,
+                library_specific=library_specific,
+                description=f"chain of {block_width}-bit comparator cells")
+
+
+# ---------------------------------------------------------------------------
+# The nine LSI Logic rules
+# ---------------------------------------------------------------------------
+
+def lsi_rules() -> List[Rule]:
+    """The nine library-specific rules for the LSI 1.5-micron subset,
+    mirroring the paper's count."""
+    return [
+        ripple_chain_rule("lsi-add-ripple4", 4),
+        ripple_chain_rule("lsi-add-ripple2", 2),
+        ripple_chain_rule("lsi-add-ripple1", 1),
+        addsub_chain_rule("lsi-addsub-chain2", 2),
+        mux2_slice_rule("lsi-mux2-quad", 4),
+        mux_radix_tree_rule("lsi-mux-radix4", 4),
+        mux_radix_tree_rule("lsi-mux-radix8", 8),
+        register_pack_rule("lsi-reg-pack", (8, 4, 1)),
+        comparator_chain_rule("lsi-cmp-chain4", 4),
+    ]

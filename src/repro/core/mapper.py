@@ -1,0 +1,166 @@
+"""Technology mapping by functional matching.
+
+"During decomposition, component specifications are compared to the
+functional specification of available library cells; matching cells are
+mapped into the design space. ... By performing a functional match, we
+avoid the complexity of subgraph isomorphism inherent in DAG matching."
+(paper section 5)
+
+A cell matches a specification when their component types and widths
+agree and the cell's capabilities cover the specification's
+requirements.  A cell may be *richer* than the specification -- extra
+capability pins are adapted: unneeded inputs are tied to their neutral
+level and unneeded outputs left dangling.  A cell can never be *poorer*
+(a missing carry-out cannot be conjured), and operation lists for
+select-encoded components must match exactly, because the select
+encoding is part of the function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.core.specs import ComponentSpec
+
+if TYPE_CHECKING:  # avoid a circular import with repro.techlib
+    from repro.techlib.cells import CellLibrary, RTLCell
+
+#: Boolean capability attributes: (attribute, neutral level for the
+#: cell pin when the spec does not use the capability).
+_CAPABILITY_PINS = (
+    ("carry_in", "CI", 0),
+    ("enable", "CEN", 1),
+    ("async_reset", "ARST", 0),
+)
+
+#: Counter-specific capability pins (different names).
+_COUNTER_CAPABILITY_PINS = (
+    ("enable", "CEN", 1),
+    ("async_set", "ASET", 0),
+    ("async_reset", "ARESET", 0),
+)
+
+#: Output-side capabilities: cell may have them unused; spec may not
+#: demand them if the cell lacks them.
+_OUTPUT_CAPS = ("carry_out", "group_carry", "complement_out", "valid")
+
+#: Attributes that must be exactly equal for a functional match.
+_EXACT_ATTRS = (
+    "kind", "n_inputs", "n_outputs", "n_drivers", "width_b", "groups",
+    "n_words", "n_read", "n_write", "depth", "style", "cascaded",
+    "value", "lsb", "src_width", "direction", "part_widths",
+)
+
+#: Component types whose ops tuple is select-encoded (order matters).
+_SELECT_ENCODED = {"ALU", "SHIFTER", "BARREL_SHIFTER", "MUX", "SELECTOR"}
+
+
+@dataclass(frozen=True)
+class CellBinding:
+    """A cell chosen to implement a spec, plus pin adaptations."""
+
+    cell: "RTLCell"
+    tied: Tuple[Tuple[str, int], ...] = ()
+    dangling: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        extras = []
+        if self.tied:
+            extras.append("tie " + ",".join(f"{p}={v}" for p, v in self.tied))
+        if self.dangling:
+            extras.append("open " + ",".join(self.dangling))
+        suffix = f" [{'; '.join(extras)}]" if extras else ""
+        return f"{self.cell.name}{suffix}"
+
+
+def match_cell(spec: ComponentSpec, cell: "RTLCell") -> Optional[CellBinding]:
+    """Functional match of one spec against one cell.
+
+    Returns the binding (with pin adaptations) or ``None``.
+    """
+    cspec = cell.spec
+    if cspec.ctype != spec.ctype:
+        return None
+    if cspec.width != spec.width:
+        return None
+    for attr in _EXACT_ATTRS:
+        if cspec.get(attr) != spec.get(attr):
+            return None
+
+    # Operation coverage.
+    spec_ops, cell_ops = spec.ops, cspec.ops
+    if spec.ctype in _SELECT_ENCODED:
+        if spec_ops != cell_ops:
+            return None
+    elif spec.ctype in ("COMPARATOR", "COUNTER"):
+        if not set(spec_ops) <= set(cell_ops):
+            return None
+        if spec.ctype == "COUNTER" and spec_ops != cell_ops and set(spec_ops) != set(cell_ops):
+            # Extra counter modes would need their control pins tied;
+            # handled below only when the pin sets line up.
+            pass
+    elif spec_ops != cell_ops:
+        return None
+
+    tied: Dict[str, int] = {}
+    dangling: List[str] = []
+
+    capability_pins = (
+        _COUNTER_CAPABILITY_PINS if spec.ctype == "COUNTER" else _CAPABILITY_PINS
+    )
+    for attr, pin, neutral in capability_pins:
+        spec_has = bool(spec.get(attr, False))
+        cell_has = bool(cspec.get(attr, False))
+        if spec_has and not cell_has:
+            return None
+        if cell_has and not spec_has:
+            tied[pin] = neutral
+
+    if spec.ctype == "COUNTER":
+        # Tie off control pins for counter modes the spec does not use.
+        mode_pins = {"LOAD": "CLOAD", "COUNT_UP": "CUP", "COUNT_DOWN": "CDOWN"}
+        for op, pin in mode_pins.items():
+            if op in cell_ops and op not in spec_ops:
+                tied[pin] = 0
+        # Unused LOAD also leaves the data input; tie it low.
+        if "LOAD" in cell_ops and "LOAD" not in spec_ops:
+            tied["I0"] = 0
+
+    for attr in _OUTPUT_CAPS:
+        spec_has = bool(spec.get(attr, False))
+        cell_has = bool(cspec.get(attr, False))
+        if spec_has and not cell_has:
+            return None
+        if cell_has and not spec_has:
+            dangling.extend(_output_pins_for(attr))
+
+    if spec.ctype == "COMPARATOR":
+        for op in set(cell_ops) - set(spec_ops):
+            dangling.append(op)
+
+    return CellBinding(cell, tuple(sorted(tied.items())), tuple(sorted(set(dangling))))
+
+
+def _output_pins_for(attr: str) -> Tuple[str, ...]:
+    if attr == "carry_out":
+        return ("CO",)
+    if attr == "group_carry":
+        return ("G", "P")
+    if attr == "complement_out":
+        return ("QN",)
+    if attr == "valid":
+        return ("V",)
+    return ()
+
+
+def matching_cells(spec: ComponentSpec, library: "CellLibrary") -> List[CellBinding]:
+    """All cells of a library that functionally match a spec."""
+    bindings = []
+    for cell in library.cells():
+        binding = match_cell(spec, cell)
+        if binding is not None:
+            bindings.append(binding)
+    return bindings

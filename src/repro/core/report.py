@@ -1,0 +1,51 @@
+"""Report formatting for DTAS results (Figure-3 style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.synthesizer import DesignAlternative, SynthesisResult
+
+
+def figure3_points(result: SynthesisResult) -> List[Tuple[float, float, float, float]]:
+    """(area, delay, d_area_pct, d_delay_pct) per alternative, relative
+    to the smallest design -- the quantities Figure 3 annotates."""
+    base = result.smallest()
+    points = []
+    for alt in result.alternatives:
+        d_area = 100.0 * (alt.area - base.area) / base.area if base.area else 0.0
+        d_delay = (100.0 * (alt.delay - base.delay) / base.delay
+                   if base.delay else 0.0)
+        points.append((alt.area, alt.delay, d_area, d_delay))
+    return points
+
+
+def figure3_report(result: SynthesisResult, title: str) -> str:
+    """Render a Figure-3-like report block."""
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"{'area (gates)':>14} {'delay (ns)':>12} {'d-area':>8} {'d-delay':>9}")
+    for area, delay, d_area, d_delay in figure3_points(result):
+        lines.append(
+            f"{area:>14.0f} {delay:>12.1f} {d_area:>+7.0f}% {d_delay:>+8.0f}%"
+        )
+    lines.append("")
+    lines.append(f"alternatives: {len(result)}   "
+                 f"generated in {result.runtime_seconds:.2f} s")
+    stats = result.stats
+    lines.append(
+        f"design space: {stats['spec_nodes']} specs, "
+        f"{stats['implementations']} implementations "
+        f"({stats['cell_bindings']} cell bindings, "
+        f"{stats['decompositions']} decompositions)"
+    )
+    return "\n".join(lines)
+
+
+def cell_usage_report(alt: DesignAlternative, max_rows: int = 20) -> str:
+    """Leaf-cell usage of one materialized alternative."""
+    counts = alt.cell_counts()
+    rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:max_rows]
+    lines = [f"{'cell':<10} {'count':>6}"]
+    for name, count in rows:
+        lines.append(f"{name:<10} {count:>6}")
+    return "\n".join(lines)

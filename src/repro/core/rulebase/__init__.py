@@ -1,0 +1,36 @@
+"""The DTAS generic rulebase.
+
+The paper reports 86 rules written in the DTAS Design Language covering
+"bitwise logic gates and multiplexers, binary and BCD decoders and
+encoders, n-bit adders and comparators, n-bit arithmetic logic units,
+shifters, n-by-m multipliers, and up/down counters" (section 7).  This
+package provides the equivalent rules as Python rule objects, organized
+by component family.  :func:`standard_rulebase` assembles them; the
+LSI-specific rules live in :mod:`repro.core.library_rules`.
+"""
+
+from repro.core.rules import RuleBase
+
+
+def standard_rulebase() -> RuleBase:
+    """The full generic rulebase (no library-specific rules)."""
+    from repro.core.rulebase import (
+        alu,
+        arithmetic,
+        comparators,
+        counters,
+        encoding,
+        logic,
+        multipliers,
+        routing,
+        shifters,
+        storage,
+    )
+
+    rulebase = RuleBase("dtas-generic")
+    for module in (
+        logic, routing, encoding, comparators, arithmetic,
+        shifters, multipliers, storage, counters, alu,
+    ):
+        rulebase.extend(module.rules())
+    return rulebase

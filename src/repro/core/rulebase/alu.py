@@ -1,0 +1,211 @@
+"""Decomposition rules for n-bit arithmetic logic units.
+
+The paper's Figure-3 component is a 64-bit, 16-function ALU with the
+operation list (in select order)::
+
+    ADD SUB INC DEC | EQ LT GT ZEROP | AND OR NAND NOR XOR XNOR LNOT LIMPL
+
+``alu-16fn-split`` carves it into an arithmetic unit (the four adder
+operations), a comparison unit, and a logic unit, steered by the two
+top select bits -- no decode logic needed because the operation classes
+align with select-bit boundaries.  The arithmetic unit then inherits
+the *whole adder design space* (ripple / carry-look-ahead /
+carry-select), which is what produces the figure's area-delay spread.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import invert, wide_gate
+from repro.core.specs import (
+    ALU16_OPS,
+    ComponentSpec,
+    comparator_spec,
+    gate_spec,
+    make_spec,
+    mux_spec,
+)
+from repro.netlist.nets import Concat, Const
+
+ARITH4 = ("ADD", "SUB", "INC", "DEC")
+CMP4 = ("EQ", "LT", "GT", "ZEROP")
+LOGIC8 = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR", "LNOT", "LIMPL")
+
+
+def alu_16fn_split(spec: ComponentSpec, context: RuleContext):
+    """The paper's 16-function ALU -> arith + compare + logic units and
+    a two-level output mux steered by S[3:2]."""
+    width = spec.width
+    b = DecompBuilder(spec, f"alu{width}_16fn_split")
+    sel = b.port("S")
+
+    # Arithmetic unit: a 4-function ALU over S[1:0].
+    arith_spec = make_spec("ALU", width, ops=ARITH4,
+                           carry_in=spec.get("carry_in", False) or None,
+                           carry_out=True)
+    arith_o = b.net("arith_o", width)
+    arith_co = b.net("arith_co", 1)
+    arith_pins = dict(A=b.port("A"), B=b.port("B"), S=sel[0:2],
+                      O=arith_o, CO=arith_co)
+    if spec.get("carry_in", False):
+        arith_pins["CI"] = b.port("CI")
+    b.inst("u_arith", arith_spec, **arith_pins)
+
+    # Comparison unit + zero detector; result packed into bit 0.
+    cmp_o = b.net("cmp_bits", 3)
+    b.inst("u_cmp", comparator_spec(width, ("EQ", "LT", "GT")),
+           A=b.port("A"), B=b.port("B"),
+           EQ=cmp_o[0], LT=cmp_o[1], GT=cmp_o[2])
+    if width > 1:
+        zerop = wide_gate(b, "u_zero", "NOR",
+                          [b.port("A")[i] for i in range(width)], 1)
+    else:
+        zerop = invert(b, "u_zero", b.port("A").ref(), 1)
+    cmp_bit = b.net("cmp_bit", 1)
+    m_cmp = b.inst("m_cmp", mux_spec(4, 1), S=sel[0:2], O=cmp_bit)
+    m_cmp.connect("I0", cmp_o[0])
+    m_cmp.connect("I1", cmp_o[1])
+    m_cmp.connect("I2", cmp_o[2])
+    m_cmp.connect("I3", zerop.ref())
+
+    # Logic unit: an 8-function logic ALU over S[2:0].
+    logic_spec = make_spec("ALU", width, ops=LOGIC8)
+    logic_o = b.net("logic_o", width)
+    b.inst("u_logic", logic_spec, A=b.port("A"), B=b.port("B"),
+           S=sel[0:3], O=logic_o)
+
+    # Output stage: S[3] picks logic; otherwise S[2] picks compare.
+    lower = b.net("lower", width)
+    m_low = b.inst("m_low", mux_spec(2, width), S=sel[2], O=lower)
+    m_low.connect("I0", arith_o.ref())
+    if width > 1:
+        m_low.connect("I1", Concat((cmp_bit.ref(), Const(0, width - 1))))
+    else:
+        m_low.connect("I1", cmp_bit.ref())
+    b.inst("m_out", mux_spec(2, width),
+           I0=lower, I1=logic_o, S=sel[3], O=b.port("O"))
+
+    if spec.get("carry_out", False):
+        # Carry is defined only for the arithmetic class (S[3:2] == 00).
+        n2 = invert(b, "ns2", sel[2], 1)
+        n3 = invert(b, "ns3", sel[3], 1)
+        arith_class = wide_gate(b, "arith_cls", "AND",
+                                [n2.ref(), n3.ref()], 1)
+        b.inst("g_co", gate_spec("AND", 2, 1),
+               I0=arith_co, I1=arith_class, O=b.port("CO"))
+    yield b.done()
+
+
+def alu_arith4(spec: ComponentSpec, context: RuleContext):
+    """4-function arithmetic ALU (ADD/SUB/INC/DEC) -> one adder with an
+    operand-B selector:
+
+        S=0 ADD: B      S=1 SUB: ~B     S=2 INC: +1     S=3 DEC: -1
+
+    and the carry-in passed straight through -- the generic semantics
+    were chosen so this realization is exact.
+    """
+    width = spec.width
+    b = DecompBuilder(spec, f"alu{width}_arith4")
+    nb = b.net("nb", width)
+    b.inst("invb", gate_spec("NOT", width=width), I0=b.port("B"), O=nb)
+    bsel = b.net("bsel", width)
+    m_b = b.inst("m_b", mux_spec(4, width), S=b.port("S"), O=bsel)
+    m_b.connect("I0", b.port("B").ref())
+    m_b.connect("I1", nb.ref())
+    m_b.connect("I2", Const(1, width))
+    m_b.connect("I3", Const((1 << width) - 1, width))
+    add_spec = make_spec("ADD", width, carry_in=True,
+                         carry_out=spec.get("carry_out", False) or None)
+    pins = dict(A=b.port("A"), B=bsel, S=b.port("O"))
+    if spec.get("carry_in", False):
+        pins["CI"] = b.port("CI")
+    else:
+        # Without a CI pin the SUB operation needs its two's-complement
+        # +1: carry-in = (S == 01), the select code of SUB.
+        ns1 = invert(b, "ns1", b.port("S")[1], 1)
+        sub_ci = wide_gate(b, "sub_ci", "AND",
+                           [b.port("S")[0], ns1.ref()], 1)
+        pins["CI"] = sub_ci.ref()
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("add", add_spec, **pins)
+    yield b.done()
+
+
+def alu_logic8(spec: ComponentSpec, context: RuleContext):
+    """8-function logic unit -> one gate per function + output mux.
+    Gate order matches the select encoding of LOGIC8."""
+    width = spec.width
+    b = DecompBuilder(spec, f"alu{width}_logic8")
+    a, c = b.port("A"), b.port("B")
+    na = b.net("na", width)
+    b.inst("inv_a", gate_spec("NOT", width=width), I0=a, O=na)
+
+    outputs = []
+    for kind in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+        out = b.net(f"o_{kind.lower()}", width)
+        b.inst(f"g_{kind.lower()}", gate_spec(kind, 2, width),
+               I0=a, I1=c, O=out)
+        outputs.append(out)
+    outputs.append(na)  # LNOT
+    limpl = b.net("o_limpl", width)
+    b.inst("g_limpl", gate_spec("OR", 2, width), I0=na, I1=c, O=limpl)
+    outputs.append(limpl)
+
+    mux = b.inst("m_o", mux_spec(8, width), S=b.port("S"), O=b.port("O"))
+    for i, out in enumerate(outputs):
+        mux.connect(f"I{i}", out.ref())
+    if spec.get("carry_out", False):
+        b.inst("b_co", gate_spec("BUF", width=1), I0=Const(0, 1),
+               O=b.port("CO"))
+    yield b.done()
+
+
+def alu_addsub2(spec: ComponentSpec, context: RuleContext):
+    """2-function (ADD, SUB) ALU -> ADDSUB with M = S[0]."""
+    width = spec.width
+    b = DecompBuilder(spec, f"alu{width}_addsub")
+    sub_spec = make_spec("ADDSUB", width,
+                         carry_in=spec.get("carry_in", False) or None,
+                         carry_out=spec.get("carry_out", False) or None)
+    pins = dict(A=b.port("A"), B=b.port("B"), M=b.port("S"), S=b.port("O"))
+    if spec.get("carry_in", False):
+        pins["CI"] = b.port("CI")
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("u0", sub_spec, **pins)
+    yield b.done()
+
+
+def alu_bitslice(spec: ComponentSpec, context: RuleContext):
+    """Logic-only ALU -> bitwise slices sharing the select (valid only
+    when every operation is bitwise)."""
+    width = spec.width
+    ops = spec.ops
+    b = DecompBuilder(spec, f"alu{width}_slice")
+    unit = make_spec("ALU", 1, ops=ops)
+    for bit in range(width):
+        b.inst(f"u{bit}", unit,
+               A=b.port("A")[bit], B=b.port("B")[bit], S=b.port("S"),
+               O=b.port("O")[bit])
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    def ops_are(target):
+        return lambda s: s.ops == target
+
+    bitwise = set(LOGIC8)
+    return [
+        Rule("alu-16fn-split", "ALU", alu_16fn_split,
+             guard=ops_are(ALU16_OPS)),
+        Rule("alu-arith4", "ALU", alu_arith4, guard=ops_are(ARITH4)),
+        Rule("alu-logic8", "ALU", alu_logic8, guard=ops_are(LOGIC8)),
+        Rule("alu-addsub2", "ALU", alu_addsub2, guard=ops_are(("ADD", "SUB"))),
+        Rule("alu-logic-bitslice", "ALU", alu_bitslice,
+             guard=lambda s: s.width > 1 and set(s.ops) <= bitwise
+             and not s.get("carry_out", False) and not s.get("carry_in", False)),
+    ]

@@ -1,0 +1,376 @@
+"""Decomposition rules for adders, subtractors, incrementers, and the
+carry-look-ahead generator.
+
+These rules create the area/delay spectrum the paper's Figure 3 plots:
+
+- ``add-ripple-halves`` produces ripple-carry chains at every
+  granularity the library supports (slow, small);
+- ``add-cla`` produces carry-look-ahead groups wired through a
+  CLA_GEN, recursively yielding one- and two-level look-ahead
+  structures (fast, large);
+- ``add-carry-select`` duplicates the upper half for both carry values
+  and muxes (intermediate).
+
+Carry conventions follow :mod:`repro.genus.behavior`: SUB is
+``a + ~b + ci`` (ci defaults to 1 without a CI pin), INC is
+``a + 1 + ci``, DEC is ``a - 1 + ci``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import invert, ones, repl, wide_gate
+from repro.core.specs import ComponentSpec, gate_spec, make_spec
+from repro.netlist.nets import Concat, Const
+
+
+def _adder_spec(width: int, carry_in: bool = True, carry_out: bool = True,
+                group_carry: bool = False) -> ComponentSpec:
+    return make_spec("ADD", width, carry_in=carry_in or None,
+                     carry_out=carry_out or None, group_carry=group_carry or None)
+
+
+def _ci_endpoint(b: DecompBuilder, spec: ComponentSpec, default: int):
+    if spec.get("carry_in", False):
+        return b.port("CI").ref()
+    return Const(default, 1)
+
+
+def add_ripple_halves(spec: ComponentSpec, context: RuleContext):
+    """ADD(w) -> ADD(hi) . ADD(lo) with the carry rippling through."""
+    width = spec.width
+    lo = width // 2
+    hi = width - lo
+    b = DecompBuilder(spec, f"add{width}_ripple_halves")
+    carry = b.net("c_mid", 1)
+    lo_spec = _adder_spec(lo)
+    hi_spec = _adder_spec(hi, carry_out=spec.get("carry_out", False))
+    b.inst("a_lo", lo_spec,
+           A=b.port("A")[0:lo], B=b.port("B")[0:lo],
+           CI=_ci_endpoint(b, spec, 0), S=b.port("S")[0:lo], CO=carry)
+    hi_pins = dict(
+        A=b.port("A")[lo:width], B=b.port("B")[lo:width],
+        CI=carry, S=b.port("S")[lo:width],
+    )
+    if spec.get("carry_out", False):
+        hi_pins["CO"] = b.port("CO")
+    b.inst("a_hi", hi_spec, **hi_pins)
+    yield b.done()
+
+
+def add_full_adder_gates(spec: ComponentSpec, context: RuleContext):
+    """ADD(1) -> the classic two-XOR / two-AND / one-OR full adder."""
+    b = DecompBuilder(spec, "add1_gates")
+    a = b.port("A").ref()
+    c = b.port("B").ref()
+    ci = _ci_endpoint(b, spec, 0)
+    axb = b.net("axb", 1)
+    b.inst("x0", gate_spec("XOR", 2, 1), I0=a, I1=c, O=axb)
+    b.inst("x1", gate_spec("XOR", 2, 1), I0=axb, I1=ci, O=b.port("S"))
+    if spec.get("carry_out", False):
+        t0 = b.net("t0", 1)
+        t1 = b.net("t1", 1)
+        b.inst("g0", gate_spec("AND", 2, 1), I0=a, I1=c, O=t0)
+        b.inst("g1", gate_spec("AND", 2, 1), I0=axb, I1=ci, O=t1)
+        b.inst("g2", gate_spec("OR", 2, 1), I0=t0, I1=t1, O=b.port("CO"))
+    yield b.done()
+
+
+def add_cla(spec: ComponentSpec, context: RuleContext):
+    """ADD(w) -> g look-ahead groups of ADD(w/g) with G/P outputs,
+    carries distributed by a CLA_GEN(g).
+
+    When the target spec itself has group-carry outputs, the block's
+    G/P come from the CLA_GEN's group generate/propagate -- which is
+    exactly how two-level look-ahead composes.
+    """
+    width = spec.width
+    for groups in (4, 2):
+        if width % groups != 0:
+            continue
+        sub_width = width // groups
+        if sub_width < 1 or groups < 2:
+            continue
+        b = DecompBuilder(spec, f"add{width}_cla{groups}")
+        sub = _adder_spec(sub_width, carry_in=True, carry_out=False,
+                          group_carry=True)
+        g_bits = []
+        p_bits = []
+        carries = b.net("carries", groups)
+        ci = _ci_endpoint(b, spec, 0)
+        for i in range(groups):
+            lo = i * sub_width
+            hi = lo + sub_width
+            g_net = b.net(f"g{i}", 1)
+            p_net = b.net(f"p{i}", 1)
+            carry_in = ci if i == 0 else carries[i - 1]
+            b.inst(f"a{i}", sub,
+                   A=b.port("A")[lo:hi], B=b.port("B")[lo:hi],
+                   CI=carry_in, S=b.port("S")[lo:hi], G=g_net, P=p_net)
+            g_bits.append(g_net)
+            p_bits.append(p_net)
+        cla_pins = dict(
+            G=Concat(tuple(g.ref() for g in g_bits)),
+            P=Concat(tuple(p.ref() for p in p_bits)),
+            CI=ci,
+            C=carries,
+        )
+        if spec.get("group_carry", False):
+            cla_pins["GG"] = b.port("G")
+            cla_pins["GP"] = b.port("P")
+        b.inst("cla", make_spec("CLA_GEN", 1, groups=groups), **cla_pins)
+        if spec.get("carry_out", False):
+            b.inst("co_buf", gate_spec("BUF", width=1),
+                   I0=carries[groups - 1], O=b.port("CO"))
+        yield b.done()
+
+
+def add_carry_select(spec: ComponentSpec, context: RuleContext):
+    """ADD(w) -> low half plus two speculative high halves (carry 0 and
+    carry 1) resolved by a mux."""
+    width = spec.width
+    lo = width // 2
+    hi = width - lo
+    b = DecompBuilder(spec, f"add{width}_select")
+    c_mid = b.net("c_mid", 1)
+    b.inst("a_lo", _adder_spec(lo),
+           A=b.port("A")[0:lo], B=b.port("B")[0:lo],
+           CI=_ci_endpoint(b, spec, 0), S=b.port("S")[0:lo], CO=c_mid)
+    hi_spec = _adder_spec(hi)
+    s0 = b.net("s0", hi)
+    s1 = b.net("s1", hi)
+    c0 = b.net("c0", 1)
+    c1 = b.net("c1", 1)
+    b.inst("a_h0", hi_spec, A=b.port("A")[lo:width], B=b.port("B")[lo:width],
+           CI=Const(0, 1), S=s0, CO=c0)
+    b.inst("a_h1", hi_spec, A=b.port("A")[lo:width], B=b.port("B")[lo:width],
+           CI=Const(1, 1), S=s1, CO=c1)
+    b.inst("m_s", make_spec("MUX", hi, n_inputs=2),
+           I0=s0, I1=s1, S=c_mid, O=b.port("S")[lo:width])
+    if spec.get("carry_out", False):
+        b.inst("m_c", make_spec("MUX", 1, n_inputs=2),
+               I0=c0, I1=c1, S=c_mid, O=b.port("CO"))
+    yield b.done()
+
+
+def sub_via_add(spec: ComponentSpec, context: RuleContext):
+    """SUB(w) = ADD(w) with B inverted; carry-in defaults to 1."""
+    width = spec.width
+    b = DecompBuilder(spec, f"sub{width}_via_add")
+    nb = b.net("nb", width)
+    b.inst("invb", gate_spec("NOT", width=width), I0=b.port("B"), O=nb)
+    pins = dict(A=b.port("A"), B=nb, CI=_ci_endpoint(b, spec, 1),
+                S=b.port("S"))
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("add", _adder_spec(width, carry_out=spec.get("carry_out", False)),
+           **pins)
+    yield b.done()
+
+
+def addsub_via_add(spec: ComponentSpec, context: RuleContext):
+    """ADDSUB(w) = ADD(w) with B XOR-ed against the mode bit; without a
+    CI pin the mode itself supplies the +1 of two's complement."""
+    width = spec.width
+    b = DecompBuilder(spec, f"addsub{width}_via_add")
+    bx = b.net("bx", width)
+    b.inst("xorb", gate_spec("XOR", 2, width),
+           I0=b.port("B"), I1=repl(b.port("M").ref(), width), O=bx)
+    ci = b.port("CI").ref() if spec.get("carry_in", False) else b.port("M").ref()
+    pins = dict(A=b.port("A"), B=bx, CI=ci, S=b.port("S"))
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("add", _adder_spec(width, carry_out=spec.get("carry_out", False)),
+           **pins)
+    yield b.done()
+
+
+def addsub_halves(spec: ComponentSpec, context: RuleContext):
+    """ADDSUB(w) -> two half-width ADDSUBs sharing the mode, carry
+    rippling between them (enables mapping onto ADDSUB cells)."""
+    width = spec.width
+    if width < 2:
+        return
+    lo = width // 2
+    hi = width - lo
+    b = DecompBuilder(spec, f"addsub{width}_halves")
+    carry = b.net("c_mid", 1)
+    lo_spec = make_spec("ADDSUB", lo, carry_in=True, carry_out=True)
+    hi_spec = make_spec("ADDSUB", hi, carry_in=True,
+                        carry_out=spec.get("carry_out", False) or None)
+    ci = b.port("CI").ref() if spec.get("carry_in", False) else b.port("M").ref()
+    b.inst("s_lo", lo_spec, A=b.port("A")[0:lo], B=b.port("B")[0:lo],
+           M=b.port("M"), CI=ci, S=b.port("S")[0:lo], CO=carry)
+    hi_pins = dict(A=b.port("A")[lo:width], B=b.port("B")[lo:width],
+                   M=b.port("M"), CI=carry, S=b.port("S")[lo:width])
+    if spec.get("carry_out", False):
+        hi_pins["CO"] = b.port("CO")
+    b.inst("s_hi", hi_spec, **hi_pins)
+    yield b.done()
+
+
+def inc_via_add(spec: ComponentSpec, context: RuleContext):
+    """INC(w) = ADD(w) with B = 1."""
+    width = spec.width
+    b = DecompBuilder(spec, f"inc{width}_via_add")
+    pins = dict(A=b.port("A"), B=Const(1, width),
+                CI=_ci_endpoint(b, spec, 0), S=b.port("S"))
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("add", _adder_spec(width, carry_out=spec.get("carry_out", False)),
+           **pins)
+    yield b.done()
+
+
+def dec_via_add(spec: ComponentSpec, context: RuleContext):
+    """DEC(w) = ADD(w) with B = all-ones (two's-complement -1)."""
+    width = spec.width
+    b = DecompBuilder(spec, f"dec{width}_via_add")
+    pins = dict(A=b.port("A"), B=ones(width),
+                CI=_ci_endpoint(b, spec, 0), S=b.port("S"))
+    if spec.get("carry_out", False):
+        pins["CO"] = b.port("CO")
+    b.inst("add", _adder_spec(width, carry_out=spec.get("carry_out", False)),
+           **pins)
+    yield b.done()
+
+
+def inc_half_adder_chain(spec: ComponentSpec, context: RuleContext):
+    """INC(w) without carry-in -> half-adder chain (small, slow)."""
+    if spec.get("carry_in", False):
+        return
+    width = spec.width
+    b = DecompBuilder(spec, f"inc{width}_ha_chain")
+    carry = Const(1, 1)
+    for i in range(width):
+        a_bit = b.port("A")[i]
+        b.inst(f"x{i}", gate_spec("XOR", 2, 1), I0=a_bit, I1=carry,
+               O=b.port("S")[i])
+        need_carry = i < width - 1 or spec.get("carry_out", False)
+        if need_carry:
+            nxt = b.net(f"c{i + 1}", 1)
+            b.inst(f"a{i}", gate_spec("AND", 2, 1), I0=a_bit, I1=carry, O=nxt)
+            carry = nxt.ref()
+    if spec.get("carry_out", False):
+        b.inst("cob", gate_spec("BUF", width=1), I0=carry, O=b.port("CO"))
+    yield b.done()
+
+
+def dec_borrow_chain(spec: ComponentSpec, context: RuleContext):
+    """DEC(w) without carry-in -> borrow chain of XOR/AND/NOT."""
+    if spec.get("carry_in", False):
+        return
+    width = spec.width
+    b = DecompBuilder(spec, f"dec{width}_borrow_chain")
+    borrow = Const(1, 1)
+    for i in range(width):
+        a_bit = b.port("A")[i]
+        b.inst(f"x{i}", gate_spec("XOR", 2, 1), I0=a_bit, I1=borrow,
+               O=b.port("S")[i])
+        need_borrow = i < width - 1 or spec.get("carry_out", False)
+        if need_borrow:
+            na = invert(b, f"n{i}", a_bit, 1)
+            nxt = b.net(f"b{i + 1}", 1)
+            b.inst(f"a{i}", gate_spec("AND", 2, 1), I0=na, I1=borrow, O=nxt)
+            borrow = nxt.ref()
+    if spec.get("carry_out", False):
+        # DEC's CO (in a+~0+ci form) is the complement of the borrow.
+        b.inst("con", gate_spec("NOT", width=1), I0=borrow, O=b.port("CO"))
+    yield b.done()
+
+
+def cla_gen_sop(spec: ComponentSpec, context: RuleContext):
+    """CLA_GEN(g) -> true two-level sum-of-products look-ahead logic."""
+    groups = spec.get("groups", 4)
+    b = DecompBuilder(spec, f"cla{groups}_sop")
+    g_bits = [b.port("G")[i] for i in range(groups)]
+    p_bits = [b.port("P")[i] for i in range(groups)]
+    ci = b.port("CI").ref()
+
+    def carry_terms(upto: int, include_ci: bool):
+        """SOP terms for the carry out of group ``upto``."""
+        terms = []
+        for j in range(upto, -1, -1):
+            factors = [g_bits[j]] + [p_bits[k] for k in range(j + 1, upto + 1)]
+            terms.append(factors)
+        if include_ci:
+            terms.append([ci] + [p_bits[k] for k in range(0, upto + 1)])
+        return terms
+
+    for i in range(groups):
+        products = []
+        for t, factors in enumerate(carry_terms(i, include_ci=True)):
+            if len(factors) == 1:
+                products.append(factors[0])
+            else:
+                products.append(wide_gate(b, f"c{i}_t{t}", "AND", factors, 1).ref())
+        out = wide_gate(b, f"c{i}_or", "OR", products, 1)
+        b.inst(f"c{i}_buf", gate_spec("BUF", width=1), I0=out, O=b.port("C")[i])
+
+    gg_products = []
+    for t, factors in enumerate(carry_terms(groups - 1, include_ci=False)):
+        if len(factors) == 1:
+            gg_products.append(factors[0])
+        else:
+            gg_products.append(wide_gate(b, f"gg_t{t}", "AND", factors, 1).ref())
+    gg = wide_gate(b, "gg_or", "OR", gg_products, 1)
+    b.inst("gg_buf", gate_spec("BUF", width=1), I0=gg, O=b.port("GG"))
+    gp = wide_gate(b, "gp_and", "AND", [p.ref() if hasattr(p, 'ref') else p for p in
+                                        [b.port("P")[i] for i in range(groups)]], 1)
+    b.inst("gp_buf", gate_spec("BUF", width=1), I0=gp, O=b.port("GP"))
+    yield b.done()
+
+
+def add_group_carry_wrap(spec: ComponentSpec, context: RuleContext):
+    """ADD(w) with group-carry outputs -> plain adder for S plus G/P
+    derived from the operands with look-ahead logic over bit g/p.
+
+    Used when a library has adders without G/P pins: generate per-bit
+    g = a AND b, p = a OR b, then reduce with a CLA_GEN(w).
+    """
+    width = spec.width
+    if width < 2:
+        return
+    b = DecompBuilder(spec, f"add{width}_gp_wrap")
+    inner = _adder_spec(width, carry_in=True, carry_out=False)
+    b.inst("add", inner, A=b.port("A"), B=b.port("B"),
+           CI=_ci_endpoint(b, spec, 0), S=b.port("S"))
+    g_net = b.net("g_bits", width)
+    p_net = b.net("p_bits", width)
+    b.inst("g_and", gate_spec("AND", 2, width), I0=b.port("A"), I1=b.port("B"),
+           O=g_net)
+    b.inst("p_or", gate_spec("OR", 2, width), I0=b.port("A"), I1=b.port("B"),
+           O=p_net)
+    cla_pins = dict(G=g_net, P=p_net, CI=_ci_endpoint(b, spec, 0),
+                    GG=b.port("G"), GP=b.port("P"))
+    b.inst("cla", make_spec("CLA_GEN", 1, groups=width), **cla_pins)
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    not_gc = lambda s: not s.get("group_carry", False)
+    return [
+        Rule("add-ripple-halves", "ADD", add_ripple_halves,
+             guard=lambda s: s.width >= 2 and not_gc(s)),
+        Rule("add-fa-gates", "ADD", add_full_adder_gates,
+             guard=lambda s: s.width == 1 and not_gc(s)),
+        Rule("add-cla", "ADD", add_cla,
+             guard=lambda s: s.width >= 4),
+        Rule("add-carry-select", "ADD", add_carry_select,
+             guard=lambda s: s.width >= 8 and not_gc(s)),
+        Rule("add-gp-wrap", "ADD", add_group_carry_wrap,
+             guard=lambda s: s.get("group_carry", False) and 2 <= s.width <= 8),
+        Rule("sub-via-add", "SUB", sub_via_add),
+        Rule("addsub-via-add", "ADDSUB", addsub_via_add),
+        Rule("addsub-halves", "ADDSUB", addsub_halves,
+             guard=lambda s: s.width >= 2),
+        Rule("inc-via-add", "INC", inc_via_add),
+        Rule("dec-via-add", "DEC", dec_via_add),
+        Rule("inc-ha-chain", "INC", inc_half_adder_chain,
+             guard=lambda s: not s.get("carry_in", False)),
+        Rule("dec-borrow-chain", "DEC", dec_borrow_chain,
+             guard=lambda s: not s.get("carry_in", False)),
+        Rule("cla-gen-sop", "CLA_GEN", cla_gen_sop),
+    ]

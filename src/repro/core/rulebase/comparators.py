@@ -1,0 +1,171 @@
+"""Decomposition rules for n-bit magnitude comparators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import and2, invert, or2, wide_gate
+from repro.core.specs import ComponentSpec, comparator_spec, gate_spec, make_spec
+from repro.netlist.nets import Const
+
+_BASE_OPS = ("EQ", "LT", "GT")
+
+
+def _ops(spec: ComponentSpec):
+    return spec.ops or _BASE_OPS
+
+
+def cmp_halves(spec: ComponentSpec, context: RuleContext):
+    """COMPARATOR(w) -> high-half cascaded comparator fed by the
+    low-half comparator's results (the 7485-style expansion)."""
+    width = spec.width
+    lo = width // 2
+    hi = width - lo
+    b = DecompBuilder(spec, f"cmp{width}_halves")
+    lo_spec = comparator_spec(lo, _BASE_OPS)
+    hi_spec = comparator_spec(hi, _BASE_OPS, cascaded=True)
+    eq_lo = b.net("eq_lo", 1)
+    lt_lo = b.net("lt_lo", 1)
+    gt_lo = b.net("gt_lo", 1)
+    b.inst("c_lo", lo_spec, A=b.port("A")[0:lo], B=b.port("B")[0:lo],
+           EQ=eq_lo, LT=lt_lo, GT=gt_lo)
+    pins = dict(A=b.port("A")[lo:width], B=b.port("B")[lo:width],
+                EQ_IN=eq_lo, LT_IN=lt_lo, GT_IN=gt_lo)
+    for op in _BASE_OPS:
+        if b.has_port(op):
+            pins[op] = b.port(op)
+    hi_inst = b.inst("c_hi", hi_spec, **pins)
+    # Any base output the target spec lacks simply dangles.
+    yield b.done()
+
+
+def cmp_bit_gates(spec: ComponentSpec, context: RuleContext):
+    """COMPARATOR(1): EQ = XNOR, LT = ~A AND B, GT = A AND ~B."""
+    b = DecompBuilder(spec, "cmp1_gates")
+    a = b.port("A").ref()
+    c = b.port("B").ref()
+    ops = _ops(spec)
+    na = invert(b, "na", a, 1) if ("LT" in ops) else None
+    nb = invert(b, "nb", c, 1) if ("GT" in ops) else None
+    if "EQ" in ops:
+        b.inst("xeq", gate_spec("XNOR", 2, 1), I0=a, I1=c, O=b.port("EQ"))
+    if "LT" in ops:
+        b.inst("glt", gate_spec("AND", 2, 1), I0=na, I1=c, O=b.port("LT"))
+    if "GT" in ops:
+        b.inst("ggt", gate_spec("AND", 2, 1), I0=a, I1=nb, O=b.port("GT"))
+    yield b.done()
+
+
+def cmp_cascade_combine(spec: ComponentSpec, context: RuleContext):
+    """Cascaded COMPARATOR -> plain comparator + the combine gates:
+    EQ = eq AND eq_in;  LT = lt OR (eq AND lt_in);  GT symmetric."""
+    width = spec.width
+    b = DecompBuilder(spec, f"cmp{width}_cascade_combine")
+    plain = comparator_spec(width, _BASE_OPS)
+    eq = b.net("eq", 1)
+    lt = b.net("lt", 1)
+    gt = b.net("gt", 1)
+    b.inst("c0", plain, A=b.port("A"), B=b.port("B"), EQ=eq, LT=lt, GT=gt)
+    ops = _ops(spec)
+    if "EQ" in ops:
+        b.inst("g_eq", gate_spec("AND", 2, 1),
+               I0=eq, I1=b.port("EQ_IN"), O=b.port("EQ"))
+    if "LT" in ops:
+        t = and2(b, "t_lt", eq.ref(), b.port("LT_IN").ref(), 1)
+        b.inst("g_lt", gate_spec("OR", 2, 1), I0=lt, I1=t, O=b.port("LT"))
+    if "GT" in ops:
+        t = and2(b, "t_gt", eq.ref(), b.port("GT_IN").ref(), 1)
+        b.inst("g_gt", gate_spec("OR", 2, 1), I0=gt, I1=t, O=b.port("GT"))
+    yield b.done()
+
+
+def cmp_derived_ops(spec: ComponentSpec, context: RuleContext):
+    """Comparator with derived operations (NE/LE/GE/ZEROP) -> base
+    EQ/LT/GT comparator plus output gates."""
+    width = spec.width
+    ops = _ops(spec)
+    extra = [op for op in ops if op not in _BASE_OPS]
+    if not extra:
+        return
+    b = DecompBuilder(spec, f"cmp{width}_derived")
+    plain = comparator_spec(width, _BASE_OPS)
+    eq = b.net("eq", 1)
+    lt = b.net("lt", 1)
+    gt = b.net("gt", 1)
+    b.inst("c0", plain, A=b.port("A"), B=b.port("B"), EQ=eq, LT=lt, GT=gt)
+    for op in ops:
+        if op == "EQ":
+            b.inst("b_eq", gate_spec("BUF", width=1), I0=eq, O=b.port("EQ"))
+        elif op == "LT":
+            b.inst("b_lt", gate_spec("BUF", width=1), I0=lt, O=b.port("LT"))
+        elif op == "GT":
+            b.inst("b_gt", gate_spec("BUF", width=1), I0=gt, O=b.port("GT"))
+        elif op == "NE":
+            b.inst("g_ne", gate_spec("NOT", width=1), I0=eq, O=b.port("NE"))
+        elif op == "LE":
+            b.inst("g_le", gate_spec("OR", 2, 1), I0=lt, I1=eq, O=b.port("LE"))
+        elif op == "GE":
+            b.inst("g_ge", gate_spec("OR", 2, 1), I0=gt, I1=eq, O=b.port("GE"))
+        elif op == "ZEROP":
+            inputs = [b.port("A")[i] for i in range(width)]
+            zp = wide_gate(b, "zp", "NOR", inputs, 1) if width > 1 else \
+                invert(b, "zp1", b.port("A").ref(), 1)
+            b.inst("b_zp", gate_spec("BUF", width=1), I0=zp, O=b.port("ZEROP"))
+    yield b.done()
+
+
+def cmp_tie_cascade(spec: ComponentSpec, context: RuleContext):
+    """Plain COMPARATOR -> cascaded comparator with the cascade inputs
+    tied to their identity values (EQ_IN=1, LT_IN=0, GT_IN=0), enabling
+    direct use of data-book cascadable comparator cells."""
+    width = spec.width
+    b = DecompBuilder(spec, f"cmp{width}_tie_cascade")
+    casc = comparator_spec(width, _BASE_OPS, cascaded=True)
+    pins = dict(A=b.port("A"), B=b.port("B"),
+                EQ_IN=Const(1, 1), LT_IN=Const(0, 1), GT_IN=Const(0, 1))
+    for op in _BASE_OPS:
+        if b.has_port(op):
+            pins[op] = b.port(op)
+    b.inst("c0", casc, **pins)
+    yield b.done()
+
+
+def cmp_via_sub(spec: ComponentSpec, context: RuleContext):
+    """COMPARATOR(EQ,LT,GT) -> subtractor-based: LT = ~carry(a-b),
+    EQ = (a-b) == 0, GT = ~(LT | EQ).  Fast when the adder is fast."""
+    width = spec.width
+    b = DecompBuilder(spec, f"cmp{width}_via_sub")
+    diff = b.net("diff", width)
+    carry = b.net("carry", 1)
+    b.inst("sub", make_spec("SUB", width, carry_out=True),
+           A=b.port("A"), B=b.port("B"), S=diff, CO=carry)
+    eq = wide_gate(b, "z", "NOR", [diff[i] for i in range(width)], 1) \
+        if width > 1 else invert(b, "z1", diff.ref(), 1)
+    lt = invert(b, "nlt", carry.ref(), 1)
+    b.inst("b_eq", gate_spec("BUF", width=1), I0=eq, O=b.port("EQ"))
+    b.inst("b_lt", gate_spec("BUF", width=1), I0=lt, O=b.port("LT"))
+    b.inst("g_gt", gate_spec("NOR", 2, 1), I0=lt, I1=eq, O=b.port("GT"))
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    base_only = lambda s: set(_ops(s)) <= set(_BASE_OPS)
+    return [
+        Rule("cmp-halves", "COMPARATOR", cmp_halves,
+             guard=lambda s: s.width >= 2 and base_only(s)
+             and not s.get("cascaded", False)),
+        Rule("cmp-bit-gates", "COMPARATOR", cmp_bit_gates,
+             guard=lambda s: s.width == 1 and base_only(s)
+             and not s.get("cascaded", False)),
+        Rule("cmp-cascade-combine", "COMPARATOR", cmp_cascade_combine,
+             guard=lambda s: s.get("cascaded", False) and base_only(s)),
+        Rule("cmp-derived-ops", "COMPARATOR", cmp_derived_ops,
+             guard=lambda s: not s.get("cascaded", False)
+             and bool(set(_ops(s)) - set(_BASE_OPS))),
+        Rule("cmp-tie-cascade", "COMPARATOR", cmp_tie_cascade,
+             guard=lambda s: base_only(s) and not s.get("cascaded", False)),
+        Rule("cmp-via-sub", "COMPARATOR", cmp_via_sub,
+             guard=lambda s: s.width >= 2 and tuple(sorted(_ops(s)))
+             == ("EQ", "GT", "LT") and not s.get("cascaded", False)),
+    ]

@@ -1,0 +1,174 @@
+"""Decomposition rules for up/down/load counters.
+
+The structural rule builds next-state logic around a register:
+
+    next = CLOAD ? I0 : (CUP ? q+1 : (CDOWN ? q-1 : q))
+
+with the hold case handled through the register's clock enable.  Two
+variants are produced: an adder/subtractor-based increment (fast, maps
+onto the library's adders with all their alternatives) and a
+half-adder-chain increment (small, slow) when only counting up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import and2, invert, or2, repl, wide_gate
+from repro.core.specs import ComponentSpec, gate_spec, make_spec, register_spec
+from repro.netlist.nets import Concat, Const
+
+_DEFAULT_OPS = ("LOAD", "COUNT_UP", "COUNT_DOWN")
+
+
+def _ops(spec: ComponentSpec):
+    return spec.ops or _DEFAULT_OPS
+
+
+def _style_ok(spec: ComponentSpec) -> bool:
+    return spec.get("style", "SYNCHRONOUS") in ("SYNCHRONOUS", None)
+
+
+def counter_structural(spec: ComponentSpec, context: RuleContext):
+    """COUNTER -> register + add/sub next-state logic + control gates."""
+    width = spec.width
+    ops = _ops(spec)
+    has_load = "LOAD" in ops
+    has_up = "COUNT_UP" in ops
+    has_down = "COUNT_DOWN" in ops
+    b = DecompBuilder(spec, f"counter{width}_structural")
+
+    q = b.net("q", width)
+    cen = b.port("CEN").ref() if spec.get("enable", False) else Const(1, 1)
+    cup = b.port("CUP").ref() if has_up else Const(0, 1)
+    cdown = b.port("CDOWN").ref() if has_down else Const(0, 1)
+    cload = b.port("CLOAD").ref() if has_load else Const(0, 1)
+
+    # Count value: q +/- 1 through an adder/subtractor (priority: up).
+    if has_up and has_down:
+        down_eff = and2(b, "down_eff", cdown, invert(b, "nup", cup, 1).ref(), 1)
+        counted = b.net("counted", width)
+        b.inst("step", make_spec("ADDSUB", width, carry_out=None),
+               A=q, B=Const(1, width), M=down_eff, S=counted)
+    elif has_up:
+        counted = b.net("counted", width)
+        b.inst("step", make_spec("INC", width), A=q, S=counted)
+    elif has_down:
+        counted = b.net("counted", width)
+        b.inst("step", make_spec("DEC", width), A=q, S=counted)
+    else:
+        counted = q
+
+    # Load mux.
+    if has_load:
+        nxt = b.net("next", width)
+        b.inst("m_load", make_spec("MUX", width, n_inputs=2),
+               I0=counted, I1=b.port("I0"), S=cload, O=nxt)
+    else:
+        nxt = counted
+
+    # The register only loads when some operation is active and enabled.
+    any_op = wide_gate(b, "any_op", "OR", [cload, cup, cdown], 1)
+    load_en = and2(b, "load_en", cen, any_op.ref(), 1)
+    reg_attrs = dict(enable=True)
+    if spec.get("async_reset", False):
+        reg_attrs["async_reset"] = True
+    reg = b.inst("r0", make_spec("REG", width, **reg_attrs),
+                 D=nxt, CLK=b.port("CLK"), CEN=load_en, Q=q)
+    if spec.get("async_reset", False):
+        b.connect(reg, "ARST", b.port("ARESET"))
+
+    b.inst("b_out", gate_spec("BUF", width=width), I0=q, O=b.port("O0"))
+
+    if spec.get("carry_out", False):
+        # Terminal count: (up and q == max) or (down and q == 0), gated
+        # by the enable.
+        terms = []
+        if has_up:
+            all_ones = wide_gate(b, "allones", "AND",
+                                 [q[i] for i in range(width)], 1) \
+                if width > 1 else q
+            terms.append(and2(b, "tc_up", cup, all_ones.ref(), 1).ref())
+        if has_down:
+            all_zero = wide_gate(b, "allzero", "NOR",
+                                 [q[i] for i in range(width)], 1) \
+                if width > 1 else invert(b, "nz", q.ref(), 1)
+            terms.append(and2(b, "tc_dn", cdown, all_zero.ref(), 1).ref())
+        if terms:
+            tc = wide_gate(b, "tc", "OR", terms, 1) if len(terms) > 1 else terms[0]
+            b.inst("g_co", gate_spec("AND", 2, 1), I0=cen, I1=tc,
+                   O=b.port("CO"))
+        else:
+            b.inst("g_co", gate_spec("BUF", width=1), I0=Const(0, 1),
+                   O=b.port("CO"))
+    yield b.done()
+
+
+def counter_cascade(spec: ComponentSpec, context: RuleContext):
+    """COUNTER(w) -> chain of narrower counter blocks at the widths the
+    target library offers."""
+    width = spec.width
+    block_widths = [w for w in context.widths_of("COUNTER") if w < width]
+    if not block_widths:
+        return
+    block = max(block_widths)
+    if width % block != 0 or width // block < 2:
+        return
+    yield counter_cascade_netlist(spec, block)
+
+
+def counter_cascade_netlist(spec: ComponentSpec, block: int):
+    """Build the cascade netlist for ``block``-bit counter stages, each
+    stage enabled when every lower stage is at its terminal count (or a
+    load is requested).  This is how data-book counters like a 4-bit
+    synchronous counter cascade."""
+    width = spec.width
+    ops = _ops(spec)
+    n_blocks = width // block
+    has_load = "LOAD" in ops
+    b = DecompBuilder(spec, f"counter{width}_cascade{block}")
+    cen = b.port("CEN").ref() if spec.get("enable", False) else Const(1, 1)
+    cload = b.port("CLOAD").ref() if has_load else Const(0, 1)
+
+    block_spec = make_spec(
+        "COUNTER", block, ops=ops, style=spec.get("style", "SYNCHRONOUS"),
+        enable=True, carry_out=True,
+    )
+    chain_en = cen
+    last_co = None
+    for i in range(n_blocks):
+        lo = i * block
+        hi = lo + block
+        co = b.net(f"co{i}", 1)
+        last_co = co
+        pins = dict(CLK=b.port("CLK"), CEN=chain_en,
+                    O0=b.port("O0")[lo:hi], CO=co)
+        if has_load:
+            pins["I0"] = b.port("I0")[lo:hi]
+            pins["CLOAD"] = cload
+        if "COUNT_UP" in ops:
+            pins["CUP"] = b.port("CUP")
+        if "COUNT_DOWN" in ops:
+            pins["CDOWN"] = b.port("CDOWN")
+        b.inst(f"cnt{i}", block_spec, **pins)
+        if i < n_blocks - 1:
+            # Next block advances when this one wraps; loads always pass.
+            if has_load:
+                load_path = and2(b, f"ld{i}", cen, cload, 1)
+                chain_en = or2(b, f"en{i}", co.ref(), load_path.ref(), 1).ref()
+            else:
+                chain_en = co.ref()
+    if spec.get("carry_out", False):
+        b.inst("b_co", gate_spec("BUF", width=1), I0=last_co, O=b.port("CO"))
+    return b.done()
+
+
+def rules() -> List[Rule]:
+    return [
+        Rule("counter-structural", "COUNTER", counter_structural,
+             guard=_style_ok),
+        Rule("counter-cascade", "COUNTER", counter_cascade,
+             guard=lambda s: _style_ok(s) and s.width >= 8,
+             library_specific=False),
+    ]

@@ -1,0 +1,178 @@
+"""Decomposition rules for binary/BCD decoders and priority encoders.
+
+BCD variants fall out of the generic rules: a BCD decoder is a 4-bit
+decoder with ``n_outputs=10`` (the tree rule instantiates only the low
+decoders it needs and leaves partial outputs unused), and a BCD encoder
+is a 10-input encoder (padded up to 16 with tied-low inputs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import invert, is_pow2, next_pow2, wide_gate
+from repro.core.specs import ComponentSpec, gate_spec, make_spec
+from repro.netlist.nets import Concat, Const
+
+
+def _n_outputs(spec: ComponentSpec) -> int:
+    return spec.get("n_outputs", 1 << spec.width)
+
+
+def _n_inputs(spec: ComponentSpec) -> int:
+    return spec.get("n_inputs", 1 << spec.width)
+
+
+# ---------------------------------------------------------------------------
+# Decoders
+# ---------------------------------------------------------------------------
+
+def decoder_minterms(spec: ComponentSpec, context: RuleContext):
+    """DECODER -> one AND gate per output over the (inverted) inputs.
+
+    The two-level form: fast and fat.  Enable, when present, feeds every
+    minterm gate.
+    """
+    width, n_out = spec.width, _n_outputs(spec)
+    enable = spec.get("enable", False)
+    b = DecompBuilder(spec, f"dec{width}_minterms")
+    true_bits = [b.port("I")[i] for i in range(width)]
+    comp_bits = [invert(b, f"inv{i}", b.port("I")[i], 1).ref() for i in range(width)]
+    for code in range(n_out):
+        inputs = [
+            true_bits[i] if (code >> i) & 1 else comp_bits[i] for i in range(width)
+        ]
+        if enable:
+            inputs.append(b.port("EN").ref())
+        out = wide_gate(b, f"min{code}", "AND", inputs, 1)
+        b.inst(f"buf{code}", gate_spec("BUF", width=1),
+               I0=out, O=b.port("O")[code])
+    yield b.done()
+
+
+def decoder_tree(spec: ComponentSpec, context: RuleContext):
+    """DECODER(w) -> high DECODER(hi) enabling a bank of low
+    DECODER(lo, enable) blocks (the classic expansion)."""
+    width, n_out = spec.width, _n_outputs(spec)
+    hi = width // 2
+    lo = width - hi
+    b = DecompBuilder(spec, f"dec{width}_tree")
+    enable = spec.get("enable", False)
+
+    hi_spec = make_spec("DECODER", hi, enable=enable or None)
+    hi_out = b.net("hi_out", 1 << hi)
+    hi_pins = {"I": b.port("I")[lo:width], "O": hi_out}
+    if enable:
+        hi_pins["EN"] = b.port("EN")
+    b.inst("d_hi", hi_spec, **hi_pins)
+
+    lo_spec = make_spec("DECODER", lo, enable=True)
+    lo_size = 1 << lo
+    banks = (n_out + lo_size - 1) // lo_size
+    for bank in range(banks):
+        used = min(lo_size, n_out - bank * lo_size)
+        bank_out = b.net(f"bank{bank}", lo_size)
+        b.inst(
+            f"d_lo{bank}", lo_spec,
+            I=b.port("I")[0:lo], EN=hi_out[bank], O=bank_out,
+        )
+        for j in range(used):
+            b.inst(f"b{bank}_{j}", gate_spec("BUF", width=1),
+                   I0=bank_out[j], O=b.port("O")[bank * lo_size + j])
+    yield b.done()
+
+
+def decoder_1bit(spec: ComponentSpec, context: RuleContext):
+    """DECODER(1): O0 = ~I (AND enable), O1 = I (AND enable)."""
+    n_out = _n_outputs(spec)
+    enable = spec.get("enable", False)
+    b = DecompBuilder(spec, "dec1_gates")
+    ni = invert(b, "inv", b.port("I").ref(), 1)
+    lines = [ni.ref(), b.port("I").ref()]
+    for code in range(min(n_out, 2)):
+        if enable:
+            out = wide_gate(b, f"en{code}", "AND", [lines[code], b.port("EN").ref()], 1)
+            b.inst(f"buf{code}", gate_spec("BUF", width=1), I0=out, O=b.port("O")[code])
+        else:
+            b.inst(f"buf{code}", gate_spec("BUF", width=1),
+                   I0=lines[code], O=b.port("O")[code])
+    yield b.done()
+
+
+# ---------------------------------------------------------------------------
+# Priority encoders
+# ---------------------------------------------------------------------------
+
+def encoder_pad(spec: ComponentSpec, context: RuleContext):
+    """ENCODER with a non-power-of-two input count -> padded encoder
+    with the extra (higher-priority) inputs tied low."""
+    width, n_in = spec.width, _n_inputs(spec)
+    padded = next_pow2(n_in)
+    b = DecompBuilder(spec, f"enc{n_in}_pad{padded}")
+    inner = make_spec("ENCODER", width, n_inputs=padded,
+                      valid=spec.get("valid", False) or None)
+    pins = {
+        "I": Concat((b.port("I").ref(), Const(0, padded - n_in))),
+        "O": b.port("O"),
+    }
+    if spec.get("valid", False):
+        pins["V"] = b.port("V")
+    b.inst("e", inner, **pins)
+    yield b.done()
+
+
+def encoder_tree(spec: ComponentSpec, context: RuleContext):
+    """ENCODER(2n) -> two half encoders with valid flags, the high half
+    winning priority: O = Vhi ? (1, Ohi) : (0, Olo)."""
+    width, n_in = spec.width, _n_inputs(spec)
+    half = n_in // 2
+    b = DecompBuilder(spec, f"enc{n_in}_tree")
+    sub = make_spec("ENCODER", width - 1, n_inputs=half, valid=True)
+    o_lo = b.net("o_lo", width - 1)
+    o_hi = b.net("o_hi", width - 1)
+    v_lo = b.net("v_lo", 1)
+    v_hi = b.net("v_hi", 1)
+    b.inst("e_lo", sub, I=b.port("I")[0:half], O=o_lo, V=v_lo)
+    b.inst("e_hi", sub, I=b.port("I")[half:n_in], O=o_hi, V=v_hi)
+    low_bits = b.net("low_bits", width - 1)
+    b.inst("m", make_spec("MUX", width - 1, n_inputs=2),
+           I0=o_lo, I1=o_hi, S=v_hi, O=low_bits)
+    b.inst("btop", gate_spec("BUF", width=1), I0=v_hi, O=b.port("O")[width - 1])
+    b.inst("blow", gate_spec("BUF", width=width - 1),
+           I0=low_bits, O=b.port("O")[0:width - 1])
+    if spec.get("valid", False):
+        b.inst("gv", gate_spec("OR", 2, 1), I0=v_lo, I1=v_hi, O=b.port("V"))
+    yield b.done()
+
+
+def encoder_2to1(spec: ComponentSpec, context: RuleContext):
+    """ENCODER(2 inputs): O[0] = I1 (priority), upper output bits 0,
+    V = I0 | I1."""
+    b = DecompBuilder(spec, "enc2_gates")
+    b.inst("b0", gate_spec("BUF", width=1), I0=b.port("I")[1], O=b.port("O")[0])
+    for i in range(1, spec.width):
+        b.inst(f"z{i}", gate_spec("BUF", width=1),
+               I0=Const(0, 1), O=b.port("O")[i])
+    if spec.get("valid", False):
+        b.inst("gv", gate_spec("OR", 2, 1),
+               I0=b.port("I")[0], I1=b.port("I")[1], O=b.port("V"))
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    return [
+        Rule("decoder-minterms", "DECODER", decoder_minterms,
+             guard=lambda s: 2 <= s.width <= 4),
+        Rule("decoder-tree", "DECODER", decoder_tree,
+             guard=lambda s: s.width >= 2),
+        Rule("decoder-1bit", "DECODER", decoder_1bit,
+             guard=lambda s: s.width == 1),
+        Rule("encoder-pad", "ENCODER", encoder_pad,
+             guard=lambda s: not is_pow2(_n_inputs(s))),
+        Rule("encoder-tree", "ENCODER", encoder_tree,
+             guard=lambda s: is_pow2(_n_inputs(s)) and _n_inputs(s) >= 4
+             and s.width >= 2),
+        Rule("encoder-2to1", "ENCODER", encoder_2to1,
+             guard=lambda s: _n_inputs(s) == 2),
+    ]

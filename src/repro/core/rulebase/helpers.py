@@ -1,0 +1,96 @@
+"""Shared construction helpers for decomposition rules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.rules import DecompBuilder
+from repro.core.specs import ComponentSpec, gate_spec, make_spec
+from repro.netlist.nets import Concat, Const, Endpoint, Net, NetRef
+
+
+def repl(bit: Endpoint, width: int) -> Endpoint:
+    """Broadcast a 1-bit endpoint across ``width`` bits (fan-out)."""
+    if width == 1:
+        return bit
+    return Concat(tuple([bit] * width))
+
+
+def as_ref(value) -> Endpoint:
+    if isinstance(value, Net):
+        return value.ref()
+    return value
+
+
+def is_pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def wide_gate(
+    b: DecompBuilder,
+    name: str,
+    kind: str,
+    inputs: Sequence[Endpoint],
+    width: int = 1,
+) -> Net:
+    """Instantiate one ``kind`` gate over arbitrary many inputs and
+    return its output net.  A single input collapses to a wire (or an
+    inverter for NOT-like kinds)."""
+    inputs = [as_ref(i) for i in inputs]
+    if len(inputs) == 1 and kind in ("AND", "OR", "XOR"):
+        out = b.net(f"{name}_w", width)
+        buf = b.inst(f"{name}_buf", gate_spec("BUF", width=width), O=out)
+        buf.connect("I0", inputs[0])
+        return out
+    out = b.net(f"{name}_o", width)
+    gate = b.inst(
+        f"{name}", gate_spec(kind, n_inputs=max(len(inputs), 2), width=width), O=out
+    )
+    if len(inputs) == 1:  # NOT/BUF
+        gate.connect("I0", inputs[0])
+    else:
+        for i, endpoint in enumerate(inputs):
+            gate.connect(f"I{i}", endpoint)
+    return out
+
+
+def invert(b: DecompBuilder, name: str, value: Endpoint, width: int = 1) -> Net:
+    """NOT gate; returns the output net."""
+    out = b.net(f"{name}_n", width)
+    gate = b.inst(name, gate_spec("NOT", width=width), O=out)
+    gate.connect("I0", as_ref(value))
+    return out
+
+
+def and2(b: DecompBuilder, name: str, a: Endpoint, c: Endpoint, width: int = 1) -> Net:
+    return wide_gate(b, name, "AND", [a, c], width)
+
+
+def or2(b: DecompBuilder, name: str, a: Endpoint, c: Endpoint, width: int = 1) -> Net:
+    return wide_gate(b, name, "OR", [a, c], width)
+
+
+def mux2(b: DecompBuilder, name: str, i0: Endpoint, i1: Endpoint, sel: Endpoint,
+         width: int) -> Net:
+    """2:1 mux module; returns the output net."""
+    out = b.net(f"{name}_o", width)
+    inst = b.inst(name, make_spec("MUX", width, n_inputs=2), O=out)
+    inst.connect("I0", as_ref(i0))
+    inst.connect("I1", as_ref(i1))
+    inst.connect("S", as_ref(sel))
+    return out
+
+
+def zeros(width: int) -> Const:
+    return Const(0, width)
+
+
+def ones(width: int) -> Const:
+    return Const((1 << width) - 1, width)

@@ -1,0 +1,203 @@
+"""Decomposition rules for bitwise logic gates.
+
+Grounding strategy: any gate of any width and fan-in reduces, through
+bit-slicing, input trees, and De Morgan rewrites, to the 2-input
+NAND/NOR/inverter cells every data book carries.  Rewrites are oriented
+*toward* NAND/NOR so the rewrite system terminates (the design-space
+cycle guard catches anything a custom rule might reintroduce).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import wide_gate
+from repro.core.specs import ComponentSpec, gate_spec
+from repro.netlist.netlist import Netlist
+
+
+def _kind(spec: ComponentSpec) -> str:
+    return spec.get("kind")
+
+
+def _n(spec: ComponentSpec) -> int:
+    kind = _kind(spec)
+    return spec.get("n_inputs", 1 if kind in ("NOT", "BUF") else 2)
+
+
+def gate_bitslice(spec: ComponentSpec, context: RuleContext):
+    """GATE<w> -> w parallel GATE<1> (bitwise slicing)."""
+    width, kind, n = spec.width, _kind(spec), _n(spec)
+    b = DecompBuilder(spec, f"{kind}{n}_slice{width}")
+    unit = gate_spec(kind, n_inputs=n, width=1)
+    for bit in range(width):
+        pins = {f"I{i}": b.port(f"I{i}")[bit] for i in range(n)}
+        pins["O"] = b.port("O")[bit]
+        b.inst(f"g{bit}", unit, **pins)
+    yield b.done()
+
+
+def gate_input_tree(spec: ComponentSpec, context: RuleContext):
+    """GATE with n > 2 inputs -> balanced tree of 2-input gates.
+
+    For the inverting kinds the inversion is applied only at the root:
+    NAND(n) = NAND2(AND(a), AND(b)), etc.
+    """
+    width, kind, n = spec.width, _kind(spec), _n(spec)
+    base = {"NAND": "AND", "NOR": "OR", "XNOR": "XOR"}.get(kind, kind)
+    root_kind = {"AND": "AND", "OR": "OR", "XOR": "XOR",
+                 "NAND": "NAND", "NOR": "NOR", "XNOR": "XNOR"}[kind]
+    b = DecompBuilder(spec, f"{kind}{n}_tree")
+    half_a = (n + 1) // 2
+    half_b = n - half_a
+
+    def subtree(tag: str, lo: int, count: int):
+        inputs = [b.port(f"I{lo + i}").ref() for i in range(count)]
+        return wide_gate(b, f"t{tag}", base, inputs, width)
+
+    left = subtree("l", 0, half_a)
+    right = subtree("r", half_a, half_b)
+    root = b.inst("root", gate_spec(root_kind, n_inputs=2, width=width),
+                  O=b.port("O"))
+    root.connect("I0", left.ref())
+    root.connect("I1", right.ref())
+    yield b.done()
+
+
+def and_from_nand(spec: ComponentSpec, context: RuleContext):
+    """AND2 = INV(NAND2)."""
+    width = spec.width
+    b = DecompBuilder(spec, "and_from_nand")
+    mid = b.net("nand_o", width)
+    b.inst("n0", gate_spec("NAND", 2, width), I0=b.port("I0"), I1=b.port("I1"), O=mid)
+    b.inst("inv", gate_spec("NOT", width=width), I0=mid, O=b.port("O"))
+    yield b.done()
+
+
+def or_from_nor(spec: ComponentSpec, context: RuleContext):
+    """OR2 = INV(NOR2)."""
+    width = spec.width
+    b = DecompBuilder(spec, "or_from_nor")
+    mid = b.net("nor_o", width)
+    b.inst("n0", gate_spec("NOR", 2, width), I0=b.port("I0"), I1=b.port("I1"), O=mid)
+    b.inst("inv", gate_spec("NOT", width=width), I0=mid, O=b.port("O"))
+    yield b.done()
+
+
+def or_demorgan(spec: ComponentSpec, context: RuleContext):
+    """OR2 = NAND2(INV, INV) -- for NAND-rich libraries."""
+    width = spec.width
+    b = DecompBuilder(spec, "or_demorgan")
+    na = b.net("na", width)
+    nb = b.net("nb", width)
+    b.inst("ia", gate_spec("NOT", width=width), I0=b.port("I0"), O=na)
+    b.inst("ib", gate_spec("NOT", width=width), I0=b.port("I1"), O=nb)
+    b.inst("n0", gate_spec("NAND", 2, width), I0=na, I1=nb, O=b.port("O"))
+    yield b.done()
+
+
+def and_demorgan(spec: ComponentSpec, context: RuleContext):
+    """AND2 = NOR2(INV, INV) -- for NOR-rich libraries."""
+    width = spec.width
+    b = DecompBuilder(spec, "and_demorgan")
+    na = b.net("na", width)
+    nb = b.net("nb", width)
+    b.inst("ia", gate_spec("NOT", width=width), I0=b.port("I0"), O=na)
+    b.inst("ib", gate_spec("NOT", width=width), I0=b.port("I1"), O=nb)
+    b.inst("n0", gate_spec("NOR", 2, width), I0=na, I1=nb, O=b.port("O"))
+    yield b.done()
+
+
+def xnor_from_xor(spec: ComponentSpec, context: RuleContext):
+    """XNOR2 = INV(XOR2)."""
+    width = spec.width
+    b = DecompBuilder(spec, "xnor_from_xor")
+    mid = b.net("xor_o", width)
+    b.inst("x0", gate_spec("XOR", 2, width), I0=b.port("I0"), I1=b.port("I1"), O=mid)
+    b.inst("inv", gate_spec("NOT", width=width), I0=mid, O=b.port("O"))
+    yield b.done()
+
+
+def xor_from_nand(spec: ComponentSpec, context: RuleContext):
+    """XOR2 from four NAND2 gates (the classic network)."""
+    width = spec.width
+    b = DecompBuilder(spec, "xor_from_nand")
+    nand = lambda: gate_spec("NAND", 2, width)
+    m = b.net("m", width)
+    p = b.net("p", width)
+    q = b.net("q", width)
+    b.inst("n0", nand(), I0=b.port("I0"), I1=b.port("I1"), O=m)
+    b.inst("n1", nand(), I0=b.port("I0"), I1=m, O=p)
+    b.inst("n2", nand(), I0=b.port("I1"), I1=m, O=q)
+    b.inst("n3", nand(), I0=p, I1=q, O=b.port("O"))
+    yield b.done()
+
+
+def not_from_nand(spec: ComponentSpec, context: RuleContext):
+    """INV = NAND2 with both inputs tied together."""
+    width = spec.width
+    b = DecompBuilder(spec, "not_from_nand")
+    b.inst("n0", gate_spec("NAND", 2, width),
+           I0=b.port("I0"), I1=b.port("I0"), O=b.port("O"))
+    yield b.done()
+
+
+def nand_from_nor(spec: ComponentSpec, context: RuleContext):
+    """NAND2 = INV(NOR2(INV, INV)) -- NOR(~a,~b) is a AND b, so one
+    more inversion gives NAND.  Useful in NOR-only libraries."""
+    width = spec.width
+    b = DecompBuilder(spec, "nand_from_nor")
+    na = b.net("na", width)
+    nb = b.net("nb", width)
+    conj = b.net("conj", width)
+    b.inst("ia", gate_spec("NOT", width=width), I0=b.port("I0"), O=na)
+    b.inst("ib", gate_spec("NOT", width=width), I0=b.port("I1"), O=nb)
+    b.inst("n0", gate_spec("NOR", 2, width), I0=na, I1=nb, O=conj)
+    b.inst("io", gate_spec("NOT", width=width), I0=conj, O=b.port("O"))
+    yield b.done()
+
+
+def buf_structural(spec: ComponentSpec, context: RuleContext):
+    """BUF = INV(INV)."""
+    width = spec.width
+    b = DecompBuilder(spec, "buf_from_inv")
+    mid = b.net("mid", width)
+    b.inst("i0", gate_spec("NOT", width=width), I0=b.port("I0"), O=mid)
+    b.inst("i1", gate_spec("NOT", width=width), I0=mid, O=b.port("O"))
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    def g(kind, two_only=False, multi=False):
+        def guard(spec: ComponentSpec, _kind=kind, _two=two_only, _multi=multi) -> bool:
+            if spec.get("kind") != _kind:
+                return False
+            n = _n(spec)
+            if _two and n != 2:
+                return False
+            if _multi and n <= 2:
+                return False
+            return True
+        return guard
+
+    wide = lambda spec: spec.width > 1
+    unit = lambda spec: spec.width >= 1
+
+    return [
+        Rule("gate-bitslice", "GATE", gate_bitslice,
+             guard=lambda s: s.width > 1,
+             description="w-bit bitwise gate -> w single-bit gates"),
+        Rule("gate-input-tree", "GATE", gate_input_tree,
+             guard=lambda s: _n(s) > 2 and s.get("kind") != "NOT" and s.get("kind") != "BUF",
+             description="n-input gate -> balanced 2-input tree"),
+        Rule("and-from-nand", "GATE", and_from_nand, guard=g("AND", two_only=True)),
+        Rule("or-from-nor", "GATE", or_from_nor, guard=g("OR", two_only=True)),
+        Rule("or-demorgan", "GATE", or_demorgan, guard=g("OR", two_only=True)),
+        Rule("and-demorgan", "GATE", and_demorgan, guard=g("AND", two_only=True)),
+        Rule("xnor-from-xor", "GATE", xnor_from_xor, guard=g("XNOR", two_only=True)),
+        Rule("xor-from-nand", "GATE", xor_from_nand, guard=g("XOR", two_only=True)),
+        Rule("not-from-nand", "GATE", not_from_nand, guard=g("NOT")),
+        Rule("nand-from-nor", "GATE", nand_from_nor, guard=g("NAND", two_only=True)),
+        Rule("buf-from-inv", "GATE", buf_structural, guard=g("BUF")),
+    ]

@@ -1,0 +1,128 @@
+"""Decomposition rules for n-by-m multipliers.
+
+``mult-array`` is the classic shift-add array: one AND row per
+multiplier bit feeding a chain of carry-save style adders.  ``mult-base``
+grounds the 1x1 case in a single AND gate, and ``mult-split`` offers the
+schoolbook quadrant decomposition as an alternative design point for
+even widths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import repl
+from repro.core.specs import ComponentSpec, gate_spec, make_spec
+from repro.netlist.nets import Concat, Const
+
+
+def _width_b(spec: ComponentSpec) -> int:
+    return spec.get("width_b", spec.width)
+
+
+def mult_base(spec: ComponentSpec, context: RuleContext):
+    """MULT(1x1) -> AND2 (the product's high bit is constant zero)."""
+    b = DecompBuilder(spec, "mult1x1_and")
+    b.inst("g0", gate_spec("AND", 2, 1),
+           I0=b.port("A"), I1=b.port("B"), O=b.port("P")[0])
+    b.inst("g1", gate_spec("BUF", width=1), I0=Const(0, 1),
+           O=b.port("P")[1])
+    yield b.done()
+
+
+def mult_array(spec: ComponentSpec, context: RuleContext):
+    """MULT(wa x wb) -> wb partial-product AND rows + (wb-1) adders.
+
+    Row j computes pp_j = A AND B[j]; the accumulator shifts right one
+    position per row, emitting one product bit each step.
+    """
+    wa, wb = spec.width, _width_b(spec)
+    if wa < 1 or wb < 2:
+        return
+    b = DecompBuilder(spec, f"mult{wa}x{wb}_array")
+    add_spec = make_spec("ADD", wa, carry_in=None, carry_out=True)
+
+    rows = []
+    for j in range(wb):
+        row = b.net(f"pp{j}", wa)
+        b.inst(f"and{j}", gate_spec("AND", 2, wa),
+               I0=b.port("A"), I1=repl(b.port("B")[j], wa), O=row)
+        rows.append(row)
+
+    acc = rows[0]       # running wa-bit sum
+    carry = None        # carry bit alongside the accumulator
+    b.inst("p0", gate_spec("BUF", width=1), I0=acc[0], O=b.port("P")[0])
+    for j in range(1, wb):
+        shifted_hi = Const(0, 1) if carry is None else carry.ref()
+        shifted = Concat((acc[1:wa], shifted_hi))
+        new_acc = b.net(f"acc{j}", wa)
+        new_carry = b.net(f"c{j}", 1)
+        adder = b.inst(f"add{j}", add_spec, B=rows[j], S=new_acc, CO=new_carry)
+        adder.connect("A", shifted)
+        b.inst(f"p{j}", gate_spec("BUF", width=1),
+               I0=new_acc[0], O=b.port("P")[j])
+        acc, carry = new_acc, new_carry
+    # Remaining product bits: the final accumulator and carry.
+    b.inst("p_hi", gate_spec("BUF", width=wa),
+           I0=Concat((acc[1:wa], carry.ref())),
+           O=b.port("P")[wb:wa + wb])
+    yield b.done()
+
+
+def mult_split(spec: ComponentSpec, context: RuleContext):
+    """Schoolbook split: A*B = AhBh<<w + (AhBl + AlBh)<<(w/2) + AlBl,
+    for square multipliers of even width (an alternative structure
+    trading adders for smaller multipliers)."""
+    wa, wb = spec.width, _width_b(spec)
+    if wa != wb or wa < 2 or wa % 2 != 0:
+        return
+    half = wa // 2
+    b = DecompBuilder(spec, f"mult{wa}_split")
+    sub = make_spec("MULT", half, width_b=half)
+    ll = b.net("ll", wa)
+    lh = b.net("lh", wa)
+    hl = b.net("hl", wa)
+    hh = b.net("hh", wa)
+    b.inst("m_ll", sub, A=b.port("A")[0:half], B=b.port("B")[0:half], P=ll)
+    b.inst("m_lh", sub, A=b.port("A")[0:half], B=b.port("B")[half:wa], P=lh)
+    b.inst("m_hl", sub, A=b.port("A")[half:wa], B=b.port("B")[0:half], P=hl)
+    b.inst("m_hh", sub, A=b.port("A")[half:wa], B=b.port("B")[half:wa], P=hh)
+
+    # mid = lh + hl (wa+1 bits with carry)
+    mid = b.net("mid", wa)
+    mid_c = b.net("mid_c", 1)
+    b.inst("a_mid", make_spec("ADD", wa, carry_out=True),
+           A=lh, B=hl, S=mid, CO=mid_c)
+    # high part: hh + (mid >> half) aligned at bit wa:
+    # P = ll + mid<<half + hh<<wa  over 2*wa bits, low half bits of ll pass.
+    low = b.net("low_sum", wa)
+    low_c = b.net("low_c", 1)
+    mid_shifted = Concat((Const(0, half), mid[0:wa - half]))
+    a_low = b.inst("a_low", make_spec("ADD", wa, carry_out=True),
+                   B=low, CO=low_c)
+    a_low.connect("A", ll.ref())
+    a_low.connect("B", mid_shifted)
+    a_low.connect("S", low.ref())
+    hi = b.net("hi_sum", wa)
+    mid_hi = Concat((mid[wa - half:wa], mid_c.ref(), Const(0, half - 1))) \
+        if half > 1 else Concat((mid[wa - half:wa], mid_c.ref()))
+    a_hi = b.inst("a_hi", make_spec("ADD", wa, carry_in=True),
+                  CI=low_c, S=hi)
+    a_hi.connect("A", hh.ref())
+    a_hi.connect("B", mid_hi)
+    b.inst("b_lo", gate_spec("BUF", width=wa), I0=low, O=b.port("P")[0:wa])
+    b.inst("b_hi", gate_spec("BUF", width=wa), I0=hi, O=b.port("P")[wa:2 * wa])
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    return [
+        Rule("mult-base", "MULT", mult_base,
+             guard=lambda s: s.width == 1 and _width_b(s) == 1),
+        Rule("mult-row-base", "MULT", mult_array,
+             guard=lambda s: s.width >= 1 and _width_b(s) >= 2),
+        Rule("mult-split", "MULT", mult_split,
+             guard=lambda s: s.width == _width_b(s) and s.width >= 4
+             and s.width % 2 == 0),
+    ]

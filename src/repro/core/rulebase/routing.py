@@ -1,0 +1,156 @@
+"""Decomposition rules for multiplexers, selectors, and interconnect
+components (tristate, bus, wired-or, buffer, delay)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import is_pow2, next_pow2, repl, wide_gate
+from repro.core.specs import ComponentSpec, gate_spec, make_spec, mux_spec, sel_width
+from repro.netlist.nets import Concat, Const
+
+
+def _n_inputs(spec: ComponentSpec) -> int:
+    return spec.get("n_inputs", 2)
+
+
+def mux_bitslice(spec: ComponentSpec, context: RuleContext):
+    """MUX<w> -> w parallel 1-bit muxes sharing the select."""
+    width, n = spec.width, _n_inputs(spec)
+    b = DecompBuilder(spec, f"mux{n}_slice{width}")
+    unit = mux_spec(n, 1)
+    for bit in range(width):
+        pins = {f"I{i}": b.port(f"I{i}")[bit] for i in range(n)}
+        pins["S"] = b.port("S")
+        pins["O"] = b.port("O")[bit]
+        b.inst(f"m{bit}", unit, **pins)
+    yield b.done()
+
+
+def mux_pad(spec: ComponentSpec, context: RuleContext):
+    """MUX with a non-power-of-two input count -> next power of two with
+    the extra inputs tied low (matches the generic out-of-range-select
+    semantics exactly)."""
+    width, n = spec.width, _n_inputs(spec)
+    padded = next_pow2(n)
+    b = DecompBuilder(spec, f"mux{n}_pad{padded}")
+    pins = {f"I{i}": b.port(f"I{i}") for i in range(n)}
+    for i in range(n, padded):
+        pins[f"I{i}"] = Const(0, width)
+    pins["S"] = b.port("S")
+    pins["O"] = b.port("O")
+    b.inst("m", mux_spec(padded, width), **pins)
+    yield b.done()
+
+
+def mux_tree(spec: ComponentSpec, context: RuleContext):
+    """MUX(2^k) -> two MUX(2^(k-1)) halves + a 2:1 root, the select's
+    top bit steering the root."""
+    width, n = spec.width, _n_inputs(spec)
+    half = n // 2
+    bits = sel_width(n)
+    b = DecompBuilder(spec, f"mux{n}_tree")
+    lo = b.net("lo", width)
+    hi = b.net("hi", width)
+    low_sel = b.port("S")[0:bits - 1]
+    half_spec = mux_spec(half, width)
+    lo_pins = {f"I{i}": b.port(f"I{i}") for i in range(half)}
+    lo_pins.update(S=low_sel, O=lo)
+    hi_pins = {f"I{i}": b.port(f"I{half + i}") for i in range(half)}
+    hi_pins.update(S=low_sel, O=hi)
+    b.inst("m_lo", half_spec, **lo_pins)
+    b.inst("m_hi", half_spec, **hi_pins)
+    b.inst("m_root", mux_spec(2, width),
+           I0=lo, I1=hi, S=b.port("S")[bits - 1], O=b.port("O"))
+    yield b.done()
+
+
+def mux2_gates(spec: ComponentSpec, context: RuleContext):
+    """MUX2 = OR(AND(I0, ~S), AND(I1, S)) -- for mux-free libraries."""
+    width = spec.width
+    b = DecompBuilder(spec, "mux2_gates")
+    sel = b.port("S").ref()
+    nsel = b.net("nsel", 1)
+    b.inst("inv", gate_spec("NOT", width=1), I0=sel, O=nsel)
+    a = b.net("a", width)
+    c = b.net("c", width)
+    b.inst("g0", gate_spec("AND", 2, width),
+           I0=b.port("I0"), I1=repl(nsel.ref(), width), O=a)
+    b.inst("g1", gate_spec("AND", 2, width),
+           I0=b.port("I1"), I1=repl(sel, width), O=c)
+    b.inst("g2", gate_spec("OR", 2, width), I0=a, I1=c, O=b.port("O"))
+    yield b.done()
+
+
+def selector_as_mux(spec: ComponentSpec, context: RuleContext):
+    """SELECTOR is functionally a MUX; rewrite to the MUX family."""
+    width, n = spec.width, _n_inputs(spec)
+    b = DecompBuilder(spec, "selector_as_mux")
+    pins = {f"I{i}": b.port(f"I{i}") for i in range(n)}
+    pins["S"] = b.port("S")
+    pins["O"] = b.port("O")
+    b.inst("m", mux_spec(n, width), **pins)
+    yield b.done()
+
+
+def tristate_gates(spec: ComponentSpec, context: RuleContext):
+    """TRISTATE modeled onto two-state logic: O = I AND OE."""
+    width = spec.width
+    b = DecompBuilder(spec, "tristate_gates")
+    b.inst("g0", gate_spec("AND", 2, width),
+           I0=b.port("I"), I1=repl(b.port("OE").ref(), width), O=b.port("O"))
+    yield b.done()
+
+
+def bus_structural(spec: ComponentSpec, context: RuleContext):
+    """BUS -> per-driver tristates merged by a wired-or."""
+    width, n = spec.width, spec.get("n_drivers", 2)
+    b = DecompBuilder(spec, f"bus{n}_structural")
+    legs = []
+    tri = make_spec("TRISTATE", width)
+    for i in range(n):
+        leg = b.net(f"leg{i}", width)
+        b.inst(f"t{i}", tri, I=b.port(f"I{i}"), OE=b.port(f"OE{i}"), O=leg)
+        legs.append(leg)
+    b.inst("merge", make_spec("WIRED_OR", width, n_inputs=n),
+           **{f"I{i}": leg for i, leg in enumerate(legs)}, O=b.port("O"))
+    yield b.done()
+
+
+def wired_or_gates(spec: ComponentSpec, context: RuleContext):
+    """WIRED_OR -> an OR gate (two-state model)."""
+    width, n = spec.width, spec.get("n_inputs", 2)
+    b = DecompBuilder(spec, f"wiredor{n}_gates")
+    pins = {f"I{i}": b.port(f"I{i}") for i in range(n)}
+    b.inst("g0", gate_spec("OR", n_inputs=max(n, 2), width=width),
+           **pins, O=b.port("O"))
+    yield b.done()
+
+
+def buffer_as_gate(spec: ComponentSpec, context: RuleContext):
+    """BUFFER / DELAY / SCHMITT / CLOCK_DRIVER -> a BUF gate."""
+    width = spec.width
+    b = DecompBuilder(spec, f"{spec.ctype.lower()}_as_buf")
+    b.inst("g0", gate_spec("BUF", width=width), I0=b.port("I"), O=b.port("O"))
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    return [
+        Rule("mux-bitslice", "MUX", mux_bitslice, guard=lambda s: s.width > 1),
+        Rule("mux-pad", "MUX", mux_pad,
+             guard=lambda s: not is_pow2(_n_inputs(s))),
+        Rule("mux-tree", "MUX", mux_tree,
+             guard=lambda s: is_pow2(_n_inputs(s)) and _n_inputs(s) > 2),
+        Rule("mux2-gates", "MUX", mux2_gates,
+             guard=lambda s: _n_inputs(s) == 2),
+        Rule("selector-as-mux", "SELECTOR", selector_as_mux),
+        Rule("tristate-gates", "TRISTATE", tristate_gates),
+        Rule("bus-structural", "BUS", bus_structural),
+        Rule("wired-or-gates", "WIRED_OR", wired_or_gates),
+        Rule("buffer-as-gate", "BUFFER", buffer_as_gate),
+        Rule("delay-as-gate", "DELAY", buffer_as_gate),
+        Rule("schmitt-as-gate", "SCHMITT", buffer_as_gate),
+        Rule("clock-driver-as-gate", "CLOCK_DRIVER", buffer_as_gate),
+    ]

@@ -1,0 +1,145 @@
+"""Decomposition rules for shifters and barrel shifters.
+
+A shift by a constant amount is pure wiring, so a single-position
+shifter is just a mux over rewired operands, and a barrel shifter is a
+chain of log2(w) such stages (or, as an alternative design point, a
+flat per-bit mux matrix)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.specs import ComponentSpec, gate_spec, make_spec, mux_spec, sel_width
+from repro.netlist.nets import Concat, Const, Endpoint
+
+
+def _shifted_endpoint(b: DecompBuilder, source, op: str, amount: int,
+                      width: int, fill: Endpoint) -> Endpoint:
+    """Endpoint equal to ``source`` shifted by ``amount`` (wiring only).
+
+    ``source`` must be a whole-net endpoint of ``width`` bits; ``fill``
+    is a 1-bit endpoint replicated into the vacated positions (ignored
+    for rotates; the sign bit is used for ASR).
+    """
+    if amount == 0:
+        return source.ref()
+    amount = min(amount, width)
+    if op == "SHL":
+        fills = tuple([fill] * amount)
+        if amount == width:
+            return Concat(fills)
+        return Concat(fills + (source[0:width - amount],))
+    if op == "SHR":
+        fills = tuple([fill] * amount)
+        if amount == width:
+            return Concat(fills)
+        return Concat((source[amount:width],) + fills)
+    if op == "ASR":
+        sign = source[width - 1]
+        fills = tuple([sign] * amount)
+        if amount == width:
+            return Concat(fills)
+        return Concat((source[amount:width],) + fills)
+    if op == "ROL":
+        amount %= width
+        if amount == 0:
+            return source.ref()
+        return Concat((source[width - amount:width], source[0:width - amount]))
+    if op == "ROR":
+        amount %= width
+        if amount == 0:
+            return source.ref()
+        return Concat((source[amount:width], source[0:amount]))
+    raise ValueError(f"unknown shift op {op!r}")
+
+
+def shifter_mux(spec: ComponentSpec, context: RuleContext):
+    """SHIFTER (shift-by-one, op select) -> one mux over rewired
+    operands, the serial input filling the vacated bit."""
+    width = spec.width
+    ops = spec.ops or ("SHL", "SHR")
+    b = DecompBuilder(spec, f"shifter{width}_mux")
+    si = b.port("SI").ref()
+    variants = [
+        _shifted_endpoint(b, b.port("A"), op, 1, width, si) for op in ops
+    ]
+    if len(ops) == 1:
+        b.inst("buf", gate_spec("BUF", width=width), I0=variants[0], O=b.port("O"))
+    else:
+        mux = b.inst("m", mux_spec(len(ops), width),
+                     S=b.port("S"), O=b.port("O"))
+        for i, variant in enumerate(variants):
+            mux.connect(f"I{i}", variant)
+    yield b.done()
+
+
+def barrel_stages(spec: ComponentSpec, context: RuleContext):
+    """Single-op BARREL_SHIFTER(w) -> log2(w) mux stages, stage i
+    shifting by 2^i when SH[i] is set."""
+    width = spec.width
+    ops = spec.ops or ("SHL",)
+    if len(ops) != 1:
+        return
+    op = ops[0]
+    stages = sel_width(width)
+    b = DecompBuilder(spec, f"barrel{width}_{op.lower()}_stages")
+    current = b.port("A")
+    for i in range(stages):
+        amount = 1 << i
+        nxt = b.net(f"st{i}", width) if i < stages - 1 else b.port("O")
+        shifted = _shifted_endpoint(b, current, op, amount, width, Const(0, 1))
+        mux = b.inst(f"m{i}", mux_spec(2, width), S=b.port("SH")[i], O=nxt)
+        mux.connect("I0", current.ref())
+        mux.connect("I1", shifted)
+        current = nxt
+    yield b.done()
+
+
+def barrel_flat(spec: ComponentSpec, context: RuleContext):
+    """Single-op BARREL_SHIFTER(w) -> w-input mux per shift amount (a
+    flat matrix: one mux level, heavy wiring -- the fast alternative)."""
+    width = spec.width
+    ops = spec.ops or ("SHL",)
+    if len(ops) != 1 or width < 2:
+        return
+    op = ops[0]
+    b = DecompBuilder(spec, f"barrel{width}_{op.lower()}_flat")
+    amounts = 1 << sel_width(width)
+    mux = b.inst("m", mux_spec(amounts, width), S=b.port("SH"), O=b.port("O"))
+    for amount in range(amounts):
+        endpoint = _shifted_endpoint(b, b.port("A"), op, amount, width, Const(0, 1))
+        mux.connect(f"I{amount}", endpoint)
+    yield b.done()
+
+
+def barrel_multi_op(spec: ComponentSpec, context: RuleContext):
+    """Multi-op BARREL_SHIFTER -> one single-op barrel per operation,
+    resolved by an output mux."""
+    width = spec.width
+    ops = spec.ops
+    if len(ops) < 2:
+        return
+    b = DecompBuilder(spec, f"barrel{width}_multi")
+    outs = []
+    for op in ops:
+        unit_out = b.net(f"o_{op.lower()}", width)
+        b.inst(f"u_{op.lower()}", make_spec("BARREL_SHIFTER", width, ops=(op,)),
+               A=b.port("A"), SH=b.port("SH"), O=unit_out)
+        outs.append(unit_out)
+    mux = b.inst("m", mux_spec(len(ops), width), S=b.port("S"), O=b.port("O"))
+    for i, out in enumerate(outs):
+        mux.connect(f"I{i}", out.ref())
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    return [
+        Rule("shifter-mux", "SHIFTER", shifter_mux),
+        Rule("barrel-stages", "BARREL_SHIFTER", barrel_stages,
+             guard=lambda s: len(s.ops or ("SHL",)) == 1),
+        Rule("barrel-flat", "BARREL_SHIFTER", barrel_flat,
+             guard=lambda s: len(s.ops or ("SHL",)) == 1 and 2 <= s.width <= 16),
+        Rule("barrel-multi-op", "BARREL_SHIFTER", barrel_multi_op,
+             guard=lambda s: len(s.ops) >= 2),
+    ]

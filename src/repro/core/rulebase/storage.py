@@ -1,0 +1,170 @@
+"""Decomposition rules for registers, shift registers, register files,
+and memories."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rules import DecompBuilder, Rule, RuleContext
+from repro.core.rulebase.helpers import and2, repl
+from repro.core.specs import ComponentSpec, gate_spec, make_spec, mux_spec, sel_width
+from repro.netlist.nets import Concat, Const
+
+
+def reg_halves(spec: ComponentSpec, context: RuleContext):
+    """REG(w) -> two half-width registers sharing clock/enable/reset."""
+    width = spec.width
+    lo = width // 2
+    hi = width - lo
+    b = DecompBuilder(spec, f"reg{width}_halves")
+    sub_attrs = dict(
+        enable=spec.get("enable", False) or None,
+        async_reset=spec.get("async_reset", False) or None,
+    )
+    for name, start, part in (("r_lo", 0, lo), ("r_hi", lo, hi)):
+        pins = dict(
+            D=b.port("D")[start:start + part],
+            CLK=b.port("CLK"),
+            Q=b.port("Q")[start:start + part],
+        )
+        if spec.get("enable", False):
+            pins["CEN"] = b.port("CEN")
+        if spec.get("async_reset", False):
+            pins["ARST"] = b.port("ARST")
+        if spec.get("complement_out", False):
+            pins["QN"] = b.port("QN")[start:start + part]
+        b.inst(name, make_spec("REG", part, complement_out=spec.get(
+            "complement_out", False) or None, **sub_attrs), **pins)
+    yield b.done()
+
+
+def reg_enable_mux(spec: ComponentSpec, context: RuleContext):
+    """REG with clock-enable -> plain register + a recirculating mux
+    (Q feeds back when the enable is low)."""
+    width = spec.width
+    b = DecompBuilder(spec, f"reg{width}_enable_mux")
+    q = b.net("q", width)
+    d_eff = b.net("d_eff", width)
+    b.inst("m0", mux_spec(2, width),
+           I0=q, I1=b.port("D"), S=b.port("CEN"), O=d_eff)
+    sub_attrs = dict(async_reset=spec.get("async_reset", False) or None)
+    pins = dict(D=d_eff, CLK=b.port("CLK"), Q=q)
+    if spec.get("async_reset", False):
+        pins["ARST"] = b.port("ARST")
+    b.inst("r0", make_spec("REG", width, **sub_attrs), **pins)
+    b.inst("b_q", gate_spec("BUF", width=width), I0=q, O=b.port("Q"))
+    if spec.get("complement_out", False):
+        b.inst("b_qn", gate_spec("NOT", width=width), I0=q, O=b.port("QN"))
+    yield b.done()
+
+
+def reg_complement_out(spec: ComponentSpec, context: RuleContext):
+    """REG with complement output -> plain register + inverter."""
+    width = spec.width
+    b = DecompBuilder(spec, f"reg{width}_qn")
+    q = b.net("q", width)
+    sub_attrs = dict(
+        enable=spec.get("enable", False) or None,
+        async_reset=spec.get("async_reset", False) or None,
+    )
+    pins = dict(D=b.port("D"), CLK=b.port("CLK"), Q=q)
+    if spec.get("enable", False):
+        pins["CEN"] = b.port("CEN")
+    if spec.get("async_reset", False):
+        pins["ARST"] = b.port("ARST")
+    b.inst("r0", make_spec("REG", width, **sub_attrs), **pins)
+    b.inst("b_q", gate_spec("BUF", width=width), I0=q, O=b.port("Q"))
+    b.inst("b_qn", gate_spec("NOT", width=width), I0=q, O=b.port("QN"))
+    yield b.done()
+
+
+def shift_reg_structural(spec: ComponentSpec, context: RuleContext):
+    """SHIFT_REG -> register + 4:1 next-state mux
+    (hold / load / shift-left / shift-right)."""
+    width = spec.width
+    b = DecompBuilder(spec, f"shiftreg{width}_structural")
+    q = b.net("q", width)
+    nxt = b.net("nxt", width)
+    mux = b.inst("m0", mux_spec(4, width), S=b.port("MODE"), O=nxt)
+    mux.connect("I0", q.ref())
+    mux.connect("I1", b.port("D").ref())
+    if width > 1:
+        mux.connect("I2", Concat((b.port("SI").ref(), q[0:width - 1])))
+        mux.connect("I3", Concat((q[1:width], b.port("SI").ref())))
+    else:
+        mux.connect("I2", b.port("SI").ref())
+        mux.connect("I3", b.port("SI").ref())
+    b.inst("r0", make_spec("REG", width), D=nxt, CLK=b.port("CLK"), Q=q)
+    b.inst("b_q", gate_spec("BUF", width=width), I0=q, O=b.port("Q"))
+    b.inst("b_so", gate_spec("BUF", width=1), I0=q[width - 1], O=b.port("SO"))
+    yield b.done()
+
+
+def regfile_structural(spec: ComponentSpec, context: RuleContext):
+    """REGFILE(1r/1w) -> bank of enabled registers + write decoder +
+    read mux."""
+    if spec.get("n_read", 1) != 1 or spec.get("n_write", 1) != 1:
+        return
+    width = spec.width
+    n_words = spec.get("n_words", 4)
+    abits = sel_width(n_words)
+    b = DecompBuilder(spec, f"regfile{n_words}x{width}")
+    sel = b.net("wsel", 1 << abits)
+    b.inst("dec", make_spec("DECODER", abits, enable=True),
+           I=b.port("WA0"), EN=b.port("WE0"), O=sel)
+    words = []
+    for i in range(n_words):
+        q = b.net(f"w{i}", width)
+        b.inst(f"r{i}", make_spec("REG", width, enable=True),
+               D=b.port("WD0"), CLK=b.port("CLK"), CEN=sel[i], Q=q)
+        words.append(q)
+    mux = b.inst("m_read", mux_spec(max(n_words, 2), width),
+                 S=b.port("RA0"), O=b.port("RD0"))
+    for i, q in enumerate(words):
+        mux.connect(f"I{i}", q.ref())
+    if n_words == 1:
+        mux.connect("I1", Const(0, width))
+    yield b.done()
+
+
+def memory_structural(spec: ComponentSpec, context: RuleContext):
+    """MEMORY -> register bank with shared read/write address."""
+    width = spec.width
+    n_words = spec.get("n_words", 16)
+    abits = sel_width(n_words)
+    b = DecompBuilder(spec, f"memory{n_words}x{width}")
+    sel = b.net("wsel", 1 << abits)
+    b.inst("dec", make_spec("DECODER", abits, enable=True),
+           I=b.port("ADDR"), EN=b.port("WE"), O=sel)
+    words = []
+    for i in range(n_words):
+        q = b.net(f"w{i}", width)
+        b.inst(f"r{i}", make_spec("REG", width, enable=True),
+               D=b.port("DIN"), CLK=b.port("CLK"), CEN=sel[i], Q=q)
+        words.append(q)
+    mux = b.inst("m_read", mux_spec(max(n_words, 2), width),
+                 S=b.port("ADDR"), O=b.port("DOUT"))
+    for i, q in enumerate(words):
+        mux.connect(f"I{i}", q.ref())
+    if n_words == 1:
+        mux.connect("I1", Const(0, width))
+    yield b.done()
+
+
+def rules() -> List[Rule]:
+    plain = lambda s: not s.get("enable", False) and not s.get(
+        "complement_out", False)
+    return [
+        Rule("reg-halves", "REG", reg_halves,
+             guard=lambda s: s.width >= 2),
+        Rule("reg-enable-mux", "REG", reg_enable_mux,
+             guard=lambda s: s.get("enable", False)),
+        Rule("reg-complement-out", "REG", reg_complement_out,
+             guard=lambda s: s.get("complement_out", False)
+             and not s.get("enable", False)),
+        Rule("shift-reg-structural", "SHIFT_REG", shift_reg_structural),
+        Rule("regfile-structural", "REGFILE", regfile_structural,
+             guard=lambda s: s.get("n_read", 1) == 1 and s.get("n_write", 1) == 1),
+        Rule("memory-structural", "MEMORY", memory_structural,
+             guard=lambda s: s.get("n_words", 16) <= 64),
+    ]

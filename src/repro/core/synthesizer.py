@@ -1,0 +1,172 @@
+"""The DTAS synthesis driver.
+
+Ties the pieces together exactly as the paper's section 5 describes:
+the input (a single component specification, a GENUS netlist, or GENUS
+instances) is passed through functional decomposition and technology
+mapping; the output is "a set of hierarchical, library-specific
+netlists that represent alternative implementations of the components
+in the input netlist".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.configs import Configuration
+from repro.core.design_space import DesignSpace, DesignTree, SynthesisError
+from repro.core.filters import ParetoFilter, PerformanceFilter
+from repro.core.rules import Rule, RuleBase
+from repro.core.specs import ComponentSpec
+from repro.netlist.netlist import Netlist
+
+if False:  # typing only; avoids a circular import with repro.techlib
+    from repro.techlib.cells import CellLibrary
+
+
+@dataclass
+class DesignAlternative:
+    """One surviving point of the design space, with its cost and the
+    means to materialize its full hierarchical netlist."""
+
+    index: int
+    config: Configuration
+    _space: DesignSpace = field(repr=False, default=None)
+    _spec: Optional[ComponentSpec] = field(repr=False, default=None)
+
+    @property
+    def area(self) -> float:
+        return self.config.area
+
+    @property
+    def delay(self) -> float:
+        return self.config.delay
+
+    def tree(self) -> DesignTree:
+        """The hierarchical design this alternative denotes."""
+        if self._spec is None:
+            raise SynthesisError("netlist-level alternatives have no single root")
+        return self._space.materialize(self._spec, self.config)
+
+    def cell_counts(self) -> Dict[str, int]:
+        return self.tree().cell_counts()
+
+    def describe(self) -> str:
+        return f"#{self.index}: area {self.area:7.0f} gates, delay {self.delay:6.1f} ns"
+
+
+@dataclass
+class SynthesisResult:
+    """Alternatives (sorted by area), plus design-space statistics."""
+
+    alternatives: List[DesignAlternative]
+    stats: Dict[str, int]
+    runtime_seconds: float
+    spec: Optional[ComponentSpec] = None
+
+    def smallest(self) -> DesignAlternative:
+        return min(self.alternatives, key=lambda a: (a.area, a.delay))
+
+    def fastest(self) -> DesignAlternative:
+        return min(self.alternatives, key=lambda a: (a.delay, a.area))
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+    def table(self) -> str:
+        """Figure-3 style table: each design with its area/delay and the
+        percentage change relative to the smallest design."""
+        base = self.smallest()
+        lines = [
+            f"{'design':>8} {'area':>8} {'delay':>8} {'d-area':>8} {'d-delay':>8}"
+        ]
+        for alt in self.alternatives:
+            d_area = 100.0 * (alt.area - base.area) / base.area if base.area else 0.0
+            d_delay = (100.0 * (alt.delay - base.delay) / base.delay
+                       if base.delay else 0.0)
+            lines.append(
+                f"{alt.index:>8} {alt.area:>8.0f} {alt.delay:>8.1f} "
+                f"{d_area:>+7.0f}% {d_delay:>+7.0f}%"
+            )
+        return "\n".join(lines)
+
+
+class DTAS:
+    """Functional synthesis of generic RTL components into a cell
+    library (the paper's system, end to end).
+
+    Parameters
+    ----------
+    library:
+        The target RTL cell library.
+    rulebase:
+        Decomposition rules.  Defaults to the standard generic rulebase
+        plus the nine LSI-specific rules when the library is the LSI
+        subset.
+    perf_filter:
+        Search-control filter (S2); defaults to the Pareto filter.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        rulebase: Optional[RuleBase] = None,
+        extra_rules: Sequence[Rule] = (),
+        perf_filter: Optional[PerformanceFilter] = None,
+        validate: bool = True,
+    ) -> None:
+        if rulebase is None:
+            from repro.core.rulebase import standard_rulebase
+
+            rulebase = standard_rulebase()
+            if library.name.startswith("LSI"):
+                from repro.core.library_rules import lsi_rules
+
+                rulebase.extend(lsi_rules())
+        for rule in extra_rules:
+            rulebase.add(rule)
+        self.library = library
+        self.rulebase = rulebase
+        self.perf_filter = perf_filter or ParetoFilter()
+        self.space = DesignSpace(rulebase, library, self.perf_filter,
+                                 validate=validate)
+
+    # ------------------------------------------------------------------
+    def synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:
+        """Alternatives for one component specification."""
+        start = time.perf_counter()
+        configs = self.space.alternatives(spec)
+        elapsed = time.perf_counter() - start
+        alternatives = [
+            DesignAlternative(i, config, self.space, spec)
+            for i, config in enumerate(configs)
+        ]
+        return SynthesisResult(alternatives, self.space.stats(), elapsed, spec)
+
+    def synthesize_netlist(self, netlist: Netlist) -> SynthesisResult:
+        """Alternatives for a whole GENUS netlist."""
+        start = time.perf_counter()
+        configs = self.space.evaluate_netlist(netlist)
+        elapsed = time.perf_counter() - start
+        alternatives = [
+            DesignAlternative(i, config, self.space, None)
+            for i, config in enumerate(configs)
+        ]
+        return SynthesisResult(alternatives, self.space.stats(), elapsed)
+
+    def materialize(self, spec: ComponentSpec, alt: DesignAlternative) -> DesignTree:
+        return self.space.materialize(spec, alt.config)
+
+
+def synthesize(
+    target: Union[ComponentSpec, Netlist],
+    library: CellLibrary,
+    perf_filter: Optional[PerformanceFilter] = None,
+    rulebase: Optional[RuleBase] = None,
+) -> SynthesisResult:
+    """One-call convenience wrapper around :class:`DTAS`."""
+    dtas = DTAS(library, rulebase=rulebase, perf_filter=perf_filter)
+    if isinstance(target, Netlist):
+        return dtas.synthesize_netlist(target)
+    return dtas.synthesize_spec(target)

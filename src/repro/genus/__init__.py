@@ -1,0 +1,37 @@
+"""GENUS -- a parameterizable library of generic RTL components.
+
+GENUS organizes generic components as a hierarchy (paper section 4):
+
+    *types*  ->  *generators*  ->  *components*  ->  *instances*
+
+- a :class:`~repro.genus.types.TypeClass` describes abstract
+  functionality (combinational / sequential / interface / miscellaneous);
+- a :class:`~repro.genus.generators.Generator` produces a family of
+  components from a parameter list (LEGEND descriptions build these);
+- a :class:`~repro.genus.components.Component` is one generated,
+  fully-parameterized design object with a functional spec, a port list,
+  and a simulatable behavioral model;
+- an :class:`~repro.genus.components.Instance` is a "carbon copy" of a
+  component carrying only a unique name and its connectivity.
+
+The standard library (paper Table 1) is defined in LEGEND text in
+:mod:`repro.legend.stdlib_source` and materialized by
+:func:`repro.genus.standard.standard_library`.
+"""
+
+from repro.genus.components import Component, Instance
+from repro.genus.generators import Generator, GeneratorError
+from repro.genus.library import GenusLibrary
+from repro.genus.standard import standard_library
+from repro.genus.types import TypeClass, type_class_of
+
+__all__ = [
+    "Component",
+    "Generator",
+    "GeneratorError",
+    "GenusLibrary",
+    "Instance",
+    "TypeClass",
+    "standard_library",
+    "type_class_of",
+]

@@ -1,0 +1,100 @@
+"""Parameter descriptors for GENUS component generators.
+
+A generator is "characterized by a unique name and a list of
+parameterizable attributes" (paper section 4).  Parameters follow the
+``GC_*`` naming convention of the LEGEND examples: some are obligatory,
+others carry defaults.  Each parameter has a *kind* that controls
+validation and its mapping onto :class:`~repro.core.specs.ComponentSpec`
+attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class ParamError(ValueError):
+    """A generator was invoked with missing or ill-typed parameters."""
+
+
+#: Parameter kinds, matching the single-letter codes used in LEGEND
+#: parameter annotations such as ``GC_INPUT_WIDTH (2w)``.
+PARAM_KINDS = {
+    "w": "width",       # positive integer bit-width
+    "n": "count",       # positive integer count
+    "f": "functions",   # tuple of operation names
+    "s": "style",       # style name drawn from the generator's STYLES
+    "v": "value",       # arbitrary integer value
+    "b": "flag",        # boolean
+    "c": "name",        # free-form string (e.g. compiler name)
+}
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One parameterizable attribute of a generator."""
+
+    name: str
+    kind: str
+    index: int = 0
+    required: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ParamError(f"parameter {self.name!r}: unknown kind {self.kind!r}")
+
+    def validate(self, value: Any, styles: Tuple[str, ...] = ()) -> Any:
+        """Check and normalize one supplied value."""
+        if self.kind in ("w", "n"):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ParamError(f"{self.name} expects a positive integer, got {value!r}")
+            return value
+        if self.kind == "f":
+            if isinstance(value, str):
+                value = (value,)
+            ops = tuple(str(v).upper() for v in value)
+            if not ops:
+                raise ParamError(f"{self.name} expects a non-empty operation list")
+            return ops
+        if self.kind == "s":
+            style = str(value).upper()
+            if styles and style not in styles:
+                raise ParamError(
+                    f"{self.name}: style {style!r} not one of {list(styles)}"
+                )
+            return style
+        if self.kind == "v":
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ParamError(f"{self.name} expects an integer, got {value!r}")
+            return value
+        if self.kind == "b":
+            return bool(value)
+        return str(value)
+
+
+def resolve_params(
+    declared: Iterable[Parameter],
+    supplied: Dict[str, Any],
+    styles: Tuple[str, ...] = (),
+) -> Dict[str, Any]:
+    """Merge supplied values with declared defaults.
+
+    Raises :class:`ParamError` on unknown names, missing obligatory
+    parameters, or values that fail kind validation.
+    """
+    declared = list(declared)
+    by_name = {p.name: p for p in declared}
+    unknown = set(supplied) - set(by_name)
+    if unknown:
+        raise ParamError(f"unknown parameter(s): {sorted(unknown)}")
+    resolved: Dict[str, Any] = {}
+    for param in declared:
+        if param.name in supplied:
+            resolved[param.name] = param.validate(supplied[param.name], styles)
+        elif param.default is not None:
+            resolved[param.name] = param.validate(param.default, styles)
+        elif param.required:
+            raise ParamError(f"missing obligatory parameter {param.name!r}")
+    return resolved

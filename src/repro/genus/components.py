@@ -1,0 +1,101 @@
+"""GENUS components and instances.
+
+A :class:`Component` is one fully-parameterized design object produced
+by a generator.  An :class:`Instance` is a "carbon copy" of a component
+with a unique name; since an instance inherits every attribute from its
+parent component, only its connectivity is stored (paper section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.specs import ComponentSpec, port_signature
+from repro.netlist.nets import Endpoint
+from repro.netlist.netlist import ModuleInst
+from repro.netlist.ports import Port
+
+
+@dataclass
+class Component:
+    """A generated, fully-parameterized generic component."""
+
+    name: str
+    generator_name: str
+    spec: ComponentSpec
+    params: Dict[str, Any] = field(default_factory=dict)
+    vhdl_model: str = ""
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        """Full port signature, derived from the functional spec."""
+        return port_signature(self.spec)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.spec.is_sequential
+
+    # ------------------------------------------------------------------
+    # Behavioral model (the paper's "simulatable VHDL behavioral models";
+    # here executed directly in Python, and emitted as VHDL by
+    # repro.vhdl.behavioral).
+    # ------------------------------------------------------------------
+    def behavior(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate the component's combinational behavioral model."""
+        from repro.genus import behavior
+
+        return behavior.combinational_eval(self.spec, inputs)
+
+    def reset_state(self) -> Dict[str, Any]:
+        """Initial state for sequential components."""
+        from repro.genus import behavior
+
+        return behavior.sequential_reset(self.spec)
+
+    def step(
+        self, inputs: Mapping[str, int], state: Dict[str, Any]
+    ) -> Tuple[Dict[str, int], Dict[str, Any]]:
+        """One clock cycle: returns (outputs before the edge, next state)."""
+        from repro.genus import behavior
+
+        outputs = behavior.sequential_outputs(self.spec, inputs, state)
+        return outputs, behavior.sequential_next(self.spec, inputs, state)
+
+    def instantiate(self, instance_name: str) -> "Instance":
+        """Create a uniquely-named carbon copy of this component."""
+        return Instance(name=instance_name, component=self)
+
+    def __str__(self) -> str:
+        return f"{self.name} :: {self.spec}"
+
+
+@dataclass
+class Instance:
+    """A named instance of a component; stores only connectivity."""
+
+    name: str
+    component: Component
+    connections: Dict[str, Endpoint] = field(default_factory=dict)
+
+    @property
+    def spec(self) -> ComponentSpec:
+        return self.component.spec
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        return self.component.ports
+
+    def connect(self, pin: str, endpoint: Endpoint) -> None:
+        """Attach an endpoint to one of the instance's pins."""
+        names = {p.name for p in self.ports}
+        if pin not in names:
+            raise KeyError(f"instance {self.name!r} has no pin {pin!r}")
+        self.connections[pin] = endpoint
+
+    def to_module_inst(self) -> ModuleInst:
+        """Convert to the netlist substrate's module-instance form."""
+        inst = ModuleInst(self.name, self.spec, self.ports)
+        for pin, endpoint in self.connections.items():
+            inst.connect(pin, endpoint)
+        return inst

@@ -1,0 +1,207 @@
+"""GENUS component generators.
+
+A :class:`Generator` produces a family of similar components from a
+parameter list.  Obligatory parameters must be supplied; optional ones
+fall back to defaults (paper section 4).  The generator translates its
+``GC_*`` parameters into a :class:`~repro.core.specs.ComponentSpec`,
+which determines ports and behavior for the whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.specs import ComponentSpec, make_spec
+from repro.genus.attributes import ParamError, Parameter, resolve_params
+from repro.genus.components import Component
+from repro.genus.types import TypeClass, type_class_of
+
+
+class GeneratorError(ValueError):
+    """A generator could not produce a component."""
+
+
+#: Generator names (as used in LEGEND NAME: fields) -> component types.
+GENERATOR_CTYPES = {
+    "GATE": "GATE",
+    "BOOLEAN_GATE": "GATE",
+    "MUX": "MUX",
+    "SELECTOR": "SELECTOR",
+    "DECODER": "DECODER",
+    "ENCODER": "ENCODER",
+    "ADDER": "ADD",
+    "SUBTRACTOR": "SUB",
+    "ADDER_SUBTRACTOR": "ADDSUB",
+    "INCREMENTER": "INC",
+    "DECREMENTER": "DEC",
+    "ALU": "ALU",
+    "LU": "ALU",
+    "COMPARATOR": "COMPARATOR",
+    "SHIFTER": "SHIFTER",
+    "BARREL_SHIFTER": "BARREL_SHIFTER",
+    "MULTIPLIER": "MULT",
+    "DIVIDER": "DIV",
+    "REGISTER": "REG",
+    "SHIFT_REGISTER": "SHIFT_REG",
+    "COUNTER": "COUNTER",
+    "REGISTER_FILE": "REGFILE",
+    "MEMORY": "MEMORY",
+    "STACK": "STACK",
+    "FIFO": "FIFO",
+    "CLA_GENERATOR": "CLA_GEN",
+    "PORT": "PORT",
+    "BUFFER": "BUFFER",
+    "CLOCK_DRIVER": "CLOCK_DRIVER",
+    "SCHMITT_TRIGGER": "SCHMITT",
+    "TRISTATE": "TRISTATE",
+    "BUS": "BUS",
+    "DELAY": "DELAY",
+    "CONCAT": "CONCAT",
+    "EXTRACT": "EXTRACT",
+    "CLOCK_GENERATOR": "CLOCK_GEN",
+    "WIRED_OR": "WIRED_OR",
+}
+
+#: ``GC_*`` parameter names -> ComponentSpec attribute keys.  ``width``
+#: is special-cased (it is a first-class spec field, not an attribute).
+PARAM_TO_ATTR = {
+    "GC_INPUT_WIDTH": "width",
+    "GC_WIDTH_B": "width_b",
+    "GC_NUM_INPUTS": "n_inputs",
+    "GC_NUM_OUTPUTS": "n_outputs",
+    "GC_NUM_DRIVERS": "n_drivers",
+    "GC_FUNCTION_LIST": "ops",
+    "GC_STYLE": "style",
+    "GC_ENABLE_FLAG": "enable",
+    "GC_CARRY_IN": "carry_in",
+    "GC_CARRY_OUT": "carry_out",
+    "GC_GROUP_CARRY": "group_carry",
+    "GC_CASCADED": "cascaded",
+    "GC_VALID_FLAG": "valid",
+    "GC_GATE_KIND": "kind",
+    "GC_ASYNC_SET": "async_set",
+    "GC_ASYNC_RESET": "async_reset",
+    "GC_COMPLEMENT_OUT": "complement_out",
+    "GC_NUM_WORDS": "n_words",
+    "GC_NUM_READ": "n_read",
+    "GC_NUM_WRITE": "n_write",
+    "GC_DEPTH": "depth",
+    "GC_NUM_GROUPS": "groups",
+    "GC_SET_VALUE": "value",
+    "GC_LSB": "lsb",
+    "GC_SRC_WIDTH": "src_width",
+    "GC_DIRECTION": "direction",
+    "GC_PART_WIDTHS": "part_widths",
+}
+
+#: Parameters that carry metadata only and never reach the spec.
+METADATA_PARAMS = {"GC_COMPILER_NAME", "GC_NUM_FUNCTIONS", "GC_NUM_STYLES"}
+
+
+def build_spec_from_params(ctype: str, params: Dict[str, Any]) -> ComponentSpec:
+    """Translate resolved ``GC_*`` parameters into a component spec."""
+    width = 1
+    attrs: Dict[str, Any] = {}
+    for name, value in params.items():
+        if name in METADATA_PARAMS:
+            continue
+        attr = PARAM_TO_ATTR.get(name)
+        if attr is None:
+            raise GeneratorError(f"no spec mapping for parameter {name!r}")
+        if attr == "width":
+            width = value
+        elif attr in ("enable", "carry_in", "carry_out", "group_carry", "cascaded",
+                      "valid", "async_set", "async_reset", "complement_out"):
+            attrs[attr] = bool(value) or None
+        else:
+            attrs[attr] = value
+    n_functions = params.get("GC_NUM_FUNCTIONS")
+    ops = attrs.get("ops")
+    if n_functions is not None and ops is not None and len(ops) != n_functions:
+        raise GeneratorError(
+            f"{ctype}: GC_NUM_FUNCTIONS={n_functions} but GC_FUNCTION_LIST "
+            f"has {len(ops)} entries"
+        )
+    if ctype == "CONCAT" and "part_widths" not in attrs:
+        # A homogeneous concat: GC_NUM_INPUTS parts of GC_INPUT_WIDTH each.
+        attrs["part_widths"] = tuple([width] * attrs.get("n_inputs", 2))
+    if ctype == "PORT" and "direction" in attrs:
+        attrs["direction"] = str(attrs["direction"]).lower()
+    if ctype == "GATE" and "kind" in attrs:
+        attrs["kind"] = str(attrs["kind"]).upper()
+    try:
+        return make_spec(ctype, width, **attrs)
+    except (TypeError, ValueError) as exc:
+        raise GeneratorError(f"{ctype}: cannot build spec: {exc}") from exc
+
+
+@dataclass
+class Generator:
+    """A GENUS component generator.
+
+    ``name`` is the unique generator name; ``class_name`` is the LEGEND
+    CLASS field (e.g. ``Clocked``); ``parameters`` are the declared
+    ``GC_*`` descriptors; ``styles`` the allowed GC_STYLE values.
+    """
+
+    name: str
+    class_name: str = "Combinational"
+    parameters: Tuple[Parameter, ...] = ()
+    styles: Tuple[str, ...] = ()
+    operations_doc: Tuple[str, ...] = ()
+    vhdl_model: str = ""
+    op_classes: str = "default"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.name.upper() not in GENERATOR_CTYPES:
+            raise GeneratorError(f"unknown generator name {self.name!r}")
+
+    @property
+    def ctype(self) -> str:
+        return GENERATOR_CTYPES[self.name.upper()]
+
+    @property
+    def type_class(self) -> TypeClass:
+        return type_class_of(self.ctype)
+
+    @property
+    def max_params(self) -> int:
+        return len(self.parameters)
+
+    def generate(self, **supplied: Any) -> Component:
+        """Produce a fully-parameterized component.
+
+        Raises :class:`~repro.genus.attributes.ParamError` for missing
+        obligatory parameters and :class:`GeneratorError` for parameter
+        combinations that yield no valid spec.
+        """
+        resolved = resolve_params(self.parameters, supplied, self.styles)
+        spec = build_spec_from_params(self.ctype, resolved)
+        return Component(
+            name=component_name(self.name, resolved, spec),
+            generator_name=self.name,
+            spec=spec,
+            params=resolved,
+            vhdl_model=self.vhdl_model,
+        )
+
+
+def component_name(generator_name: str, params: Dict[str, Any], spec: ComponentSpec) -> str:
+    """Deterministic, readable component name, e.g.
+    ``COUNTER_W8_SYNCHRONOUS``."""
+    pieces = [generator_name.upper(), f"W{spec.width}"]
+    style = params.get("GC_STYLE")
+    if style:
+        pieces.append(str(style))
+    kind = spec.get("kind")
+    if kind:
+        pieces.append(str(kind))
+    n_inputs = spec.get("n_inputs")
+    if n_inputs:
+        pieces.append(f"N{n_inputs}")
+    ops = spec.get("ops")
+    if ops:
+        pieces.append(f"F{len(ops)}")
+    return "_".join(pieces)

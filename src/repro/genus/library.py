@@ -1,0 +1,88 @@
+"""The GENUS library container.
+
+"A GENUS library is composed as a hierarchy of types, generators,
+components and instances" (paper section 4).  This module provides that
+container: generators are registered by name; generated components are
+cached by their resolved parameters (generation is deterministic); and
+instances receive unique names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.specs import ComponentSpec
+from repro.genus.components import Component, Instance
+from repro.genus.generators import Generator, GeneratorError
+from repro.genus.types import TypeClass
+
+
+class GenusLibrary:
+    """A named collection of GENUS component generators."""
+
+    def __init__(self, name: str = "GENUS") -> None:
+        self.name = name
+        self._generators: Dict[str, Generator] = {}
+        self._components: Dict[Tuple[str, Tuple], Component] = {}
+        self._instance_counter = 0
+
+    # ------------------------------------------------------------------
+    # generator management
+    # ------------------------------------------------------------------
+    def add_generator(self, generator: Generator, replace: bool = False) -> None:
+        """Register a generator.  Re-registering without ``replace`` is
+        an error; ``replace=True`` supports LEGEND's customization of
+        existing libraries."""
+        key = generator.name.upper()
+        if key in self._generators and not replace:
+            raise GeneratorError(f"generator {generator.name!r} already registered")
+        self._generators[key] = generator
+
+    def generator(self, name: str) -> Generator:
+        try:
+            return self._generators[name.upper()]
+        except KeyError:
+            raise GeneratorError(f"no generator named {name!r} in library {self.name!r}")
+
+    def generator_names(self) -> List[str]:
+        return sorted(self._generators)
+
+    def generators_by_class(self, type_class: TypeClass) -> List[Generator]:
+        return sorted(
+            (g for g in self._generators.values() if g.type_class is type_class),
+            key=lambda g: g.name,
+        )
+
+    # ------------------------------------------------------------------
+    # components and instances
+    # ------------------------------------------------------------------
+    def generate(self, generator_name: str, **params: Any) -> Component:
+        """Generate (or fetch the cached) component for a parameter set."""
+        generator = self.generator(generator_name)
+        component = generator.generate(**params)
+        key = (generator.name.upper(), tuple(sorted(component.params.items())))
+        cached = self._components.get(key)
+        if cached is not None:
+            return cached
+        self._components[key] = component
+        return component
+
+    def instance(self, component: Component, name: Optional[str] = None) -> Instance:
+        """Create a uniquely-named instance of a component."""
+        if name is None:
+            self._instance_counter += 1
+            name = f"{component.name}_i{self._instance_counter}"
+        return component.instantiate(name)
+
+    def components(self) -> List[Component]:
+        """All components generated so far, in deterministic order."""
+        return [self._components[k] for k in sorted(self._components)]
+
+    def __len__(self) -> int:
+        return len(self._generators)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._generators
+
+    def __repr__(self) -> str:
+        return f"GenusLibrary({self.name!r}, generators={len(self._generators)})"

@@ -1,0 +1,35 @@
+"""The standard GENUS library (paper Table 1), materialized from LEGEND.
+
+The library is built by parsing :data:`repro.legend.stdlib_source.
+STANDARD_LIBRARY_SOURCE`, which mirrors the paper's flow (LEGEND
+description -> GENUS library).  The result is cached: the standard
+library is immutable by convention; use
+:func:`repro.legend.builder.extend_library` on a fresh copy to
+customize.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.genus.library import GenusLibrary
+
+_CACHE: Optional[GenusLibrary] = None
+
+
+def standard_library(fresh: bool = False) -> GenusLibrary:
+    """The standard GENUS library.
+
+    By default a cached shared instance is returned; ``fresh=True``
+    parses the LEGEND source again and returns an independent library
+    (use this before customizing generators).
+    """
+    global _CACHE
+    from repro.legend.builder import build_library
+    from repro.legend.stdlib_source import STANDARD_LIBRARY_SOURCE
+
+    if fresh:
+        return build_library(STANDARD_LIBRARY_SOURCE, name="GENUS-standard")
+    if _CACHE is None:
+        _CACHE = build_library(STANDARD_LIBRARY_SOURCE, name="GENUS-standard")
+    return _CACHE

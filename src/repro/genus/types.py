@@ -1,0 +1,75 @@
+"""GENUS type classes.
+
+The type class sits at the top of the GENUS hierarchy and describes the
+abstract functionality of elements: *combinational*, *sequential*,
+*interface*, and *miscellaneous* (paper section 4 and Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.specs import INTERFACE_CTYPES, MISC_CTYPES, SEQUENTIAL_CTYPES
+
+
+class TypeClass(enum.Enum):
+    """Abstract functionality class of a GENUS element."""
+
+    COMBINATIONAL = "combinational"
+    SEQUENTIAL = "sequential"
+    INTERFACE = "interface"
+    MISCELLANEOUS = "miscellaneous"
+
+
+def type_class_of(ctype: str) -> TypeClass:
+    """Type class of a component type, per Table 1 of the paper."""
+    if ctype in SEQUENTIAL_CTYPES:
+        return TypeClass.SEQUENTIAL
+    if ctype in INTERFACE_CTYPES:
+        return TypeClass.INTERFACE
+    if ctype in MISC_CTYPES:
+        return TypeClass.MISCELLANEOUS
+    return TypeClass.COMBINATIONAL
+
+
+#: Table 1 of the paper: typical LEGEND/GENUS generic components,
+#: by type class, with the component type implementing each entry.
+TABLE_1 = {
+    TypeClass.COMBINATIONAL: (
+        ("Boolean Gates", "GATE"),
+        ("Mux", "MUX"),
+        ("Selector", "SELECTOR"),
+        ("Decoder", "DECODER"),
+        ("Encoder", "ENCODER"),
+        ("Comparator", "COMPARATOR"),
+        ("LU", "ALU"),
+        ("ALU", "ALU"),
+        ("Shifter", "SHIFTER"),
+        ("Barrel Shifter", "BARREL_SHIFTER"),
+        ("Multiplier", "MULT"),
+        ("Divider", "DIV"),
+        ("Adder/Subtractor", "ADDSUB"),
+    ),
+    TypeClass.SEQUENTIAL: (
+        ("Register", "REG"),
+        ("Register File", "REGFILE"),
+        ("Counter", "COUNTER"),
+        ("Stack/FIFO", "STACK"),
+        ("Memory", "MEMORY"),
+    ),
+    TypeClass.INTERFACE: (
+        ("Port", "PORT"),
+        ("Buffer", "BUFFER"),
+        ("Clock Driver", "CLOCK_DRIVER"),
+        ("Schmidt Trigger", "SCHMITT"),
+        ("Tristate", "TRISTATE"),
+    ),
+    TypeClass.MISCELLANEOUS: (
+        ("Bus", "BUS"),
+        ("Delay", "DELAY"),
+        ("Switchbox Concat", "CONCAT"),
+        ("Switchbox Extract", "EXTRACT"),
+        ("Clock Generator", "CLOCK_GEN"),
+        ("Wired-or", "WIRED_OR"),
+    ),
+}

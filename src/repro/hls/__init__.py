@@ -1,0 +1,35 @@
+"""High-level synthesis front end.
+
+The paper's Figure 1 shows HLS as the producer DTAS consumes: component
+allocation, state scheduling, component binding, and connectivity
+binding progressively transform an abstract behavioral specification
+into "a state sequencing table and a netlist of GENUS components".
+
+This package implements that pipeline over a small behavioral DSL:
+
+- :mod:`repro.hls.ir` -- the behavioral program (expressions,
+  assignments, if/while);
+- :mod:`repro.hls.cdfg` -- lowering to a control/data-flow graph of
+  basic blocks in three-address form;
+- :mod:`repro.hls.schedule` -- resource-constrained list scheduling
+  into control steps, plus component allocation;
+- :mod:`repro.hls.datapath` -- component and connectivity binding: the
+  GENUS datapath netlist with registers, functional units, and muxes;
+- :mod:`repro.hls.statetable` -- the state sequencing table (a
+  control-based BIF-like form);
+- :mod:`repro.hls.synthesize` -- the driver returning both artifacts.
+"""
+
+from repro.hls.ir import Assign, If, Program, While
+from repro.hls.schedule import ResourceConstraints
+from repro.hls.synthesize import HLSResult, hls_synthesize
+
+__all__ = [
+    "Assign",
+    "HLSResult",
+    "If",
+    "Program",
+    "ResourceConstraints",
+    "While",
+    "hls_synthesize",
+]

@@ -1,0 +1,245 @@
+"""Lowering behavioral programs to a control/data-flow graph.
+
+The CDFG is a list of basic blocks in three-address form: every
+operation has register/input/constant operands and defines either a
+program variable or a block-local temporary.  Values that cross basic
+blocks live in program variables (registers); temporaries never escape
+their block, which is what makes left-edge register sharing sound.
+
+Each block ends in a jump, a conditional branch on the block's final
+comparison, or a halt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hls.ir import (
+    ARITH_OPS,
+    Assign,
+    Bin,
+    CMP_OPS,
+    Const,
+    Expr,
+    If,
+    LOGIC_OPS,
+    Program,
+    Ref,
+    SHIFT_OPS,
+    While,
+)
+
+# Operand/value references inside the CDFG.
+#   ("const", value, width) | ("input", name, width)
+#   ("var", name, width)    | ("temp", id, width)
+ValueRef = Tuple
+
+
+@dataclass
+class Op:
+    """One three-address operation."""
+
+    uid: int
+    op: str            # IR operator: + - & | ^ << >> == != < > <= >=
+    left: ValueRef
+    right: ValueRef
+    target: ValueRef   # ("var", ...) or ("temp", ...)
+    width: int
+
+    @property
+    def fu_class(self) -> str:
+        if self.op in ARITH_OPS:
+            return "arith"
+        if self.op in CMP_OPS:
+            return "cmp"
+        if self.op in LOGIC_OPS:
+            return "logic"
+        if self.op in SHIFT_OPS:
+            return "shift"
+        raise ValueError(f"unknown operator {self.op!r}")
+
+
+@dataclass
+class Jump:
+    target: str
+
+
+@dataclass
+class Branch:
+    """Conditional: ``cond`` is the ValueRef of a 1-bit block value."""
+
+    cond: ValueRef
+    if_true: str
+    if_false: str
+
+
+@dataclass
+class Halt:
+    pass
+
+
+Terminator = Union[Jump, Branch, Halt]
+
+
+@dataclass
+class BasicBlock:
+    name: str
+    ops: List[Op] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Halt)
+
+
+@dataclass
+class CDFG:
+    name: str
+    blocks: List[BasicBlock]
+    entry: str
+
+    def block(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        lines = [f"cdfg {self.name} (entry {self.entry})"]
+        for block in self.blocks:
+            lines.append(f"  block {block.name}:")
+            for op in block.ops:
+                lines.append(
+                    f"    t{op.uid}: {_fmt(op.target)} = "
+                    f"{_fmt(op.left)} {op.op} {_fmt(op.right)}"
+                )
+            term = block.terminator
+            if isinstance(term, Jump):
+                lines.append(f"    goto {term.target}")
+            elif isinstance(term, Branch):
+                lines.append(
+                    f"    if {_fmt(term.cond)} goto {term.if_true} "
+                    f"else {term.if_false}"
+                )
+            else:
+                lines.append("    halt")
+        return "\n".join(lines)
+
+
+def _fmt(ref: ValueRef) -> str:
+    kind = ref[0]
+    if kind == "const":
+        return str(ref[1])
+    if kind == "temp":
+        return f"t{ref[1]}"
+    return str(ref[1])
+
+
+class _Lowering:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: List[BasicBlock] = []
+        self.current: Optional[BasicBlock] = None
+        self._op_counter = 0
+        self._temp_counter = 0
+        self._block_counter = 0
+
+    def new_block(self, hint: str) -> BasicBlock:
+        self._block_counter += 1
+        block = BasicBlock(f"{hint}_{self._block_counter}")
+        self.blocks.append(block)
+        return block
+
+    def _temp(self, width: int) -> ValueRef:
+        self._temp_counter += 1
+        return ("temp", self._temp_counter, width)
+
+    def _emit(self, op: str, left: ValueRef, right: ValueRef,
+              width: int, target: Optional[ValueRef] = None) -> ValueRef:
+        self._op_counter += 1
+        if target is None:
+            target = self._temp(width)
+        self.current.ops.append(
+            Op(self._op_counter, op, left, right, target, width)
+        )
+        return target
+
+    def lower_expr(self, expr: Expr, into: Optional[ValueRef] = None) -> ValueRef:
+        if isinstance(expr, Const):
+            if into is not None:
+                # Materialize through an OR with zero (a register load).
+                return self._emit("|", ("const", expr.value, expr.width),
+                                  ("const", 0, expr.width), expr.width, into)
+            return ("const", expr.value, expr.width)
+        if isinstance(expr, Ref):
+            ref = (expr.kind if expr.kind == "var" else "input",
+                   expr.name, expr.width)
+            if into is not None:
+                return self._emit("|", ref, ("const", 0, expr.width),
+                                  expr.width, into)
+            return ref
+        if isinstance(expr, Bin):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            return self._emit(expr.op, left, right, expr.width, into)
+        raise TypeError(f"cannot lower {expr!r}")
+
+    def lower_body(self, statements, follow: str) -> None:
+        """Lower statements into self.current, ending by jumping to
+        ``follow``."""
+        for statement in statements:
+            if isinstance(statement, Assign):
+                target = ("var", statement.target.name, statement.target.width)
+                self.lower_expr(statement.expr, into=target)
+            elif isinstance(statement, If):
+                self._lower_if(statement)
+            elif isinstance(statement, While):
+                self._lower_while(statement)
+            else:
+                raise TypeError(f"unknown statement {statement!r}")
+        self.current.terminator = Jump(follow)
+
+    def _lower_if(self, statement: If) -> None:
+        cond = self.lower_expr(statement.cond)
+        then_block = self.new_block("then")
+        else_block = self.new_block("else") if statement.else_body else None
+        join_block = self.new_block("join")
+        self.current.terminator = Branch(
+            cond, then_block.name,
+            else_block.name if else_block else join_block.name,
+        )
+        saved = self.current
+        self.current = then_block
+        self.lower_body(statement.then_body, join_block.name)
+        if else_block is not None:
+            self.current = else_block
+            self.lower_body(statement.else_body, join_block.name)
+        self.current = join_block
+
+    def _lower_while(self, statement: While) -> None:
+        header = self.new_block("loop")
+        body = self.new_block("body")
+        exit_block = self.new_block("exit")
+        self.current.terminator = Jump(header.name)
+        self.current = header
+        cond = self.lower_expr(statement.cond)
+        self.current.terminator = Branch(cond, body.name, exit_block.name)
+        self.current = body
+        self.lower_body(statement.body, header.name)
+        self.current = exit_block
+
+
+def build_cdfg(program: Program) -> CDFG:
+    """Lower a behavioral program to its CDFG."""
+    program.validate()
+    lowering = _Lowering(program)
+    entry = lowering.new_block("entry")
+    lowering.current = entry
+    lowering.lower_body(program.body, follow="__halt__")
+    # The final jump to the synthetic halt label becomes a Halt.
+    for block in lowering.blocks:
+        term = block.terminator
+        if isinstance(term, Jump) and term.target == "__halt__":
+            block.terminator = Halt()
+        elif isinstance(term, Branch):
+            if term.if_true == "__halt__" or term.if_false == "__halt__":
+                raise ValueError("conditional branch to halt is not supported")
+    # Drop empty blocks that are jump-only aliases.
+    return CDFG(program.name, lowering.blocks, entry.name)

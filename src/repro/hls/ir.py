@@ -1,0 +1,186 @@
+"""The behavioral input language: a small imperative DSL.
+
+A :class:`Program` declares inputs, outputs, and variables of one bit
+width, and a body of assignments, ``If`` and ``While`` statements.
+Expressions are built with Python operators on the declared values::
+
+    p = Program("gcd", width=8)
+    a_in = p.input("a_in")
+    b_in = p.input("b_in")
+    a = p.variable("a")
+    b = p.variable("b")
+    p.output("result", a)
+    p.body = [
+        Assign(a, a_in), Assign(b, b_in),
+        While(a.ne(b), [
+            If(a.gt(b), [Assign(a, a - b)], [Assign(b, b - a)]),
+        ]),
+    ]
+
+The paper's own input language is unspecified ("an abstract behavioral
+language"); any front end producing the same CDFG would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Expression operators and their functional-unit class.
+ARITH_OPS = {"+": "ADD", "-": "SUB"}
+CMP_OPS = {"==": "EQ", "!=": "NE", "<": "LT", ">": "GT", "<=": "LE", ">=": "GE"}
+LOGIC_OPS = {"&": "AND", "|": "OR", "^": "XOR"}
+SHIFT_OPS = {"<<": "SHL", ">>": "SHR"}
+
+
+class Expr:
+    """Base expression; operator overloads build the tree."""
+
+    width: int
+
+    def _bin(self, op: str, other: "ExprLike") -> "Bin":
+        return Bin(op, self, as_expr(other, self.width))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __and__(self, other):
+        return self._bin("&", other)
+
+    def __or__(self, other):
+        return self._bin("|", other)
+
+    def __xor__(self, other):
+        return self._bin("^", other)
+
+    def __lshift__(self, other):
+        return self._bin("<<", other)
+
+    def __rshift__(self, other):
+        return self._bin(">>", other)
+
+    # Comparisons return 1-bit expressions; Python's rich comparisons
+    # are kept available for the DSL through named methods to avoid
+    # surprising __eq__ semantics on the IR classes.
+    def eq(self, other):
+        return self._bin("==", other)
+
+    def ne(self, other):
+        return self._bin("!=", other)
+
+    def lt(self, other):
+        return self._bin("<", other)
+
+    def gt(self, other):
+        return self._bin(">", other)
+
+    def le(self, other):
+        return self._bin("<=", other)
+
+    def ge(self, other):
+        return self._bin(">=", other)
+
+
+@dataclass
+class Const(Expr):
+    value: int
+    width: int
+
+
+@dataclass
+class Ref(Expr):
+    """A reference to a declared input or variable."""
+
+    name: str
+    width: int
+    kind: str  # "input" | "var"
+
+
+@dataclass
+class Bin(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op in CMP_OPS:
+            self.width = 1
+        else:
+            self.width = max(self.left.width, self.right.width)
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike, width: int) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value, width)
+    raise TypeError(f"cannot use {value!r} in a behavioral expression")
+
+
+@dataclass
+class Assign:
+    target: Ref
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if self.target.kind != "var":
+            raise ValueError(f"cannot assign to {self.target.kind} {self.target.name!r}")
+        if isinstance(self.expr, int):
+            self.expr = Const(self.expr, self.target.width)
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List
+    else_body: List = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List
+
+
+Statement = Union[Assign, If, While]
+
+
+class Program:
+    """One behavioral module: declarations plus a statement body."""
+
+    def __init__(self, name: str, width: int = 8) -> None:
+        self.name = name
+        self.width = width
+        self.inputs: List[Ref] = []
+        self.variables: List[Ref] = []
+        self.outputs: List[Tuple[str, Ref]] = []
+        self.body: List[Statement] = []
+
+    def input(self, name: str, width: Optional[int] = None) -> Ref:
+        ref = Ref(name, width or self.width, "input")
+        self.inputs.append(ref)
+        return ref
+
+    def variable(self, name: str, width: Optional[int] = None) -> Ref:
+        ref = Ref(name, width or self.width, "var")
+        self.variables.append(ref)
+        return ref
+
+    def output(self, name: str, source: Ref) -> None:
+        """Expose a variable's final value on an output port."""
+        if source.kind != "var":
+            raise ValueError("outputs must expose variables")
+        self.outputs.append((name, source))
+
+    def validate(self) -> None:
+        names = [r.name for r in self.inputs] + [r.name for r in self.variables]
+        if len(names) != len(set(names)):
+            raise ValueError(f"program {self.name!r}: duplicate declarations")
+        if not self.body:
+            raise ValueError(f"program {self.name!r}: empty body")

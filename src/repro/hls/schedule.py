@@ -1,0 +1,190 @@
+"""State scheduling and component allocation.
+
+Resource-constrained list scheduling per basic block: operations are
+packed into control steps such that data dependences are respected
+(every value crosses control steps through a register, so a consumer
+must be scheduled strictly after its producer) and no control step uses
+more functional units of a class than the constraints allow.
+
+A comparison that decides the block's branch is forced into the final
+control step so its (unregistered) status feeds the controller in the
+state that branches on it.
+
+Allocation then sizes the datapath: one functional unit per concurrent
+operation of each class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hls.cdfg import BasicBlock, Branch, CDFG, Op
+
+
+@dataclass(frozen=True)
+class ResourceConstraints:
+    """Maximum functional units usable in one control step."""
+
+    arith: int = 1
+    cmp: int = 1
+    logic: int = 1
+    shift: int = 1
+
+    def limit(self, fu_class: str) -> int:
+        return getattr(self, fu_class)
+
+
+@dataclass
+class ScheduledBlock:
+    block: BasicBlock
+    steps: List[List[Op]] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        return max(1, len(self.steps))
+
+    def step_of(self, op_uid: int) -> int:
+        for index, ops in enumerate(self.steps):
+            if any(op.uid == op_uid for op in ops):
+                return index
+        raise KeyError(op_uid)
+
+
+@dataclass
+class Schedule:
+    cdfg: CDFG
+    blocks: Dict[str, ScheduledBlock]
+    constraints: ResourceConstraints
+
+    def describe(self) -> str:
+        lines = [f"schedule of {self.cdfg.name}"]
+        for name, scheduled in self.blocks.items():
+            lines.append(f"  block {name}: {scheduled.n_steps} step(s)")
+            for index, ops in enumerate(scheduled.steps):
+                rendered = ", ".join(f"t{op.uid}:{op.op}" for op in ops)
+                lines.append(f"    step {index}: {rendered}")
+        return "\n".join(lines)
+
+
+def _branch_cond_uid(block: BasicBlock) -> Optional[int]:
+    term = block.terminator
+    if not isinstance(term, Branch):
+        return None
+    cond = term.cond
+    if cond[0] != "temp":
+        return None
+    for op in block.ops:
+        if op.target == cond:
+            return op.uid
+    return None
+
+
+def schedule_block(block: BasicBlock,
+                   constraints: ResourceConstraints) -> ScheduledBlock:
+    """List-schedule one block.
+
+    Hazard model (values cross control steps through registers, writes
+    land on the state edge):
+
+    - RAW: a reader of a temp or variable goes *strictly after* the
+      latest preceding writer;
+    - WAR: a writer may share a step with a preceding reader (the
+      reader still sees the old register value) but not precede it;
+    - WAW: a second write to the same variable goes strictly after the
+      first.
+    """
+    strict_before: Dict[int, set] = {op.uid: set() for op in block.ops}
+    weak_before: Dict[int, set] = {op.uid: set() for op in block.ops}
+    last_writer: Dict[Tuple, int] = {}
+    readers_since_write: Dict[Tuple, List[int]] = {}
+
+    for op in block.ops:
+        for operand in (op.left, op.right):
+            if operand[0] in ("temp", "var"):
+                writer = last_writer.get(operand)
+                if writer is not None:
+                    strict_before[op.uid].add(writer)
+                readers_since_write.setdefault(operand, []).append(op.uid)
+        target = op.target
+        if target[0] in ("temp", "var"):
+            previous = last_writer.get(target)
+            if previous is not None:
+                strict_before[op.uid].add(previous)  # WAW
+            for reader in readers_since_write.get(target, []):
+                if reader != op.uid:
+                    weak_before[op.uid].add(reader)  # WAR
+            last_writer[target] = op.uid
+            readers_since_write[target] = []
+
+    cond_uid = _branch_cond_uid(block)
+    pending = [op for op in block.ops]
+    placed_step: Dict[int, int] = {}
+    steps: List[List[Op]] = []
+
+    def deps_ready(op: Op, step_index: int) -> bool:
+        for producer in strict_before[op.uid]:
+            if producer not in placed_step or placed_step[producer] >= step_index:
+                return False
+        for reader in weak_before[op.uid]:
+            if reader not in placed_step:
+                return False
+        return True
+
+    while pending:
+        step_index = len(steps)
+        usage: Dict[str, int] = {}
+        this_step: List[Op] = []
+        for op in list(pending):
+            if op.uid == cond_uid and len(pending) > 1:
+                continue  # branch condition goes into the final step
+            if not deps_ready(op, step_index):
+                continue
+            used = usage.get(op.fu_class, 0)
+            if used >= constraints.limit(op.fu_class):
+                continue
+            usage[op.fu_class] = used + 1
+            this_step.append(op)
+            placed_step[op.uid] = step_index
+            pending.remove(op)
+        if not this_step:
+            remaining = ", ".join(f"t{op.uid}" for op in pending)
+            raise ValueError(
+                f"block {block.name!r}: scheduling deadlock on {remaining}"
+            )
+        steps.append(this_step)
+    if not steps:
+        steps = [[]]
+    return ScheduledBlock(block, steps)
+
+
+def schedule_cdfg(cdfg: CDFG, constraints: ResourceConstraints) -> Schedule:
+    blocks = {
+        block.name: schedule_block(block, constraints) for block in cdfg.blocks
+    }
+    return Schedule(cdfg, blocks, constraints)
+
+
+@dataclass
+class Allocation:
+    """How many functional units of each class the datapath carries."""
+
+    counts: Dict[str, int]
+    width: int
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"allocation: {rendered} at width {self.width}"
+
+
+def allocate(schedule: Schedule, width: int) -> Allocation:
+    """Component allocation: the per-class maximum concurrency."""
+    counts: Dict[str, int] = {}
+    for scheduled in schedule.blocks.values():
+        for ops in scheduled.steps:
+            usage: Dict[str, int] = {}
+            for op in ops:
+                usage[op.fu_class] = usage.get(op.fu_class, 0) + 1
+            for fu_class, used in usage.items():
+                counts[fu_class] = max(counts.get(fu_class, 0), used)
+    return Allocation(counts, width)

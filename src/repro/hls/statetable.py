@@ -1,0 +1,146 @@
+"""The state sequencing table.
+
+This is the second artifact high-level synthesis hands downstream
+(paper: "a state table in control-based BIF that controls these GENUS
+components and that sequences the design").  Each state row lists the
+control-signal assertions and the transition: unconditional, a branch
+on one datapath status bit, or a terminal self-loop asserting DONE.
+
+``to_bif`` renders the table in a BIF-like text form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hls.datapath import ControlSignal, Datapath
+
+
+@dataclass
+class Transition:
+    """Next-state function of one state."""
+
+    kind: str                    # "goto" | "branch" | "halt"
+    next_state: Optional[str] = None
+    status: Optional[str] = None
+    polarity: bool = True
+    if_true: Optional[str] = None
+    if_false: Optional[str] = None
+
+
+@dataclass
+class StateRow:
+    name: str
+    assertions: Dict[str, int]
+    transition: Transition
+
+
+@dataclass
+class StateTable:
+    name: str
+    signals: List[ControlSignal]
+    statuses: List[str]
+    rows: List[StateRow]
+    reset_state: str
+
+    @property
+    def n_states(self) -> int:
+        return len(self.rows)
+
+    def row(self, name: str) -> StateRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def to_bif(self) -> str:
+        """Render the table in a control-based BIF-like form."""
+        lines = [f"(design {self.name}"]
+        lines.append(f"  (reset-state {self.reset_state})")
+        lines.append(
+            "  (control-signals " +
+            " ".join(f"{s.name}[{s.width}]" for s in self.signals) + ")"
+        )
+        if self.statuses:
+            lines.append("  (status-signals " + " ".join(self.statuses) + ")")
+        for row in self.rows:
+            lines.append(f"  (state {row.name}")
+            if row.assertions:
+                asserted = " ".join(
+                    f"({name} {value})" for name, value in
+                    sorted(row.assertions.items())
+                )
+                lines.append(f"    (assert {asserted})")
+            t = row.transition
+            if t.kind == "goto":
+                lines.append(f"    (next {t.next_state})")
+            elif t.kind == "branch":
+                test = t.status if t.polarity else f"(not {t.status})"
+                lines.append(
+                    f"    (next (if {test} {t.if_true} {t.if_false}))"
+                )
+            else:
+                lines.append("    (next (halt))")
+            lines.append("  )")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+def build_state_table(datapath: Datapath, schedule) -> StateTable:
+    """Derive the state sequencing table from the bound datapath."""
+    from repro.hls.cdfg import Branch, Halt, Jump
+
+    cdfg = schedule.cdfg
+    rows: List[StateRow] = []
+    state_order: List[str] = []
+    for block in cdfg.blocks:
+        scheduled = schedule.blocks[block.name]
+        for step in range(scheduled.n_steps):
+            state_order.append(datapath.state_names[(block.name, step)])
+
+    def first_state(block_name: str) -> str:
+        return datapath.state_names[(block_name, 0)]
+
+    for block in cdfg.blocks:
+        scheduled = schedule.blocks[block.name]
+        n = scheduled.n_steps
+        for step in range(n):
+            state = datapath.state_names[(block.name, step)]
+            assertions = {}
+            for signal in datapath.controls.values():
+                if state in signal.values:
+                    assertions[signal.name] = signal.values[state]
+            if step < n - 1:
+                transition = Transition(
+                    "goto",
+                    next_state=datapath.state_names[(block.name, step + 1)],
+                )
+            else:
+                term = block.terminator
+                if isinstance(term, Jump):
+                    transition = Transition("goto",
+                                            next_state=first_state(term.target))
+                elif isinstance(term, Branch):
+                    uid = None
+                    for op in block.ops:
+                        if op.target == term.cond:
+                            uid = op.uid
+                            break
+                    status, polarity = datapath.branch_status[uid]
+                    transition = Transition(
+                        "branch", status=status, polarity=polarity,
+                        if_true=first_state(term.if_true),
+                        if_false=first_state(term.if_false),
+                    )
+                else:
+                    transition = Transition("halt")
+            rows.append(StateRow(state, assertions, transition))
+
+    return StateTable(
+        name=cdfg.name,
+        signals=list(datapath.controls.values()),
+        statuses=[s.name for s in datapath.statuses],
+        rows=rows,
+        reset_state=state_order[0],
+    )

@@ -1,0 +1,125 @@
+"""The HLS driver: behavioral program -> GENUS netlist + state table.
+
+Also provides :class:`FsmdSimulator`, which executes the synthesized
+design (datapath netlist + state table) cycle by cycle -- the reference
+for verifying the control compiler's gate-level controller, and the
+engine behind the GCD example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hls.cdfg import CDFG, build_cdfg
+from repro.hls.datapath import Datapath, build_datapath
+from repro.hls.ir import Program
+from repro.hls.schedule import (
+    Allocation,
+    ResourceConstraints,
+    Schedule,
+    allocate,
+    schedule_cdfg,
+)
+from repro.hls.statetable import StateTable, Transition, build_state_table
+from repro.sim.simulator import NetlistSimulator
+
+
+@dataclass
+class HLSResult:
+    """Everything high-level synthesis produced."""
+
+    program: Program
+    cdfg: CDFG
+    schedule: Schedule
+    allocation: Allocation
+    datapath: Datapath
+    state_table: StateTable
+
+    def report(self) -> str:
+        lines = [f"HLS result for {self.program.name!r}"]
+        lines.append(f"  states: {self.state_table.n_states}")
+        lines.append(f"  registers: {self.datapath.register_count}")
+        lines.append(f"  {self.allocation.describe()}")
+        lines.append(
+            f"  datapath modules: {len(self.datapath.netlist.modules)}; "
+            f"control signals: {len(self.datapath.controls)}; "
+            f"status signals: {len(self.datapath.statuses)}"
+        )
+        return "\n".join(lines)
+
+
+def hls_synthesize(
+    program: Program,
+    constraints: Optional[ResourceConstraints] = None,
+) -> HLSResult:
+    """Run the full HLS pipeline of the paper's Figure 1 (left side)."""
+    constraints = constraints or ResourceConstraints()
+    cdfg = build_cdfg(program)
+    schedule = schedule_cdfg(cdfg, constraints)
+    allocation = allocate(schedule, program.width)
+    datapath = build_datapath(program, schedule)
+    state_table = build_state_table(datapath, schedule)
+    from repro.netlist.validate import validate_netlist
+
+    validate_netlist(datapath.netlist, require_driven_outputs=True)
+    return HLSResult(program, cdfg, schedule, allocation, datapath, state_table)
+
+
+class FsmdSimulator:
+    """Execute the synthesized FSMD: the state table drives the GENUS
+    datapath netlist cycle by cycle."""
+
+    def __init__(self, result: HLSResult) -> None:
+        self.result = result
+        self.datapath_sim = NetlistSimulator(result.datapath.netlist)
+        self.state = result.state_table.reset_state
+        self.dp_state = self.datapath_sim.reset()
+        self.halted = False
+
+    def _controls_for(self, state_name: str) -> Dict[str, int]:
+        row = self.result.state_table.row(state_name)
+        controls = {}
+        for signal in self.result.state_table.signals:
+            controls[signal.name] = row.assertions.get(signal.name,
+                                                       signal.default)
+        return controls
+
+    def cycle(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """One clock cycle; returns the datapath outputs observed."""
+        controls = self._controls_for(self.state)
+        stimulus = dict(inputs)
+        stimulus.update(controls)
+        outputs, self.dp_state = self.datapath_sim.step(stimulus,
+                                                        self.dp_state)
+        row = self.result.state_table.row(self.state)
+        transition = row.transition
+        if transition.kind == "goto":
+            self.state = transition.next_state
+        elif transition.kind == "branch":
+            taken = bool(outputs.get(transition.status, 0))
+            if not transition.polarity:
+                taken = not taken
+            self.state = transition.if_true if taken else transition.if_false
+        else:
+            self.halted = True
+        return outputs
+
+    def run(self, inputs: Dict[str, int], max_cycles: int = 10000
+            ) -> Tuple[Dict[str, int], int]:
+        """Run to the halt state; returns (final outputs, cycles)."""
+        cycles = 0
+        outputs: Dict[str, int] = {}
+        while not self.halted and cycles < max_cycles:
+            outputs = self.cycle(inputs)
+            cycles += 1
+        if not self.halted:
+            raise RuntimeError(
+                f"{self.result.program.name}: no halt within {max_cycles} cycles"
+            )
+        # One more settle to observe the post-halt register values.
+        controls = self._controls_for(self.state)
+        stimulus = dict(inputs)
+        stimulus.update(controls)
+        outputs = self.datapath_sim.outputs(stimulus, self.dp_state)
+        return outputs, cycles

@@ -1,0 +1,30 @@
+"""LEGEND -- a language for generic component description.
+
+LEGEND (paper section 4, Figure 2) specifies the contents of a GENUS
+library: each generator description lists parameterizable attributes,
+styles, ports by pin kind (inputs, outputs, clock, enable, control,
+async), the operations the generated components perform, and the name
+of a behavioral-model generator.
+
+Pipeline: text -> :mod:`lexer` -> :mod:`parser` (AST in :mod:`ast`) ->
+:mod:`builder` -> :class:`repro.genus.generators.Generator` objects.
+
+The standard GENUS library shipped with this reproduction is itself
+written in LEGEND (:mod:`repro.legend.stdlib_source`) and parsed at
+load time, exactly as the paper's flow generates GENUS from a LEGEND
+description.
+"""
+
+from repro.legend.builder import build_generator, build_library
+from repro.legend.errors import LegendError, LegendSyntaxError
+from repro.legend.parser import parse_legend
+from repro.legend.stdlib_source import STANDARD_LIBRARY_SOURCE
+
+__all__ = [
+    "LegendError",
+    "LegendSyntaxError",
+    "STANDARD_LIBRARY_SOURCE",
+    "build_generator",
+    "build_library",
+    "parse_legend",
+]

@@ -1,0 +1,90 @@
+"""Abstract syntax tree for LEGEND generator descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.legend.widths import WidthExpr
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """One entry of a PARAMETERS list.
+
+    ``index``/``kind`` come from annotations like ``(3w)``; ``required``
+    from a ``!`` marker; ``default`` from an ``= value`` suffix.
+    """
+
+    name: str
+    index: int
+    kind: str
+    required: bool = False
+    default: object = None
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """A declared port: ``I0[3w]`` or a repeated family
+    ``I*[3w] REPEAT 2n``."""
+
+    name: str
+    width: WidthExpr
+    repeat: Optional[WidthExpr] = None
+
+    @property
+    def is_family(self) -> bool:
+        return self.repeat is not None
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """A register-transfer definition inside an operation, e.g.
+    ``(LOAD: O0 = I0)``."""
+
+    name: str
+    target: str
+    expr: Tuple  # tiny expression tree: ("id", x) | ("num", n) | (op, l, r)
+
+
+@dataclass(frozen=True)
+class OperationDecl:
+    """One OPERATIONS entry: the ports and transfers of one operation."""
+
+    name: str
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    controls: Tuple[str, ...] = ()
+    ops: Tuple[OpDef, ...] = ()
+
+
+@dataclass
+class GeneratorDecl:
+    """A complete LEGEND generator description (one NAME: block)."""
+
+    name: str
+    class_name: str = "Combinational"
+    max_params: Optional[int] = None
+    parameters: Tuple[ParamDecl, ...] = ()
+    styles: Tuple[str, ...] = ()
+    inputs: Tuple[PortDecl, ...] = ()
+    outputs: Tuple[PortDecl, ...] = ()
+    clock: Optional[str] = None
+    enables: Tuple[PortDecl, ...] = ()
+    controls: Tuple[PortDecl, ...] = ()
+    asyncs: Tuple[PortDecl, ...] = ()
+    operations: Tuple[OperationDecl, ...] = ()
+    vhdl_model: str = ""
+    op_classes: str = "default"
+    description: str = ""
+    declared_counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class LibraryDecl:
+    """A parsed LEGEND file: an ordered list of generator descriptions."""
+
+    generators: Tuple[GeneratorDecl, ...]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(g.name for g in self.generators)

@@ -1,0 +1,165 @@
+"""Build GENUS generators from parsed LEGEND descriptions.
+
+This closes the loop the paper's Figure 1 draws on the left: *LEGEND ->
+GENUS library*.  The builder also supports LEGEND's second role --
+customization of an existing library -- through ``extend_library``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.genus.attributes import Parameter
+from repro.genus.generators import GENERATOR_CTYPES, Generator
+from repro.genus.library import GenusLibrary
+from repro.legend.ast import GeneratorDecl, LibraryDecl, OperationDecl, ParamDecl, PortDecl
+from repro.legend.errors import LegendSemanticError
+from repro.legend.parser import parse_legend
+from repro.legend.widths import WidthEnv, eval_width, format_width
+
+
+def _build_parameter(decl: ParamDecl) -> Parameter:
+    default = decl.default
+    if decl.kind == "b" and default is not None:
+        default = bool(default)
+    return Parameter(
+        name=decl.name,
+        kind=decl.kind,
+        index=decl.index,
+        required=decl.required,
+        default=default,
+    )
+
+
+def _format_operation(op: OperationDecl) -> str:
+    transfers = "; ".join(f"{d.target} = {_format_rt(d.expr)}" for d in op.ops)
+    pieces = [op.name]
+    if op.controls:
+        pieces.append(f"when {','.join(op.controls)}")
+    if transfers:
+        pieces.append(f": {transfers}")
+    return " ".join(pieces)
+
+
+def _format_rt(expr: Tuple) -> str:
+    tag = expr[0]
+    if tag == "id":
+        return expr[1]
+    if tag == "num":
+        return str(expr[1])
+    return f"{_format_rt(expr[1])} {tag} {_format_rt(expr[2])}"
+
+
+def build_generator(decl: GeneratorDecl) -> Generator:
+    """Turn one parsed LEGEND description into a GENUS generator."""
+    if decl.name.upper() not in GENERATOR_CTYPES:
+        raise LegendSemanticError(
+            f"LEGEND generator {decl.name!r} does not name a known "
+            f"component family"
+        )
+    parameters = tuple(_build_parameter(p) for p in decl.parameters)
+    indices = [p.index for p in parameters]
+    if len(indices) != len(set(indices)):
+        raise LegendSemanticError(
+            f"generator {decl.name!r}: duplicate parameter indices"
+        )
+    return Generator(
+        name=decl.name.upper(),
+        class_name=decl.class_name,
+        parameters=parameters,
+        styles=decl.styles,
+        operations_doc=tuple(_format_operation(op) for op in decl.operations),
+        vhdl_model=decl.vhdl_model,
+        op_classes=decl.op_classes,
+        description=decl.description,
+    )
+
+
+def build_library(source: str, name: str = "GENUS") -> GenusLibrary:
+    """Parse LEGEND text and build a complete GENUS library."""
+    decl = parse_legend(source)
+    library = GenusLibrary(name)
+    for generator_decl in decl.generators:
+        library.add_generator(build_generator(generator_decl))
+    return library
+
+
+def extend_library(library: GenusLibrary, source: str, replace: bool = True) -> List[str]:
+    """Add (or replace) generators in an existing library from LEGEND
+    text; returns the names processed.  This is LEGEND's "customization
+    of existing libraries" role."""
+    decl = parse_legend(source)
+    names = []
+    for generator_decl in decl.generators:
+        library.add_generator(build_generator(generator_decl), replace=replace)
+        names.append(generator_decl.name.upper())
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Declaration/port cross-checking (used by tests and by LOLA reports)
+# ---------------------------------------------------------------------------
+
+def declared_ports(
+    decl: GeneratorDecl, params_by_name: Dict[str, int]
+) -> List[Tuple[str, int]]:
+    """Concrete (name, width) pairs for every port a LEGEND description
+    declares, evaluated against resolved parameter values.
+
+    Family declarations like ``I*[2w] REPEAT 3n`` expand into
+    ``I0 .. I{n-1}``.
+    """
+    by_index = {p.index: params_by_name[p.name]
+                for p in decl.parameters
+                if p.name in params_by_name and isinstance(params_by_name[p.name], int)}
+    by_name = {k: v for k, v in params_by_name.items() if isinstance(v, int)}
+    env = WidthEnv(by_index, by_name)
+
+    result: List[Tuple[str, int]] = []
+
+    def expand(port: PortDecl) -> None:
+        width = eval_width(port.width, env)
+        if port.is_family:
+            count = eval_width(port.repeat, env)
+            for i in range(count):
+                result.append((f"{port.name}{i}", width))
+        else:
+            result.append((port.name, width))
+
+    for port in decl.inputs:
+        expand(port)
+    for port in decl.controls:
+        expand(port)
+    for port in decl.enables:
+        expand(port)
+    for port in decl.asyncs:
+        expand(port)
+    if decl.clock:
+        result.append((decl.clock, 1))
+    for port in decl.outputs:
+        expand(port)
+    return result
+
+
+def describe_generator(decl: GeneratorDecl) -> str:
+    """Readable summary of a LEGEND description (used by examples)."""
+    lines = [f"NAME: {decl.name}  CLASS: {decl.class_name}"]
+    if decl.parameters:
+        params = ", ".join(
+            f"{p.name}({p.index}{p.kind}{'!' if p.required else ''})"
+            for p in decl.parameters
+        )
+        lines.append(f"  parameters: {params}")
+    if decl.styles:
+        lines.append(f"  styles: {', '.join(decl.styles)}")
+    for label, ports in (("inputs", decl.inputs), ("outputs", decl.outputs),
+                         ("control", decl.controls)):
+        if ports:
+            rendered = ", ".join(
+                f"{p.name}{'*' if p.is_family else ''}[{format_width(p.width)}]"
+                for p in ports
+            )
+            lines.append(f"  {label}: {rendered}")
+    for op in decl.operations:
+        lines.append(f"  op: {_format_operation(op)}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""LEGEND error types."""
+
+from __future__ import annotations
+
+
+class LegendError(Exception):
+    """Base class for all LEGEND processing errors."""
+
+
+class LegendSyntaxError(LegendError):
+    """A lexical or syntactic error, carrying source position."""
+
+    def __init__(self, message: str, line: int, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"line {line}: {message}")
+
+
+class LegendSemanticError(LegendError):
+    """A well-formed description that cannot be turned into a generator."""

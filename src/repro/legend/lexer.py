@@ -1,0 +1,124 @@
+"""Lexer for the LEGEND generator-description language.
+
+Two LEGEND-specific behaviors beyond ordinary tokenizing:
+
+1. **Parameter references.**  A number immediately followed by a letter,
+   like ``3w``, is a parameter reference (parameter index 3, kind
+   ``w``), as used in the paper's Figure 2 (``GC_INPUT_WIDTH (3w)``,
+   ``I0[3w]``).
+
+2. **Logical lines.**  Field values may continue across physical lines
+   while a parenthesis or bracket is open, or when a physical line ends
+   with a comma.  The lexer emits a single NEWLINE token per *logical*
+   line, which keeps the parser line-oriented like the language itself.
+
+Comments run from ``--`` or ``;`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.legend.errors import LegendSyntaxError
+from repro.legend.tokens import Token, TokenType
+
+_SINGLE_CHAR = {
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "=": TokenType.EQUALS,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "!": TokenType.BANG,
+    ".": TokenType.DOT,
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789.")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize LEGEND source into a flat token list ending in EOF."""
+    tokens: List[Token] = []
+    depth = 0  # open parens/brackets
+    lines = text.splitlines()
+
+    for line_no, raw_line in enumerate(lines, start=1):
+        line = _strip_comment(raw_line)
+        col = 0
+        line_had_tokens = False
+        while col < len(line):
+            ch = line[col]
+            if ch in " \t":
+                col += 1
+                continue
+            line_had_tokens = True
+            if ch == "-":
+                # '-' is MINUS (comments were already stripped).
+                tokens.append(Token(TokenType.MINUS, "-", line_no, col))
+                col += 1
+                continue
+            if ch in _SINGLE_CHAR:
+                token_type = _SINGLE_CHAR[ch]
+                if token_type in (TokenType.LPAREN, TokenType.LBRACKET):
+                    depth += 1
+                elif token_type in (TokenType.RPAREN, TokenType.RBRACKET):
+                    depth -= 1
+                    if depth < 0:
+                        raise LegendSyntaxError("unbalanced closing bracket", line_no, col)
+                tokens.append(Token(token_type, ch, line_no, col))
+                col += 1
+                continue
+            if ch.isdigit():
+                start = col
+                while col < len(line) and line[col].isdigit():
+                    col += 1
+                number = int(line[start:col])
+                # NUMBER immediately followed by a letter = parameter ref.
+                if col < len(line) and line[col].isalpha():
+                    kind = line[col]
+                    col += 1
+                    if col < len(line) and (line[col].isalnum() or line[col] == "_"):
+                        raise LegendSyntaxError(
+                            f"malformed parameter reference near {line[start:col + 1]!r}",
+                            line_no, start,
+                        )
+                    tokens.append(Token(TokenType.PARAMREF, (number, kind), line_no, start))
+                else:
+                    tokens.append(Token(TokenType.NUMBER, number, line_no, start))
+                continue
+            if ch in _IDENT_START:
+                start = col
+                while col < len(line) and line[col] in _IDENT_CONT:
+                    col += 1
+                tokens.append(Token(TokenType.IDENT, line[start:col], line_no, start))
+                continue
+            raise LegendSyntaxError(f"unexpected character {ch!r}", line_no, col)
+
+        if not line_had_tokens:
+            continue
+        # Logical-line continuation: open brackets, or trailing comma.
+        if depth > 0:
+            continue
+        if tokens and tokens[-1].type is TokenType.COMMA:
+            continue
+        tokens.append(Token(TokenType.NEWLINE, "\n", line_no, len(line)))
+
+    if depth > 0:
+        raise LegendSyntaxError("unclosed parenthesis or bracket at end of file", len(lines))
+    if tokens and tokens[-1].type is not TokenType.NEWLINE:
+        tokens.append(Token(TokenType.NEWLINE, "\n", len(lines), 0))
+    tokens.append(Token(TokenType.EOF, None, len(lines) + 1, 0))
+    return tokens
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("--", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.rstrip()

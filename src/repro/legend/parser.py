@@ -1,0 +1,377 @@
+"""Recursive-descent parser for LEGEND.
+
+The language is line-oriented: a generator description is a ``NAME:``
+line followed by ``KEY: value`` fields, with the OPERATIONS field
+holding one parenthesized operation description per logical line
+(paper Figure 2).  The lexer already folded physical-line continuations
+into logical lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.legend.ast import (
+    GeneratorDecl,
+    LibraryDecl,
+    OpDef,
+    OperationDecl,
+    ParamDecl,
+    PortDecl,
+)
+from repro.legend.errors import LegendSemanticError, LegendSyntaxError
+from repro.legend.lexer import tokenize
+from repro.legend.tokens import Token, TokenType
+from repro.legend.widths import WBin, WCall, WName, WNum, WParam, WidthExpr
+
+_COUNT_FIELDS = {
+    "MAX_PARAMS": "parameters",
+    "NUM_STYLES": "styles",
+    "NUM_INPUTS": "inputs",
+    "NUM_OUTPUTS": "outputs",
+    "NUM_ENABLE": "enables",
+    "NUM_CONTROL": "controls",
+    "NUM_ASYNC": "asyncs",
+    "NUM_OPERATIONS": "operations",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, what: str = "") -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            wanted = what or token_type.value
+            raise LegendSyntaxError(
+                f"expected {wanted}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType) -> Optional[Token]:
+        if self._peek().type is token_type:
+            return self._advance()
+        return None
+
+    def _skip_newlines(self) -> None:
+        while self._peek().type is TokenType.NEWLINE:
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_library(self) -> LibraryDecl:
+        generators = []
+        self._skip_newlines()
+        while self._peek().type is not TokenType.EOF:
+            generators.append(self.parse_generator())
+            self._skip_newlines()
+        return LibraryDecl(tuple(generators))
+
+    def parse_generator(self) -> GeneratorDecl:
+        key = self._expect(TokenType.IDENT, "NAME")
+        if key.value.upper() != "NAME":
+            raise LegendSyntaxError(
+                f"generator description must start with NAME:, found {key.value!r}",
+                key.line, key.column,
+            )
+        self._expect(TokenType.COLON)
+        name = self._expect(TokenType.IDENT, "generator name").value
+        self._expect(TokenType.NEWLINE)
+        decl = GeneratorDecl(name=name)
+
+        while True:
+            self._skip_newlines()
+            token = self._peek()
+            if token.type is TokenType.EOF:
+                break
+            if token.type is not TokenType.IDENT:
+                raise LegendSyntaxError(
+                    f"expected a field name, found {token.value!r}", token.line, token.column
+                )
+            field = token.value.upper()
+            if field == "NAME":
+                break  # next generator begins
+            self._advance()
+            self._expect(TokenType.COLON)
+            self._parse_field(decl, field)
+
+        _check_counts(decl)
+        return decl
+
+    def _parse_field(self, decl: GeneratorDecl, field: str) -> None:
+        if field == "CLASS":
+            decl.class_name = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.NEWLINE)
+        elif field in _COUNT_FIELDS:
+            count = self._expect(TokenType.NUMBER).value
+            decl.declared_counts[field] = count
+            self._expect(TokenType.NEWLINE)
+        elif field == "PARAMETERS":
+            decl.parameters = tuple(self._parse_parameters())
+            self._expect(TokenType.NEWLINE)
+        elif field == "STYLES":
+            decl.styles = tuple(v.upper() for v in self._parse_ident_list())
+            self._expect(TokenType.NEWLINE)
+        elif field in ("INPUTS", "OUTPUTS"):
+            ports = tuple(self._parse_port_list())
+            if field == "INPUTS":
+                decl.inputs = ports
+            else:
+                decl.outputs = ports
+            self._expect(TokenType.NEWLINE)
+        elif field == "CLOCK":
+            decl.clock = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.NEWLINE)
+        elif field in ("ENABLE", "CONTROL", "ASYNC"):
+            ports = tuple(self._parse_port_list())
+            if field == "ENABLE":
+                decl.enables = ports
+            elif field == "CONTROL":
+                decl.controls = ports
+            else:
+                decl.asyncs = ports
+            self._expect(TokenType.NEWLINE)
+        elif field == "OPERATIONS":
+            self._accept(TokenType.NEWLINE)
+            decl.operations = tuple(self._parse_operations())
+        elif field == "VHDL_MODEL":
+            decl.vhdl_model = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.NEWLINE)
+        elif field == "OP_CLASSES":
+            decl.op_classes = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.NEWLINE)
+        elif field == "DESCRIPTION":
+            words = []
+            while self._peek().type not in (TokenType.NEWLINE, TokenType.EOF):
+                words.append(str(self._advance().value))
+            decl.description = " ".join(words)
+            self._accept(TokenType.NEWLINE)
+        else:
+            token = self._peek()
+            raise LegendSyntaxError(f"unknown field {field!r}", token.line, token.column)
+
+    # -- parameters -----------------------------------------------------
+    def _parse_parameters(self) -> List[ParamDecl]:
+        params: List[ParamDecl] = []
+        position = 1
+        while True:
+            name = self._expect(TokenType.IDENT, "parameter name").value
+            index, kind, required, default = position, "v", False, None
+            if self._accept(TokenType.LPAREN):
+                ref = self._expect(TokenType.PARAMREF, "parameter annotation like 3w")
+                index, kind = ref.value
+                if self._accept(TokenType.BANG):
+                    required = True
+                if self._accept(TokenType.EQUALS):
+                    default = self._parse_default_value()
+                self._expect(TokenType.RPAREN)
+            params.append(ParamDecl(name, index, kind, required, default))
+            position += 1
+            if not self._accept(TokenType.COMMA):
+                break
+        return params
+
+    def _parse_default_value(self):
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            return self._advance().value
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            items = []
+            while self._peek().type is not TokenType.RPAREN:
+                item = self._expect(TokenType.IDENT, "list item").value
+                items.append(item)
+                self._accept(TokenType.COMMA)
+            self._expect(TokenType.RPAREN)
+            return tuple(items)
+        raise LegendSyntaxError(
+            f"bad default value {token.value!r}", token.line, token.column
+        )
+
+    # -- simple lists ----------------------------------------------------
+    def _parse_ident_list(self) -> List[str]:
+        names = [self._expect(TokenType.IDENT).value]
+        while self._accept(TokenType.COMMA):
+            names.append(self._expect(TokenType.IDENT).value)
+        return names
+
+    # -- ports ------------------------------------------------------------
+    def _parse_port_list(self) -> List[PortDecl]:
+        ports = [self._parse_port()]
+        while self._accept(TokenType.COMMA):
+            ports.append(self._parse_port())
+        return ports
+
+    def _parse_port(self) -> PortDecl:
+        name = self._expect(TokenType.IDENT, "port name").value
+        family = self._accept(TokenType.STAR) is not None
+        width: WidthExpr = WNum(1)
+        if self._accept(TokenType.LBRACKET):
+            width = self._parse_width_expr()
+            self._expect(TokenType.RBRACKET)
+        repeat = None
+        if family:
+            keyword = self._expect(TokenType.IDENT, "REPEAT")
+            if keyword.value.upper() != "REPEAT":
+                raise LegendSyntaxError(
+                    f"expected REPEAT after {name}*, found {keyword.value!r}",
+                    keyword.line, keyword.column,
+                )
+            repeat = self._parse_width_expr()
+        return PortDecl(name, width, repeat)
+
+    # -- width expressions -------------------------------------------------
+    def _parse_width_expr(self) -> WidthExpr:
+        left = self._parse_width_term()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            right = self._parse_width_term()
+            left = WBin(op, left, right)
+        return left
+
+    def _parse_width_term(self) -> WidthExpr:
+        left = self._parse_width_factor()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH):
+            op = self._advance().value
+            right = self._parse_width_factor()
+            left = WBin(op, left, right)
+        return left
+
+    def _parse_width_factor(self) -> WidthExpr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return WNum(token.value)
+        if token.type is TokenType.PARAMREF:
+            self._advance()
+            index, kind = token.value
+            return WParam(index, kind)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if token.value == "log2" or self._peek().type is TokenType.LPAREN:
+                self._expect(TokenType.LPAREN)
+                arg = self._parse_width_expr()
+                self._expect(TokenType.RPAREN)
+                return WCall(token.value, arg)
+            return WName(token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_width_expr()
+            self._expect(TokenType.RPAREN)
+            return inner
+        raise LegendSyntaxError(
+            f"bad width expression near {token.value!r}", token.line, token.column
+        )
+
+    # -- operations ---------------------------------------------------------
+    def _parse_operations(self) -> List[OperationDecl]:
+        operations: List[OperationDecl] = []
+        while True:
+            self._skip_newlines()
+            if self._peek().type is not TokenType.LPAREN:
+                break
+            operations.append(self._parse_operation())
+            self._accept(TokenType.NEWLINE)
+        return operations
+
+    def _parse_operation(self) -> OperationDecl:
+        self._expect(TokenType.LPAREN)
+        self._expect(TokenType.LPAREN)
+        name = self._expect(TokenType.IDENT, "operation name").value
+        self._expect(TokenType.RPAREN)
+        inputs: Tuple[str, ...] = ()
+        outputs: Tuple[str, ...] = ()
+        controls: Tuple[str, ...] = ()
+        ops: Tuple[OpDef, ...] = ()
+        while self._accept(TokenType.LPAREN):
+            section = self._expect(TokenType.IDENT, "section name").value.upper()
+            self._expect(TokenType.COLON)
+            if section == "OPS":
+                ops = tuple(self._parse_op_defs())
+            else:
+                names = tuple(self._parse_ident_list())
+                if section == "INPUTS":
+                    inputs = names
+                elif section == "OUTPUTS":
+                    outputs = names
+                elif section == "CONTROL":
+                    controls = names
+                else:
+                    token = self._peek()
+                    raise LegendSyntaxError(
+                        f"unknown operation section {section!r}", token.line, token.column
+                    )
+            self._expect(TokenType.RPAREN)
+        self._expect(TokenType.RPAREN)
+        return OperationDecl(name, inputs, outputs, controls, ops)
+
+    def _parse_op_defs(self) -> List[OpDef]:
+        defs: List[OpDef] = []
+        while self._peek().type is TokenType.LPAREN:
+            self._advance()
+            op_name = self._expect(TokenType.IDENT, "op name").value
+            self._expect(TokenType.COLON)
+            target = self._expect(TokenType.IDENT, "target").value
+            self._expect(TokenType.EQUALS)
+            expr = self._parse_rt_expr()
+            self._expect(TokenType.RPAREN)
+            defs.append(OpDef(op_name, target, expr))
+            self._accept(TokenType.COMMA)
+        return defs
+
+    def _parse_rt_expr(self) -> Tuple:
+        left = self._parse_rt_operand()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            right = self._parse_rt_operand()
+            left = (op, left, right)
+        return left
+
+    def _parse_rt_operand(self) -> Tuple:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ("num", token.value)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return ("id", token.value)
+        raise LegendSyntaxError(
+            f"bad operand {token.value!r} in register-transfer expression",
+            token.line, token.column,
+        )
+
+
+def _check_counts(decl: GeneratorDecl) -> None:
+    """Validate NUM_*/MAX_PARAMS fields against the actual lists."""
+    for field, attr in _COUNT_FIELDS.items():
+        declared = decl.declared_counts.get(field)
+        if declared is None:
+            continue
+        actual = len(getattr(decl, attr))
+        if declared != actual:
+            raise LegendSemanticError(
+                f"generator {decl.name!r}: {field} says {declared} "
+                f"but {actual} {attr} were declared"
+            )
+
+
+def parse_legend(text: str) -> LibraryDecl:
+    """Parse LEGEND source text into a library declaration."""
+    return _Parser(tokenize(text)).parse_library()

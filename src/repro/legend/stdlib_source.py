@@ -1,0 +1,490 @@
+"""The standard GENUS library, written in LEGEND.
+
+This is the reproduction's equivalent of the LEGEND description the
+paper's flow starts from (Figure 1, left edge): parsing this text with
+:func:`repro.legend.builder.build_library` yields the generic component
+library of Table 1.  Each generator follows the shape of the paper's
+Figure 2: a NAME/CLASS header, a numbered parameter list with kind
+annotations (``2w`` = parameter 2, a width), ports grouped by pin kind,
+and operation descriptions.
+
+Conventions used in annotations:
+
+- ``!`` marks an obligatory parameter (no default);
+- ``= value`` supplies a default;
+- ``I*[2w] REPEAT 3n`` declares a port family ``I0..I{n-1}``.
+"""
+
+STANDARD_LIBRARY_SOURCE = """
+-- ===================================================================
+-- Combinational components
+-- ===================================================================
+
+NAME: GATE
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_GATE_KIND (2c!),
+    GC_NUM_INPUTS (3n = 2), GC_INPUT_WIDTH (4w = 1)
+NUM_INPUTS: 1
+INPUTS: I*[4w] REPEAT 3n
+NUM_OUTPUTS: 1
+OUTPUTS: O[4w]
+NUM_OPERATIONS: 1
+OPERATIONS:
+  ( (EVAL) (INPUTS: I0) (OUTPUTS: O) (OPS: (EVAL: O = I0)) )
+VHDL_MODEL: gate_vhdl.c
+OP_CLASSES: default
+
+NAME: MUX
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_INPUTS (3n!)
+NUM_INPUTS: 1
+INPUTS: I*[2w] REPEAT 3n
+NUM_CONTROL: 1
+CONTROL: S[log2(3n)]
+NUM_OUTPUTS: 1
+OUTPUTS: O[2w]
+NUM_OPERATIONS: 1
+OPERATIONS:
+  ( (SELECT) (INPUTS: I0) (OUTPUTS: O) (CONTROL: S) (OPS: (SELECT: O = I0)) )
+VHDL_MODEL: mux_vhdl.c
+OP_CLASSES: default
+
+NAME: SELECTOR
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_INPUTS (3n!)
+INPUTS: I*[2w] REPEAT 3n
+CONTROL: S[log2(3n)]
+OUTPUTS: O[2w]
+VHDL_MODEL: selector_vhdl.c
+OP_CLASSES: default
+
+NAME: DECODER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_ENABLE_FLAG (3b = 0)
+INPUTS: I[2w]
+OUTPUTS: O[pow2(2w)]
+VHDL_MODEL: decoder_vhdl.c
+OP_CLASSES: default
+
+NAME: ENCODER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_VALID_FLAG (3b = 0)
+INPUTS: I[pow2(2w)]
+OUTPUTS: O[2w]
+VHDL_MODEL: encoder_vhdl.c
+OP_CLASSES: default
+
+NAME: ADDER
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_CARRY_IN (3b = 1), GC_CARRY_OUT (4b = 1)
+NUM_INPUTS: 3
+INPUTS: A[2w], B[2w], CI
+NUM_OUTPUTS: 2
+OUTPUTS: S[2w], CO
+NUM_OPERATIONS: 1
+OPERATIONS:
+  ( (ADD) (INPUTS: A, B, CI) (OUTPUTS: S, CO) (OPS: (ADD: S = A + B)) )
+VHDL_MODEL: adder_vhdl.c
+OP_CLASSES: default
+
+NAME: SUBTRACTOR
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_CARRY_IN (3b = 1), GC_CARRY_OUT (4b = 1)
+INPUTS: A[2w], B[2w], CI
+OUTPUTS: S[2w], CO
+OPERATIONS:
+  ( (SUB) (INPUTS: A, B, CI) (OUTPUTS: S, CO) (OPS: (SUB: S = A - B)) )
+VHDL_MODEL: subtractor_vhdl.c
+OP_CLASSES: default
+
+NAME: ADDER_SUBTRACTOR
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_CARRY_IN (3b = 1), GC_CARRY_OUT (4b = 1)
+INPUTS: A[2w], B[2w], CI
+CONTROL: M
+OUTPUTS: S[2w], CO
+OPERATIONS:
+  ( (ADD) (INPUTS: A, B, CI) (OUTPUTS: S, CO) (CONTROL: M) (OPS: (ADD: S = A + B)) )
+  ( (SUB) (INPUTS: A, B, CI) (OUTPUTS: S, CO) (CONTROL: M) (OPS: (SUB: S = A - B)) )
+VHDL_MODEL: addsub_vhdl.c
+OP_CLASSES: default
+
+NAME: INCREMENTER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_CARRY_OUT (3b = 0)
+INPUTS: A[2w]
+OUTPUTS: S[2w]
+OPERATIONS:
+  ( (INC) (INPUTS: A) (OUTPUTS: S) (OPS: (INC: S = A + 1)) )
+VHDL_MODEL: inc_vhdl.c
+OP_CLASSES: default
+
+NAME: DECREMENTER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_CARRY_OUT (3b = 0)
+INPUTS: A[2w]
+OUTPUTS: S[2w]
+OPERATIONS:
+  ( (DEC) (INPUTS: A) (OUTPUTS: S) (OPS: (DEC: S = A - 1)) )
+VHDL_MODEL: dec_vhdl.c
+OP_CLASSES: default
+
+NAME: ALU
+CLASS: Combinational
+MAX_PARAMS: 6
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_FUNCTIONS (3n!), GC_FUNCTION_LIST (4f!),
+    GC_CARRY_IN (5b = 1), GC_CARRY_OUT (6b = 1)
+INPUTS: A[2w], B[2w], CI
+CONTROL: S[log2(3n)]
+OUTPUTS: O[2w], CO
+VHDL_MODEL: alu_vhdl.c
+OP_CLASSES: default
+
+NAME: LU
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_FUNCTIONS (3n = 8),
+    GC_FUNCTION_LIST (4f = (AND, OR, NAND, NOR, XOR, XNOR, LNOT, LIMPL))
+INPUTS: A[2w], B[2w]
+CONTROL: S[log2(3n)]
+OUTPUTS: O[2w]
+VHDL_MODEL: lu_vhdl.c
+OP_CLASSES: default
+
+NAME: COMPARATOR
+CLASS: Combinational
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_FUNCTION_LIST (3f = (EQ, LT, GT)), GC_CASCADED (4b = 0)
+INPUTS: A[2w], B[2w]
+OUTPUTS: EQ, LT, GT
+VHDL_MODEL: comparator_vhdl.c
+OP_CLASSES: default
+
+NAME: SHIFTER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_FUNCTION_LIST (3f = (SHL, SHR))
+INPUTS: A[2w], SI
+CONTROL: S[1]
+OUTPUTS: O[2w]
+VHDL_MODEL: shifter_vhdl.c
+OP_CLASSES: default
+
+NAME: BARREL_SHIFTER
+CLASS: Combinational
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_FUNCTION_LIST (3f = (SHL))
+INPUTS: A[2w], SH[log2(2w)]
+OUTPUTS: O[2w]
+VHDL_MODEL: barrel_vhdl.c
+OP_CLASSES: default
+
+NAME: MULTIPLIER
+CLASS: Combinational
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!)
+INPUTS: A[2w], B[2w]
+OUTPUTS: P[2*2w]
+VHDL_MODEL: mult_vhdl.c
+OP_CLASSES: default
+
+NAME: DIVIDER
+CLASS: Combinational
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!)
+INPUTS: A[2w], B[2w]
+OUTPUTS: Q[2w], R[2w]
+VHDL_MODEL: div_vhdl.c
+OP_CLASSES: default
+
+NAME: CLA_GENERATOR
+CLASS: Combinational
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_NUM_GROUPS (2n = 4)
+INPUTS: G[2n], P[2n], CI
+OUTPUTS: C[2n], GG, GP
+VHDL_MODEL: cla_vhdl.c
+OP_CLASSES: default
+
+-- ===================================================================
+-- Sequential components
+-- ===================================================================
+
+NAME: REGISTER
+CLASS: Clocked
+MAX_PARAMS: 5
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_ENABLE_FLAG (3b = 0), GC_ASYNC_RESET (4b = 0),
+    GC_COMPLEMENT_OUT (5b = 0)
+INPUTS: D[2w]
+CLOCK: CLK
+OUTPUTS: Q[2w]
+OPERATIONS:
+  ( (LOAD) (INPUTS: D) (OUTPUTS: Q) (OPS: (LOAD: Q = D)) )
+VHDL_MODEL: register_vhdl.c
+OP_CLASSES: default
+
+NAME: SHIFT_REGISTER
+CLASS: Clocked
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!)
+INPUTS: D[2w], SI
+CLOCK: CLK
+CONTROL: MODE[2]
+OUTPUTS: Q[2w], SO
+VHDL_MODEL: shiftreg_vhdl.c
+OP_CLASSES: default
+
+NAME: COUNTER
+CLASS: Clocked
+MAX_PARAMS: 7
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_FUNCTIONS (3n = 3),
+    GC_FUNCTION_LIST (4f = (LOAD, COUNT_UP, COUNT_DOWN)),
+    GC_STYLE (5s = SYNCHRONOUS), GC_ENABLE_FLAG (6b = 1),
+    GC_CARRY_OUT (7b = 0)
+NUM_STYLES: 2
+STYLES: SYNCHRONOUS, RIPPLE
+NUM_INPUTS: 1
+INPUTS: I0[2w]
+CLOCK: CLK
+NUM_ENABLE: 1
+ENABLE: CEN
+NUM_CONTROL: 3
+CONTROL: CLOAD, CUP, CDOWN
+NUM_OUTPUTS: 1
+OUTPUTS: O0[2w]
+NUM_OPERATIONS: 3
+OPERATIONS:
+  ( (LOAD) (INPUTS: I0) (OUTPUTS: O0) (CONTROL: CLOAD) (OPS: (LOAD: O0 = I0)) )
+  ( (COUNT_UP) (OUTPUTS: O0) (CONTROL: CUP) (OPS: (COUNT_UP: O0 = O0 + 1)) )
+  ( (COUNT_DOWN) (OUTPUTS: O0) (CONTROL: CDOWN) (OPS: (COUNT_DOWN: O0 = O0 - 1)) )
+VHDL_MODEL: counter_vhdl.c
+OP_CLASSES: default
+
+NAME: REGISTER_FILE
+CLASS: Clocked
+MAX_PARAMS: 5
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_WORDS (3n = 4), GC_NUM_READ (4n = 1), GC_NUM_WRITE (5n = 1)
+INPUTS: WA0[log2(3n)], WD0[2w], RA0[log2(3n)]
+CLOCK: CLK
+ENABLE: WE0
+OUTPUTS: RD0[2w]
+VHDL_MODEL: regfile_vhdl.c
+OP_CLASSES: default
+
+NAME: MEMORY
+CLASS: Clocked
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_WORDS (3n = 16)
+INPUTS: ADDR[log2(3n)], DIN[2w]
+CLOCK: CLK
+ENABLE: WE
+OUTPUTS: DOUT[2w]
+VHDL_MODEL: memory_vhdl.c
+OP_CLASSES: default
+
+NAME: STACK
+CLASS: Clocked
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_DEPTH (3n = 16)
+INPUTS: DIN[2w]
+CLOCK: CLK
+CONTROL: PUSH, POP
+OUTPUTS: DOUT[2w], EMPTY, FULL
+VHDL_MODEL: stack_vhdl.c
+OP_CLASSES: default
+
+NAME: FIFO
+CLASS: Clocked
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_DEPTH (3n = 16)
+INPUTS: DIN[2w]
+CLOCK: CLK
+CONTROL: PUSH, POP
+OUTPUTS: DOUT[2w], EMPTY, FULL
+VHDL_MODEL: fifo_vhdl.c
+OP_CLASSES: default
+
+-- ===================================================================
+-- Interface components
+-- ===================================================================
+
+NAME: PORT
+CLASS: Interface
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_DIRECTION (3c = in)
+VHDL_MODEL: port_vhdl.c
+OP_CLASSES: default
+
+NAME: BUFFER
+CLASS: Interface
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1)
+INPUTS: I[2w]
+OUTPUTS: O[2w]
+VHDL_MODEL: buffer_vhdl.c
+OP_CLASSES: default
+
+NAME: CLOCK_DRIVER
+CLASS: Interface
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1)
+INPUTS: I[2w]
+OUTPUTS: O[2w]
+VHDL_MODEL: clkdrv_vhdl.c
+OP_CLASSES: default
+
+NAME: SCHMITT_TRIGGER
+CLASS: Interface
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1)
+INPUTS: I[2w]
+OUTPUTS: O[2w]
+VHDL_MODEL: schmitt_vhdl.c
+OP_CLASSES: default
+
+NAME: TRISTATE
+CLASS: Interface
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1)
+INPUTS: I[2w]
+ENABLE: OE
+OUTPUTS: O[2w]
+VHDL_MODEL: tristate_vhdl.c
+OP_CLASSES: default
+
+-- ===================================================================
+-- Miscellaneous components
+-- ===================================================================
+
+NAME: BUS
+CLASS: Miscellaneous
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_DRIVERS (3n = 2)
+INPUTS: I*[2w] REPEAT 3n
+ENABLE: OE*[1] REPEAT 3n
+OUTPUTS: O[2w]
+VHDL_MODEL: bus_vhdl.c
+OP_CLASSES: default
+
+NAME: DELAY
+CLASS: Miscellaneous
+MAX_PARAMS: 2
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1)
+INPUTS: I[2w]
+OUTPUTS: O[2w]
+VHDL_MODEL: delay_vhdl.c
+OP_CLASSES: default
+
+NAME: CONCAT
+CLASS: Miscellaneous
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_NUM_INPUTS (3n = 2)
+INPUTS: I*[2w] REPEAT 3n
+OUTPUTS: O[2w*3n]
+VHDL_MODEL: concat_vhdl.c
+OP_CLASSES: default
+
+NAME: EXTRACT
+CLASS: Miscellaneous
+MAX_PARAMS: 4
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w!),
+    GC_SRC_WIDTH (3w!), GC_LSB (4v = 0)
+INPUTS: I[3w]
+OUTPUTS: O[2w]
+VHDL_MODEL: extract_vhdl.c
+OP_CLASSES: default
+
+NAME: CLOCK_GENERATOR
+CLASS: Miscellaneous
+MAX_PARAMS: 1
+PARAMETERS: GC_COMPILER_NAME (1c = genus)
+VHDL_MODEL: clkgen_vhdl.c
+OP_CLASSES: default
+
+NAME: WIRED_OR
+CLASS: Miscellaneous
+MAX_PARAMS: 3
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (2w = 1),
+    GC_NUM_INPUTS (3n = 2)
+INPUTS: I*[2w] REPEAT 3n
+OUTPUTS: O[2w]
+VHDL_MODEL: wiredor_vhdl.c
+OP_CLASSES: default
+"""
+
+#: The paper's Figure 2, reproduced (with the asynchronous set/reset
+#: exposed as boolean parameters so the generated component's port list
+#: matches the declared ASYNC pins).
+FIGURE_2_COUNTER_SOURCE = """
+NAME: COUNTER
+CLASS: Clocked
+MAX_PARAMS: 7
+PARAMETERS: GC_COMPILER_NAME (1c = genus), GC_INPUT_WIDTH (3w!),
+    GC_NUM_FUNCTIONS (4n = 3),
+    GC_FUNCTION_LIST (5f = (LOAD, COUNT_UP, COUNT_DOWN)),
+    GC_STYLE (6s = SYNCHRONOUS), GC_ENABLE_FLAG (7b = 1),
+    GC_ASYNC_RESET (2b = 1)
+NUM_STYLES: 2
+STYLES: SYNCHRONOUS, RIPPLE
+NUM_INPUTS: 1
+INPUTS: I0[3w]
+NUM_OUTPUTS: 1
+OUTPUTS: O0[3w]
+CLOCK: CLK
+NUM_ENABLE: 1
+ENABLE: CEN
+NUM_CONTROL: 3
+CONTROL: CLOAD, CUP, CDOWN
+NUM_ASYNC: 1
+ASYNC: ARESET
+NUM_OPERATIONS: 3
+OPERATIONS:
+  ( (LOAD)
+    (INPUTS: I0)
+    (OUTPUTS: O0)
+    (CONTROL: CLOAD)
+    (OPS: (LOAD: O0 = I0)) )
+  ( (COUNT_UP)
+    (OUTPUTS: O0)
+    (CONTROL: CUP)
+    (OPS: (COUNT_UP: O0 = O0 + 1)) )
+  ( (COUNT_DOWN)
+    (OUTPUTS: O0)
+    (CONTROL: CDOWN)
+    (OPS: (COUNT_DOWN: O0 = O0 - 1)) )
+VHDL_MODEL: counter_vhdl.c
+OP_CLASSES: default
+"""

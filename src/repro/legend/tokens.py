@@ -1,0 +1,41 @@
+"""Token definitions for the LEGEND lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"          # COUNTER, GC_INPUT_WIDTH, I0, SYNCHRONOUS ...
+    NUMBER = "number"        # 42
+    PARAMREF = "paramref"    # 3w  (parameter index 3, kind 'w')
+    COLON = ":"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    EQUALS = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    BANG = "!"
+    DOT = "."
+    NEWLINE = "newline"      # end of a *logical* line
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, L{self.line})"

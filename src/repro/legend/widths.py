@@ -1,0 +1,137 @@
+"""Width expressions in LEGEND port declarations.
+
+Port widths in LEGEND reference generator parameters, e.g. ``I0[3w]``
+gives port ``I0`` the width of parameter 3 (the width parameter).
+Expressions support the arithmetic needed by real component families::
+
+    [3w]            width parameter
+    [2*3w]          twice the width
+    [3w+1]          width plus one
+    [log2(2n)]      select width for a 2n-input mux
+    [sum(3w)]       reserved for concat-like parts
+
+Evaluation happens against a resolved parameter environment (by index
+*and* by name), rounding ``log2`` up as hardware select widths do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.legend.errors import LegendSemanticError
+
+
+@dataclass(frozen=True)
+class WNum:
+    value: int
+
+
+@dataclass(frozen=True)
+class WParam:
+    """Reference by LEGEND position/kind, e.g. ``3w``."""
+
+    index: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class WName:
+    """Reference by parameter name, e.g. ``GC_INPUT_WIDTH``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class WBin:
+    op: str  # + - * /
+    left: "WidthExpr"
+    right: "WidthExpr"
+
+
+@dataclass(frozen=True)
+class WCall:
+    func: str  # log2
+    arg: "WidthExpr"
+
+
+WidthExpr = Union[WNum, WParam, WName, WBin, WCall]
+
+
+class WidthEnv:
+    """Parameter environment for width evaluation.
+
+    ``by_index`` maps LEGEND parameter positions to values; ``by_name``
+    maps ``GC_*`` names to values.
+    """
+
+    def __init__(self, by_index: Dict[int, int], by_name: Dict[str, int]) -> None:
+        self.by_index = by_index
+        self.by_name = by_name
+
+    def lookup_index(self, index: int) -> int:
+        if index not in self.by_index:
+            raise LegendSemanticError(f"width expression references unknown parameter #{index}")
+        return self.by_index[index]
+
+    def lookup_name(self, name: str) -> int:
+        if name not in self.by_name:
+            raise LegendSemanticError(f"width expression references unknown parameter {name!r}")
+        return self.by_name[name]
+
+
+def eval_width(expr: WidthExpr, env: WidthEnv) -> int:
+    """Evaluate a width expression to a positive integer."""
+    value = _eval(expr, env)
+    if value < 1:
+        raise LegendSemanticError(f"width expression evaluated to {value}, must be >= 1")
+    return value
+
+
+def _eval(expr: WidthExpr, env: WidthEnv) -> int:
+    if isinstance(expr, WNum):
+        return expr.value
+    if isinstance(expr, WParam):
+        return env.lookup_index(expr.index)
+    if isinstance(expr, WName):
+        return env.lookup_name(expr.name)
+    if isinstance(expr, WBin):
+        left = _eval(expr.left, env)
+        right = _eval(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise LegendSemanticError("division by zero in width expression")
+            return left // right
+        raise LegendSemanticError(f"unknown width operator {expr.op!r}")
+    if isinstance(expr, WCall):
+        arg = _eval(expr.arg, env)
+        if expr.func == "log2":
+            if arg < 2:
+                return 1
+            return max(1, math.ceil(math.log2(arg)))
+        if expr.func == "pow2":
+            return 1 << arg
+        raise LegendSemanticError(f"unknown width function {expr.func!r}")
+    raise LegendSemanticError(f"bad width expression node {expr!r}")
+
+
+def format_width(expr: WidthExpr) -> str:
+    """Render a width expression back to LEGEND syntax (for reports)."""
+    if isinstance(expr, WNum):
+        return str(expr.value)
+    if isinstance(expr, WParam):
+        return f"{expr.index}{expr.kind}"
+    if isinstance(expr, WName):
+        return expr.name
+    if isinstance(expr, WBin):
+        return f"{format_width(expr.left)}{expr.op}{format_width(expr.right)}"
+    if isinstance(expr, WCall):
+        return f"{expr.func}({format_width(expr.arg)})"
+    return repr(expr)

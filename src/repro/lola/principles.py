@@ -1,0 +1,122 @@
+"""Abstract design principles.
+
+A principle is technology *knowledge without widths*: "wide adders can
+be built by rippling the widest adder cell the library has", "wide 2:1
+muxes can be sliced to the widest 2:1 mux cell", "registers pack into
+the library's register widths".  Given a concrete library, a principle
+inspects the inventory and emits the corresponding library-specific
+rules -- the same factories the hand-written LSI rules use, which is
+the point: LOLA automates exactly what a human library engineer would
+write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.library_rules import (
+    addsub_chain_rule,
+    comparator_chain_rule,
+    counter_chain_rule,
+    mux2_slice_rule,
+    mux_radix_tree_rule,
+    register_pack_rule,
+    ripple_chain_rule,
+)
+from repro.core.rules import Rule
+from repro.techlib.cells import CellLibrary
+
+
+@dataclass(frozen=True)
+class Principle:
+    """One abstract design principle."""
+
+    name: str
+    description: str
+    generate: Callable[[CellLibrary, str], List[Rule]]
+
+
+def _adder_ripple(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    for width in library.widths_of_ctype("ADD"):
+        rules.append(ripple_chain_rule(f"{prefix}-add-ripple{width}", width))
+    return rules
+
+
+def _addsub_chain(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    for width in library.widths_of_ctype("ADDSUB"):
+        rules.append(addsub_chain_rule(f"{prefix}-addsub-chain{width}", width))
+    return rules
+
+
+def _mux_slice(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    for cell in library.cells_of_ctype("MUX"):
+        if cell.spec.get("n_inputs", 2) == 2 and cell.spec.width > 1:
+            width = cell.spec.width
+            rules.append(mux2_slice_rule(f"{prefix}-mux2-slice{width}", width))
+    return rules
+
+
+def _mux_radix(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    radixes = sorted({
+        cell.spec.get("n_inputs", 2)
+        for cell in library.cells_of_ctype("MUX")
+        if cell.spec.width == 1 and cell.spec.get("n_inputs", 2) > 2
+    })
+    for radix in radixes:
+        rules.append(mux_radix_tree_rule(f"{prefix}-mux-radix{radix}", radix))
+    return rules
+
+
+def _register_pack(library: CellLibrary, prefix: str) -> List[Rule]:
+    widths = library.widths_of_ctype("REG")
+    if not widths:
+        return []
+    return [register_pack_rule(f"{prefix}-reg-pack", tuple(widths))]
+
+
+def _counter_cascade(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    for width in library.widths_of_ctype("COUNTER"):
+        rules.append(counter_chain_rule(f"{prefix}-counter-chain{width}", width))
+    return rules
+
+
+def _comparator_chain(library: CellLibrary, prefix: str) -> List[Rule]:
+    rules = []
+    for cell in library.cells_of_ctype("COMPARATOR"):
+        if cell.spec.get("cascaded", False):
+            width = cell.spec.width
+            rules.append(
+                comparator_chain_rule(f"{prefix}-cmp-chain{width}", width)
+            )
+    return rules
+
+
+ALL_PRINCIPLES: List[Principle] = [
+    Principle("adder-ripple-chain",
+              "wide adders ripple through the library's adder cells",
+              _adder_ripple),
+    Principle("addsub-chain",
+              "wide adder/subtractors chain the library's ADDSUB cells",
+              _addsub_chain),
+    Principle("mux2-slicing",
+              "wide 2:1 muxes slice to the library's multi-bit 2:1 muxes",
+              _mux_slice),
+    Principle("mux-radix-trees",
+              "big muxes build radix-k trees from the library's k:1 muxes",
+              _mux_radix),
+    Principle("register-packing",
+              "wide registers pack into the library's register widths",
+              _register_pack),
+    Principle("counter-cascading",
+              "wide counters cascade the library's counter cells",
+              _counter_cascade),
+    Principle("comparator-chaining",
+              "wide comparators chain the library's cascadable comparators",
+              _comparator_chain),
+]

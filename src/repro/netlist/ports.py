@@ -1,0 +1,96 @@
+"""Typed ports for components, cells, and netlists.
+
+GENUS distinguishes several pin kinds on a component (see the LEGEND
+counter description in Figure 2 of the paper): data inputs/outputs, a
+clock, an enable, control lines, and asynchronous set/reset lines.  The
+pin kind matters to the rest of the system:
+
+- the timing engine excludes clock and asynchronous pins from
+  combinational paths,
+- the connectivity binder only muxes data pins,
+- the VHDL translator annotates them differently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Signal flow direction of a port, seen from the component."""
+
+    IN = "in"
+    OUT = "out"
+
+    def flipped(self) -> "Direction":
+        """Return the opposite direction (used when a netlist port is
+        viewed from the inside rather than the outside)."""
+        return Direction.OUT if self is Direction.IN else Direction.IN
+
+
+class PinKind(enum.Enum):
+    """Functional role of a pin, mirroring LEGEND's port categories."""
+
+    DATA = "data"
+    CLOCK = "clock"
+    ENABLE = "enable"
+    CONTROL = "control"
+    ASYNC = "async"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named, fixed-width port.
+
+    Ports are immutable value objects so that component specifications
+    (which embed their port signature) remain hashable.
+    """
+
+    name: str
+    width: int
+    direction: Direction
+    kind: PinKind = field(default=PinKind.DATA)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("port name must be non-empty")
+        if self.width < 1:
+            raise ValueError(f"port {self.name!r}: width must be >= 1, got {self.width}")
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is Direction.IN
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is Direction.OUT
+
+    @property
+    def is_sequential_boundary(self) -> bool:
+        """True when the pin never participates in a combinational path."""
+        return self.kind in (PinKind.CLOCK, PinKind.ASYNC)
+
+    def describe(self) -> str:
+        """Human-readable one-line description, used in reports."""
+        return f"{self.name}[{self.width}] {self.direction.value} ({self.kind.value})"
+
+
+def in_port(name: str, width: int = 1, kind: PinKind = PinKind.DATA) -> Port:
+    """Shorthand constructor for an input port."""
+    return Port(name, width, Direction.IN, kind)
+
+
+def out_port(name: str, width: int = 1, kind: PinKind = PinKind.DATA) -> Port:
+    """Shorthand constructor for an output port."""
+    return Port(name, width, Direction.OUT, kind)
+
+
+def clock_port(name: str = "CLK") -> Port:
+    """Shorthand constructor for a clock input."""
+    return Port(name, 1, Direction.IN, PinKind.CLOCK)
+
+
+def control_port(name: str, width: int = 1) -> Port:
+    """Shorthand constructor for a control input."""
+    return Port(name, width, Direction.IN, PinKind.CONTROL)

@@ -1,0 +1,24 @@
+"""Functional simulation and equivalence checking.
+
+The paper's behavioral models exist to "verify the behavior of a
+synthesized design"; this package does that verification natively:
+
+- :mod:`repro.sim.simulator` evaluates hierarchical designs -- GENUS
+  netlists, DTAS design trees, and cell leaves -- over unsigned
+  integer values, combinationally or cycle by cycle;
+- :mod:`repro.sim.equivalence` drives a mapped design and the generic
+  behavioral model side by side and reports any divergence.
+"""
+
+from repro.sim.simulator import NetlistSimulator, SimulationError, TreeComponent, evaluate_tree
+from repro.sim.equivalence import EquivalenceReport, check_combinational, check_sequential
+
+__all__ = [
+    "EquivalenceReport",
+    "NetlistSimulator",
+    "SimulationError",
+    "TreeComponent",
+    "check_combinational",
+    "check_sequential",
+    "evaluate_tree",
+]

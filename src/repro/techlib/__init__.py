@@ -1,0 +1,30 @@
+"""Technology-specific RTL cell libraries.
+
+An RTL cell is a data-book component: a functional specification (the
+*same* representation language as GENUS components, which is what makes
+DTAS's functional matching work) plus area in equivalent NAND gates and
+pin-to-pin delays in nanoseconds.
+
+- :mod:`repro.techlib.cells` -- the cell and library model;
+- :mod:`repro.techlib.lsi_logic` -- a reconstructed 30-cell subset of
+  the LSI Logic 1.5-micron macrocell data book used in the paper's
+  evaluation;
+- :mod:`repro.techlib.vendor2` -- a second, fictitious vendor library
+  used to exercise LOLA retargeting;
+- :mod:`repro.techlib.gates` -- SSI gate cells for the control compiler;
+- :mod:`repro.techlib.databook` -- a text format for loading libraries.
+"""
+
+from repro.techlib.cells import CellLibrary, RTLCell
+from repro.techlib.databook import dump_databook, load_databook
+from repro.techlib.lsi_logic import lsi_logic_library
+from repro.techlib.vendor2 import vendor2_library
+
+__all__ = [
+    "CellLibrary",
+    "RTLCell",
+    "dump_databook",
+    "load_databook",
+    "lsi_logic_library",
+    "vendor2_library",
+]

@@ -1,0 +1,46 @@
+"""Gate-cell access helpers for the control compiler.
+
+The control compiler maps minimized two-level logic onto the SSI gates
+of a cell library.  These helpers find the gate cells a library offers
+and expose their costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.specs import ComponentSpec, gate_spec
+from repro.techlib.cells import CellLibrary, RTLCell
+
+
+def find_gate(library: CellLibrary, kind: str, n_inputs: int = 2) -> Optional[RTLCell]:
+    """The library's ``kind`` gate with exactly ``n_inputs`` inputs."""
+    wanted = gate_spec(kind, n_inputs=n_inputs, width=1)
+    for cell in library.cells_of_ctype("GATE"):
+        if cell.spec == wanted:
+            return cell
+    return None
+
+
+def gate_fanins(library: CellLibrary, kind: str) -> List[int]:
+    """Available fan-ins for a gate kind, ascending."""
+    result = []
+    for cell in library.cells_of_ctype("GATE"):
+        if cell.spec.get("kind") == kind and cell.spec.width == 1:
+            result.append(cell.spec.get("n_inputs", 2))
+    return sorted(set(result))
+
+
+def gate_inventory(library: CellLibrary) -> Dict[str, List[int]]:
+    """kind -> available fan-ins, for every gate kind in the library."""
+    inventory: Dict[str, List[int]] = {}
+    for cell in library.cells_of_ctype("GATE"):
+        kind = cell.spec.get("kind")
+        inventory.setdefault(kind, [])
+        inventory[kind].append(cell.spec.get("n_inputs", 2))
+    return {k: sorted(set(v)) for k, v in inventory.items()}
+
+
+def has_flip_flop(library: CellLibrary) -> bool:
+    """Does the library carry a 1-bit register (for state encoding)?"""
+    return any(c.spec.width == 1 for c in library.cells_of_ctype("REG"))

@@ -1,0 +1,181 @@
+"""A reconstructed 30-cell subset of the LSI Logic 1.5-micron macrocell
+data book [LSIL87].
+
+The paper's Figure-3 experiment uses "a subset of 30 cells from LSI
+Logic Inc.'s macrocell data book.  This set includes 2-to-1, 4-to-2,
+and 8-to-4 multiplexers, 1-, 2-, and 4-bit adders plus 4-bit carry
+look-ahead generators, a 2-bit adder/subtractor, D flip flops, and 4-
+and 8-bit data registers."  The original data book is proprietary and
+long out of print, so this module reconstructs the subset: exactly the
+named cell types, padded to 30 with the SSI gates, decoders, encoder,
+counter, and comparator macrocells such data books carried.
+
+Areas are in equivalent NAND gates and delays in nanoseconds,
+calibrated to 1.5-micron-era figures (a NAND2 is the unit area and
+about 1 ns).  Absolute values are reconstructions; the *ratios* that
+drive DTAS's tradeoffs (ripple vs look-ahead vs carry-select) are the
+meaningful content.
+"""
+
+from __future__ import annotations
+
+from repro.core.specs import make_spec
+from repro.techlib.cells import CellLibrary, RTLCell, make_cell
+
+_CACHE = None
+
+
+def _gates():
+    return [
+        make_cell("INV", make_spec("GATE", 1, kind="NOT", n_inputs=1),
+                  area=1.0, uniform_delay=0.7, description="inverter"),
+        make_cell("BUF1", make_spec("GATE", 1, kind="BUF", n_inputs=1),
+                  area=1.0, uniform_delay=0.9, description="buffer"),
+        make_cell("NAND2", make_spec("GATE", 1, kind="NAND", n_inputs=2),
+                  area=1.0, uniform_delay=0.9),
+        make_cell("NAND3", make_spec("GATE", 1, kind="NAND", n_inputs=3),
+                  area=1.5, uniform_delay=1.1),
+        make_cell("NAND4", make_spec("GATE", 1, kind="NAND", n_inputs=4),
+                  area=2.0, uniform_delay=1.3),
+        make_cell("NOR2", make_spec("GATE", 1, kind="NOR", n_inputs=2),
+                  area=1.0, uniform_delay=1.0),
+        make_cell("NOR3", make_spec("GATE", 1, kind="NOR", n_inputs=3),
+                  area=1.5, uniform_delay=1.3),
+        make_cell("AND2", make_spec("GATE", 1, kind="AND", n_inputs=2),
+                  area=1.5, uniform_delay=1.3),
+        make_cell("OR2", make_spec("GATE", 1, kind="OR", n_inputs=2),
+                  area=1.5, uniform_delay=1.4),
+        make_cell("XOR2", make_spec("GATE", 1, kind="XOR", n_inputs=2),
+                  area=3.0, uniform_delay=1.8),
+        make_cell("XNOR2", make_spec("GATE", 1, kind="XNOR", n_inputs=2),
+                  area=3.0, uniform_delay=1.9),
+    ]
+
+
+def _muxes():
+    return [
+        make_cell("MUX21", make_spec("MUX", 1, n_inputs=2),
+                  area=3.0, uniform_delay=1.6,
+                  delays={("S", "O"): 1.8},
+                  description="2-to-1 multiplexer"),
+        make_cell("MUX41", make_spec("MUX", 1, n_inputs=4),
+                  area=6.0, uniform_delay=2.4,
+                  delays={("S", "O"): 2.7},
+                  description="4-to-1 multiplexer"),
+        make_cell("MUX81", make_spec("MUX", 1, n_inputs=8),
+                  area=12.0, uniform_delay=3.2,
+                  delays={("S", "O"): 3.6},
+                  description="8-to-1 multiplexer"),
+        make_cell("MUX22", make_spec("MUX", 2, n_inputs=2),
+                  area=6.0, uniform_delay=1.6,
+                  delays={("S", "O"): 1.8},
+                  description="dual 2-to-1 multiplexer (4-to-2)"),
+        make_cell("MUX24", make_spec("MUX", 4, n_inputs=2),
+                  area=11.0, uniform_delay=1.7,
+                  delays={("S", "O"): 1.9},
+                  description="quad 2-to-1 multiplexer (8-to-4)"),
+    ]
+
+
+def _adders():
+    add1 = make_spec("ADD", 1, carry_in=True, carry_out=True, group_carry=True)
+    add2 = make_spec("ADD", 2, carry_in=True, carry_out=True, group_carry=True)
+    add4 = make_spec("ADD", 4, carry_in=True, carry_out=True, group_carry=True)
+    return [
+        make_cell("ADD1", add1, area=7.0, delays={
+            ("A", "S"): 2.9, ("B", "S"): 2.9, ("CI", "S"): 2.0,
+            ("A", "CO"): 2.7, ("B", "CO"): 2.7, ("CI", "CO"): 2.6,
+            ("A", "G"): 1.3, ("B", "G"): 1.3,
+            ("A", "P"): 1.4, ("B", "P"): 1.4,
+        }, description="1-bit full adder"),
+        make_cell("ADD2", add2, area=15.0, delays={
+            ("A", "S"): 4.8, ("B", "S"): 4.8, ("CI", "S"): 4.4,
+            ("A", "CO"): 4.9, ("B", "CO"): 4.9, ("CI", "CO"): 4.6,
+            ("A", "G"): 2.6, ("B", "G"): 2.6,
+            ("A", "P"): 2.2, ("B", "P"): 2.2,
+        }, description="2-bit adder"),
+        make_cell("ADD4", add4, area=32.0, delays={
+            ("A", "S"): 9.6, ("B", "S"): 9.6, ("CI", "S"): 8.6,
+            ("A", "CO"): 9.8, ("B", "CO"): 9.8, ("CI", "CO"): 8.4,
+            ("A", "G"): 5.5, ("B", "G"): 5.5,
+            ("A", "P"): 4.0, ("B", "P"): 4.0,
+        }, description="4-bit adder with internal look-ahead"),
+        make_cell("CLA4", make_spec("CLA_GEN", 1, groups=4), area=14.0, delays={
+            ("G", "C"): 3.5, ("P", "C"): 3.5, ("CI", "C"): 2.5,
+            ("G", "GG"): 4.0, ("P", "GG"): 4.2, ("P", "GP"): 3.0,
+        }, description="4-bit carry look-ahead generator"),
+        make_cell("ADSU2",
+                  make_spec("ADDSUB", 2, carry_in=True, carry_out=True),
+                  area=18.0, delays={
+                      ("A", "S"): 5.4, ("B", "S"): 5.4, ("M", "S"): 6.0,
+                      ("CI", "S"): 4.6, ("A", "CO"): 5.5, ("B", "CO"): 5.5,
+                      ("M", "CO"): 6.1, ("CI", "CO"): 4.8,
+                  }, description="2-bit adder/subtractor"),
+    ]
+
+
+def _sequential():
+    return [
+        make_cell("DFF1", make_spec("REG", 1),
+                  area=6.0, clk_to_q=1.6, setup=1.2,
+                  description="D flip-flop"),
+        make_cell("DFFR1", make_spec("REG", 1, async_reset=True),
+                  area=7.0, clk_to_q=1.7, setup=1.2,
+                  description="D flip-flop with asynchronous reset"),
+        make_cell("REG4", make_spec("REG", 4),
+                  area=22.0, clk_to_q=1.8, setup=1.3,
+                  description="4-bit data register"),
+        make_cell("REG8", make_spec("REG", 8),
+                  area=42.0, clk_to_q=1.8, setup=1.4,
+                  description="8-bit data register"),
+        make_cell("CNT4",
+                  make_spec("COUNTER", 4,
+                            ops=("LOAD", "COUNT_UP", "COUNT_DOWN"),
+                            style="SYNCHRONOUS", enable=True, carry_out=True),
+                  area=38.0, clk_to_q=2.0, setup=1.5,
+                  delays={("CEN", "CO"): 2.8, ("CUP", "CO"): 2.5,
+                          ("CDOWN", "CO"): 2.5},
+                  description="4-bit synchronous up/down counter"),
+    ]
+
+
+def _msi():
+    return [
+        make_cell("DEC24", make_spec("DECODER", 2, enable=True),
+                  area=5.0, uniform_delay=1.8,
+                  description="2-to-4 decoder with enable"),
+        make_cell("DEC38", make_spec("DECODER", 3, enable=True),
+                  area=11.0, uniform_delay=2.4,
+                  description="3-to-8 decoder with enable"),
+        make_cell("ENC83", make_spec("ENCODER", 3, n_inputs=8, valid=True),
+                  area=12.0, uniform_delay=3.4,
+                  description="8-to-3 priority encoder"),
+        make_cell("CMP4",
+                  make_spec("COMPARATOR", 4, ops=("EQ", "LT", "GT"),
+                            cascaded=True),
+                  area=16.0, delays={
+                      ("A", "EQ"): 4.4, ("B", "EQ"): 4.4,
+                      ("A", "LT"): 4.6, ("B", "LT"): 4.6,
+                      ("A", "GT"): 4.6, ("B", "GT"): 4.6,
+                      ("EQ_IN", "EQ"): 1.6,
+                      ("EQ_IN", "LT"): 1.8, ("LT_IN", "LT"): 1.6,
+                      ("EQ_IN", "GT"): 1.8, ("GT_IN", "GT"): 1.6,
+                  },
+                  description="4-bit cascadable magnitude comparator"),
+    ]
+
+
+def lsi_logic_library(fresh: bool = False) -> CellLibrary:
+    """The 30-cell LSI Logic 1.5-micron subset (cached singleton)."""
+    global _CACHE
+    if _CACHE is not None and not fresh:
+        return _CACHE
+    cells = _gates() + _muxes() + _adders() + _sequential() + _msi()
+    library = CellLibrary("LSI-1.5u-subset", cells)
+    if len(library) != 30:
+        raise AssertionError(
+            f"LSI subset must have exactly 30 cells, has {len(library)}"
+        )
+    if not fresh:
+        _CACHE = library
+    return library

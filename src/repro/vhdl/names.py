@@ -1,0 +1,61 @@
+"""VHDL identifier legalization.
+
+VHDL'87 identifiers are letters, digits and single underscores, must
+start with a letter, cannot end with an underscore, and are
+case-insensitive with a reserved-word list.  Netlist names ("add16_cla4",
+"ALU<64>") need cleaning before emission.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+#: The VHDL'87 reserved words that plausibly collide with net names.
+RESERVED = frozenset("""
+abs access after alias all and architecture array assert attribute begin
+block body buffer bus case component configuration constant disconnect
+downto else elsif end entity exit file for function generate generic
+guarded if in inout is label library linkage loop map mod nand new next
+nor not null of on open or others out package port procedure process
+range record register rem report return select severity signal subtype
+then to transport type units until use variable wait when while with
+xor
+""".split())
+
+_CLEAN = re.compile(r"[^A-Za-z0-9_]")
+_MULTI = re.compile(r"__+")
+
+
+def vhdl_identifier(name: str) -> str:
+    """Legalize an arbitrary name into a VHDL identifier."""
+    cleaned = _CLEAN.sub("_", name)
+    cleaned = _MULTI.sub("_", cleaned).strip("_")
+    if not cleaned:
+        cleaned = "unnamed"
+    if not cleaned[0].isalpha():
+        cleaned = "n_" + cleaned
+    if cleaned.lower() in RESERVED:
+        cleaned += "_x"
+    return cleaned
+
+
+class NameScope:
+    """Unique legalized names within one VHDL scope."""
+
+    def __init__(self) -> None:
+        self._by_original: Dict[str, str] = {}
+        self._taken: set = set()
+
+    def name(self, original: str) -> str:
+        if original in self._by_original:
+            return self._by_original[original]
+        base = vhdl_identifier(original)
+        candidate = base
+        counter = 1
+        while candidate.lower() in self._taken:
+            candidate = f"{base}_{counter}"
+            counter += 1
+        self._taken.add(candidate.lower())
+        self._by_original[original] = candidate
+        return candidate

@@ -1,0 +1,243 @@
+"""Structural VHDL'87 emission.
+
+Two entry points:
+
+- :func:`netlist_vhdl` -- one entity/architecture pair for a single
+  netlist (e.g. the GENUS netlist HLS produced), with every module
+  rendered as a component instantiation;
+- :func:`design_tree_vhdl` -- a full DTAS result: one entity per chosen
+  decomposition, emitted bottom-up, with library cells as component
+  declarations (the paper: "the hierarchical netlists can be output in
+  structural VHDL and passed to other tools").
+
+Width-1 ports are ``bit``; wider ports are ``bit_vector(w-1 downto 0)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.design_space import DesignTree
+from repro.core.specs import ComponentSpec, port_signature
+from repro.netlist.nets import Concat, Const, Endpoint, Net, NetRef
+from repro.netlist.netlist import ModuleInst, Netlist
+from repro.netlist.ports import Direction, Port
+from repro.vhdl.names import NameScope, vhdl_identifier
+
+
+def _port_type(width: int) -> str:
+    if width == 1:
+        return "bit"
+    return f"bit_vector({width - 1} downto 0)"
+
+
+def _const_literal(value: int, width: int) -> str:
+    if width == 1:
+        return f"'{value & 1}'"
+    bits = "".join(str((value >> i) & 1) for i in range(width - 1, -1, -1))
+    return f'"{bits}"'
+
+
+def _port_clause(ports: List[Port], indent: str = "    ") -> str:
+    lines = []
+    for i, port in enumerate(ports):
+        sep = ";" if i < len(ports) - 1 else ""
+        direction = "in" if port.direction is Direction.IN else "out"
+        lines.append(
+            f"{indent}{vhdl_identifier(port.name)} : {direction} "
+            f"{_port_type(port.width)}{sep}"
+        )
+    return "\n".join(lines)
+
+
+class _Emitter:
+    """Emission context for one netlist."""
+
+    def __init__(self, netlist: Netlist, entity_names: Dict[str, str]) -> None:
+        self.netlist = netlist
+        self.entity_names = entity_names
+        self.scope = NameScope()
+        for port in netlist.ports:
+            self.scope.name(port.name)
+
+    def _net_name(self, net: Net) -> str:
+        return self.scope.name(net.name)
+
+    def _endpoint_expr(self, endpoint: Endpoint, net_widths: Dict[int, int]) -> str:
+        if isinstance(endpoint, Const):
+            return _const_literal(endpoint.value, endpoint.width)
+        if isinstance(endpoint, NetRef):
+            name = self._net_name(endpoint.net)
+            if endpoint.net.width == 1:
+                return name
+            if endpoint.is_whole:
+                return name
+            if endpoint.width == 1:
+                return f"{name}({endpoint.lsb})"
+            return f"{name}({endpoint.msb} downto {endpoint.lsb})"
+        if isinstance(endpoint, Concat):
+            # VHDL concatenation is MSB-leftmost; parts are LSB-first.
+            parts = [self._endpoint_expr(p, net_widths)
+                     for p in reversed(endpoint.parts)]
+            return "(" + " & ".join(parts) + ")"
+        raise TypeError(f"not an endpoint: {endpoint!r}")
+
+    def emit(self, entity_name: str) -> str:
+        netlist = self.netlist
+        lines: List[str] = []
+        lines.append(f"entity {entity_name} is")
+        if netlist.ports:
+            lines.append("  port (")
+            lines.append(_port_clause(netlist.ports))
+            lines.append("  );")
+        lines.append(f"end {entity_name};")
+        lines.append("")
+        lines.append(f"architecture structure of {entity_name} is")
+
+        # Component declarations (one per distinct child entity).
+        declared: Set[str] = set()
+        for inst in netlist.modules:
+            child = self.entity_names[inst.name]
+            if child in declared:
+                continue
+            declared.add(child)
+            lines.append(f"  component {child}")
+            lines.append("    port (")
+            lines.append(_port_clause(list(inst.ports), indent="      "))
+            lines.append("    );")
+            lines.append("  end component;")
+
+        # Internal signals (nets that do not back a port).
+        port_backing = {id(netlist.port_net(p.name)) for p in netlist.ports}
+        for net in netlist.nets:
+            if id(net) in port_backing:
+                continue
+            lines.append(
+                f"  signal {self._net_name(net)} : {_port_type(net.width)};"
+            )
+
+        lines.append("begin")
+        net_widths = {id(n): n.width for n in netlist.nets}
+        for inst in netlist.modules:
+            child = self.entity_names[inst.name]
+            label = vhdl_identifier(inst.name)
+            assoc = []
+            for pin in inst.ports:
+                endpoint = inst.connections.get(pin.name)
+                if endpoint is None:
+                    assoc.append(f"{vhdl_identifier(pin.name)} => open")
+                else:
+                    assoc.append(
+                        f"{vhdl_identifier(pin.name)} => "
+                        f"{self._endpoint_expr(endpoint, net_widths)}"
+                    )
+            lines.append(f"  {label} : {child}")
+            lines.append("    port map (" + ", ".join(assoc) + ");")
+        lines.append("end structure;")
+        return "\n".join(lines)
+
+
+def netlist_vhdl(netlist: Netlist, entity_name: Optional[str] = None,
+                 child_entity: Optional[Dict[str, str]] = None) -> str:
+    """Emit one netlist as an entity/architecture pair.
+
+    ``child_entity`` maps module-instance names to entity names; by
+    default each module's spec description is legalized into a name.
+    """
+    entity = vhdl_identifier(entity_name or netlist.name)
+    mapping = child_entity or {
+        inst.name: vhdl_identifier(str(inst.spec)) for inst in netlist.modules
+    }
+    return _Emitter(netlist, mapping).emit(entity)
+
+
+def design_tree_vhdl(tree: DesignTree, top_name: Optional[str] = None) -> str:
+    """Emit a complete DTAS design tree, bottom-up, one entity per
+    distinct chosen implementation; cells appear as component
+    instantiations bound by name.
+
+    Returns a single VHDL text with a header comment listing the cell
+    leaves (a data-book bill of materials).
+    """
+    entity_of: Dict[Tuple, str] = {}
+    chunks: List[str] = []
+    scope = NameScope()
+
+    def emit(node: DesignTree) -> str:
+        key = (node.spec, node.impl.index)
+        if key in entity_of:
+            return entity_of[key]
+        if node.is_leaf:
+            binding = node.impl.binding
+            spec_pins = {p.name for p in port_signature(node.spec)}
+            cell_pins = {p.name for p in port_signature(binding.cell.spec)}
+            if not binding.tied and not binding.dangling and spec_pins == cell_pins:
+                name = vhdl_identifier(binding.cell.name)
+            else:
+                # Pin-adaptation wrapper: spec-shaped entity around the
+                # cell, with capability pins tied or left open.
+                name = scope.name(f"{binding.cell.name}_as_{node.spec.ctype}"
+                                  f"{node.spec.width}")
+                chunks.append(_emit_adapter(node, name))
+            entity_of[key] = name
+            return name
+        child_map = {}
+        for inst_name, child in node.children.items():
+            child_map[inst_name] = emit(child)
+        name = scope.name(node.impl.netlist.name)
+        entity_of[key] = name
+        chunks.append(_emit_decomp(node, name, child_map))
+        return name
+
+    def _emit_decomp(node: DesignTree, name: str, child_map: Dict[str, str]) -> str:
+        return _Emitter(node.impl.netlist, child_map).emit(name)
+
+    def _emit_adapter(node: DesignTree, name: str) -> str:
+        binding = node.impl.binding
+        cell = binding.cell
+        spec_ports = list(port_signature(node.spec))
+        cell_ports = list(port_signature(cell.spec))
+        tied = dict(binding.tied)
+        spec_names = {p.name for p in spec_ports}
+        lines = [f"entity {name} is"]
+        if spec_ports:
+            lines.append("  port (")
+            lines.append(_port_clause(spec_ports))
+            lines.append("  );")
+        lines.append(f"end {name};")
+        lines.append("")
+        lines.append(f"architecture adapter of {name} is")
+        cell_id = vhdl_identifier(cell.name)
+        lines.append(f"  component {cell_id}")
+        lines.append("    port (")
+        lines.append(_port_clause(cell_ports, indent="      "))
+        lines.append("    );")
+        lines.append("  end component;")
+        lines.append("begin")
+        assoc = []
+        for pin in cell_ports:
+            pin_id = vhdl_identifier(pin.name)
+            if pin.name in spec_names:
+                assoc.append(f"{pin_id} => {pin_id}")
+            elif pin.name in tied:
+                assoc.append(
+                    f"{pin_id} => {_const_literal(tied[pin.name], pin.width)}"
+                )
+            else:
+                assoc.append(f"{pin_id} => open")
+        lines.append(f"  u0 : {cell_id}")
+        lines.append("    port map (" + ", ".join(assoc) + ");")
+        lines.append("end adapter;")
+        return "\n".join(lines)
+
+    top = emit(tree)
+    if top_name and top_name != top:
+        top_id = vhdl_identifier(top_name)
+        chunks.append(f"-- top-level alias: {top_id} = {top}")
+    cells = tree.cell_counts()
+    bom = ", ".join(f"{n} x{c}" for n, c in sorted(cells.items()))
+    header = (
+        f"-- DTAS structural VHDL for {tree.spec}\n"
+        f"-- leaf cells: {bom}\n"
+    )
+    return header + "\n\n".join(chunks) + "\n"

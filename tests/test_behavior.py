@@ -1,0 +1,295 @@
+"""Unit + property tests for the generic behavioral semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.specs import (
+    ALU16_OPS,
+    adder_spec,
+    alu_spec,
+    comparator_spec,
+    counter_spec,
+    gate_spec,
+    make_spec,
+    mux_spec,
+    register_spec,
+)
+from repro.genus import behavior
+from repro.genus.behavior import (
+    alu_op,
+    combinational_eval,
+    gate_op,
+    mask,
+    sequential_next,
+    sequential_outputs,
+    sequential_reset,
+    shift_op,
+)
+
+W8 = st.integers(0, 255)
+
+
+class TestAluOp:
+    @given(a=W8, b=W8, ci=st.integers(0, 1))
+    def test_add(self, a, b, ci):
+        result, carry = alu_op("ADD", a, b, ci, 8)
+        total = a + b + ci
+        assert result == total & 255 and carry == total >> 8
+
+    @given(a=W8, b=W8)
+    def test_sub_with_carry_one_is_exact(self, a, b):
+        result, carry = alu_op("SUB", a, b, 1, 8)
+        assert result == (a - b) & 255
+        assert carry == (1 if a >= b else 0)
+
+    @given(a=W8)
+    def test_inc_dec_roundtrip(self, a):
+        up, _ = alu_op("INC", a, 0, 0, 8)
+        down, _ = alu_op("DEC", up, 0, 0, 8)
+        assert down == a
+
+    @given(a=W8, b=W8)
+    def test_comparisons(self, a, b):
+        assert alu_op("EQ", a, b, 0, 8)[0] == int(a == b)
+        assert alu_op("LT", a, b, 0, 8)[0] == int(a < b)
+        assert alu_op("GT", a, b, 0, 8)[0] == int(a > b)
+        assert alu_op("ZEROP", a, b, 0, 8)[0] == int(a == 0)
+
+    @given(a=W8, b=W8)
+    def test_logic_identities(self, a, b):
+        assert alu_op("NAND", a, b, 0, 8)[0] == (~(a & b)) & 255
+        assert alu_op("XNOR", a, b, 0, 8)[0] == (~(a ^ b)) & 255
+        assert alu_op("LIMPL", a, b, 0, 8)[0] == ((~a) | b) & 255
+        assert alu_op("LNOT", a, b, 0, 8)[0] == (~a) & 255
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            alu_op("FROB", 0, 0, 0, 8)
+
+    @pytest.mark.parametrize("op", ALU16_OPS)
+    def test_all_16_functions_defined(self, op):
+        alu_op(op, 5, 3, 0, 8)
+
+
+class TestGateOp:
+    @given(a=W8, b=W8, c=W8)
+    def test_and_or(self, a, b, c):
+        assert gate_op("AND", [a, b, c], 8) == a & b & c
+        assert gate_op("NOR", [a, b, c], 8) == (~(a | b | c)) & 255
+
+    @given(a=W8)
+    def test_not_buf(self, a):
+        assert gate_op("NOT", [a], 8) == (~a) & 255
+        assert gate_op("BUF", [a], 8) == a
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            gate_op("MAYBE", [1, 2], 4)
+
+
+class TestShiftOp:
+    @given(a=W8, amount=st.integers(0, 10))
+    def test_shl_matches_python(self, a, amount):
+        assert shift_op("SHL", a, 8, amount) == (a << amount) & 255
+
+    @given(a=W8, amount=st.integers(0, 10))
+    def test_shr_matches_python(self, a, amount):
+        assert shift_op("SHR", a, 8, amount) == a >> amount
+
+    @given(a=W8, amount=st.integers(0, 16))
+    def test_rotate_inverse(self, a, amount):
+        assert shift_op("ROR", shift_op("ROL", a, 8, amount), 8, amount) == a
+
+    def test_asr_sign_extends(self):
+        assert shift_op("ASR", 0b10000000, 8, 2) == 0b11100000
+        assert shift_op("ASR", 0b01000000, 8, 2) == 0b00010000
+
+    def test_serial_fill(self):
+        assert shift_op("SHL", 0b0001, 4, 1, serial_in=1) == 0b0011
+        assert shift_op("SHR", 0b1000, 4, 1, serial_in=1) == 0b1100
+
+
+class TestCombinationalEval:
+    def test_adder_with_and_without_ci(self):
+        with_ci = adder_spec(8)
+        out = combinational_eval(with_ci, {"A": 200, "B": 100, "CI": 1})
+        assert out == {"S": (301) & 255, "CO": 1}
+        no_ci = make_spec("ADD", 8, carry_out=True)
+        out = combinational_eval(no_ci, {"A": 1, "B": 2})
+        assert out["S"] == 3
+
+    def test_sub_defaults_to_exact(self):
+        spec = make_spec("SUB", 8)
+        assert combinational_eval(spec, {"A": 9, "B": 4})["S"] == 5
+
+    def test_addsub_mode(self):
+        spec = make_spec("ADDSUB", 8, carry_out=True)
+        assert combinational_eval(spec, {"A": 9, "B": 4, "M": 0})["S"] == 13
+        assert combinational_eval(spec, {"A": 9, "B": 4, "M": 1})["S"] == 5
+
+    @given(a=W8, b=W8, sel=st.integers(0, 15), ci=st.integers(0, 1))
+    def test_alu16_dispatch(self, a, b, sel, ci):
+        spec = alu_spec(8)
+        out = combinational_eval(spec, {"A": a, "B": b, "S": sel, "CI": ci})
+        expected, carry = alu_op(ALU16_OPS[sel], a, b,
+                                 ci if ALU16_OPS[sel] in ("ADD", "SUB", "INC", "DEC")
+                                 else ci, 8)
+        if ALU16_OPS[sel] in ("ADD", "SUB", "INC", "DEC"):
+            assert out["O"] == expected and out["CO"] == carry
+        else:
+            assert out["O"] == expected and out["CO"] == 0
+
+    def test_mux_out_of_range_is_zero(self):
+        spec = mux_spec(3, 4)
+        assert combinational_eval(spec, {"I0": 1, "I1": 2, "I2": 3, "S": 3})["O"] == 0
+
+    @given(sel=st.integers(0, 3), vals=st.lists(st.integers(0, 15), min_size=4, max_size=4))
+    def test_mux_selects(self, sel, vals):
+        spec = mux_spec(4, 4)
+        inputs = {f"I{i}": v for i, v in enumerate(vals)}
+        inputs["S"] = sel
+        assert combinational_eval(spec, inputs)["O"] == vals[sel]
+
+    @given(value=st.integers(0, 15))
+    def test_decoder_one_hot(self, value):
+        spec = make_spec("DECODER", 4)
+        assert combinational_eval(spec, {"I": value})["O"] == 1 << value
+
+    def test_decoder_enable_off(self):
+        spec = make_spec("DECODER", 2, enable=True)
+        assert combinational_eval(spec, {"I": 1, "EN": 0})["O"] == 0
+
+    def test_decoder_bcd_range(self):
+        spec = make_spec("DECODER", 4, n_outputs=10)
+        assert combinational_eval(spec, {"I": 12})["O"] == 0
+
+    @given(value=st.integers(0, 255))
+    def test_encoder_priority(self, value):
+        spec = make_spec("ENCODER", 3, n_inputs=8, valid=True)
+        out = combinational_eval(spec, {"I": value})
+        if value == 0:
+            assert out == {"O": 0, "V": 0}
+        else:
+            assert out["O"] == value.bit_length() - 1 and out["V"] == 1
+
+    @given(a=W8, b=W8)
+    def test_comparator_all_ops(self, a, b):
+        spec = comparator_spec(8, ("EQ", "NE", "LT", "GT", "LE", "GE"))
+        out = combinational_eval(spec, {"A": a, "B": b})
+        assert out["EQ"] == int(a == b) and out["NE"] == int(a != b)
+        assert out["LE"] == int(a <= b) and out["GE"] == int(a >= b)
+
+    @given(a=W8, b=W8, eq_in=st.integers(0, 1), lt_in=st.integers(0, 1))
+    def test_cascaded_comparator_combine(self, a, b, eq_in, lt_in):
+        spec = comparator_spec(8, cascaded=True)
+        out = combinational_eval(
+            spec, {"A": a, "B": b, "EQ_IN": eq_in, "LT_IN": lt_in, "GT_IN": 0})
+        assert out["EQ"] == int(a == b) & eq_in
+        assert out["LT"] == int(a < b) | (int(a == b) & lt_in)
+
+    @given(a=W8, b=W8)
+    def test_mult(self, a, b):
+        spec = make_spec("MULT", 8)
+        assert combinational_eval(spec, {"A": a, "B": b})["P"] == a * b
+
+    @given(a=W8, b=W8)
+    def test_div(self, a, b):
+        spec = make_spec("DIV", 8)
+        out = combinational_eval(spec, {"A": a, "B": b})
+        if b == 0:
+            assert out == {"Q": 255, "R": a}
+        else:
+            assert out == {"Q": a // b, "R": a % b}
+
+    def test_cla_gen_matches_ripple_expansion(self):
+        spec = make_spec("CLA_GEN", 1, groups=4)
+        out = combinational_eval(spec, {"G": 0b0010, "P": 0b1101, "CI": 1})
+        # c0 = g0|p0&ci = 1; c1 = g1|p1&c0 = 1; c2 = g2|p2&c1 = 1; c3 = g3|p3&c2 = 1
+        assert out["C"] == 0b1111
+        assert out["GP"] == 0
+
+    def test_not_combinational(self):
+        with pytest.raises(ValueError):
+            combinational_eval(register_spec(4), {"D": 1})
+
+
+class TestSequential:
+    def test_register_cycle(self):
+        spec = register_spec(8, enable=True)
+        state = sequential_reset(spec)
+        assert sequential_outputs(spec, {}, state)["Q"] == 0
+        state = sequential_next(spec, {"D": 42, "CEN": 1}, state)
+        assert sequential_outputs(spec, {}, state)["Q"] == 42
+        state = sequential_next(spec, {"D": 7, "CEN": 0}, state)
+        assert sequential_outputs(spec, {}, state)["Q"] == 42
+
+    def test_register_async_reset(self):
+        spec = register_spec(8, async_reset=True)
+        state = {"q": 99}
+        state = sequential_next(spec, {"D": 5, "ARST": 1}, state)
+        assert state["q"] == 0
+
+    def test_counter_up_down_load(self):
+        spec = counter_spec(4, enable=True)
+        state = sequential_reset(spec)
+        state = sequential_next(spec, {"CEN": 1, "CUP": 1, "CLOAD": 0, "CDOWN": 0, "I0": 0}, state)
+        assert state["q"] == 1
+        state = sequential_next(spec, {"CEN": 1, "CLOAD": 1, "CUP": 0, "CDOWN": 0, "I0": 9}, state)
+        assert state["q"] == 9
+        state = sequential_next(spec, {"CEN": 1, "CDOWN": 1, "CLOAD": 0, "CUP": 0, "I0": 0}, state)
+        assert state["q"] == 8
+
+    def test_counter_wraps(self):
+        spec = counter_spec(4, ops=("COUNT_UP",), enable=False)
+        state = {"q": 15}
+        state = sequential_next(spec, {"CUP": 1}, state)
+        assert state["q"] == 0
+
+    def test_counter_carry_out(self):
+        spec = counter_spec(4, enable=True).with_attrs(carry_out=True)
+        out = sequential_outputs(spec, {"CEN": 1, "CUP": 1, "CDOWN": 0}, {"q": 15})
+        assert out["CO"] == 1
+        out = sequential_outputs(spec, {"CEN": 1, "CUP": 1, "CDOWN": 0}, {"q": 14})
+        assert out["CO"] == 0
+
+    def test_shift_reg_modes(self):
+        spec = make_spec("SHIFT_REG", 4)
+        state = {"q": 0b1001}
+        assert sequential_next(spec, {"MODE": 0, "D": 0, "SI": 0}, state)["q"] == 0b1001
+        assert sequential_next(spec, {"MODE": 1, "D": 0b0110, "SI": 0}, state)["q"] == 0b0110
+        assert sequential_next(spec, {"MODE": 2, "D": 0, "SI": 1}, state)["q"] == 0b0011
+        assert sequential_next(spec, {"MODE": 3, "D": 0, "SI": 1}, state)["q"] == 0b1100
+
+    def test_regfile_write_read(self):
+        spec = make_spec("REGFILE", 8, n_words=4)
+        state = sequential_reset(spec)
+        state = sequential_next(spec, {"WA0": 2, "WD0": 77, "WE0": 1, "RA0": 0}, state)
+        assert sequential_outputs(spec, {"RA0": 2}, state)["RD0"] == 77
+
+    def test_memory_out_of_range_ignored(self):
+        spec = make_spec("MEMORY", 8, n_words=10)
+        state = sequential_reset(spec)
+        state = sequential_next(spec, {"ADDR": 12, "DIN": 5, "WE": 1}, state)
+        assert all(w == 0 for w in state["words"])
+        assert sequential_outputs(spec, {"ADDR": 12}, state)["DOUT"] == 0
+
+    def test_stack_push_pop(self):
+        spec = make_spec("STACK", 8, depth=4)
+        state = sequential_reset(spec)
+        assert sequential_outputs(spec, {}, state)["EMPTY"] == 1
+        state = sequential_next(spec, {"DIN": 3, "PUSH": 1, "POP": 0}, state)
+        state = sequential_next(spec, {"DIN": 5, "PUSH": 1, "POP": 0}, state)
+        assert sequential_outputs(spec, {}, state)["DOUT"] == 5
+        state = sequential_next(spec, {"DIN": 0, "PUSH": 0, "POP": 1}, state)
+        assert sequential_outputs(spec, {}, state)["DOUT"] == 3
+
+    def test_fifo_order(self):
+        spec = make_spec("FIFO", 8, depth=4)
+        state = sequential_reset(spec)
+        state = sequential_next(spec, {"DIN": 3, "PUSH": 1, "POP": 0}, state)
+        state = sequential_next(spec, {"DIN": 5, "PUSH": 1, "POP": 0}, state)
+        assert sequential_outputs(spec, {}, state)["DOUT"] == 3
+
+    def test_not_sequential(self):
+        with pytest.raises(ValueError):
+            sequential_reset(adder_spec(4))

@@ -1,0 +1,172 @@
+"""Unit tests for the GENUS library: generators, components, instances."""
+
+import pytest
+
+from repro.core.specs import ALU16_OPS
+from repro.genus import GenusLibrary, TypeClass, standard_library, type_class_of
+from repro.genus.attributes import ParamError, Parameter, resolve_params
+from repro.genus.generators import GENERATOR_CTYPES, Generator, GeneratorError
+from repro.genus.types import TABLE_1
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return standard_library()
+
+
+class TestParameters:
+    def test_kind_validation(self):
+        p = Parameter("GC_INPUT_WIDTH", "w", 1)
+        assert p.validate(8) == 8
+        with pytest.raises(ParamError):
+            p.validate(0)
+        with pytest.raises(ParamError):
+            p.validate("eight")
+
+    def test_function_list_normalized(self):
+        p = Parameter("GC_FUNCTION_LIST", "f", 1)
+        assert p.validate(["add", "sub"]) == ("ADD", "SUB")
+        with pytest.raises(ParamError):
+            p.validate([])
+
+    def test_style_checked_against_generator(self):
+        p = Parameter("GC_STYLE", "s", 1)
+        assert p.validate("ripple", styles=("SYNCHRONOUS", "RIPPLE")) == "RIPPLE"
+        with pytest.raises(ParamError):
+            p.validate("WEIRD", styles=("SYNCHRONOUS",))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParamError):
+            Parameter("X", "z", 1)
+
+    def test_resolve_requires_obligatory(self):
+        params = [Parameter("GC_INPUT_WIDTH", "w", 1, required=True)]
+        with pytest.raises(ParamError, match="obligatory"):
+            resolve_params(params, {})
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ParamError, match="unknown"):
+            resolve_params([], {"GC_WAT": 1})
+
+    def test_resolve_applies_defaults(self):
+        params = [Parameter("GC_ENABLE_FLAG", "b", 1, default=True)]
+        assert resolve_params(params, {}) == {"GC_ENABLE_FLAG": True}
+
+
+class TestStandardLibrary:
+    def test_generator_count(self, lib):
+        assert len(lib) >= 30
+
+    def test_table1_coverage(self, lib):
+        """Every Table-1 entry's generator family is present."""
+        available = {lib.generator(n).ctype for n in lib.generator_names()}
+        for type_class, entries in TABLE_1.items():
+            for label, ctype in entries:
+                assert ctype in available, f"Table 1 entry {label} missing"
+
+    def test_type_classes(self, lib):
+        assert type_class_of("ADD") is TypeClass.COMBINATIONAL
+        assert type_class_of("COUNTER") is TypeClass.SEQUENTIAL
+        assert type_class_of("TRISTATE") is TypeClass.INTERFACE
+        assert type_class_of("BUS") is TypeClass.MISCELLANEOUS
+        seq = lib.generators_by_class(TypeClass.SEQUENTIAL)
+        assert any(g.name == "COUNTER" for g in seq)
+
+    def test_generate_counter(self, lib):
+        component = lib.generate("COUNTER", GC_INPUT_WIDTH=8)
+        assert component.spec.ctype == "COUNTER"
+        assert component.spec.width == 8
+        names = [p.name for p in component.ports]
+        assert names == ["I0", "CLK", "CEN", "CLOAD", "CUP", "CDOWN", "O0"]
+
+    def test_generation_cached(self, lib):
+        a = lib.generate("ADDER", GC_INPUT_WIDTH=8)
+        b = lib.generate("ADDER", GC_INPUT_WIDTH=8)
+        assert a is b
+        c = lib.generate("ADDER", GC_INPUT_WIDTH=16)
+        assert c is not a
+
+    def test_missing_required_param(self, lib):
+        with pytest.raises(ParamError):
+            lib.generate("ADDER")
+
+    def test_alu16(self, lib):
+        component = lib.generate(
+            "ALU", GC_INPUT_WIDTH=64, GC_NUM_FUNCTIONS=16,
+            GC_FUNCTION_LIST=ALU16_OPS,
+        )
+        assert component.spec.ops == ALU16_OPS
+        sel = next(p for p in component.ports if p.name == "S")
+        assert sel.width == 4
+
+    def test_function_count_mismatch(self, lib):
+        with pytest.raises(GeneratorError):
+            lib.generate("ALU", GC_INPUT_WIDTH=8, GC_NUM_FUNCTIONS=3,
+                         GC_FUNCTION_LIST=("ADD", "SUB"))
+
+    def test_unknown_generator(self, lib):
+        with pytest.raises(GeneratorError):
+            lib.generator("WOMBAT")
+
+    def test_lu_is_logic_alu(self, lib):
+        lu = lib.generate("LU", GC_INPUT_WIDTH=16)
+        assert lu.spec.ctype == "ALU"
+        assert len(lu.spec.ops) == 8
+
+    def test_behavior_through_component(self, lib):
+        adder = lib.generate("ADDER", GC_INPUT_WIDTH=8)
+        assert adder.behavior({"A": 5, "B": 9, "CI": 0})["S"] == 14
+
+    def test_sequential_step_through_component(self, lib):
+        counter = lib.generate("COUNTER", GC_INPUT_WIDTH=4)
+        state = counter.reset_state()
+        out, state = counter.step(
+            {"CEN": 1, "CUP": 1, "CLOAD": 0, "CDOWN": 0, "I0": 0}, state)
+        assert out["O0"] == 0  # outputs sampled before the edge
+        out, _ = counter.step(
+            {"CEN": 1, "CUP": 1, "CLOAD": 0, "CDOWN": 0, "I0": 0}, state)
+        assert out["O0"] == 1
+
+    def test_instances_carry_connectivity_only(self, lib):
+        adder = lib.generate("ADDER", GC_INPUT_WIDTH=4)
+        inst = lib.instance(adder)
+        assert inst.spec is adder.spec
+        from repro.netlist.nets import Const
+        inst.connect("CI", Const(0, 1))
+        assert "CI" in inst.connections
+        with pytest.raises(KeyError):
+            inst.connect("NOPE", Const(0, 1))
+
+    def test_instance_names_unique(self, lib):
+        adder = lib.generate("ADDER", GC_INPUT_WIDTH=4)
+        i1, i2 = lib.instance(adder), lib.instance(adder)
+        assert i1.name != i2.name
+
+    def test_instance_to_module_inst(self, lib):
+        adder = lib.generate("ADDER", GC_INPUT_WIDTH=4)
+        inst = lib.instance(adder, "u_add")
+        module = inst.to_module_inst()
+        assert module.name == "u_add" and module.spec == adder.spec
+
+    def test_fresh_library_is_independent(self):
+        a = standard_library(fresh=True)
+        b = standard_library()
+        assert a is not b
+
+    def test_concat_homogeneous_parts(self, lib):
+        c = lib.generate("CONCAT", GC_INPUT_WIDTH=4, GC_NUM_INPUTS=3)
+        assert c.spec.get("part_widths") == (4, 4, 4)
+
+    def test_duplicate_generator_rejected(self):
+        library = GenusLibrary("t")
+        gen = Generator("ADDER")
+        library.add_generator(gen)
+        with pytest.raises(GeneratorError):
+            library.add_generator(Generator("ADDER"))
+        library.add_generator(Generator("ADDER"), replace=True)
+
+    def test_all_generator_names_map_to_known_ctypes(self):
+        from repro.core.specs import KNOWN_CTYPES
+
+        for name, ctype in GENERATOR_CTYPES.items():
+            assert ctype in KNOWN_CTYPES, name

@@ -1,0 +1,302 @@
+"""Tests for the HLS front end and the control compiler."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import compile_controller, minimize
+from repro.control.compiler import ControllerSimulator
+from repro.control.qm import Implicant, cover_cost, evaluate_cover, prime_implicants
+from repro.hls import Assign, If, Program, ResourceConstraints, While, hls_synthesize
+from repro.hls.cdfg import Branch, Halt, Jump, build_cdfg
+from repro.hls.schedule import allocate, schedule_cdfg
+from repro.hls.synthesize import FsmdSimulator
+from repro.netlist.validate import validate_netlist
+
+
+def gcd_program(width=8):
+    p = Program("gcd", width=width)
+    a_in = p.input("a_in")
+    b_in = p.input("b_in")
+    a = p.variable("a")
+    b = p.variable("b")
+    p.output("result", a)
+    p.body = [
+        Assign(a, a_in),
+        Assign(b, b_in),
+        While(a.ne(b), [
+            If(a.gt(b), [Assign(a, a - b)], [Assign(b, b - a)]),
+        ]),
+    ]
+    return p
+
+
+def sumdiff_program():
+    p = Program("sumdiff", width=8)
+    x = p.input("x")
+    y = p.input("y")
+    s = p.variable("s")
+    d = p.variable("d")
+    p.output("sum_out", s)
+    p.output("diff_out", d)
+    p.body = [Assign(s, x + y), Assign(d, x - y)]
+    return p
+
+
+class TestIr:
+    def test_expression_widths(self):
+        p = Program("t", width=8)
+        a = p.input("a")
+        b = p.input("b")
+        assert (a + b).width == 8
+        assert a.lt(b).width == 1
+
+    def test_assign_to_input_rejected(self):
+        p = Program("t")
+        a = p.input("a")
+        with pytest.raises(ValueError):
+            Assign(a, a + 1)
+
+    def test_validate_duplicates(self):
+        p = Program("t")
+        p.input("a")
+        p.variable("a")
+        p.body = [Assign(p.variable("b"), p.input("c"))]
+        with pytest.raises(ValueError, match="duplicate"):
+            p.validate()
+
+    def test_int_literals_coerce(self):
+        p = Program("t", width=8)
+        v = p.variable("v")
+        expr = v + 3
+        assert expr.right.value == 3
+
+
+class TestCdfg:
+    def test_gcd_structure(self):
+        cdfg = build_cdfg(gcd_program())
+        kinds = [type(b.terminator).__name__ for b in cdfg.blocks]
+        assert "Branch" in kinds and "Halt" in kinds
+        assert cdfg.entry == cdfg.blocks[0].name
+
+    def test_straightline_single_block_halts(self):
+        cdfg = build_cdfg(sumdiff_program())
+        assert isinstance(cdfg.blocks[0].terminator, Halt)
+
+    def test_describe(self):
+        text = build_cdfg(gcd_program()).describe()
+        assert "goto" in text and "halt" in text
+
+
+class TestSchedule:
+    def test_dependencies_strictly_ordered(self):
+        p = Program("chain", width=8)
+        x = p.input("x")
+        v = p.variable("v")
+        p.output("o", v)
+        p.body = [Assign(v, (x + 1) + (x + 2))]
+        cdfg = build_cdfg(p)
+        schedule = schedule_cdfg(cdfg, ResourceConstraints(arith=2))
+        block = schedule.blocks[cdfg.entry]
+        # the final add must come after both sub-adds
+        assert block.n_steps >= 2
+
+    def test_resource_limit_serializes(self):
+        p = Program("par", width=8)
+        x = p.input("x")
+        y = p.input("y")
+        a = p.variable("a")
+        b = p.variable("b")
+        p.output("o", a)
+        p.body = [Assign(a, x + y), Assign(b, x - y)]
+        cdfg = build_cdfg(p)
+        one = schedule_cdfg(cdfg, ResourceConstraints(arith=1))
+        two = schedule_cdfg(cdfg, ResourceConstraints(arith=2))
+        assert one.blocks[cdfg.entry].n_steps == 2
+        assert two.blocks[cdfg.entry].n_steps == 1
+
+    def test_allocation_counts(self):
+        p = sumdiff_program()
+        cdfg = build_cdfg(p)
+        schedule = schedule_cdfg(cdfg, ResourceConstraints(arith=2))
+        allocation = allocate(schedule, 8)
+        assert allocation.counts["arith"] == 2
+
+    def test_branch_cmp_in_final_step(self):
+        cdfg = build_cdfg(gcd_program())
+        schedule = schedule_cdfg(cdfg, ResourceConstraints())
+        for block in cdfg.blocks:
+            if isinstance(block.terminator, Branch):
+                scheduled = schedule.blocks[block.name]
+                cond_ops = [op for op in scheduled.steps[-1]
+                            if op.target == block.terminator.cond]
+                assert cond_ops, f"cond not in final step of {block.name}"
+
+
+class TestHlsDatapath:
+    def test_datapath_validates(self):
+        result = hls_synthesize(gcd_program())
+        validate_netlist(result.datapath.netlist)
+
+    def test_report(self):
+        result = hls_synthesize(gcd_program())
+        text = result.report()
+        assert "states:" in text and "registers:" in text
+
+    def test_bif_text(self):
+        result = hls_synthesize(gcd_program())
+        bif = result.state_table.to_bif()
+        assert "(design gcd" in bif
+        assert "(reset-state" in bif
+        assert "(halt)" in bif
+
+    def test_genus_specs_only(self):
+        """The datapath is a netlist of GENUS component specs."""
+        result = hls_synthesize(gcd_program())
+        ctypes = {m.spec.ctype for m in result.datapath.netlist.modules}
+        assert ctypes <= {"REG", "ADDSUB", "COMPARATOR", "MUX", "GATE",
+                          "SHIFTER", "INC", "DEC"}
+
+
+class TestFsmdExecution:
+    @pytest.mark.parametrize("a,b", [(84, 36), (7, 13), (100, 75), (9, 9),
+                                     (1, 255)])
+    def test_gcd(self, a, b):
+        sim = FsmdSimulator(hls_synthesize(gcd_program()))
+        out, cycles = sim.run({"a_in": a, "b_in": b})
+        assert out["result"] == math.gcd(a, b)
+        assert cycles >= 3
+
+    def test_sumdiff(self):
+        sim = FsmdSimulator(hls_synthesize(sumdiff_program()))
+        out, _ = sim.run({"x": 30, "y": 12})
+        assert out["sum_out"] == 42 and out["diff_out"] == 18
+
+    def test_logic_and_shift_program(self):
+        p = Program("mix", width=8)
+        x = p.input("x")
+        y = p.input("y")
+        v = p.variable("v")
+        w = p.variable("w")
+        p.output("o1", v)
+        p.output("o2", w)
+        p.body = [
+            Assign(v, (x & y) | (x ^ y)),
+            Assign(w, v << 1),
+        ]
+        sim = FsmdSimulator(hls_synthesize(p))
+        out, _ = sim.run({"x": 0b1100, "y": 0b1010})
+        assert out["o1"] == (0b1100 | 0b1010)
+        assert out["o2"] == ((0b1100 | 0b1010) << 1) & 0xFF
+
+    def test_countdown_loop(self):
+        p = Program("count", width=8)
+        n = p.input("n")
+        i = p.variable("i")
+        acc = p.variable("acc")
+        p.output("total", acc)
+        p.body = [
+            Assign(i, n),
+            Assign(acc, 0),
+            While(i.ne(0), [
+                Assign(acc, acc + i),
+                Assign(i, i - 1),
+            ]),
+        ]
+        sim = FsmdSimulator(hls_synthesize(p))
+        out, _ = sim.run({"n": 10})
+        assert out["total"] == 55
+
+
+class TestQm:
+    def test_simple_function(self):
+        # f = a'b + ab = b (vars: a=bit0, b=bit1)
+        cover = minimize([2, 3], [], 2)
+        assert len(cover) == 1
+        assert cover[0].render(["a", "b"]) == "b"
+
+    def test_constant_functions(self):
+        assert minimize([], [], 3) == []
+        ones = minimize(list(range(8)), [], 3)
+        assert len(ones) == 1 and ones[0].mask == 0b111
+
+    def test_dontcares_simplify(self):
+        # on={1}, dc={3}: with b free, f = a
+        cover = minimize([1], [3], 2)
+        assert cover[0].render(["a", "b"]) == "a"
+
+    def test_primes_of_classic_example(self):
+        primes = prime_implicants([0, 1, 2, 5, 6, 7], [], 3)
+        assert len(primes) == 6  # the textbook cyclic function
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 15).flatmap(
+        lambda n: st.tuples(st.just(n),
+                            st.lists(st.integers(0, 15), max_size=8))))
+    def test_cover_matches_truth_table(self, seed_and_minterms):
+        _, minterms = seed_and_minterms
+        cover = minimize(minterms, [], 4)
+        for assignment in range(16):
+            expected = 1 if assignment in set(minterms) else 0
+            assert evaluate_cover(cover, assignment) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(on=st.sets(st.integers(0, 31), max_size=16),
+           dc=st.sets(st.integers(0, 31), max_size=8))
+    def test_cover_respects_dontcares(self, on, dc):
+        cover = minimize(sorted(on), sorted(dc), 5)
+        for assignment in range(32):
+            value = evaluate_cover(cover, assignment)
+            if assignment in on:
+                assert value == 1
+            elif assignment not in dc:
+                assert value == 0
+
+    def test_cover_cost(self):
+        cover = minimize([0, 1, 2, 3], [], 3)
+        products, literals = cover_cost(cover, 3)
+        assert products == 1 and literals == 1
+
+
+class TestControlCompiler:
+    def test_controller_matches_table_semantics(self):
+        """Lockstep: gate-level controller vs symbolic state table, over
+        random status sequences."""
+        import random
+
+        result = hls_synthesize(gcd_program())
+        controller = compile_controller(result.state_table)
+        validate_netlist(controller.netlist)
+        table = result.state_table
+        rng = random.Random(17)
+        sim = ControllerSimulator(controller)
+        symbolic_state = table.reset_state
+        for _ in range(60):
+            statuses = {name: rng.randrange(2) for name in table.statuses}
+            outputs = sim.outputs(statuses)
+            row = table.row(symbolic_state)
+            for signal in table.signals:
+                expected = row.assertions.get(signal.name, signal.default)
+                assert outputs[signal.name] == expected, (
+                    symbolic_state, signal.name)
+            expected_done = 1 if row.transition.kind == "halt" else 0
+            assert outputs["DONE"] == expected_done
+            # Advance both sides.
+            sim.cycle(statuses)
+            t = row.transition
+            if t.kind == "goto":
+                symbolic_state = t.next_state
+            elif t.kind == "branch":
+                taken = bool(statuses[t.status]) == t.polarity
+                symbolic_state = t.if_true if taken else t.if_false
+
+    def test_reset_state_is_code_zero(self):
+        result = hls_synthesize(gcd_program())
+        controller = compile_controller(result.state_table)
+        assert controller.encoding[result.state_table.reset_state] == 0
+
+    def test_report(self):
+        result = hls_synthesize(gcd_program())
+        controller = compile_controller(result.state_table)
+        assert "states" in controller.report()

@@ -1,0 +1,205 @@
+"""Tests for the LEGEND language: lexer, parser, widths, builder."""
+
+import pytest
+
+from repro.legend import (
+    LegendError,
+    LegendSyntaxError,
+    STANDARD_LIBRARY_SOURCE,
+    build_library,
+    parse_legend,
+)
+from repro.legend.ast import PortDecl
+from repro.legend.builder import declared_ports, describe_generator, extend_library
+from repro.legend.errors import LegendSemanticError
+from repro.legend.lexer import tokenize
+from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+from repro.legend.tokens import TokenType
+from repro.legend.widths import WidthEnv, WBin, WCall, WName, WNum, WParam, eval_width
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("NAME: COUNTER\n")
+        kinds = [t.type for t in tokens]
+        assert kinds == [TokenType.IDENT, TokenType.COLON, TokenType.IDENT,
+                         TokenType.NEWLINE, TokenType.EOF]
+
+    def test_paramref(self):
+        tokens = tokenize("X: 3w\n")
+        ref = tokens[2]
+        assert ref.type is TokenType.PARAMREF and ref.value == (3, "w")
+
+    def test_paramref_malformed(self):
+        with pytest.raises(LegendSyntaxError):
+            tokenize("X: 3wx\n")
+
+    def test_comments_stripped(self):
+        tokens = tokenize("NAME: ADDER -- a comment\n; full line comment\n")
+        assert all(t.type is not TokenType.IDENT or "comment" not in str(t.value)
+                   for t in tokens)
+
+    def test_logical_line_comma_continuation(self):
+        tokens = tokenize("PARAMETERS: A (1w),\n    B (2w)\n")
+        newlines = [t for t in tokens if t.type is TokenType.NEWLINE]
+        assert len(newlines) == 1
+
+    def test_logical_line_paren_continuation(self):
+        tokens = tokenize("OPERATIONS:\n( (LOAD)\n  (OPS: (L: A = B)) )\n")
+        newlines = [t for t in tokens if t.type is TokenType.NEWLINE]
+        assert len(newlines) == 2  # header line + the whole s-expr
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(LegendSyntaxError):
+            tokenize("X: (a\n")
+        with pytest.raises(LegendSyntaxError):
+            tokenize("X: a)\n")
+
+
+class TestWidths:
+    def test_eval_forms(self):
+        env = WidthEnv({2: 8, 3: 4}, {"GC_INPUT_WIDTH": 8})
+        assert eval_width(WNum(5), env) == 5
+        assert eval_width(WParam(2, "w"), env) == 8
+        assert eval_width(WName("GC_INPUT_WIDTH"), env) == 8
+        assert eval_width(WBin("*", WNum(2), WParam(2, "w")), env) == 16
+        assert eval_width(WCall("log2", WParam(3, "n")), env) == 2
+        assert eval_width(WCall("pow2", WNum(3)), env) == 8
+
+    def test_log2_rounds_up(self):
+        env = WidthEnv({}, {})
+        assert eval_width(WCall("log2", WNum(5)), env) == 3
+        assert eval_width(WCall("log2", WNum(1)), env) == 1
+
+    def test_unknown_param(self):
+        with pytest.raises(LegendSemanticError):
+            eval_width(WParam(9, "w"), WidthEnv({}, {}))
+
+    def test_nonpositive_width(self):
+        with pytest.raises(LegendSemanticError):
+            eval_width(WBin("-", WNum(2), WNum(2)), WidthEnv({}, {}))
+
+
+class TestParser:
+    def test_figure2_counter(self):
+        decl = parse_legend(FIGURE_2_COUNTER_SOURCE).generators[0]
+        assert decl.name == "COUNTER"
+        assert decl.class_name == "Clocked"
+        assert len(decl.parameters) == 7
+        assert decl.styles == ("SYNCHRONOUS", "RIPPLE")
+        assert decl.clock == "CLK"
+        assert [p.name for p in decl.controls] == ["CLOAD", "CUP", "CDOWN"]
+        assert len(decl.operations) == 3
+        load = decl.operations[0]
+        assert load.name == "LOAD"
+        assert load.ops[0].target == "O0"
+        count_up = decl.operations[1]
+        assert count_up.ops[0].expr == ("+", ("id", "O0"), ("num", 1))
+        assert decl.vhdl_model == "counter_vhdl.c"
+
+    def test_count_mismatch_rejected(self):
+        bad = "NAME: ADDER\nNUM_INPUTS: 2\nINPUTS: A[1w]\n"
+        with pytest.raises(LegendSemanticError, match="NUM_INPUTS"):
+            parse_legend(bad)
+
+    def test_port_families(self):
+        src = "NAME: MUX\nINPUTS: I*[2w] REPEAT 3n\n"
+        decl = parse_legend(src).generators[0]
+        port = decl.inputs[0]
+        assert port.is_family and port.name == "I"
+
+    def test_family_requires_repeat(self):
+        with pytest.raises(LegendSyntaxError, match="REPEAT"):
+            parse_legend("NAME: MUX\nINPUTS: I*[2w] TIMES 3n\n")
+
+    def test_unknown_field(self):
+        with pytest.raises(LegendSyntaxError, match="unknown field"):
+            parse_legend("NAME: ADDER\nFLAVOR: vanilla\n")
+
+    def test_multiple_generators(self):
+        src = "NAME: ADDER\nCLASS: Combinational\nNAME: SUBTRACTOR\n"
+        decl = parse_legend(src)
+        assert decl.names() == ("ADDER", "SUBTRACTOR")
+
+    def test_default_values(self):
+        src = ("NAME: COUNTER\nPARAMETERS: GC_INPUT_WIDTH (2w!), "
+               "GC_STYLE (3s = RIPPLE), "
+               "GC_FUNCTION_LIST (4f = (LOAD, COUNT_UP))\n")
+        decl = parse_legend(src).generators[0]
+        by_name = {p.name: p for p in decl.parameters}
+        assert by_name["GC_INPUT_WIDTH"].required
+        assert by_name["GC_STYLE"].default == "RIPPLE"
+        assert by_name["GC_FUNCTION_LIST"].default == ("LOAD", "COUNT_UP")
+
+
+class TestBuilder:
+    def test_standard_library_builds(self):
+        library = build_library(STANDARD_LIBRARY_SOURCE)
+        assert len(library) >= 30
+
+    def test_figure2_generator_generates(self):
+        library = build_library(FIGURE_2_COUNTER_SOURCE)
+        component = library.generate("COUNTER", GC_INPUT_WIDTH=8)
+        names = [p.name for p in component.ports]
+        assert "ARESET" in names and "O0" in names
+
+    def test_declared_ports_match_signature(self):
+        """The LEGEND-declared ports of the Figure-2 counter agree with
+        the spec-derived port signature."""
+        decl = parse_legend(FIGURE_2_COUNTER_SOURCE).generators[0]
+        library = build_library(FIGURE_2_COUNTER_SOURCE)
+        component = library.generate("COUNTER", GC_INPUT_WIDTH=8)
+        declared = dict(declared_ports(decl, {"GC_INPUT_WIDTH": 8}))
+        actual = {p.name: p.width for p in component.ports}
+        assert declared == actual
+
+    def test_declared_ports_families_expand(self):
+        src = ("NAME: MUX\nPARAMETERS: GC_INPUT_WIDTH (2w!), GC_NUM_INPUTS (3n!)\n"
+               "INPUTS: I*[2w] REPEAT 3n\nCONTROL: S[log2(3n)]\nOUTPUTS: O[2w]\n")
+        decl = parse_legend(src).generators[0]
+        ports = dict(declared_ports(decl, {"GC_INPUT_WIDTH": 4,
+                                           "GC_NUM_INPUTS": 4}))
+        assert ports == {"I0": 4, "I1": 4, "I2": 4, "I3": 4, "S": 2, "O": 4}
+
+    def test_unknown_generator_name(self):
+        with pytest.raises(LegendError):
+            build_library("NAME: WARP_DRIVE\n")
+
+    def test_extend_library_replaces(self):
+        library = build_library(STANDARD_LIBRARY_SOURCE)
+        custom = ("NAME: ADDER\nPARAMETERS: GC_INPUT_WIDTH (2w = 32)\n"
+                  "DESCRIPTION: custom wide adder\n")
+        names = extend_library(library, custom)
+        assert names == ["ADDER"]
+        component = library.generate("ADDER")
+        assert component.spec.width == 32
+
+    def test_describe_generator(self):
+        decl = parse_legend(FIGURE_2_COUNTER_SOURCE).generators[0]
+        text = describe_generator(decl)
+        assert "COUNTER" in text and "COUNT_UP" in text
+
+    def test_stdlib_every_generator_generates(self):
+        """Every standard-library generator can produce a component with
+        minimal parameters."""
+        library = build_library(STANDARD_LIBRARY_SOURCE)
+        minimal = {
+            "GATE": {"GC_GATE_KIND": "NAND"},
+            "ALU": {"GC_INPUT_WIDTH": 8, "GC_NUM_FUNCTIONS": 2,
+                    "GC_FUNCTION_LIST": ("ADD", "SUB")},
+        }
+        for name in library.generator_names():
+            params = dict(minimal.get(name, {}))
+            generator = library.generator(name)
+            needs_width = any(p.name == "GC_INPUT_WIDTH" and p.required
+                              for p in generator.parameters)
+            if needs_width:
+                params.setdefault("GC_INPUT_WIDTH", 8)
+            if any(p.name == "GC_NUM_INPUTS" and p.required
+                   for p in generator.parameters):
+                params.setdefault("GC_NUM_INPUTS", 4)
+            if any(p.name == "GC_SRC_WIDTH" and p.required
+                   for p in generator.parameters):
+                params.setdefault("GC_SRC_WIDTH", 16)
+            component = library.generate(name, **params)
+            assert component.ports, name

@@ -1,0 +1,105 @@
+"""Tests for technology mapping by functional matching."""
+
+import pytest
+
+from repro.core.mapper import CellBinding, match_cell, matching_cells
+from repro.core.specs import (
+    adder_spec,
+    comparator_spec,
+    counter_spec,
+    gate_spec,
+    make_spec,
+    mux_spec,
+    register_spec,
+)
+from repro.techlib import lsi_logic_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return lsi_logic_library()
+
+
+class TestExactMatch:
+    def test_gate_match(self, lib):
+        bindings = matching_cells(gate_spec("NAND", 2), lib)
+        assert [b.cell.name for b in bindings] == ["NAND2"]
+        assert not bindings[0].tied and not bindings[0].dangling
+
+    def test_width_must_match(self, lib):
+        assert matching_cells(gate_spec("NAND", 2, width=2), lib) == []
+
+    def test_fanin_must_match(self, lib):
+        names = {b.cell.name for b in matching_cells(gate_spec("NAND", 4), lib)}
+        assert names == {"NAND4"}
+
+    def test_mux_exact(self, lib):
+        assert matching_cells(mux_spec(2, 4), lib)[0].cell.name == "MUX24"
+        assert matching_cells(mux_spec(8, 1), lib)[0].cell.name == "MUX81"
+        assert matching_cells(mux_spec(8, 2), lib) == []
+
+
+class TestCapabilityAdaptation:
+    def test_adder_full_match(self, lib):
+        spec = adder_spec(4, group_carry=True)
+        binding = matching_cells(spec, lib)[0]
+        assert binding.cell.name == "ADD4" and not binding.dangling
+
+    def test_adder_dangles_unused_outputs(self, lib):
+        spec = adder_spec(4)  # no G/P wanted
+        binding = matching_cells(spec, lib)[0]
+        assert set(binding.dangling) == {"G", "P"}
+
+    def test_adder_without_ci_gets_tie(self, lib):
+        spec = make_spec("ADD", 4, carry_out=True)
+        binding = matching_cells(spec, lib)[0]
+        assert dict(binding.tied) == {"CI": 0}
+
+    def test_spec_cannot_demand_missing_capability(self, lib):
+        spec = register_spec(4, enable=True)  # REG4 has no enable
+        assert matching_cells(spec, lib) == []
+
+    def test_register_plain(self, lib):
+        assert matching_cells(register_spec(8), lib)[0].cell.name == "REG8"
+
+    def test_dff_with_reset_tie(self, lib):
+        binding = match_cell(register_spec(1), lib.cell("DFFR1"))
+        assert binding is not None and dict(binding.tied) == {"ARST": 0}
+
+    def test_counter_mode_ties(self, lib):
+        spec = counter_spec(4, ops=("COUNT_UP",), enable=True)
+        binding = match_cell(spec, lib.cell("CNT4"))
+        assert binding is not None
+        tied = dict(binding.tied)
+        assert tied["CLOAD"] == 0 and tied["CDOWN"] == 0 and tied["I0"] == 0
+
+    def test_counter_carry_out_dangles(self, lib):
+        spec = counter_spec(4, enable=True)  # no CO wanted
+        binding = match_cell(spec, lib.cell("CNT4"))
+        assert "CO" in binding.dangling
+
+
+class TestOperationMatching:
+    def test_comparator_superset_ok(self, lib):
+        spec = comparator_spec(4, ("EQ",), cascaded=True)
+        binding = match_cell(spec, lib.cell("CMP4"))
+        assert binding is not None
+        assert set(binding.dangling) == {"GT", "LT"}
+
+    def test_comparator_cascade_flag_exact(self, lib):
+        spec = comparator_spec(4)  # not cascaded
+        assert match_cell(spec, lib.cell("CMP4")) is None
+
+    def test_alu_ops_must_be_identical(self, lib):
+        from repro.techlib.cells import make_cell
+
+        cell = make_cell("ALU4", make_spec("ALU", 4, ops=("ADD", "SUB")),
+                         20.0, uniform_delay=3.0)
+        assert match_cell(make_spec("ALU", 4, ops=("ADD", "SUB")), cell)
+        assert match_cell(make_spec("ALU", 4, ops=("SUB", "ADD")), cell) is None
+
+    def test_describe(self, lib):
+        spec = make_spec("ADD", 4, carry_out=True)
+        binding = matching_cells(spec, lib)[0]
+        text = binding.describe()
+        assert "ADD4" in text and "tie" in text

@@ -1,0 +1,164 @@
+"""Unit tests for ports, module instances, netlists, and validation."""
+
+import pytest
+
+from repro.core.specs import gate_spec, make_spec, port_signature
+from repro.netlist import (
+    Const,
+    Direction,
+    Net,
+    Netlist,
+    NetlistError,
+    PinKind,
+    Port,
+    validate_netlist,
+)
+from repro.netlist.ports import clock_port, control_port, in_port, out_port
+
+
+class TestPort:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Port("", 1, Direction.IN)
+        with pytest.raises(ValueError):
+            Port("a", 0, Direction.IN)
+
+    def test_helpers(self):
+        assert in_port("A", 4).is_input
+        assert out_port("O").is_output
+        assert clock_port().kind is PinKind.CLOCK
+        assert control_port("S", 2).kind is PinKind.CONTROL
+
+    def test_sequential_boundary(self):
+        assert clock_port().is_sequential_boundary
+        assert not in_port("A").is_sequential_boundary
+
+    def test_flipped(self):
+        assert Direction.IN.flipped() is Direction.OUT
+
+    def test_describe(self):
+        assert "A[4] in" in in_port("A", 4).describe()
+
+
+class TestNetlistConstruction:
+    def test_ports_get_backing_nets(self):
+        netlist = Netlist("t")
+        net = netlist.add_port(in_port("A", 4))
+        assert netlist.port_net("A") is net
+        assert net.width == 4
+
+    def test_duplicate_port_rejected(self):
+        netlist = Netlist("t")
+        netlist.add_port(in_port("A"))
+        with pytest.raises(ValueError):
+            netlist.add_port(out_port("A"))
+
+    def test_net_names_uniquified(self):
+        netlist = Netlist("t")
+        a1 = netlist.add_net("x", 1)
+        a2 = netlist.add_net("x", 1)
+        assert a1.name != a2.name
+
+    def test_module_names_uniquified(self):
+        netlist = Netlist("t")
+        spec = gate_spec("NOT")
+        m1 = netlist.add_module("g", spec, port_signature(spec))
+        m2 = netlist.add_module("g", spec, port_signature(spec))
+        assert m1.name != m2.name
+
+    def test_connect_width_mismatch(self):
+        netlist = Netlist("t")
+        spec = gate_spec("NOT", width=4)
+        inst = netlist.add_module("g", spec, port_signature(spec))
+        wrong = netlist.add_net("w", 2)
+        with pytest.raises(ValueError):
+            inst.connect("I0", wrong.ref())
+
+    def test_unknown_pin(self):
+        netlist = Netlist("t")
+        spec = gate_spec("NOT")
+        inst = netlist.add_module("g", spec, port_signature(spec))
+        with pytest.raises(KeyError):
+            inst.port("NOPE")
+
+    def test_drivers_of_bit(self):
+        netlist = Netlist("t")
+        a = netlist.add_port(in_port("A"))
+        o = netlist.add_port(out_port("O"))
+        spec = gate_spec("NOT")
+        netlist.add_module("g", spec, port_signature(spec),
+                           {"I0": a.ref(), "O": o.ref()})
+        assert netlist.drivers_of_bit(o, 0) == [("pin", "g.O")]
+        assert netlist.drivers_of_bit(a, 0) == [("port", "A")]
+
+
+def _inverter_netlist():
+    netlist = Netlist("inv_wrap")
+    a = netlist.add_port(in_port("A"))
+    o = netlist.add_port(out_port("O"))
+    spec = gate_spec("NOT")
+    netlist.add_module("g", spec, port_signature(spec),
+                       {"I0": a.ref(), "O": o.ref()})
+    return netlist
+
+
+class TestValidate:
+    def test_clean_passes(self):
+        validate_netlist(_inverter_netlist())
+
+    def test_unconnected_input(self):
+        netlist = Netlist("t")
+        netlist.add_port(out_port("O"))
+        spec = gate_spec("NOT")
+        netlist.add_module("g", spec, port_signature(spec),
+                           {"O": netlist.port_net("O").ref()})
+        with pytest.raises(NetlistError, match="unconnected"):
+            validate_netlist(netlist)
+
+    def test_undriven_output_port(self):
+        netlist = Netlist("t")
+        netlist.add_port(out_port("O"))
+        with pytest.raises(NetlistError, match="undriven"):
+            validate_netlist(netlist)
+        validate_netlist(netlist, require_driven_outputs=False)
+
+    def test_double_driver(self):
+        netlist = Netlist("t")
+        a = netlist.add_port(in_port("A"))
+        o = netlist.add_port(out_port("O"))
+        spec = gate_spec("NOT")
+        for name in ("g1", "g2"):
+            netlist.add_module(name, spec, port_signature(spec),
+                               {"I0": a.ref(), "O": o.ref()})
+        with pytest.raises(NetlistError, match="driven by both"):
+            validate_netlist(netlist)
+
+    def test_const_on_output_pin(self):
+        netlist = Netlist("t")
+        a = netlist.add_port(in_port("A"))
+        spec = gate_spec("NOT")
+        inst = netlist.add_module("g", spec, port_signature(spec))
+        inst.connect("I0", a.ref())
+        inst.connections["O"] = Const(0, 1)
+        with pytest.raises(NetlistError, match="constant"):
+            validate_netlist(netlist)
+
+    def test_width_mismatch_reported(self):
+        netlist = Netlist("t")
+        a = netlist.add_port(in_port("A", 2))
+        spec = gate_spec("NOT", width=2)
+        inst = netlist.add_module("g", spec, port_signature(spec))
+        inst.connections["I0"] = a[0]  # bypass connect() check
+        with pytest.raises(NetlistError, match="width mismatch"):
+            validate_netlist(netlist)
+
+    def test_error_lists_all_problems(self):
+        netlist = Netlist("t")
+        netlist.add_port(out_port("O", 2))
+        spec = gate_spec("NOT")
+        netlist.add_module("g", spec, port_signature(spec))
+        try:
+            validate_netlist(netlist)
+            raise AssertionError("expected NetlistError")
+        except NetlistError as err:
+            assert len(err.problems) >= 2

@@ -1,0 +1,198 @@
+"""Unit tests for component specifications and port signatures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.specs import (
+    ALU16_OPS,
+    ComponentSpec,
+    KNOWN_CTYPES,
+    adder_spec,
+    alu_spec,
+    comparator_spec,
+    counter_spec,
+    data_input_names,
+    gate_spec,
+    make_spec,
+    mux_spec,
+    output_names,
+    port_signature,
+    register_spec,
+    sel_width,
+)
+from repro.netlist.ports import PinKind
+
+
+class TestMakeSpec:
+    def test_equal_regardless_of_attr_order(self):
+        a = make_spec("ADD", 8, carry_in=True, carry_out=True)
+        b = make_spec("ADD", 8, carry_out=True, carry_in=True)
+        assert a == b and hash(a) == hash(b)
+
+    def test_none_attrs_dropped(self):
+        a = make_spec("ADD", 8, carry_in=True, carry_out=None)
+        assert not a.has("carry_out")
+
+    def test_lists_frozen(self):
+        spec = make_spec("ALU", 4, ops=["ADD", "SUB"])
+        assert spec.ops == ("ADD", "SUB")
+
+    def test_bool_attrs_normalized(self):
+        a = make_spec("ADD", 8, carry_in=1)
+        b = make_spec("ADD", 8, carry_in=True)
+        assert a == b
+
+    def test_unknown_ctype_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec("FLUX_CAPACITOR", 8)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec("ADD", 0)
+
+    def test_get_and_has(self):
+        spec = make_spec("MUX", 4, n_inputs=4)
+        assert spec.get("n_inputs") == 4
+        assert spec.get("missing", 7) == 7
+        assert spec.has("n_inputs")
+
+    def test_describe_compact(self):
+        text = str(alu_spec(64))
+        assert "ALU<64>" in text and "ops=16" in text
+
+    def test_sequential_flag(self):
+        assert register_spec(4).is_sequential
+        assert not adder_spec(4).is_sequential
+
+
+class TestSelWidth:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4),
+    ])
+    def test_values(self, n, expected):
+        assert sel_width(n) == expected
+
+
+class TestPortSignatures:
+    def test_adder_ports(self):
+        names = [p.name for p in port_signature(adder_spec(8))]
+        assert names == ["A", "B", "CI", "S", "CO"]
+
+    def test_adder_no_carry(self):
+        spec = make_spec("ADD", 8)
+        names = [p.name for p in port_signature(spec)]
+        assert names == ["A", "B", "S"]
+
+    def test_group_carry_ports(self):
+        spec = adder_spec(4, group_carry=True)
+        names = [p.name for p in port_signature(spec)]
+        assert "G" in names and "P" in names
+
+    def test_alu_select_width(self):
+        spec = alu_spec(16)
+        sel = next(p for p in port_signature(spec) if p.name == "S")
+        assert sel.width == 4
+        assert sel.kind is PinKind.CONTROL
+
+    def test_alu_requires_ops(self):
+        with pytest.raises(ValueError):
+            make_spec("ALU", 8)
+
+    def test_mux_ports(self):
+        spec = mux_spec(4, 8)
+        names = [p.name for p in port_signature(spec)]
+        assert names == ["I0", "I1", "I2", "I3", "S", "O"]
+
+    def test_mux_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            make_spec("MUX", 4, n_inputs=1)
+
+    def test_gate_not_single_input(self):
+        with pytest.raises(ValueError):
+            make_spec("GATE", 1, kind="NOT", n_inputs=2)
+
+    def test_gate_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_spec("GATE", 1, kind="MAYBE")
+
+    def test_decoder_enable(self):
+        spec = make_spec("DECODER", 3, enable=True)
+        names = [p.name for p in port_signature(spec)]
+        assert names == ["I", "EN", "O"]
+        assert port_signature(spec)[-1].width == 8
+
+    def test_decoder_partial_outputs(self):
+        spec = make_spec("DECODER", 4, n_outputs=10)
+        assert port_signature(spec)[-1].width == 10
+
+    def test_counter_ports_match_figure2(self):
+        spec = counter_spec(8, enable=True)
+        names = [p.name for p in port_signature(spec)]
+        assert names == ["I0", "CLK", "CEN", "CLOAD", "CUP", "CDOWN", "O0"]
+
+    def test_register_variants(self):
+        plain = [p.name for p in port_signature(register_spec(4))]
+        assert plain == ["D", "CLK", "Q"]
+        rich = register_spec(4, enable=True, async_reset=True)
+        names = [p.name for p in port_signature(rich)]
+        assert "CEN" in names and "ARST" in names
+
+    def test_comparator_cascade_ports(self):
+        spec = comparator_spec(4, cascaded=True)
+        names = [p.name for p in port_signature(spec)]
+        assert "EQ_IN" in names and "EQ" in names
+
+    def test_cla_gen_ports(self):
+        spec = make_spec("CLA_GEN", 1, groups=4)
+        widths = {p.name: p.width for p in port_signature(spec)}
+        assert widths == {"G": 4, "P": 4, "CI": 1, "C": 4, "GG": 1, "GP": 1}
+
+    def test_mult_asymmetric(self):
+        spec = make_spec("MULT", 8, width_b=4)
+        out = port_signature(spec)[-1]
+        assert out.name == "P" and out.width == 12
+
+    def test_concat_extract(self):
+        spec = make_spec("CONCAT", 4, part_widths=(4, 4, 4))
+        assert port_signature(spec)[-1].width == 12
+        spec = make_spec("EXTRACT", 4, src_width=16, lsb=8)
+        assert port_signature(spec)[0].width == 16
+
+    def test_port_direction_attr(self):
+        spec = make_spec("PORT", 8, direction="out")
+        ports = port_signature(spec)
+        assert len(ports) == 1 and ports[0].is_input
+
+    def test_helpers(self):
+        spec = adder_spec(4)
+        assert data_input_names(spec) == ("A", "B", "CI")
+        assert output_names(spec) == ("S", "CO")
+
+    @pytest.mark.parametrize("ctype", sorted(KNOWN_CTYPES))
+    def test_every_ctype_has_default_signature(self, ctype):
+        """Every known component type yields ports for some spec."""
+        kwargs = {}
+        if ctype == "GATE":
+            kwargs["kind"] = "NAND"
+        if ctype == "ALU":
+            kwargs["ops"] = ("ADD", "SUB")
+        spec = make_spec(ctype, 4, **kwargs)
+        ports = port_signature(spec)
+        assert ports, ctype
+        names = [p.name for p in ports]
+        assert len(names) == len(set(names))
+
+
+class TestWithAttrs:
+    def test_with_attrs_copy(self):
+        spec = adder_spec(8)
+        wider = spec.with_attrs(group_carry=True)
+        assert wider.get("group_carry") is True
+        assert not spec.get("group_carry", False)
+
+
+@given(width=st.integers(1, 128))
+def test_adder_spec_any_width(width):
+    spec = adder_spec(width)
+    a_port = port_signature(spec)[0]
+    assert a_port.width == width
