@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+``python -m benchmarks.perf_report`` times the paper workloads and
+writes ``BENCH_report.json`` at the repo root; the ``bench_*.py``
+modules are pytest-benchmark tests asserting the paper's claims.
+"""

@@ -1,0 +1,176 @@
+"""Perf-tracking harness: time the paper workloads, write BENCH_report.json.
+
+Usage::
+
+    python -m benchmarks.perf_report [--output PATH] [--repeats N] [--quick]
+
+Each workload constructs a fresh ``DTAS`` and synthesizes, run
+``--repeats`` times in one process.  The process-wide expansion caches
+(rule netlists, cell matchings, compiled timing programs) deliberately
+stay warm across repeats and workloads -- that is the serving-shaped
+number -- so ``wall_seconds`` (best) tracks the warm path while
+``wall_seconds_first`` tracks the cold path including cache fill;
+regressions in either show up in their own field.  The report records
+those timings together with design-space statistics and the surviving
+alternative (area, delay) points, so result regressions and perf
+regressions are both visible.
+
+The report lands at the repository root as ``BENCH_report.json`` (the
+perf trajectory file later PRs are measured against).  ``--quick`` runs
+a reduced workload set for CI smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import (
+    DTAS,
+    KeepAllFilter,
+    ParetoFilter,
+    TopKFilter,
+    TradeoffFilter,
+)
+from repro.core.specs import adder_spec, alu_spec, counter_spec
+from repro.techlib import lsi_logic_library
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_report.json"
+
+#: Report format version; bump when the JSON shape changes.
+SCHEMA = 1
+
+
+def _keepall_adder8(lsi):
+    dtas = DTAS(lsi, perf_filter=KeepAllFilter())
+    dtas.space.max_combinations = 2000
+    return dtas.synthesize_spec(adder_spec(8))
+
+
+def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
+    """(name, thunk) pairs; each thunk runs one synthesis workload."""
+    lsi = lsi_logic_library()
+    jobs: List[Tuple[str, Callable]] = [
+        ("adder16_pareto",
+         lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
+             adder_spec(16))),
+        ("adder32_tradeoff5",
+         lambda: DTAS(lsi, perf_filter=TradeoffFilter(0.05)).synthesize_spec(
+             adder_spec(32))),
+        ("alu64_tradeoff5",
+         lambda: DTAS(lsi, perf_filter=TradeoffFilter(0.05)).synthesize_spec(
+             alu_spec(64))),
+        ("counter8_pareto",
+         lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
+             counter_spec(8))),
+    ]
+    if not quick:
+        jobs += [
+            # Keep-all is the S2-off ablation: unfiltered, the
+            # evaluated space explodes, so bound the per-node
+            # combination cap (the streaming combiner makes the cap
+            # bound *work*, not just output) to keep the harness fast
+            # while still exercising the unfiltered path.
+            ("adder8_keepall_capped",
+             lambda: _keepall_adder8(lsi)),
+            ("alu16_top4_ablation",
+             lambda: DTAS(lsi, perf_filter=TopKFilter(4)).synthesize_spec(
+                 alu_spec(16))),
+            ("adder32_pareto_ablation",
+             lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
+                 adder_spec(32))),
+        ]
+    return jobs
+
+
+def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
+    times: List[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = thunk()
+        times.append(time.perf_counter() - start)
+    points = [(alt.area, alt.delay) for alt in result.alternatives]
+    results = {
+        "alternatives": len(points),
+        "area_min": min(a for a, _ in points),
+        "area_max": max(a for a, _ in points),
+        "delay_min": min(d for _, d in points),
+        "delay_max": max(d for _, d in points),
+        "points": points,
+        "space": result.stats,
+    }
+    timings = {
+        "wall_seconds": min(times),
+        "wall_seconds_mean": sum(times) / len(times),
+        "wall_seconds_first": times[0],
+        "repeats": len(times),
+    }
+    return results, timings
+
+
+def run(repeats: int = 3, quick: bool = False) -> Dict:
+    """Run every workload; return the report as a dict.
+
+    The report separates the deterministic ``results`` section (the
+    regression anchor: diffs there mean the engine changed behavior)
+    from the machine/run-dependent ``timings`` and ``environment``
+    sections, so a reviewer can diff ``results`` byte-for-byte while
+    reading ``timings`` as a trend.
+    """
+    results: Dict[str, Dict] = {}
+    timings: Dict[str, Dict] = {}
+    total = 0.0
+    for name, thunk in _workloads(quick):
+        results[name], timings[name] = _run_workload(thunk, repeats)
+        total += timings[name]["wall_seconds"]
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m benchmarks.perf_report",
+        "quick": quick,
+        "results": results,
+        "timings": timings,
+        "totals": {"wall_seconds_best_sum": total},
+        "environment": {
+            "unix_time": time.time(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf_report",
+        description="Time the paper workloads and write BENCH_report.json.",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per workload; best wall-clock is reported")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload set (CI smoke)")
+    args = parser.parse_args(argv)
+
+    report = run(repeats=args.repeats, quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(name) for name in report["results"])
+    print(f"{'workload':<{width}}  {'best':>9}  {'mean':>9}  alts")
+    for name, entry in report["results"].items():
+        timing = report["timings"][name]
+        print(f"{name:<{width}}  {timing['wall_seconds'] * 1e3:>7.1f}ms  "
+              f"{timing['wall_seconds_mean'] * 1e3:>7.1f}ms  "
+              f"{entry['alternatives']:>4}")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,27 @@ from repro.core.design_space import DesignSpace, Implementation, SpecNode
 from repro.core.rules import Rule, RuleBase
 from repro.core.synthesizer import DTAS, SynthesisResult, synthesize
 
+# Load the rule-family modules eagerly: DTAS construction otherwise
+# pays the module-exec cost of ten rulebase modules inside the first
+# synthesis call, which is exactly where serving latency matters.  The
+# Rule objects themselves are still built lazily on first DTAS().
+# (These imports must come last -- the rule modules import
+# repro.core.rules/specs.)
+from repro.core import library_rules as _library_rules  # noqa: E402,F401
+from repro.core import rulebase as _rulebase  # noqa: E402,F401
+from repro.core.rulebase import (  # noqa: E402,F401
+    alu as _alu,
+    arithmetic as _arithmetic,
+    comparators as _comparators,
+    counters as _counters,
+    encoding as _encoding,
+    logic as _logic,
+    multipliers as _multipliers,
+    routing as _routing,
+    shifters as _shifters,
+    storage as _storage,
+)
+
 __all__ = [
     "ComponentSpec",
     "Configuration",

@@ -11,21 +11,38 @@ choices.
 A configuration also carries its cost: total area (equivalent NAND
 gates) and the full input-to-output pin delay matrix (nanoseconds), so
 parents can run structural timing over their decomposition netlists.
+The scalar worst-delay summary is computed once at construction (it is
+the sort key of every filter pass), and per-spec choice lookup is
+backed by a lazily built dictionary so materializing a design tree is
+linear rather than quadratic in tree size.
+
+Combining sibling options is *streaming*: :func:`iter_compatible`
+enumerates the S1-consistent cross product lazily, so a combination cap
+bounds the work performed, not just the length of a list that was
+already fully materialized.  Sibling specification sets are analysed up
+front: an option list whose specs appear in no other list can never
+conflict, so its choices are merged with plain dictionary writes and no
+comparisons at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.specs import ComponentSpec
 
 Choice = Tuple[ComponentSpec, int]  # (specification, implementation index)
 DelayItems = Tuple[Tuple[Tuple[str, str], float], ...]
-
-
-def _spec_key(spec: ComponentSpec) -> str:
-    return f"{spec.ctype}|{spec.width}|{spec.attrs!r}"
 
 
 @dataclass(frozen=True)
@@ -35,26 +52,63 @@ class Configuration:
     area: float
     delays: DelayItems
     choices: Tuple[Choice, ...]
+    #: Scalar summary (worst pin-to-pin delay), precomputed because it
+    #: is read on every filter sort key and dominance comparison.  It is
+    #: derived from ``delays``, so it is excluded from equality/hash.
+    delay: float = field(default=-1.0, compare=False)
 
-    @property
-    def delay(self) -> float:
-        """Scalar summary: the worst pin-to-pin delay."""
-        return max((d for _, d in self.delays), default=0.0)
+    def __post_init__(self) -> None:
+        if self.delay < 0.0:
+            object.__setattr__(
+                self, "delay", max((d for _, d in self.delays), default=0.0)
+            )
 
     def delay_matrix(self) -> Dict[Tuple[str, str], float]:
         return dict(self.delays)
+
+    @property
+    def arc_keys(self) -> Tuple[Tuple[str, str], ...]:
+        """The (input, output) pairs of the delay matrix, in ``delays``
+        order -- the arc signature used by compiled timing kernels."""
+        cached = self.__dict__.get("_arc_keys")
+        if cached is None:
+            cached = tuple(k for k, _ in self.delays)
+            object.__setattr__(self, "_arc_keys", cached)
+        return cached
+
+    @property
+    def delay_values(self) -> Tuple[float, ...]:
+        """The delay weights, parallel to :attr:`arc_keys`."""
+        cached = self.__dict__.get("_delay_values")
+        if cached is None:
+            cached = tuple(v for _, v in self.delays)
+            object.__setattr__(self, "_delay_values", cached)
+        return cached
 
     def choice_map(self) -> Dict[ComponentSpec, int]:
         return dict(self.choices)
 
     def chosen_impl(self, spec: ComponentSpec) -> Optional[int]:
-        for s, impl in self.choices:
-            if s == spec:
-                return impl
-        return None
+        table = self.__dict__.get("_impl_by_spec")
+        if table is None:
+            table = dict(self.choices)
+            object.__setattr__(self, "_impl_by_spec", table)
+        return table.get(spec)
 
     def describe(self) -> str:
         return f"area={self.area:.0f} gates, delay={self.delay:.1f} ns"
+
+    def __getstate__(self):
+        """Drop lazily built caches from pickles; they are derived and
+        cheap to rebuild, and ``_impl_by_spec`` keys specs whose hashes
+        are process-specific."""
+        state = dict(self.__dict__)
+        for key in ("_arc_keys", "_delay_values", "_impl_by_spec"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 def make_configuration(
@@ -64,7 +118,7 @@ def make_configuration(
 ) -> Configuration:
     """Normalized constructor (sorted, hashable tuples)."""
     delay_items = tuple(sorted(delays.items()))
-    choice_items = tuple(sorted(choices.items(), key=lambda kv: _spec_key(kv[0])))
+    choice_items = tuple(sorted(choices.items(), key=lambda kv: kv[0].sort_key))
     return Configuration(float(area), delay_items, choice_items)
 
 
@@ -87,28 +141,159 @@ def merge_choices(
     return merged
 
 
-def combine_compatible(
-    option_lists: List[List[Configuration]],
-) -> List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
-    """Cross product of per-spec configuration options, keeping only
-    S1-consistent combinations.
+def prune_dominated_options(
+    options: Sequence[Configuration],
+    shared_specs: Optional[set] = None,
+) -> List[Configuration]:
+    """Drop options that are *interchangeable-for-the-worse*.
 
-    Returns a list of (chosen configurations, merged choice map).  The
-    cross product is walked incrementally so conflicting prefixes are
-    pruned early.
+    Two options are interchangeable for S1 composition when their
+    choices agree on every spec in ``shared_specs`` -- the specs that
+    can also appear in sibling option lists; choices on specs private
+    to this list can never cause a conflict elsewhere.  Among
+    interchangeable options, one that is at least as good in area and
+    in every delay arc (same arc-key set) and strictly better somewhere
+    dominates: every combination the worse option could contribute, the
+    better one contributes at pointwise-lower cost.
+
+    With ``shared_specs=None`` the *full* choice map must agree -- the
+    conservative form used directly in tests.  Opt-in because a
+    dominated combination can still tie the dominating one on the
+    scalar (area, worst-delay) pair, so downstream filter tie-breaking
+    may keep a different (cost-equivalent) representative than
+    unpruned evaluation.
     """
-    results: List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]] = [
-        ((), {})
-    ]
+
+    def footprint(option: Configuration) -> Tuple[Choice, ...]:
+        if shared_specs is None:
+            return option.choices
+        return tuple(c for c in option.choices if c[0] in shared_specs)
+
+    kept: List[Configuration] = []
+    kept_footprints: List[Tuple[Choice, ...]] = []
+    for option in options:
+        own_footprint = footprint(option)
+        dominated = False
+        for other, other_footprint in zip(kept, kept_footprints):
+            if other_footprint != own_footprint:
+                continue
+            if other.arc_keys != option.arc_keys:
+                continue
+            if other.area > option.area:
+                continue
+            values, other_values = option.delay_values, other.delay_values
+            if any(o > v for o, v in zip(other_values, values)):
+                continue
+            if other.area < option.area or any(
+                o < v for o, v in zip(other_values, values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(option)
+            kept_footprints.append(own_footprint)
+    return kept
+
+
+def iter_compatible(
+    option_lists: Sequence[Sequence[Configuration]],
+    limit: Optional[int] = None,
+    prune_dominated: bool = False,
+) -> Iterator[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
+    """Stream the S1-consistent cross product of per-spec options.
+
+    Yields ``(chosen configurations, merged choice map)`` in exactly
+    the order the nested-loop cross product would produce them, pruning
+    conflicting prefixes as early as possible.  With ``limit``, the
+    enumeration *stops* after that many combinations -- bounding the
+    work done, not just the output returned.
+
+    The yielded choice map is reused between iterations for speed; copy
+    it if it must outlive the loop body (:func:`combine_compatible`
+    does exactly that).
+    """
+    if limit is not None and limit <= 0:
+        return
+    count = len(option_lists)
+
+    # Which option lists can conflict at all?  A spec can collide only
+    # when it appears in the choice universes of two different lists.
+    universes: List[set] = []
     for options in option_lists:
-        extended = []
-        for chosen, merged in results:
-            for option in options:
-                combined = merge_choices([merged, option.choice_map()])
-                if combined is None:
-                    continue
-                extended.append((chosen + (option,), combined))
-        results = extended
-        if not results:
-            break
-    return results
+        universe = set()
+        for config in options:
+            for spec, _ in config.choices:
+                universe.add(spec)
+        universes.append(universe)
+    shared: set = set()
+    seen: set = set()
+    for universe in universes:
+        shared |= universe & seen
+        seen |= universe
+    checked = [bool(universe & shared) for universe in universes]
+
+    lists: List[Sequence[Configuration]] = (
+        [prune_dominated_options(options, shared) for options in option_lists]
+        if prune_dominated
+        else list(option_lists)
+    )
+
+    merged: Dict[ComponentSpec, int] = {}
+    chosen: List[Optional[Configuration]] = [None] * count
+    emitted = 0
+
+    def walk(depth: int) -> Iterator[
+        Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]
+    ]:
+        nonlocal emitted
+        if depth == count:
+            yield tuple(chosen), merged
+            emitted += 1
+            return
+        options = lists[depth]
+        if not checked[depth]:
+            # No spec of this list appears anywhere else: conflicts are
+            # impossible, so skip the compare-and-merge entirely.
+            for config in options:
+                chosen[depth] = config
+                choices = config.choices
+                for spec, impl in choices:
+                    merged[spec] = impl
+                yield from walk(depth + 1)
+                for spec, _ in choices:
+                    del merged[spec]
+                if limit is not None and emitted >= limit:
+                    return
+        else:
+            for config in options:
+                chosen[depth] = config
+                added: List[ComponentSpec] = []
+                consistent = True
+                for spec, impl in config.choices:
+                    existing = merged.get(spec)
+                    if existing is None:
+                        merged[spec] = impl
+                        added.append(spec)
+                    elif existing != impl:
+                        consistent = False
+                        break
+                if consistent:
+                    yield from walk(depth + 1)
+                for spec in added:
+                    del merged[spec]
+                if limit is not None and emitted >= limit:
+                    return
+
+    yield from walk(0)
+
+
+def combine_compatible(
+    option_lists: Sequence[Sequence[Configuration]],
+    limit: Optional[int] = None,
+) -> List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
+    """Materialized form of :func:`iter_compatible` (kept for callers
+    and tests that want the whole list; each result owns its map)."""
+    return [
+        (chosen, dict(merged))
+        for chosen, merged in iter_compatible(option_lists, limit=limit)
+    ]

@@ -19,26 +19,41 @@ both search controls applied:
 
 - S1 (implementation consistency) through choice-map merging, and
 - S2 (performance filtering) through the node-level filter.
+
+The evaluation inner loop is engineered for the paper's scale claim
+(hundreds of thousands to millions of raw alternatives):
+
+- each decomposition netlist is compiled once into a
+  :class:`~repro.netlist.timing_program.TimingProgram` (graph
+  structure, wiring arcs, and per-arc-signature topological orders),
+  so costing a combination only substitutes delay weights;
+- the S1 cross product is *streamed*
+  (:func:`~repro.core.configs.iter_compatible`), so ``max_combinations``
+  bounds the enumeration work itself, and sibling specs that cannot
+  conflict skip choice-map checks entirely;
+- rule applications, cell matchings, and compiled programs are pure
+  functions of (rule, spec, library) and are cached process-wide, so
+  repeated syntheses (benchmarks, serving, LOLA retargeting sweeps)
+  skip re-expansion.
 """
 
 from __future__ import annotations
 
-import math
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.configs import (
     Configuration,
-    combine_compatible,
+    iter_compatible,
     make_configuration,
-    merge_choices,
 )
 from repro.core.filters import ParetoFilter, PerformanceFilter
 from repro.core.mapper import CellBinding, matching_cells
 from repro.core.rules import RuleBase, RuleContext
 from repro.core.specs import ComponentSpec
-from repro.netlist.netlist import ModuleInst, Netlist
-from repro.netlist.timing import port_delay_matrix
+from repro.netlist.netlist import Netlist
+from repro.netlist.timing_program import TimingProgram
 from repro.netlist.validate import NetlistError, validate_netlist
 
 if False:  # typing only; avoids a circular import with repro.techlib
@@ -50,10 +65,107 @@ class SynthesisError(Exception):
     the leaf specifications that could not be implemented."""
 
 
+# ---------------------------------------------------------------------------
+# Process-wide expansion caches.
+#
+# Rule application and cell matching are pure functions of
+# (rule builder, spec, library) / (spec, library): builders derive the
+# decomposition from the frozen spec plus the library's width catalog,
+# and nothing in the system mutates a rule-produced netlist after
+# construction.  Every DTAS instance used to redo this work from
+# scratch -- and a benchmark or serving process creates many instances
+# over the same rulebase and library.  Caches are keyed *per library
+# object* through a WeakKeyDictionary, so retiring a library (e.g. a
+# LOLA retargeting sweep building one library per data book) releases
+# its entire expansion state; within a library, keys hold the
+# builder/spec objects themselves, so entries can never alias across
+# distinct objects with reused addresses.
+# ---------------------------------------------------------------------------
+
+_EXPANSION_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+class _LibraryCache:
+    __slots__ = ("rules", "validated", "cells")
+
+    def __init__(self) -> None:
+        self.rules: Dict[tuple, List[Netlist]] = {}
+        self.validated: set = set()
+        self.cells: Dict[ComponentSpec, List[CellBinding]] = {}
+
+
+def _library_cache(library) -> _LibraryCache:
+    cache = _EXPANSION_CACHES.get(library)
+    if cache is None:
+        cache = _EXPANSION_CACHES[library] = _LibraryCache()
+    return cache
+
+
+def _cached_rule_netlists(rule, spec: ComponentSpec, context: RuleContext,
+                          validate: bool) -> List[Netlist]:
+    cache = _library_cache(context.library)
+    key = (rule.builder, spec)
+    netlists = cache.rules.get(key)
+    if netlists is None:
+        netlists = cache.rules[key] = rule.apply(spec, context)
+    if validate and key not in cache.validated:
+        for netlist in netlists:
+            validate_netlist(netlist)
+        cache.validated.add(key)
+    return netlists
+
+
+def _cached_matching_cells(spec: ComponentSpec, library) -> List[CellBinding]:
+    cache = _library_cache(library)
+    bindings = cache.cells.get(spec)
+    if bindings is None:
+        bindings = cache.cells[spec] = matching_cells(spec, library)
+    return bindings
+
+
+def _structure_token(netlist: Netlist) -> Tuple[int, int, int, int]:
+    """Cheap fingerprint of a netlist's structure, used to detect (most)
+    mutations of a rule-produced netlist.  Rule netlists are shared
+    process-wide and must not be mutated (see :class:`Implementation`);
+    this token catches added modules/nets/ports/connections as a
+    defense-in-depth recompile trigger.  Rewiring an existing pin to a
+    different endpoint is not detectable at this cost."""
+    return (
+        len(netlist.modules),
+        len(netlist.nets),
+        len(netlist.ports),
+        sum(len(m.connections) for m in netlist.modules),
+    )
+
+
+def _spec_timing_program(netlist: Netlist) -> TimingProgram:
+    """The netlist's compiled timing program with one slot per distinct
+    module spec (S1 forces every instance of a spec onto the same
+    configuration).  Attached to the netlist so rule-cache hits across
+    DTAS instances share the compiled structure and its kernels.
+
+    Only call this for netlists that are structurally frozen -- rule
+    products are; externally supplied netlists may be mutated by their
+    owners and must compile a fresh program per evaluation instead."""
+    token = _structure_token(netlist)
+    program = getattr(netlist, "_spec_timing_program", None)
+    if program is None or getattr(netlist, "_spec_timing_token", None) != token:
+        program = TimingProgram(netlist, slot_of=lambda inst: inst.spec)
+        netlist._spec_timing_program = program
+        netlist._spec_timing_token = token
+    return program
+
+
 @dataclass
 class Implementation:
     """One alternative implementation of a specification: either a
-    library-cell binding or a decomposition netlist."""
+    library-cell binding or a decomposition netlist.
+
+    ``netlist`` is owned by the process-wide rule cache and shared by
+    every DTAS instance over the same library: treat it as read-only.
+    Mutating it corrupts later syntheses (a structure fingerprint
+    catches additions and forces a recompile, but rewired endpoints are
+    not detectable cheaply)."""
 
     index: int
     spec: ComponentSpec
@@ -61,6 +173,11 @@ class Implementation:
     binding: Optional[CellBinding] = None
     netlist: Optional[Netlist] = None
     rule_name: str = ""
+    #: Compiled timing program for the decomposition netlist, built on
+    #: first evaluation and reused for every subsequent combination.
+    timing_program: Optional[TimingProgram] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def label(self) -> str:
@@ -128,12 +245,17 @@ class DesignSpace:
         perf_filter: Optional[PerformanceFilter] = None,
         validate: bool = True,
         max_combinations: int = 20000,
+        prune_partial: bool = False,
     ) -> None:
         self.rulebase = rulebase
         self.library = library
         self.perf_filter = perf_filter or ParetoFilter()
         self.validate = validate
         self.max_combinations = max_combinations
+        #: Opt-in: pre-prune sibling options that are dominated in every
+        #: cost dimension by an option with the same choices (see
+        #: :func:`repro.core.configs.prune_dominated_options`).
+        self.prune_partial = prune_partial
         self.context = RuleContext(library)
         self.nodes: Dict[ComponentSpec, SpecNode] = {}
         self.failures: Dict[ComponentSpec, str] = {}
@@ -158,14 +280,14 @@ class DesignSpace:
         self._expanding.add(spec)
         try:
             impls: List[Implementation] = []
-            for binding in matching_cells(spec, self.library):
+            for binding in _cached_matching_cells(spec, self.library):
                 impls.append(
                     Implementation(len(impls), spec, "cell", binding=binding)
                 )
             for rule in self.rulebase.rules_for(spec):
-                for netlist in rule.apply(spec, self.context):
-                    if self.validate:
-                        validate_netlist(netlist)
+                for netlist in _cached_rule_netlists(
+                    rule, spec, self.context, self.validate
+                ):
                     impls.append(
                         Implementation(
                             len(impls), spec, "decomp",
@@ -229,10 +351,7 @@ class DesignSpace:
         self, spec: ComponentSpec, impl: Implementation
     ) -> List[Configuration]:
         netlist = impl.netlist
-        distinct_specs: List[ComponentSpec] = []
-        for module in netlist.modules:
-            if module.spec not in distinct_specs:
-                distinct_specs.append(module.spec)
+        distinct_specs = list(dict.fromkeys(m.spec for m in netlist.modules))
         option_lists = []
         for sub in distinct_specs:
             options = self.configs(sub)
@@ -240,21 +359,49 @@ class DesignSpace:
                 return []  # some module is unimplementable
             option_lists.append(options)
 
-        combos = combine_compatible(option_lists)
-        if len(combos) > self.max_combinations:
-            combos = combos[: self.max_combinations]
+        program = impl.timing_program
+        if program is None:
+            program = impl.timing_program = _spec_timing_program(netlist)
 
+        return self._evaluate_combinations(
+            program, option_lists, {spec: impl.index}
+        )
+
+    def _evaluate_combinations(
+        self,
+        program: TimingProgram,
+        option_lists: List[List[Configuration]],
+        own_choice: Optional[Dict[ComponentSpec, int]],
+    ) -> List[Configuration]:
+        """Cost every S1-consistent combination of module options.
+
+        The streaming combiner enforces ``max_combinations`` during
+        enumeration; the compiled timing program substitutes each
+        combination's delay weights into the prebuilt graph.
+        """
         results: List[Configuration] = []
-        for chosen, merged in combos:
-            by_spec = dict(zip(distinct_specs, chosen))
-            own = merge_choices([merged, {spec: impl.index}])
-            if own is None:
-                continue
-            area = sum(by_spec[m.spec].area for m in netlist.modules)
-            delays = port_delay_matrix(
-                netlist, lambda inst: by_spec[inst.spec].delay_matrix()
+        for chosen, merged in iter_compatible(
+            option_lists,
+            limit=self.max_combinations,
+            prune_dominated=self.prune_partial,
+        ):
+            choices = dict(merged)
+            if own_choice is not None:
+                conflict = False
+                for own_spec, own_impl in own_choice.items():
+                    existing = choices.get(own_spec)
+                    if existing is not None and existing != own_impl:
+                        conflict = True
+                        break
+                    choices[own_spec] = own_impl
+                if conflict:
+                    continue
+            area = program.total_area([c.area for c in chosen])
+            delays = program.evaluate(
+                tuple(c.arc_keys for c in chosen),
+                [c.delay_values for c in chosen],
             )
-            results.append(make_configuration(area, delays, own))
+            results.append(make_configuration(area, delays, choices))
         return results
 
     # ------------------------------------------------------------------
@@ -274,27 +421,18 @@ class DesignSpace:
         configuration per S1-consistent, filter-surviving combination
         of module implementations, costed with structural timing.
         """
-        distinct_specs: List[ComponentSpec] = []
-        for module in netlist.modules:
-            if module.spec not in distinct_specs:
-                distinct_specs.append(module.spec)
+        distinct_specs = list(dict.fromkeys(m.spec for m in netlist.modules))
         option_lists = []
         for sub in distinct_specs:
             options = self.configs(sub)
             if not options:
                 raise SynthesisError(self._failure_message(sub))
             option_lists.append(options)
-        combos = combine_compatible(option_lists)
-        if len(combos) > self.max_combinations:
-            combos = combos[: self.max_combinations]
-        results = []
-        for chosen, merged in combos:
-            by_spec = dict(zip(distinct_specs, chosen))
-            area = sum(by_spec[m.spec].area for m in netlist.modules)
-            delays = port_delay_matrix(
-                netlist, lambda inst: by_spec[inst.spec].delay_matrix()
-            )
-            results.append(make_configuration(area, delays, merged))
+        # The caller owns this netlist and may mutate it between calls,
+        # so compile a fresh program per evaluation (one compile per
+        # call; every combination within the call still reuses it).
+        program = TimingProgram(netlist, slot_of=lambda inst: inst.spec)
+        results = self._evaluate_combinations(program, option_lists, None)
         return self.perf_filter.select(results)
 
     def _failure_message(self, spec: ComponentSpec) -> str:

@@ -33,6 +33,23 @@ def _sorted(configs: Iterable[Configuration]) -> List[Configuration]:
     return sorted(configs, key=lambda c: (c.area, c.delay))
 
 
+def pareto_frontier(sorted_configs: Sequence[Configuration]) -> List[Configuration]:
+    """Frontier of an already (area, delay)-sorted configuration list.
+
+    Shared by every frontier-based filter so the sort happens exactly
+    once per ``select`` call.  The result is itself sorted by
+    (area, delay): area strictly increases and delay strictly decreases
+    along the frontier.
+    """
+    frontier: List[Configuration] = []
+    best_delay = float("inf")
+    for config in sorted_configs:
+        if config.delay < best_delay - 1e-12:
+            frontier.append(config)
+            best_delay = config.delay
+    return frontier
+
+
 class KeepAllFilter:
     """No pruning (used by the ablation benchmarks; expect blow-up)."""
 
@@ -54,13 +71,7 @@ class ParetoFilter:
     name = "pareto"
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
-        frontier: List[Configuration] = []
-        best_delay = float("inf")
-        for config in _sorted(configs):
-            if config.delay < best_delay - 1e-12:
-                frontier.append(config)
-                best_delay = config.delay
-        return frontier
+        return pareto_frontier(_sorted(configs))
 
 
 class TradeoffFilter:
@@ -82,7 +93,7 @@ class TradeoffFilter:
         self.min_delay_gain = min_delay_gain
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
-        frontier = ParetoFilter().select(configs)
+        frontier = pareto_frontier(_sorted(configs))
         if len(frontier) <= 2:
             return frontier
         kept = [frontier[0]]
@@ -96,7 +107,10 @@ class TradeoffFilter:
                 kept.append(config)
         if fastest not in kept:
             kept.append(fastest)
-        return _sorted(kept)
+        # ``kept`` is a subsequence of the frontier (plus possibly the
+        # fastest, i.e. largest-area, point appended last), so it is
+        # already in (area, delay) order -- no re-sort needed.
+        return kept
 
 
 class TopKFilter:
@@ -112,7 +126,7 @@ class TopKFilter:
         self.k = k
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
-        frontier = ParetoFilter().select(configs)
+        frontier = pareto_frontier(_sorted(configs))
         if len(frontier) <= self.k:
             return frontier
         kept = {0, len(frontier) - 1}

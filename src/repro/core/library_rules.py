@@ -250,17 +250,27 @@ def comparator_chain_rule(name: str, block_width: int,
 # The nine LSI Logic rules
 # ---------------------------------------------------------------------------
 
+_LSI_RULES: List[Rule] = []
+
+
 def lsi_rules() -> List[Rule]:
     """The nine library-specific rules for the LSI 1.5-micron subset,
-    mirroring the paper's count."""
-    return [
-        ripple_chain_rule("lsi-add-ripple4", 4),
-        ripple_chain_rule("lsi-add-ripple2", 2),
-        ripple_chain_rule("lsi-add-ripple1", 1),
-        addsub_chain_rule("lsi-addsub-chain2", 2),
-        mux2_slice_rule("lsi-mux2-quad", 4),
-        mux_radix_tree_rule("lsi-mux-radix4", 4),
-        mux_radix_tree_rule("lsi-mux-radix8", 8),
-        register_pack_rule("lsi-reg-pack", (8, 4, 1)),
-        comparator_chain_rule("lsi-cmp-chain4", 4),
-    ]
+    mirroring the paper's count.
+
+    The Rule objects are built once per process: they are immutable,
+    and reusing them keeps their builder closures stable so the
+    design-space decomposition cache stays warm across DTAS instances.
+    """
+    if not _LSI_RULES:
+        _LSI_RULES.extend([
+            ripple_chain_rule("lsi-add-ripple4", 4),
+            ripple_chain_rule("lsi-add-ripple2", 2),
+            ripple_chain_rule("lsi-add-ripple1", 1),
+            addsub_chain_rule("lsi-addsub-chain2", 2),
+            mux2_slice_rule("lsi-mux2-quad", 4),
+            mux_radix_tree_rule("lsi-mux-radix4", 4),
+            mux_radix_tree_rule("lsi-mux-radix8", 8),
+            register_pack_rule("lsi-reg-pack", (8, 4, 1)),
+            comparator_chain_rule("lsi-cmp-chain4", 4),
+        ])
+    return list(_LSI_RULES)

@@ -9,7 +9,15 @@ by component family.  :func:`standard_rulebase` assembles them; the
 LSI-specific rules live in :mod:`repro.core.library_rules`.
 """
 
-from repro.core.rules import RuleBase
+from typing import Dict, Tuple
+
+from repro.core.rules import Rule, RuleBase
+
+# Rule objects are immutable once built, and their builder closures key
+# the process-wide decomposition cache in repro.core.design_space --
+# recreating them per DTAS instance would both redo the construction
+# work and defeat that cache.  Build each family's rules once.
+_FAMILY_RULES: Dict[str, Tuple[Rule, ...]] = {}
 
 
 def standard_rulebase() -> RuleBase:
@@ -32,5 +40,8 @@ def standard_rulebase() -> RuleBase:
         logic, routing, encoding, comparators, arithmetic,
         shifters, multipliers, storage, counters, alu,
     ):
-        rulebase.extend(module.rules())
+        rules = _FAMILY_RULES.get(module.__name__)
+        if rules is None:
+            rules = _FAMILY_RULES[module.__name__] = tuple(module.rules())
+        rulebase.extend(rules)
     return rulebase

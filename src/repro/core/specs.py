@@ -23,6 +23,7 @@ netlists, simulation, VHDL emission, and timing all agree on interfaces.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
 
@@ -100,6 +101,29 @@ class ComponentSpec:
     width: int = 1
     attrs: Tuple[Tuple[str, Hashable], ...] = ()
 
+    def __hash__(self) -> int:
+        """Field-tuple hash, cached: specs key every design-space dict
+        (nodes, configs, choice maps), so the tuple rebuild that the
+        generated dataclass hash performs each call is measurable."""
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.ctype, self.width, self.attrs))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        """Exclude cached derivations from pickles: ``_hash`` embeds the
+        per-process string-hash seed, and a stale value shipped to a
+        worker process would silently break dict lookups against
+        locally built equal specs."""
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_sort_key", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def get(self, key: str, default: Any = None) -> Any:
         for k, v in self.attrs:
             if k == key:
@@ -117,6 +141,18 @@ class ComponentSpec:
     @property
     def is_sequential(self) -> bool:
         return self.ctype in SEQUENTIAL_CTYPES
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str]:
+        """A cheap, total ordering key over specs (computed once per
+        spec object).  Attribute values may mix types, so the attrs part
+        falls back to ``repr``, which is faithful for the normalized
+        primitive/tuple forms :func:`make_spec` stores."""
+        cached = self.__dict__.get("_sort_key")
+        if cached is None:
+            cached = (self.ctype, self.width, repr(self.attrs))
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def with_attrs(self, **changes: Any) -> "ComponentSpec":
         """A copy of this spec with some attributes replaced/added."""
@@ -488,12 +524,29 @@ _SIGNATURES = {
 KNOWN_CTYPES = tuple(sorted(_SIGNATURES))
 
 
+# Weakly keyed so signatures live exactly as long as some equal spec
+# object does: lookups hit across equal specs (hash/eq based), but a
+# retired spec population (e.g. a finished retargeting sweep) releases
+# its entries instead of pinning them for the process lifetime.
+_SIGNATURE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def port_signature(spec: ComponentSpec) -> Tuple[Port, ...]:
-    """Derive the full, ordered port list of a component specification."""
+    """Derive the full, ordered port list of a component specification.
+
+    Signatures are pure functions of the (frozen) spec and are derived
+    for every spec construction and module instantiation, so results
+    are cached.  The returned tuple is shared: treat it as read-only.
+    """
+    cached = _SIGNATURE_CACHE.get(spec)
+    if cached is not None:
+        return cached
     handler = _SIGNATURES.get(spec.ctype)
     if handler is None:
         raise ValueError(f"unknown component type {spec.ctype!r}")
-    return handler(spec)
+    ports = handler(spec)
+    _SIGNATURE_CACHE[spec] = ports
+    return ports
 
 
 def data_input_names(spec: ComponentSpec) -> Tuple[str, ...]:

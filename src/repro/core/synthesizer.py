@@ -106,6 +106,15 @@ class DTAS:
         subset.
     perf_filter:
         Search-control filter (S2); defaults to the Pareto filter.
+    prune_partial:
+        Opt-in: before the S1 cross product, drop sibling options that
+        agree with a cheaper option on every *shared* spec choice and
+        are dominated in area and every delay arc (see
+        :func:`repro.core.configs.prune_dominated_options`).  A no-op
+        under frontier filters (Pareto/tradeoff/top-k inputs are
+        already mutually non-dominated); it pays off with weak filters
+        such as :class:`KeepAllFilter`, where it cuts the evaluated
+        space by integer factors.
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class DTAS:
         extra_rules: Sequence[Rule] = (),
         perf_filter: Optional[PerformanceFilter] = None,
         validate: bool = True,
+        prune_partial: bool = False,
     ) -> None:
         if rulebase is None:
             from repro.core.rulebase import standard_rulebase
@@ -130,7 +140,8 @@ class DTAS:
         self.rulebase = rulebase
         self.perf_filter = perf_filter or ParetoFilter()
         self.space = DesignSpace(rulebase, library, self.perf_filter,
-                                 validate=validate)
+                                 validate=validate,
+                                 prune_partial=prune_partial)
 
     # ------------------------------------------------------------------
     def synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:

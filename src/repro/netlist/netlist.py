@@ -33,16 +33,16 @@ class ModuleInst:
     connections: Dict[str, Endpoint] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        names = [p.name for p in self.ports]
-        if len(names) != len(set(names)):
+        self._ports_by_name = {p.name: p for p in self.ports}
+        if len(self._ports_by_name) != len(self.ports):
             raise ValueError(f"module {self.name!r}: duplicate pin names")
 
     def port(self, pin: str) -> Port:
         """Look up a pin by name."""
-        for p in self.ports:
-            if p.name == pin:
-                return p
-        raise KeyError(f"module {self.name!r} has no pin {pin!r}")
+        port = self._ports_by_name.get(pin)
+        if port is None:
+            raise KeyError(f"module {self.name!r} has no pin {pin!r}")
+        return port
 
     def connect(self, pin: str, endpoint: Endpoint) -> None:
         """Attach ``endpoint`` to ``pin``, checking the width."""

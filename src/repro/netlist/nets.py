@@ -147,6 +147,26 @@ def endpoint_bits(endpoint: Endpoint) -> Iterator[Optional[Tuple[Net, int]]]:
         raise TypeError(f"not an endpoint: {endpoint!r}")
 
 
+def endpoint_masks(endpoint: Endpoint) -> Iterator[Tuple[Optional[Net], int]]:
+    """Yield slice-granular ``(net, bitmask)`` atoms of an endpoint.
+
+    The bitmask is in the net's own bit space (``net[5:3]`` yields mask
+    ``0b111000``).  Constant parts yield ``(None, width)`` so callers
+    can detect them without a second walk.  This is the slice-granular
+    sibling of :func:`endpoint_bits`; the timing compiler and the
+    netlist validator both fold wiring at this granularity.
+    """
+    if isinstance(endpoint, NetRef):
+        yield endpoint.net, ((1 << endpoint.width) - 1) << endpoint.lsb
+    elif isinstance(endpoint, Const):
+        yield None, endpoint.width
+    elif isinstance(endpoint, Concat):
+        for part in endpoint.parts:
+            yield from endpoint_masks(part)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"not an endpoint: {endpoint!r}")
+
+
 def endpoint_nets(endpoint: Endpoint) -> Iterator[Net]:
     """Yield every distinct net an endpoint touches (in first-seen order)."""
     seen = set()

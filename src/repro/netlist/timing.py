@@ -20,6 +20,14 @@ netlist, the entries ``(in, "@clk")``, ``("@clk", out)`` and
 critical path that bounds the clock period.  Because these virtual
 entries appear in the resulting matrix, hierarchical composition of
 sequential components needs no special cases.
+
+This module is the *direct* engine: it rebuilds the timing DAG on every
+call, which is exactly right for one-off questions (reports, critical
+paths, tests).  The design-space evaluator, which asks the same
+structural question thousands of times per netlist, uses the compiled
+engine in :mod:`repro.netlist.timing_program` instead; that engine is
+unit-tested against :func:`port_delay_matrix` for bit-identical
+results.
 """
 
 from __future__ import annotations
@@ -29,9 +37,7 @@ from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.netlist.nets import endpoint_bits
 from repro.netlist.netlist import ModuleInst, Netlist
-
-#: Virtual pin name standing for the clock edge inside a component.
-CLK_PIN = "@clk"
+from repro.netlist.timing_program import CLK_PIN, TimingCycleError
 
 DelayMatrix = Mapping[Tuple[str, str], float]
 DelayFn = Callable[[ModuleInst], DelayMatrix]
@@ -40,10 +46,6 @@ DelayFn = Callable[[ModuleInst], DelayMatrix]
 #   ("port", port_name)          -- a netlist port (either direction)
 #   ("pin", inst_name, pin_name) -- a module pin (pin may be CLK_PIN)
 Node = Tuple
-
-
-class TimingCycleError(Exception):
-    """The netlist contains a combinational cycle."""
 
 
 def _build_graph(

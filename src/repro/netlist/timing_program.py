@@ -1,0 +1,338 @@
+"""Compiled timing programs: evaluate one netlist's delays many times.
+
+:func:`repro.netlist.timing.port_delay_matrix` rebuilds the timing DAG
+and its topological order from scratch on every call.  That is the
+right tool for one-off questions (reports, critical paths), but the
+DTAS evaluation inner loop asks the *same structural question* of the
+*same netlist* once per surviving configuration combination -- for a
+node with thousands of combinations that is thousands of identical
+graph constructions.
+
+A :class:`TimingProgram` splits the work by what actually varies:
+
+- **Compile once per netlist**: intern every timing node (ports and
+  module pins, with the ``@clk`` virtual pin split into a source and a
+  sink half exactly as in :mod:`repro.netlist.timing`), walk the
+  endpoint structure to extract the zero-delay wiring arcs, and record
+  the source ports and sink labels.
+- **Compile once per arc signature**: the set of pin-to-pin arcs a
+  combination contributes depends only on *which* delay-matrix keys its
+  chosen implementations publish, not on the weights.  Combinations
+  overwhelmingly share a handful of key sets, so the internal arcs,
+  the topological order, and the flattened edge arrays are cached per
+  signature (a tuple of per-slot arc-key tuples).
+- **Per evaluation**: substitute the per-slot delay weights into the
+  flattened edge arrays and propagate arrival times -- no graph or
+  ordering work at all.
+
+Instances are grouped into *slots* (by default one slot per instance;
+the design-space evaluator passes ``slot_of=lambda inst: inst.spec`` so
+all instances of one component specification share the configuration
+chosen for that specification, which is exactly search control S1).
+
+The program computes bit-identical results to ``port_delay_matrix``:
+arrival times are prefix sums along identical paths combined with
+``max``, both of which are order-independent in IEEE float arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.netlist.nets import endpoint_masks
+from repro.netlist.netlist import ModuleInst, Netlist
+
+#: Virtual pin name standing for the clock edge inside a component.
+#: (Canonically re-exported by :mod:`repro.netlist.timing`.)
+CLK_PIN = "@clk"
+
+#: Timing node, as in :mod:`repro.netlist.timing`:
+#:   ("port", port_name) | ("pin", inst_name, pin_name)
+Node = Tuple
+
+#: Per-slot arc keys: the (input_pin, output_pin) pairs of a delay
+#: matrix, in a stable order.
+ArcKeys = Tuple[Tuple[str, str], ...]
+
+_NEG_INF = float("-inf")
+
+
+class TimingCycleError(Exception):
+    """The netlist contains a combinational cycle.
+
+    Defined here (rather than in :mod:`repro.netlist.timing`) so the
+    compiled engine has no import cycle; ``timing`` re-exports it.
+    """
+
+
+class _Kernel:
+    """Everything evaluation needs for one arc signature: flattened
+    edges in topological order plus the sources and labeled sinks."""
+
+    __slots__ = (
+        "n_nodes", "edge_u", "edge_v", "edge_ref",
+        "sources", "labeled",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edge_u: List[int],
+        edge_v: List[int],
+        edge_ref: List[Tuple[int, int]],
+        sources: List[Tuple[str, int]],
+        labeled: List[Tuple[int, str]],
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.edge_ref = edge_ref
+        self.sources = sources
+        self.labeled = labeled
+
+    def run(
+        self, values: Sequence[Sequence[float]]
+    ) -> Dict[Tuple[str, str], float]:
+        """Longest-path propagation with the given per-slot weights."""
+        neg = _NEG_INF
+        weights = [
+            0.0 if slot < 0 else values[slot][index]
+            for slot, index in self.edge_ref
+        ]
+        edge_u, edge_v = self.edge_u, self.edge_v
+        result: Dict[Tuple[str, str], float] = {}
+        for source_name, src in self.sources:
+            dist = [neg] * self.n_nodes
+            dist[src] = 0.0
+            for u, v, w in zip(edge_u, edge_v, weights):
+                du = dist[u]
+                if du != neg:
+                    t = du + w
+                    if t > dist[v]:
+                        dist[v] = t
+            for nid, label in self.labeled:
+                if nid == src:
+                    continue
+                value = dist[nid]
+                if value != neg:
+                    key = (source_name, label)
+                    prev = result.get(key)
+                    if prev is None or value > prev:
+                        result[key] = value
+        return result
+
+
+class TimingProgram:
+    """A netlist compiled for repeated delay-matrix evaluation.
+
+    Parameters
+    ----------
+    netlist:
+        The netlist to compile.  The program assumes the netlist is not
+        structurally mutated afterwards.
+    slot_of:
+        Maps each :class:`ModuleInst` to a hashable slot key; instances
+        with the same key receive the same delay matrix per evaluation.
+        Defaults to the instance name (every instance its own slot).
+        Slot order is first-seen instance order.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        slot_of: Optional[Callable[[ModuleInst], Hashable]] = None,
+    ) -> None:
+        self.netlist = netlist
+        self._node_index: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        self._kernels: Dict[Tuple[ArcKeys, ...], _Kernel] = {}
+
+        # --- slots -----------------------------------------------------
+        slot_index: Dict[Hashable, int] = {}
+        slot_keys: List[Hashable] = []
+        module_slots: List[int] = []
+        slot_instances: List[List[str]] = []
+        for inst in netlist.modules:
+            key = inst.name if slot_of is None else slot_of(inst)
+            slot = slot_index.get(key)
+            if slot is None:
+                slot = slot_index[key] = len(slot_keys)
+                slot_keys.append(key)
+                slot_instances.append([])
+            module_slots.append(slot)
+            slot_instances[slot].append(inst.name)
+        self.slot_keys: Tuple[Hashable, ...] = tuple(slot_keys)
+        self.module_slots: Tuple[int, ...] = tuple(module_slots)
+        self._slot_instances = slot_instances
+
+        # --- wiring arcs ----------------------------------------------
+        # Same edges timing._build_graph derives per bit, computed at
+        # slice granularity: per net, (node, bitmask) entries for
+        # drivers and readers; an arc exists where the masks intersect.
+        node = self._node
+        net_drivers: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        net_readers: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+
+        port_sources: List[Tuple[str, int]] = []
+        for port in netlist.input_ports():
+            if port.is_sequential_boundary:
+                continue
+            nid = node(("port", port.name))
+            port_sources.append((port.name, nid))
+            backing = netlist.port_net(port.name)
+            net_drivers[id(backing)].append((nid, (1 << backing.width) - 1))
+
+        port_labels: List[Tuple[int, str]] = []
+        for port in netlist.output_ports():
+            nid = node(("port", port.name))
+            port_labels.append((nid, port.name))
+            backing = netlist.port_net(port.name)
+            net_readers[id(backing)].append((nid, (1 << backing.width) - 1))
+
+        for inst in netlist.modules:
+            connections = inst.connections
+            for pin in inst.ports:
+                endpoint = connections.get(pin.name)
+                if endpoint is None or pin.is_sequential_boundary:
+                    continue
+                nid = node(("pin", inst.name, pin.name))
+                table = net_readers if pin.is_input else net_drivers
+                for net, mask in endpoint_masks(endpoint):
+                    if net is not None:
+                        table[id(net)].append((nid, mask))
+
+        wire_edges: List[Tuple[int, int]] = []
+        seen = set()
+        for key, drivers in net_drivers.items():
+            readers = net_readers.get(key)
+            if not readers:
+                continue
+            for driver, dmask in drivers:
+                for reader, rmask in readers:
+                    if dmask & rmask:
+                        pair = (driver, reader)
+                        if pair not in seen:
+                            seen.add(pair)
+                            wire_edges.append(pair)
+        self._wire_edges = wire_edges
+        self._port_sources = port_sources
+        self._port_labels = port_labels
+
+    # ------------------------------------------------------------------
+    def _node(self, node: Node) -> int:
+        nid = self._node_index.get(node)
+        if nid is None:
+            nid = self._node_index[node] = len(self._nodes)
+            self._nodes.append(node)
+        return nid
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of distinct arc signatures compiled so far."""
+        return len(self._kernels)
+
+    def total_area(self, areas_by_slot: Sequence[float]) -> float:
+        """Sum of per-instance areas, in instance order (so the float
+        addition sequence matches a direct per-module walk)."""
+        total = 0
+        for slot in self.module_slots:
+            total += areas_by_slot[slot]
+        return total
+
+    # ------------------------------------------------------------------
+    def _compile_kernel(self, signature: Tuple[ArcKeys, ...]) -> _Kernel:
+        node = self._node
+        edges: List[Tuple[int, int, int, int]] = []  # (u, v, slot, index)
+        for slot, arc_keys in enumerate(signature):
+            for inst_name in self._slot_instances[slot]:
+                for index, (pin_in, pin_out) in enumerate(arc_keys):
+                    # Split the virtual clock pin into a source node and
+                    # a sink node so (D -> @clk) and (@clk -> Q) arcs do
+                    # not chain into a false combinational D -> Q path.
+                    src_pin = "@clk:out" if pin_in == CLK_PIN else pin_in
+                    dst_pin = "@clk:in" if pin_out == CLK_PIN else pin_out
+                    u = node(("pin", inst_name, src_pin))
+                    v = node(("pin", inst_name, dst_pin))
+                    edges.append((u, v, slot, index))
+        clk_source_ids = sorted({u for u, _, _, _ in edges
+                                 if self._nodes[u][-1] == "@clk:out"})
+        for u, v in self._wire_edges:
+            edges.append((u, v, -1, 0))
+
+        n = len(self._nodes)
+        indegree = [0] * n
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        for eid, (u, v, _, _) in enumerate(edges):
+            adjacency[u].append(eid)
+            indegree[v] += 1
+        stack = [nid for nid in range(n) if indegree[nid] == 0]
+        topo_pos = [-1] * n
+        placed = 0
+        while stack:
+            u = stack.pop()
+            topo_pos[u] = placed
+            placed += 1
+            for eid in adjacency[u]:
+                v = edges[eid][1]
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    stack.append(v)
+        if placed != n:
+            cyclic = sorted(
+                str(self._nodes[nid]) for nid in range(n) if indegree[nid] > 0
+            )[:8]
+            raise TimingCycleError(
+                f"combinational cycle through: {', '.join(cyclic)}"
+            )
+
+        ordered = sorted(range(len(edges)), key=lambda eid: topo_pos[edges[eid][0]])
+        edge_u = [edges[eid][0] for eid in ordered]
+        edge_v = [edges[eid][1] for eid in ordered]
+        edge_ref = [(edges[eid][2], edges[eid][3]) for eid in ordered]
+
+        sources = list(self._port_sources)
+        sources.extend((CLK_PIN, nid) for nid in clk_source_ids)
+        labeled = list(self._port_labels)
+        for nid in range(n):
+            entry = self._nodes[nid]
+            if entry[0] == "pin" and entry[2] == "@clk:in":
+                labeled.append((nid, CLK_PIN))
+        return _Kernel(n, edge_u, edge_v, edge_ref, sources, labeled)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        arc_keys_by_slot: Tuple[ArcKeys, ...],
+        values_by_slot: Sequence[Sequence[float]],
+    ) -> Dict[Tuple[str, str], float]:
+        """Delay matrix of the netlist for one choice of per-slot delay
+        matrices.
+
+        ``arc_keys_by_slot[s]`` lists slot ``s``'s (input, output) arc
+        pairs; ``values_by_slot[s][i]`` is the weight of arc ``i``.  The
+        result maps ``(source, sink)`` to nanoseconds exactly like
+        :func:`repro.netlist.timing.port_delay_matrix`.
+        """
+        kernel = self._kernels.get(arc_keys_by_slot)
+        if kernel is None:
+            kernel = self._compile_kernel(arc_keys_by_slot)
+            self._kernels[arc_keys_by_slot] = kernel
+        return kernel.run(values_by_slot)
+
+    def evaluate_matrices(
+        self, matrices_by_slot: Sequence[Dict[Tuple[str, str], float]]
+    ) -> Dict[Tuple[str, str], float]:
+        """Convenience wrapper taking one delay-matrix mapping per slot."""
+        items = [tuple(sorted(m.items())) for m in matrices_by_slot]
+        arcs = tuple(tuple(k for k, _ in part) for part in items)
+        values = [tuple(v for _, v in part) for part in items]
+        return self.evaluate(arcs, values)
+
+
+def compile_timing(
+    netlist: Netlist,
+    slot_of: Optional[Callable[[ModuleInst], Hashable]] = None,
+) -> TimingProgram:
+    """Compile ``netlist`` into a reusable :class:`TimingProgram`."""
+    return TimingProgram(netlist, slot_of=slot_of)

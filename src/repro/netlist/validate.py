@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.netlist.nets import Concat, Const, Net, NetRef, const_bits, endpoint_bits, endpoint_width
+from repro.netlist.nets import (
+    Net,
+    const_bits,
+    endpoint_bits,
+    endpoint_masks,
+    endpoint_width,
+)
 from repro.netlist.netlist import ModuleInst, Netlist
 
 
@@ -32,6 +38,82 @@ def _contains_const(endpoint) -> bool:
     return any(bit is not None for bit in const_bits(endpoint))
 
 
+def _add_driver_masks(endpoint, drivers: Dict[int, int]) -> Tuple[bool, bool]:
+    """Fold an output endpoint's bits into per-net driver bitmasks.
+
+    Returns ``(has_const_bit, clash)`` where ``clash`` is True when any
+    bit was already driven (including duplicates inside this endpoint).
+    """
+    has_const = clash = False
+    for net, mask in endpoint_masks(endpoint):
+        if net is None:
+            has_const = True
+            continue
+        key = id(net)
+        existing = drivers.get(key, 0)
+        if existing & mask:
+            clash = True
+        drivers[key] = existing | mask
+    return has_const, clash
+
+
+def _read_undriven(endpoint, drivers: Dict[int, int]) -> bool:
+    """True when the endpoint reads any net bit with no driver."""
+    return any(
+        net is not None and mask & ~drivers.get(id(net), 0)
+        for net, mask in endpoint_masks(endpoint)
+    )
+
+
+def _netlist_is_clean(netlist: Netlist, require_driven_outputs: bool) -> bool:
+    """Bitmask fast pass over exactly the conditions the slow pass
+    reports.  Returns True when the netlist is provably well-formed;
+    any suspected problem returns False and the caller re-runs the
+    per-bit pass to produce the exact messages."""
+    port_names = [p.name for p in netlist.ports]
+    if len(port_names) != len(set(port_names)):
+        return False
+
+    drivers: Dict[int, int] = {}
+    for port in netlist.input_ports():
+        backing = netlist.port_net(port.name)
+        if backing.width != port.width:
+            return False
+        key = id(backing)
+        mask = (1 << backing.width) - 1
+        if drivers.get(key, 0) & mask:
+            return False
+        drivers[key] = drivers.get(key, 0) | mask
+
+    reads: List = []
+    for inst in netlist.modules:
+        for pin in inst.ports:
+            endpoint = inst.connections.get(pin.name)
+            if endpoint is None:
+                if pin.is_input:
+                    return False
+                continue  # dangling outputs are allowed
+            if endpoint_width(endpoint) != pin.width:
+                return False
+            if pin.is_output:
+                has_const, clash = _add_driver_masks(endpoint, drivers)
+                if has_const or clash:
+                    return False
+            else:
+                reads.append(endpoint)
+
+    for endpoint in reads:
+        if _read_undriven(endpoint, drivers):
+            return False
+    if require_driven_outputs:
+        for port in netlist.output_ports():
+            backing = netlist.port_net(port.name)
+            mask = (1 << backing.width) - 1
+            if mask & ~drivers.get(id(backing), 0):
+                return False
+    return True
+
+
 def validate_netlist(netlist: Netlist, require_driven_outputs: bool = True) -> None:
     """Raise :class:`NetlistError` if the netlist is malformed.
 
@@ -43,7 +125,13 @@ def validate_netlist(netlist: Netlist, require_driven_outputs: bool = True) -> N
     4. every net bit read by a module input pin or an output port has
        exactly one driver (when ``require_driven_outputs``);
     5. port names are unique and port widths match their backing nets.
+
+    A bitmask-based fast pass handles the (overwhelmingly common) clean
+    case without per-bit bookkeeping; only netlists with a suspected
+    problem take the per-bit pass that assembles exact messages.
     """
+    if _netlist_is_clean(netlist, require_driven_outputs):
+        return
     problems: List[str] = []
 
     port_names = [p.name for p in netlist.ports]

@@ -1,0 +1,53 @@
+"""Tier-2 smoke for the perf harness: the report runs, has the
+expected shape, and lands where the perf trajectory is tracked."""
+
+import json
+
+import pytest
+
+perf_report = pytest.importorskip(
+    "benchmarks.perf_report",
+    reason="benchmarks package requires running from the repo root",
+)
+
+
+def test_quick_report_shape(tmp_path):
+    out = tmp_path / "BENCH_report.json"
+    assert perf_report.main(["--output", str(out), "--quick",
+                             "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == perf_report.SCHEMA
+    assert report["quick"] is True
+    assert report["results"]
+    assert set(report["results"]) == set(report["timings"])
+    for name, entry in report["results"].items():
+        assert report["timings"][name]["wall_seconds"] > 0, name
+        assert entry["alternatives"] >= 1, name
+        assert entry["area_min"] <= entry["area_max"]
+        assert entry["delay_min"] <= entry["delay_max"]
+        assert entry["space"]["spec_nodes"] >= 1
+    assert report["totals"]["wall_seconds_best_sum"] > 0
+    # Volatile metadata lives only under "environment"/"timings", so
+    # the "results" section diffs clean across machines and runs.
+    assert "unix_time" in report["environment"]
+    assert "unix_time" not in report["results"]
+
+
+def test_default_output_is_repo_root():
+    assert perf_report.DEFAULT_OUTPUT.name == "BENCH_report.json"
+    assert (perf_report.DEFAULT_OUTPUT.parent / "benchmarks").is_dir()
+
+
+def test_adder16_points_match_engine(tmp_path):
+    """The report records the same alternatives the engine returns --
+    the JSON is a regression anchor for results as well as speed."""
+    from repro.core import DTAS, ParetoFilter
+    from repro.core.specs import adder_spec
+    from repro.techlib import lsi_logic_library
+
+    report = perf_report.run(repeats=1, quick=True)
+    entry = report["results"]["adder16_pareto"]
+    result = DTAS(lsi_logic_library(),
+                  perf_filter=ParetoFilter()).synthesize_spec(adder_spec(16))
+    assert entry["points"] == [[a.area, a.delay] for a in result.alternatives] or \
+        entry["points"] == [(a.area, a.delay) for a in result.alternatives]

@@ -1,0 +1,211 @@
+"""The streaming S1 combiner: conflict rejection, cap-bounded work,
+and order parity with the materializing cross product."""
+
+import pytest
+
+from repro.core.configs import (
+    combine_compatible,
+    iter_compatible,
+    make_configuration,
+    prune_dominated_options,
+)
+from repro.core.specs import adder_spec, gate_spec, mux_spec
+import pickle
+
+
+def test_spec_and_config_pickles_drop_process_local_caches():
+    """Cached hashes embed the per-process string-hash seed; pickles
+    must not carry them (multiprocessing workers would get stale
+    hashes and silent dict-lookup misses)."""
+    spec = adder_spec(16)
+    hash(spec)
+    spec.sort_key
+    clone = pickle.loads(pickle.dumps(spec))
+    assert "_hash" not in clone.__dict__
+    assert "_sort_key" not in clone.__dict__
+    assert clone == spec and hash(clone) == hash(spec)
+
+    config = make_configuration(10, {("A", "O"): 3.0}, {spec: 1})
+    config.arc_keys, config.delay_values, config.chosen_impl(spec)
+    config_clone = pickle.loads(pickle.dumps(config))
+    assert all(
+        key not in config_clone.__dict__
+        for key in ("_arc_keys", "_delay_values", "_impl_by_spec")
+    )
+    assert config_clone == config
+    assert config_clone.chosen_impl(clone) == 1
+
+
+def _cfg(area, delay, choices=None):
+    return make_configuration(area, {("A", "O"): delay}, choices or {})
+
+
+def _reference_combine(option_lists):
+    """The seed's materializing implementation, kept as the oracle."""
+    from repro.core.configs import merge_choices
+
+    results = [((), {})]
+    for options in option_lists:
+        extended = []
+        for chosen, merged in results:
+            for option in options:
+                combined = merge_choices([merged, option.choice_map()])
+                if combined is None:
+                    continue
+                extended.append((chosen + (option,), combined))
+        results = extended
+        if not results:
+            break
+    return results
+
+
+class TestConflictRejection:
+    def test_same_spec_diagonal_only(self):
+        spec = adder_spec(4)
+        options = [_cfg(1, 1, {spec: 0}), _cfg(2, 2, {spec: 1})]
+        combos = list(iter_compatible([options, options]))
+        assert len(combos) == 2
+        for chosen, merged in combos:
+            assert chosen[0].chosen_impl(spec) == chosen[1].chosen_impl(spec)
+
+    def test_disjoint_specs_full_product(self):
+        a_spec, m_spec = adder_spec(4), mux_spec(2, 4)
+        option_a = [_cfg(1, 1, {a_spec: 0}), _cfg(2, 2, {a_spec: 1})]
+        option_b = [_cfg(1, 1, {m_spec: 0}), _cfg(2, 2, {m_spec: 1})]
+        assert len(list(iter_compatible([option_a, option_b]))) == 4
+
+    def test_transitive_conflict_through_shared_leaf(self):
+        """Two siblings that only clash through a deeper shared spec."""
+        leaf = gate_spec("NAND")
+        left, right = adder_spec(4), mux_spec(2, 4)
+        option_a = [_cfg(1, 1, {left: 0, leaf: 0}), _cfg(2, 2, {left: 0, leaf: 1})]
+        option_b = [_cfg(1, 1, {right: 0, leaf: 1})]
+        # combine_compatible copies each merged map (the raw iterator
+        # reuses its dict between yields).
+        combos = combine_compatible([option_a, option_b])
+        assert len(combos) == 1
+        assert combos[0][1][leaf] == 1
+
+    def test_empty_option_list_kills_product(self):
+        assert list(iter_compatible([[_cfg(1, 1)], []])) == []
+
+    def test_no_lists_yields_empty_combo(self):
+        combos = list(iter_compatible([]))
+        assert combos == [((), {})]
+
+
+class TestOrderAndParity:
+    def test_matches_reference_order(self):
+        a, b, c = adder_spec(4), adder_spec(8), mux_spec(2, 4)
+        shared = gate_spec("NAND")
+        lists = [
+            [_cfg(1, 1, {a: 0, shared: 0}), _cfg(2, 2, {a: 1, shared: 1})],
+            [_cfg(3, 1, {b: 0, shared: 1}), _cfg(4, 2, {b: 1, shared: 0})],
+            [_cfg(5, 1, {c: 0}), _cfg(6, 2, {c: 1})],
+        ]
+        expected = _reference_combine(lists)
+        got = combine_compatible(lists)
+        assert [(ch, m) for ch, m in got] == expected
+
+    def test_cap_is_prefix_of_full_enumeration(self):
+        a, b = adder_spec(4), mux_spec(2, 4)
+        lists = [
+            [_cfg(i, i, {a: i}) for i in range(4)],
+            [_cfg(i, i, {b: i}) for i in range(4)],
+        ]
+        full = combine_compatible(lists)
+        capped = combine_compatible(lists, limit=5)
+        assert capped == full[:5]
+
+    def test_cap_bounds_work_not_just_output(self):
+        """A cross product of a million combinations must not be
+        enumerated when only ten are requested."""
+        specs = [gate_spec("AND", 2, w + 1) for w in range(6)]
+        lists = [
+            [_cfg(i, i, {spec: i}) for i in range(10)] for spec in specs
+        ]  # 10^6 combos
+        seen = 0
+        for _ in iter_compatible(lists, limit=10):
+            seen += 1
+        assert seen == 10
+
+    def test_yielded_map_is_reused_but_wrapper_copies(self):
+        a = adder_spec(4)
+        lists = [[_cfg(0, 0, {a: 0}), _cfg(1, 1, {a: 1})]]
+        maps = [m for _, m in iter_compatible(lists)]
+        assert maps[0] is maps[1]  # documented reuse
+        copies = [m for _, m in combine_compatible(lists)]
+        assert copies[0] is not copies[1]
+        assert copies[0] == {a: 0} and copies[1] == {a: 1}
+
+
+class TestDominancePruning:
+    def test_strictly_dominated_option_dropped(self):
+        a = adder_spec(4)
+        good = _cfg(1, 1, {a: 0})
+        worse = _cfg(2, 3, {a: 0})
+        kept = prune_dominated_options([good, worse])
+        assert kept == [good]
+
+    def test_different_choices_never_pruned(self):
+        a = adder_spec(4)
+        kept = prune_dominated_options([_cfg(1, 1, {a: 0}), _cfg(2, 3, {a: 1})])
+        assert len(kept) == 2
+
+    def test_exact_ties_kept(self):
+        a = adder_spec(4)
+        kept = prune_dominated_options([_cfg(1, 1, {a: 0}), _cfg(1, 1, {a: 0})])
+        assert len(kept) == 2
+
+    def test_iter_compatible_prune_flag(self):
+        a, b = adder_spec(4), mux_spec(2, 4)
+        lists = [
+            [_cfg(1, 1, {a: 0}), _cfg(5, 5, {a: 0})],  # second dominated
+            [_cfg(1, 1, {b: 0})],
+        ]
+        assert len(list(iter_compatible(lists))) == 2
+        assert len(list(iter_compatible(lists, prune_dominated=True))) == 1
+
+    def test_shared_footprint_prunes_private_choice_variants(self):
+        """Options differing only in choices *private* to their list are
+        interchangeable for S1; the dominated one is pruned."""
+        shared_spec = adder_spec(4)
+        private = gate_spec("XOR")
+        options = [
+            _cfg(1, 1, {shared_spec: 0, private: 0}),
+            _cfg(9, 9, {shared_spec: 0, private: 1}),  # dominated, differs
+        ]
+        # Conservative form (full choice map) keeps both...
+        assert len(prune_dominated_options(options)) == 2
+        # ...shared-footprint form prunes the pointwise-worse one.
+        assert len(prune_dominated_options(options, {shared_spec})) == 1
+
+    def test_keepall_space_shrinks_under_pruning(self):
+        """End to end: with the unfiltered ablation setup, partial
+        dominance pruning cuts the evaluated space by an integer
+        factor; with frontier filters it is a no-op by construction."""
+        from repro.core import DTAS, KeepAllFilter, ParetoFilter
+        from repro.core.specs import adder_spec as mk_adder
+        from repro.techlib import lsi_logic_library
+
+        lsi = lsi_logic_library()
+
+        def run(prune):
+            dtas = DTAS(lsi, perf_filter=KeepAllFilter(), prune_partial=prune)
+            dtas.space.max_combinations = 500
+            return dtas.synthesize_spec(mk_adder(4))
+
+        full, pruned = run(False), run(True)
+        assert len(pruned) < len(full)
+        # Extremes survive: pruning only removes pointwise-dominated
+        # candidates, so the best corners are unaffected.
+        assert pruned.smallest().area == full.smallest().area
+        assert pruned.fastest().delay == full.fastest().delay
+
+        pareto_base = DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
+            mk_adder(16))
+        pareto_pruned = DTAS(lsi, perf_filter=ParetoFilter(),
+                             prune_partial=True).synthesize_spec(mk_adder(16))
+        assert [(a.area, a.delay) for a in pareto_base.alternatives] == [
+            (a.area, a.delay) for a in pareto_pruned.alternatives
+        ]
