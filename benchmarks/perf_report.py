@@ -46,6 +46,12 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_report.json"
 #: Report format version; bump when the JSON shape changes.
 SCHEMA = 1
 
+#: Cap on per-workload (area, delay) points stored verbatim; beyond
+#: this the report keeps the count plus summary stats only (the
+#: keep-all ablation would otherwise commit five hundred kilobytes of
+#: points to the trajectory file on every run).
+MAX_POINTS = 64
+
 
 def _keepall_adder8(lsi):
     dtas = DTAS(lsi, perf_filter=KeepAllFilter())
@@ -103,7 +109,8 @@ def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
         "area_max": max(a for a, _ in points),
         "delay_min": min(d for _, d in points),
         "delay_max": max(d for _, d in points),
-        "points": points,
+        "points": points[:MAX_POINTS],
+        "points_truncated": max(0, len(points) - MAX_POINTS),
         "space": result.stats,
     }
     timings = {
