@@ -4,13 +4,13 @@ Usage::
 
     python -m benchmarks.perf_report [--output PATH] [--repeats N] [--quick]
 
-Each workload constructs a fresh ``DTAS`` and synthesizes, run
-``--repeats`` times in one process.  The process-wide expansion caches
-(rule netlists, cell matchings, compiled timing programs) deliberately
-stay warm across repeats and workloads -- that is the serving-shaped
-number -- so ``wall_seconds`` (best) tracks the warm path while
-``wall_seconds_first`` tracks the cold path including cache fill;
-regressions in either show up in their own field.  The report records
+Each workload constructs a fresh :class:`repro.api.Session` and
+synthesizes, run ``--repeats`` times in one process.  The process-wide
+expansion caches (rule netlists, cell matchings, compiled timing
+programs) deliberately stay warm across repeats and workloads -- that
+is the serving-shaped number -- so ``wall_seconds`` (best) tracks the
+warm path while ``wall_seconds_first`` tracks the cold path including
+cache fill; regressions in either show up in their own field.  The report records
 those timings together with design-space statistics and the surviving
 alternative (area, delay) points, so result regressions and perf
 regressions are both visible.
@@ -30,15 +30,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core import (
-    DTAS,
-    KeepAllFilter,
-    ParetoFilter,
-    TopKFilter,
-    TradeoffFilter,
-)
+from repro.api import Session
 from repro.core.specs import adder_spec, alu_spec, counter_spec
-from repro.techlib import lsi_logic_library
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_report.json"
@@ -53,28 +46,25 @@ SCHEMA = 1
 MAX_POINTS = 64
 
 
-def _keepall_adder8(lsi):
-    dtas = DTAS(lsi, perf_filter=KeepAllFilter())
-    dtas.space.max_combinations = 2000
-    return dtas.synthesize_spec(adder_spec(8))
+def _synth(spec, perf_filter: str, max_combinations=None):
+    """One workload: a fresh session (shared process-wide caches stay
+    warm, per-session design space starts cold), one request."""
+    session = Session(library="lsi_logic", perf_filter=perf_filter,
+                      max_combinations=max_combinations)
+    return session.synthesize(spec)
 
 
 def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
     """(name, thunk) pairs; each thunk runs one synthesis workload."""
-    lsi = lsi_logic_library()
     jobs: List[Tuple[str, Callable]] = [
         ("adder16_pareto",
-         lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
-             adder_spec(16))),
+         lambda: _synth(adder_spec(16), "pareto")),
         ("adder32_tradeoff5",
-         lambda: DTAS(lsi, perf_filter=TradeoffFilter(0.05)).synthesize_spec(
-             adder_spec(32))),
+         lambda: _synth(adder_spec(32), "tradeoff:0.05")),
         ("alu64_tradeoff5",
-         lambda: DTAS(lsi, perf_filter=TradeoffFilter(0.05)).synthesize_spec(
-             alu_spec(64))),
+         lambda: _synth(alu_spec(64), "tradeoff:0.05")),
         ("counter8_pareto",
-         lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
-             counter_spec(8))),
+         lambda: _synth(counter_spec(8), "pareto")),
     ]
     if not quick:
         jobs += [
@@ -84,13 +74,12 @@ def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
             # bound *work*, not just output) to keep the harness fast
             # while still exercising the unfiltered path.
             ("adder8_keepall_capped",
-             lambda: _keepall_adder8(lsi)),
+             lambda: _synth(adder_spec(8), "keep_all",
+                            max_combinations=2000)),
             ("alu16_top4_ablation",
-             lambda: DTAS(lsi, perf_filter=TopKFilter(4)).synthesize_spec(
-                 alu_spec(16))),
+             lambda: _synth(alu_spec(16), "top_k:4")),
             ("adder32_pareto_ablation",
-             lambda: DTAS(lsi, perf_filter=ParetoFilter()).synthesize_spec(
-                 adder_spec(32))),
+             lambda: _synth(adder_spec(32), "pareto")),
         ]
     return jobs
 

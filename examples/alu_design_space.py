@@ -1,6 +1,6 @@
 """Reproduce Figure 3: alternative designs for a 64-bit 16-function ALU.
 
-DTAS expands the design space of the paper's headline component
+The session expands the design space of the paper's headline component
 (operations ADD SUB INC DEC EQ LT GT ZEROP AND OR NAND NOR XOR XNOR
 LNOT LIMPL) against the reconstructed 30-cell LSI Logic subset, then
 plots the surviving area/delay points as ASCII.
@@ -8,49 +8,33 @@ plots the surviving area/delay points as ASCII.
 Run:  python examples/alu_design_space.py
 """
 
-from repro.core import DTAS, TradeoffFilter
-from repro.core.report import figure3_points, figure3_report
+from repro.api import Session
+from repro.api.emitters import ascii_plot as _ascii_plot
 from repro.core.specs import alu_spec
-from repro.techlib import lsi_logic_library
 
 
 def ascii_plot(points, width=60, height=16):
-    """Delay-vs-area scatter, mirroring the figure's axes."""
-    areas = [p[0] for p in points]
-    delays = [p[1] for p in points]
-    a_lo, a_hi = min(areas), max(areas)
-    d_lo, d_hi = min(delays), max(delays)
-    grid = [[" "] * (width + 1) for _ in range(height + 1)]
-    for area, delay, d_area, d_delay in points:
-        x = int((area - a_lo) / (a_hi - a_lo or 1) * width)
-        y = int((delay - d_lo) / (d_hi - d_lo or 1) * height)
-        grid[height - y][x] = "*"
-    lines = [f"{d_hi:8.1f} ns |" + "".join(grid[0])]
-    for row in grid[1:-1]:
-        lines.append(" " * 11 + "|" + "".join(row))
-    lines.append(f"{d_lo:8.1f} ns |" + "".join(grid[-1]))
-    lines.append(" " * 12 + "-" * (width + 1))
-    lines.append(f"{'':12}{a_lo:<10.0f}{'area (gates)':^38}{a_hi:>10.0f}")
-    return "\n".join(lines)
+    """Delay-vs-area scatter, mirroring the figure's axes (delegates to
+    the hardened report emitter, which also handles empty and
+    single-point inputs)."""
+    return _ascii_plot(points, width=width, height=height)
 
 
 def main() -> None:
-    library = lsi_logic_library()
-    dtas = DTAS(library, perf_filter=TradeoffFilter(0.05))
+    session = Session(library="lsi_logic", perf_filter="tradeoff:0.05")
 
     spec = alu_spec(64)
-    result = dtas.synthesize_spec(spec)
+    job = session.synthesize(spec)
 
-    print(figure3_report(
-        result, "Figure 3: alternative designs for the 64-bit ALU"))
+    print(job.report("Figure 3: alternative designs for the 64-bit ALU"))
     print()
-    print(ascii_plot(figure3_points(result)))
+    print(ascii_plot(job.points()))
     print()
     print("Paper's annotations for comparison: smallest (0%, 0%); "
           "(+13%, -49%); (+14%, -75%); (+14%, -79%); fastest (+34%, -81%).")
     print()
-    smallest, fastest = result.smallest(), result.fastest()
-    print(f"Cell mix shift from smallest to fastest:")
+    smallest, fastest = job.smallest(), job.fastest()
+    print("Cell mix shift from smallest to fastest:")
     for label, alt in (("smallest", smallest), ("fastest", fastest)):
         counts = alt.cell_counts()
         top = sorted(counts.items(), key=lambda kv: -kv[1])[:5]

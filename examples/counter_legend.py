@@ -1,16 +1,16 @@
 """Define a custom counter in LEGEND (the paper's Figure 2), generate
-components from it, and map one through DTAS onto the LSI library.
+components from it, and map one through the session layer onto the LSI
+library.
 
 Run:  python examples/counter_legend.py
 """
 
-from repro.core import DTAS
+from repro.api import Session, SynthesisRequest
 from repro.core.specs import counter_spec
 from repro.legend import build_library, parse_legend
 from repro.legend.builder import describe_generator
 from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
 from repro.sim import check_sequential
-from repro.techlib import lsi_logic_library
 
 
 def main() -> None:
@@ -36,12 +36,21 @@ def main() -> None:
         trace.append(out["O0"])
     print(f"  counting up from reset: {trace}")
 
-    print("\n== Mapping an 8-bit counter through DTAS ==")
-    dtas = DTAS(lsi_logic_library())
+    print("\n== Mapping the Figure-2 counter through the session ==")
+    session = Session(library="lsi_logic")
+
+    # The LEGEND source itself is a synthesis input: the session
+    # elaborates the generator and maps the resulting component spec.
+    legend_job = session.synthesize(SynthesisRequest.from_legend(
+        FIGURE_2_COUNTER_SOURCE, generator="COUNTER", GC_INPUT_WIDTH=8))
+    print(f"  {legend_job.component.name}: "
+          f"{len(legend_job)} alternative(s) from LEGEND source")
+
+    print("\n== Mapping an 8-bit counter spec ==")
     spec = counter_spec(8, enable=True)
-    result = dtas.synthesize_spec(spec)
-    print(result.table())
-    best = result.smallest()
+    job = session.synthesize(spec)
+    print(job.table())
+    best = job.smallest()
     print(f"  cells: {best.cell_counts()}")
 
     def onehot(v):

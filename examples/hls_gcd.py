@@ -4,16 +4,19 @@ Behavioral program -> HLS (scheduling, allocation, binding,
 connectivity binding) -> GENUS netlist + state sequencing table ->
 DTAS technology mapping + control compilation -> executed end to end.
 
+The session drives the whole right-hand side from one request: an HLS
+request runs high-level synthesis, maps the produced GENUS datapath,
+and carries the HLS artifacts (state table, datapath) on the job.
+
 Run:  python examples/hls_gcd.py
 """
 
 import math
 
+from repro.api import Session, SynthesisRequest
 from repro.control import compile_controller
-from repro.core import DTAS
-from repro.hls import Assign, If, Program, While, hls_synthesize
+from repro.hls import Assign, If, Program, While
 from repro.hls.synthesize import FsmdSimulator
-from repro.techlib import lsi_logic_library
 
 
 def build_gcd() -> Program:
@@ -35,25 +38,26 @@ def build_gcd() -> Program:
 
 def main() -> None:
     program = build_gcd()
-    print("== High-level synthesis ==")
-    result = hls_synthesize(program)
-    print(result.report())
+    session = Session(library="lsi_logic")
+
+    print("== High-level synthesis + DTAS mapping, one request ==")
+    job = session.synthesize(SynthesisRequest.from_hls(program))
+    hls = job.hls
+    print(hls.report())
     print()
     print("State sequencing table (control-based BIF):")
-    print(result.state_table.to_bif())
+    print(hls.state_table.to_bif())
 
     print("\n== DTAS: mapping the GENUS datapath into LSI cells ==")
-    dtas = DTAS(lsi_logic_library())
-    mapped = dtas.synthesize_netlist(result.datapath.netlist)
-    print(mapped.table())
+    print(job.table())
 
     print("\n== Control compiler ==")
-    controller = compile_controller(result.state_table)
+    controller = compile_controller(hls.state_table)
     print(controller.report())
 
     print("\n== Execution ==")
     for a, b in ((84, 36), (91, 35), (17, 4)):
-        sim = FsmdSimulator(result)
+        sim = FsmdSimulator(hls)
         out, cycles = sim.run({"a_in": a, "b_in": b})
         ok = "ok" if out["result"] == math.gcd(a, b) else "WRONG"
         print(f"  gcd({a}, {b}) = {out['result']} in {cycles} cycles [{ok}]")

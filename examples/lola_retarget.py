@@ -1,19 +1,18 @@
-"""Retarget DTAS to a new vendor library with LOLA.
+"""Retarget the flow to a new vendor library with LOLA.
 
 The ACME 1.0-micron library has a different cell mix than the LSI
 subset (8-bit adders, 2/16-bit registers, no quad muxes).  LOLA's
 abstract design principles inspect the inventory and regenerate the
-library-specific rules, after which DTAS synthesizes against the new
-data book unchanged.
+library-specific rules; the session layer exposes that as the ``lola``
+rulebase policy, after which synthesis against the new data book runs
+unchanged.
 
 Run:  python examples/lola_retarget.py
 """
 
-from repro.core import DTAS
-from repro.core.rulebase import standard_rulebase
+from repro.api import Session
 from repro.core.specs import adder_spec, register_spec
 from repro.lola import adapt
-from repro.lola.assistant import adapt_rulebase
 from repro.sim import check_combinational, check_sequential
 from repro.techlib import dump_databook, vendor2_library
 
@@ -30,23 +29,21 @@ def main() -> None:
     print(report.describe())
 
     print("\n== Synthesis with the adapted rulebase ==")
-    rulebase = standard_rulebase()
-    adapt_rulebase(rulebase, library)
-    dtas = DTAS(library, rulebase=rulebase)
+    session = Session(library="vendor2", rulebase="lola")
 
     spec = adder_spec(32)
-    result = dtas.synthesize_spec(spec)
-    print(f"\n32-bit adder on {library.name}:")
-    print(result.table())
-    check_combinational(spec, result.smallest().tree(), vectors=32).assert_ok()
+    job = session.synthesize(spec)
+    print(f"\n32-bit adder on {session.library.name}:")
+    print(job.table())
+    check_combinational(spec, job.smallest().tree(), vectors=32).assert_ok()
     print("verified.")
 
     reg = register_spec(24)
-    result = dtas.synthesize_spec(reg)
-    print(f"\n24-bit register on {library.name}:")
-    print(result.table())
-    print(f"  packing: {result.smallest().cell_counts()}")
-    check_sequential(reg, result.smallest().tree(), cycles=24).assert_ok()
+    job = session.synthesize(reg)
+    print(f"\n24-bit register on {session.library.name}:")
+    print(job.table())
+    print(f"  packing: {job.smallest().cell_counts()}")
+    check_sequential(reg, job.smallest().tree(), cycles=24).assert_ok()
     print("verified.")
 
 

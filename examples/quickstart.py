@@ -3,24 +3,21 @@
 Run:  python examples/quickstart.py
 """
 
-from repro.core import DTAS
-from repro.core.report import cell_usage_report, figure3_report
+from repro.api import Session
+from repro.core.report import cell_usage_report
 from repro.core.specs import adder_spec
 from repro.sim import check_combinational
-from repro.techlib import lsi_logic_library
-from repro.vhdl import design_tree_vhdl
 
 
 def main() -> None:
-    library = lsi_logic_library()
-    dtas = DTAS(library)
+    session = Session(library="lsi_logic")
 
     spec = adder_spec(16)
-    result = dtas.synthesize_spec(spec)
+    job = session.synthesize(spec)
 
-    print(figure3_report(result, f"DTAS alternatives for {spec}"))
+    print(job.report(f"DTAS alternatives for {spec}"))
 
-    fastest = result.fastest()
+    fastest = job.fastest()
     print("\nFastest design, cell usage:")
     print(cell_usage_report(fastest))
 
@@ -29,7 +26,7 @@ def main() -> None:
     check_combinational(spec, fastest.tree(), vectors=64).assert_ok()
     print("equivalent on 64 vectors (corners included).")
 
-    vhdl = design_tree_vhdl(fastest.tree())
+    vhdl = job.vhdl(fastest)
     print(f"\nStructural VHDL: {len(vhdl.splitlines())} lines "
           f"(first entity shown)\n")
     shown = vhdl.split("\n\n")[0]

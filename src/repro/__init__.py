@@ -3,6 +3,8 @@ Technology Libraries" (UC Irvine TR 91-28 / DAC 1991).
 
 Subpackages:
 
+- :mod:`repro.api`     -- the supported entry point: sessions, typed
+  requests, registries, emitters, and the ``python -m repro`` CLI
 - :mod:`repro.genus`   -- GENUS generic component library
 - :mod:`repro.legend`  -- LEGEND generator-description language
 - :mod:`repro.core`    -- DTAS functional synthesis (the contribution)
@@ -16,12 +18,18 @@ Subpackages:
 
 Quickstart::
 
-    from repro.core import synthesize
-    from repro.core.specs import alu_spec
-    from repro.techlib import lsi_logic_library
+    from repro.api import Session
 
-    result = synthesize(alu_spec(64), lsi_logic_library())
-    print(result.table())
+    session = Session(library="lsi_logic")
+    job = session.synthesize("alu:64")
+    print(job.report())
+
+or, from the shell::
+
+    python -m repro synth --spec alu:64 --library lsi_logic --emit report
+
+(The pre-session entry points ``repro.core.DTAS`` and
+``repro.core.synthesize`` remain as deprecation shims.)
 """
 
 __version__ = "1.0.0"

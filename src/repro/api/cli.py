@@ -1,0 +1,215 @@
+"""The ``repro`` command-line interface.
+
+Runs the full flow from the shell on top of :class:`repro.api.Session`;
+every backend (library, rulebase, filter, emitter, spec shorthand) is
+resolved by name through :mod:`repro.api.registry`::
+
+    python -m repro synth --spec alu:64 --library lsi_logic --emit vhdl,report
+    python -m repro synth --spec adder:16 --spec adder:32 --emit report
+    python -m repro synth --legend counter.lgd --generator COUNTER \\
+        --param GC_INPUT_WIDTH=8 --emit report
+    python -m repro list
+
+Multiple ``--spec``/``--legend`` targets run as one batch through a
+single session, sharing the expanded design space and every compiled
+timing program (the cache-amortized serving path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.api import registry
+from repro.api.requests import SynthesisRequest
+
+PROG = "repro"
+
+
+def _parse_param(text: str) -> Any:
+    """CLI ``K=V`` values: int when possible, else bare string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="DTAS functional synthesis (Dutt & Kipps, DAC'91) -- "
+                    "map generic RTL components into a cell library.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize one or more targets through a shared session",
+        description="Synthesize component specs and/or LEGEND generators "
+                    "into the target cell library, then render each job "
+                    "through the requested emitters.",
+    )
+    synth.add_argument(
+        "--spec", action="append", default=[], metavar="NAME:WIDTH",
+        help="component shorthand such as alu:64 or adder:16 "
+             "(repeatable; see 'repro list specs')")
+    synth.add_argument(
+        "--legend", action="append", default=[], metavar="FILE", type=Path,
+        help="LEGEND source file to elaborate and map (repeatable)")
+    synth.add_argument(
+        "--generator", metavar="NAME",
+        help="generator name inside the LEGEND source (default: first)")
+    synth.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="generator parameter for --legend (repeatable), "
+             "e.g. GC_INPUT_WIDTH=8")
+    synth.add_argument(
+        "--library", default="lsi_logic", metavar="NAME",
+        help="target cell library (default: lsi_logic)")
+    synth.add_argument(
+        "--rulebase", default=None, metavar="NAME",
+        help="rulebase policy: auto (default), standard, lola")
+    synth.add_argument(
+        "--filter", default="pareto", metavar="NAME[:ARG]", dest="perf_filter",
+        help="performance filter, e.g. pareto, tradeoff:0.05, top_k:4, "
+             "keep_all (default: pareto)")
+    synth.add_argument(
+        "--emit", default="report", metavar="NAMES",
+        help="comma-separated emitters (default: report; "
+             "see 'repro list emitters')")
+    synth.add_argument(
+        "--max-combinations", type=int, default=None, metavar="N",
+        help="cap on the per-node S1 cross product")
+    synth.add_argument(
+        "--prune-partial", action="store_true",
+        help="enable dominance pre-pruning before the S1 cross product")
+    synth.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write emitted text to PATH instead of stdout")
+
+    list_parser = sub.add_parser(
+        "list",
+        help="show the registered backends",
+        description="Show registered libraries, rulebases, filters, "
+                    "emitters, and spec shorthands.",
+    )
+    list_parser.add_argument(
+        "what", nargs="?", default="all",
+        choices=["all", "libraries", "rulebases", "filters", "emitters",
+                 "specs"],
+        help="which registry to show (default: all)")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    if not args.spec and not args.legend:
+        print(f"{PROG} synth: nothing to do -- pass --spec and/or --legend",
+              file=sys.stderr)
+        return 2
+
+    params: Dict[str, Any] = {}
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"{PROG} synth: --param {item!r} is not K=V",
+                  file=sys.stderr)
+            return 2
+        params[key] = _parse_param(value)
+
+    requests: List[SynthesisRequest] = []
+    try:
+        for shorthand in args.spec:
+            requests.append(SynthesisRequest.from_spec(
+                registry.parse_spec(shorthand), label=shorthand))
+        for path in args.legend:
+            requests.append(SynthesisRequest.from_legend(
+                path.read_text(), generator=args.generator,
+                label=path.stem, **params))
+        emit_names = [name for name in args.emit.split(",") if name]
+        for name in emit_names:
+            registry.EMITTERS.get(name)  # fail fast on typos
+
+        from repro.api.session import Session
+
+        session = Session(
+            library=args.library,
+            rulebase=args.rulebase,
+            perf_filter=args.perf_filter,
+            prune_partial=args.prune_partial,
+            max_combinations=args.max_combinations,
+        )
+    except (registry.RegistryError, OSError, ValueError) as error:
+        print(f"{PROG} synth: {error}", file=sys.stderr)
+        return 2
+
+    from repro.core.design_space import SynthesisError
+    from repro.legend.errors import LegendError
+
+    try:
+        jobs = session.map(requests)
+    # ValueError covers the genus elaboration errors (GeneratorError,
+    # ParamError subclass it): a bad --generator or --param must report
+    # cleanly, not traceback.
+    except (SynthesisError, LegendError, ValueError) as error:
+        print(f"{PROG} synth: {error}", file=sys.stderr)
+        return 1
+
+    blocks: List[str] = []
+    for job in jobs:
+        blocks.append(job.emit(*emit_names))
+    text = "\n\n".join(blocks)
+    if args.output is not None:
+        try:
+            args.output.write_text(text + "\n")
+        except OSError as error:
+            print(f"{PROG} synth: cannot write {args.output}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    sections = {
+        "libraries": registry.LIBRARIES,
+        "rulebases": registry.RULEBASES,
+        "filters": registry.FILTERS,
+        "emitters": registry.EMITTERS,
+        "specs": registry.SPECS,
+    }
+    selected = sections if args.what == "all" else {args.what: sections[args.what]}
+    blocks = []
+    for title, reg in selected.items():
+        lines = [f"{title}:"]
+        for name in reg.names():
+            description = reg.describe(name)
+            lines.append(f"  {name:<16} {description}".rstrip())
+        blocks.append("\n".join(lines))
+    print("\n\n".join(blocks))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    if args.command == "synth":
+        return _cmd_synth(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The session layer: one object that owns the whole flow.
+
+A :class:`Session` binds a cell library, a rulebase policy, and a
+performance-filter policy, and owns every process-level cache the
+engine uses -- the expanded :class:`~repro.core.design_space.DesignSpace`
+(spec nodes, filtered configurations), the compiled timing programs,
+cached rule applications, and cell matchings keyed per library.  One
+session amortizes those caches across many jobs: ``synthesize`` runs a
+single request, ``map`` runs a batch through the same design space, so
+later requests reuse every subtree earlier ones expanded.
+
+Backends are selected by name through :mod:`repro.api.registry`::
+
+    from repro.api import Session
+
+    session = Session(library="lsi_logic", perf_filter="tradeoff:0.05")
+    job = session.synthesize("alu:64")
+    print(job.report())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.api.registry import create_filter, create_library, create_rulebase
+from repro.api.requests import SynthesisJob, SynthesisRequest
+from repro.core.design_space import DesignSpace, DesignTree
+from repro.core.rules import Rule, RuleBase
+from repro.core.specs import ComponentSpec
+from repro.core.synthesizer import DesignAlternative, SynthesisResult
+from repro.netlist.netlist import Netlist
+
+#: Anything ``synthesize``/``map`` accept as a target.
+RequestLike = Union[SynthesisRequest, ComponentSpec, Netlist, str, Any]
+
+
+class Session:
+    """A configured synthesis workbench.
+
+    Parameters
+    ----------
+    library:
+        The target cell library: a ``CellLibrary`` or a registered name
+        (``"lsi_logic"``, ``"vendor2"``).
+    rulebase:
+        The decomposition rules: a ``RuleBase``, a registered policy
+        name (``"auto"``, ``"standard"``, ``"lola"``), or None for the
+        ``auto`` policy (standard rules, plus the nine LSI-specific
+        rules when the library is the LSI subset).
+    perf_filter:
+        Search control (S2): a filter object or a designator string
+        such as ``"pareto"``, ``"tradeoff:0.05"``, ``"top_k:4"``,
+        ``"keep_all"``.
+    extra_rules:
+        Additional :class:`~repro.core.rules.Rule` objects appended to
+        the resolved rulebase.
+    validate:
+        Validate rule-produced netlists during expansion.
+    prune_partial:
+        Opt-in dominance pre-pruning before the S1 cross product (see
+        :class:`~repro.core.design_space.DesignSpace`).
+    max_combinations:
+        Per-node cap on the streamed S1 cross product; None keeps the
+        engine default.
+    """
+
+    def __init__(
+        self,
+        library: Any = "lsi_logic",
+        rulebase: Any = None,
+        perf_filter: Any = None,
+        *,
+        extra_rules: Sequence[Rule] = (),
+        validate: bool = True,
+        prune_partial: bool = False,
+        max_combinations: Optional[int] = None,
+    ) -> None:
+        self.library = create_library(library)
+        resolved: RuleBase = create_rulebase(rulebase, self.library)
+        for rule in extra_rules:
+            resolved.add(rule)
+        self.rulebase = resolved
+        self.perf_filter = create_filter(perf_filter)
+        self.space = DesignSpace(
+            self.rulebase,
+            self.library,
+            self.perf_filter,
+            validate=validate,
+            prune_partial=prune_partial,
+        )
+        if max_combinations is not None:
+            self.space.max_combinations = max_combinations
+        self._legend_libraries: Dict[str, Any] = {}
+        self.jobs_run = 0
+
+    # ------------------------------------------------------------------
+    # synthesis
+    # ------------------------------------------------------------------
+    def synthesize(self, target: RequestLike) -> SynthesisJob:
+        """Run one request (or raw target; see
+        :meth:`SynthesisRequest.coerce`) through the design space."""
+        request = SynthesisRequest.coerce(target)
+        handler = getattr(self, f"_run_{request.kind}")
+        job = handler(request)
+        self.jobs_run += 1
+        return job
+
+    def map(self, targets: Iterable[RequestLike]) -> List[SynthesisJob]:
+        """Batch synthesis: every request runs through *this* session's
+        design space, so shared subtrees (a 16-bit adder inside two
+        different ALUs, say) are expanded, costed, and filtered once."""
+        return [self.synthesize(target) for target in targets]
+
+    # -- per-kind handlers --------------------------------------------
+    def _run_spec(self, request: SynthesisRequest) -> SynthesisJob:
+        result = self._synthesize_spec(request.spec)
+        return SynthesisJob(request, result, session=self)
+
+    def _run_netlist(self, request: SynthesisRequest) -> SynthesisJob:
+        result = self._synthesize_netlist(request.netlist)
+        return SynthesisJob(request, result, session=self)
+
+    def _run_legend(self, request: SynthesisRequest) -> SynthesisJob:
+        component = self._elaborate_legend(request)
+        result = self._synthesize_spec(component.spec)
+        # Default labels get upgraded to the elaborated component's
+        # name -- on a copy, never mutating the caller's request.
+        if not request.label or request.label == (request.generator or "legend"):
+            request = replace(request, label=component.name)
+        return SynthesisJob(request, result, session=self, component=component)
+
+    def _run_hls(self, request: SynthesisRequest) -> SynthesisJob:
+        from repro.hls import hls_synthesize
+
+        hls = hls_synthesize(request.program, request.constraints)
+        result = self._synthesize_netlist(hls.datapath.netlist)
+        return SynthesisJob(request, result, session=self, hls=hls)
+
+    # -- engine calls --------------------------------------------------
+    def _synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:
+        start = time.perf_counter()
+        configs = self.space.alternatives(spec)
+        elapsed = time.perf_counter() - start
+        alternatives = [
+            DesignAlternative(i, config, self.space, spec)
+            for i, config in enumerate(configs)
+        ]
+        return SynthesisResult(alternatives, self.space.stats(), elapsed, spec)
+
+    def _synthesize_netlist(self, netlist: Netlist) -> SynthesisResult:
+        start = time.perf_counter()
+        configs = self.space.evaluate_netlist(netlist)
+        elapsed = time.perf_counter() - start
+        alternatives = [
+            DesignAlternative(i, config, self.space, None)
+            for i, config in enumerate(configs)
+        ]
+        return SynthesisResult(alternatives, self.space.stats(), elapsed)
+
+    def _elaborate_legend(self, request: SynthesisRequest):
+        """LEGEND source -> GENUS component (libraries cached per
+        source text, so batch runs parse each description once)."""
+        from repro.legend import build_library
+
+        source = request.legend_source
+        library = self._legend_libraries.get(source)
+        if library is None:
+            library = build_library(source, name="session-legend")
+            self._legend_libraries[source] = library
+        names = library.declared_generator_names()
+        name = request.generator or (names[0] if names else None)
+        if name is None:
+            from repro.legend.errors import LegendError
+
+            raise LegendError("LEGEND source declares no generators")
+        return library.generate(name, **request.params)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def materialize(self, spec: ComponentSpec,
+                    alt: DesignAlternative) -> DesignTree:
+        return self.space.materialize(spec, alt.config)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative design-space statistics across all jobs run."""
+        return self.space.stats()
+
+    def describe(self) -> str:
+        filter_name = getattr(self.perf_filter, "name",
+                              type(self.perf_filter).__name__)
+        return (
+            f"Session(library={self.library.name}, "
+            f"rules={len(self.rulebase)}, filter={filter_name}, "
+            f"jobs={self.jobs_run})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()

@@ -10,13 +10,13 @@ in the input netlist".
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.configs import Configuration
 from repro.core.design_space import DesignSpace, DesignTree, SynthesisError
-from repro.core.filters import ParetoFilter, PerformanceFilter
+from repro.core.filters import PerformanceFilter
 from repro.core.rules import Rule, RuleBase
 from repro.core.specs import ComponentSpec
 from repro.netlist.netlist import Netlist
@@ -93,28 +93,23 @@ class SynthesisResult:
 
 
 class DTAS:
-    """Functional synthesis of generic RTL components into a cell
-    library (the paper's system, end to end).
+    """Deprecated facade over :class:`repro.api.session.Session`.
 
-    Parameters
-    ----------
-    library:
-        The target RTL cell library.
-    rulebase:
-        Decomposition rules.  Defaults to the standard generic rulebase
-        plus the nine LSI-specific rules when the library is the LSI
-        subset.
-    perf_filter:
-        Search-control filter (S2); defaults to the Pareto filter.
-    prune_partial:
-        Opt-in: before the S1 cross product, drop sibling options that
-        agree with a cheaper option on every *shared* spec choice and
-        are dominated in area and every delay arc (see
-        :func:`repro.core.configs.prune_dominated_options`).  A no-op
-        under frontier filters (Pareto/tradeoff/top-k inputs are
-        already mutually non-dominated); it pays off with weak filters
-        such as :class:`KeepAllFilter`, where it cuts the evaluated
-        space by integer factors.
+    The synthesis flow is now driven through ``repro.api`` (typed
+    requests, registries, batch runs, the CLI); this class remains so
+    existing callers keep working, delegating every operation to a
+    private session.  Construction accepts exactly the old arguments --
+    ``rulebase=None`` still means the standard rulebase plus the nine
+    LSI-specific rules when the library is the LSI subset (the
+    registry's ``auto`` policy), and ``perf_filter=None`` still means
+    the Pareto filter.
+
+    New code should write::
+
+        from repro.api import Session
+
+        session = Session(library, perf_filter=...)
+        job = session.synthesize(spec)          # job.result == old return
     """
 
     def __init__(
@@ -126,45 +121,33 @@ class DTAS:
         validate: bool = True,
         prune_partial: bool = False,
     ) -> None:
-        if rulebase is None:
-            from repro.core.rulebase import standard_rulebase
+        warnings.warn(
+            "repro.core.DTAS is deprecated; use repro.api.Session",
+            DeprecationWarning, stacklevel=2,
+        )
+        from repro.api.session import Session
 
-            rulebase = standard_rulebase()
-            if library.name.startswith("LSI"):
-                from repro.core.library_rules import lsi_rules
-
-                rulebase.extend(lsi_rules())
-        for rule in extra_rules:
-            rulebase.add(rule)
-        self.library = library
-        self.rulebase = rulebase
-        self.perf_filter = perf_filter or ParetoFilter()
-        self.space = DesignSpace(rulebase, library, self.perf_filter,
-                                 validate=validate,
-                                 prune_partial=prune_partial)
+        self._session = Session(
+            library,
+            rulebase=rulebase,
+            perf_filter=perf_filter,
+            extra_rules=extra_rules,
+            validate=validate,
+            prune_partial=prune_partial,
+        )
+        self.library = self._session.library
+        self.rulebase = self._session.rulebase
+        self.perf_filter = self._session.perf_filter
+        self.space = self._session.space
 
     # ------------------------------------------------------------------
     def synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:
         """Alternatives for one component specification."""
-        start = time.perf_counter()
-        configs = self.space.alternatives(spec)
-        elapsed = time.perf_counter() - start
-        alternatives = [
-            DesignAlternative(i, config, self.space, spec)
-            for i, config in enumerate(configs)
-        ]
-        return SynthesisResult(alternatives, self.space.stats(), elapsed, spec)
+        return self._session.synthesize(spec).result
 
     def synthesize_netlist(self, netlist: Netlist) -> SynthesisResult:
         """Alternatives for a whole GENUS netlist."""
-        start = time.perf_counter()
-        configs = self.space.evaluate_netlist(netlist)
-        elapsed = time.perf_counter() - start
-        alternatives = [
-            DesignAlternative(i, config, self.space, None)
-            for i, config in enumerate(configs)
-        ]
-        return SynthesisResult(alternatives, self.space.stats(), elapsed)
+        return self._session.synthesize(netlist).result
 
     def materialize(self, spec: ComponentSpec, alt: DesignAlternative) -> DesignTree:
         return self.space.materialize(spec, alt.config)
@@ -176,8 +159,13 @@ def synthesize(
     perf_filter: Optional[PerformanceFilter] = None,
     rulebase: Optional[RuleBase] = None,
 ) -> SynthesisResult:
-    """One-call convenience wrapper around :class:`DTAS`."""
-    dtas = DTAS(library, rulebase=rulebase, perf_filter=perf_filter)
-    if isinstance(target, Netlist):
-        return dtas.synthesize_netlist(target)
-    return dtas.synthesize_spec(target)
+    """Deprecated one-call wrapper; use
+    :meth:`repro.api.Session.synthesize` instead."""
+    warnings.warn(
+        "repro.core.synthesize is deprecated; use repro.api.Session",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.api.session import Session
+
+    session = Session(library, rulebase=rulebase, perf_filter=perf_filter)
+    return session.synthesize(target).result

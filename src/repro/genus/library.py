@@ -47,6 +47,10 @@ class GenusLibrary:
     def generator_names(self) -> List[str]:
         return sorted(self._generators)
 
+    def declared_generator_names(self) -> List[str]:
+        """Generator names in registration (declaration) order."""
+        return list(self._generators)
+
     def generators_by_class(self, type_class: TypeClass) -> List[Generator]:
         return sorted(
             (g for g in self._generators.values() if g.type_class is type_class),
