@@ -3,6 +3,7 @@
 Usage::
 
     python -m benchmarks.perf_report [--output PATH] [--repeats N] [--quick]
+    python -m benchmarks.perf_report --compare [--baseline PATH]
 
 Each workload constructs a fresh :class:`repro.api.Session` and
 synthesizes, run ``--repeats`` times in one process.  The process-wide
@@ -18,6 +19,15 @@ regressions are both visible.
 The report lands at the repository root as ``BENCH_report.json`` (the
 perf trajectory file later PRs are measured against).  ``--quick`` runs
 a reduced workload set for CI smoke.
+
+``--compare`` runs the workloads and *diffs* the freshly computed
+``results`` section against the checked-in report instead of writing
+one, exiting nonzero on any drift -- the CI perf-smoke step uses this,
+so a behavioral regression fails the build instead of waiting for a
+reviewer to eyeball the JSON.  ``--jobs``/``--parallel-backend`` run
+every workload through the parallel evaluator (results must not
+change -- compare mode doubles as a parity check), and ``--order``
+switches the S1 enumeration order for ad-hoc measurements.
 """
 
 from __future__ import annotations
@@ -46,42 +56,68 @@ SCHEMA = 1
 MAX_POINTS = 64
 
 
-def _synth(spec, perf_filter: str, max_combinations=None):
+def _synth(spec, perf_filter: str, max_combinations=None, order=None,
+           jobs: int = 1, parallel_backend: str = "thread"):
     """One workload: a fresh session (shared process-wide caches stay
     warm, per-session design space starts cold), one request."""
     session = Session(library="lsi_logic", perf_filter=perf_filter,
-                      max_combinations=max_combinations)
+                      max_combinations=max_combinations, order=order,
+                      jobs=jobs, parallel_backend=parallel_backend)
     return session.synthesize(spec)
 
 
-def _workloads(quick: bool) -> List[Tuple[str, Callable]]:
-    """(name, thunk) pairs; each thunk runs one synthesis workload."""
-    jobs: List[Tuple[str, Callable]] = [
+def _workloads(quick: bool, jobs: int = 1,
+               parallel_backend: str = "thread",
+               order: Optional[str] = None) -> List[Tuple[str, Callable]]:
+    """(name, thunk) pairs; each thunk runs one synthesis workload.
+
+    ``jobs``/``parallel_backend``/``order`` apply to every workload
+    that does not pin its own order -- with the defaults the results
+    section is byte-stable against the checked-in report.
+    """
+
+    def synth(spec, perf_filter, max_combinations=None, pinned_order=None):
+        return _synth(spec, perf_filter, max_combinations=max_combinations,
+                      order=pinned_order if pinned_order is not None else order,
+                      jobs=jobs, parallel_backend=parallel_backend)
+
+    jobs_list: List[Tuple[str, Callable]] = [
         ("adder16_pareto",
-         lambda: _synth(adder_spec(16), "pareto")),
+         lambda: synth(adder_spec(16), "pareto")),
         ("adder32_tradeoff5",
-         lambda: _synth(adder_spec(32), "tradeoff:0.05")),
+         lambda: synth(adder_spec(32), "tradeoff:0.05")),
         ("alu64_tradeoff5",
-         lambda: _synth(alu_spec(64), "tradeoff:0.05")),
+         lambda: synth(alu_spec(64), "tradeoff:0.05")),
         ("counter8_pareto",
-         lambda: _synth(counter_spec(8), "pareto")),
+         lambda: synth(counter_spec(8), "pareto")),
     ]
     if not quick:
-        jobs += [
+        jobs_list += [
             # Keep-all is the S2-off ablation: unfiltered, the
             # evaluated space explodes, so bound the per-node
             # combination cap (the streaming combiner makes the cap
             # bound *work*, not just output) to keep the harness fast
             # while still exercising the unfiltered path.
             ("adder8_keepall_capped",
-             lambda: _synth(adder_spec(8), "keep_all",
-                            max_combinations=2000)),
+             lambda: synth(adder_spec(8), "keep_all",
+                           max_combinations=2000)),
             ("alu16_top4_ablation",
-             lambda: _synth(alu_spec(16), "top_k:4")),
+             lambda: synth(alu_spec(16), "top_k:4")),
             ("adder32_pareto_ablation",
-             lambda: _synth(adder_spec(32), "pareto")),
+             lambda: synth(adder_spec(32), "pareto")),
+            # Cap-quality pair: the same tightly capped ALU64 run under
+            # both enumeration orders.  The frontier entry should hold
+            # a strictly faster fastest design than the lex entry at
+            # equal smallest area -- that delta *is* the cap-quality
+            # result, tracked by the trajectory file.
+            ("alu64_pareto_cap40_lex",
+             lambda: synth(alu_spec(64), "pareto", max_combinations=40,
+                           pinned_order="lex")),
+            ("alu64_pareto_cap40_frontier",
+             lambda: synth(alu_spec(64), "pareto", max_combinations=40,
+                           pinned_order="frontier")),
         ]
-    return jobs
+    return jobs_list
 
 
 def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
@@ -111,7 +147,9 @@ def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
     return results, timings
 
 
-def run(repeats: int = 3, quick: bool = False) -> Dict:
+def run(repeats: int = 3, quick: bool = False, jobs: int = 1,
+        parallel_backend: str = "thread",
+        order: Optional[str] = None) -> Dict:
     """Run every workload; return the report as a dict.
 
     The report separates the deterministic ``results`` section (the
@@ -123,7 +161,9 @@ def run(repeats: int = 3, quick: bool = False) -> Dict:
     results: Dict[str, Dict] = {}
     timings: Dict[str, Dict] = {}
     total = 0.0
-    for name, thunk in _workloads(quick):
+    for name, thunk in _workloads(quick, jobs=jobs,
+                                  parallel_backend=parallel_backend,
+                                  order=order):
         results[name], timings[name] = _run_workload(thunk, repeats)
         total += timings[name]["wall_seconds"]
     return {
@@ -137,8 +177,47 @@ def run(repeats: int = 3, quick: bool = False) -> Dict:
             "unix_time": time.time(),
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "jobs": jobs,
         },
     }
+
+
+# ---------------------------------------------------------------------------
+# Compare mode (the CI regression gate)
+# ---------------------------------------------------------------------------
+
+def _normalize(value):
+    """JSON round trip so tuples/lists and int/float spellings compare
+    equal between a fresh in-memory report and the checked-in file."""
+    return json.loads(json.dumps(value))
+
+
+def compare_results(fresh: Dict, baseline: Dict) -> List[str]:
+    """Differences between two reports' ``results`` sections.
+
+    Every workload of the *fresh* run must exist in the baseline and
+    match exactly; baseline workloads missing from a (quick) fresh run
+    are ignored.  Returns human-readable drift messages (empty = no
+    drift).
+    """
+    drift: List[str] = []
+    base_results = baseline.get("results", {})
+    for name, entry in fresh["results"].items():
+        base = base_results.get(name)
+        if base is None:
+            drift.append(f"{name}: missing from baseline (new workload? "
+                         f"regenerate the report)")
+            continue
+        entry, base = _normalize(entry), _normalize(base)
+        if entry == base:
+            continue
+        details = []
+        for key in sorted(set(entry) | set(base)):
+            if entry.get(key) != base.get(key):
+                details.append(
+                    f"{key}: {base.get(key)!r} -> {entry.get(key)!r}")
+        drift.append(f"{name}: " + "; ".join(details[:4]))
+    return drift
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -152,10 +231,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="runs per workload; best wall-clock is reported")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload set (CI smoke)")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff fresh results against the baseline "
+                             "report and exit nonzero on drift "
+                             "(writes nothing)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT,
+                        help="baseline report for --compare "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel evaluation workers per session "
+                             "(results must not change; default: 1)")
+    parser.add_argument("--parallel-backend", default="thread",
+                        choices=["thread", "process"],
+                        help="worker backend for --jobs > 1")
+    parser.add_argument("--order", default=None,
+                        help="S1 enumeration order override for ad-hoc "
+                             "measurements (lex, frontier)")
     args = parser.parse_args(argv)
 
-    report = run(repeats=args.repeats, quick=args.quick)
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    baseline = None
+    if args.compare:
+        # Read the baseline up front: a missing/corrupt file must fail
+        # in milliseconds, not after the full workload run.
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError) as error:
+            print(f"compare: cannot read baseline {args.baseline}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    report = run(repeats=args.repeats, quick=args.quick, jobs=args.jobs,
+                 parallel_backend=args.parallel_backend, order=args.order)
 
     width = max(len(name) for name in report["results"])
     print(f"{'workload':<{width}}  {'best':>9}  {'mean':>9}  alts")
@@ -164,6 +270,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{name:<{width}}  {timing['wall_seconds'] * 1e3:>7.1f}ms  "
               f"{timing['wall_seconds_mean'] * 1e3:>7.1f}ms  "
               f"{entry['alternatives']:>4}")
+
+    if args.compare:
+        drift = compare_results(report, baseline)
+        if drift:
+            print(f"compare: results drifted from {args.baseline}:",
+                  file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"compare: results match {args.baseline} "
+              f"({len(report['results'])} workloads)")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"report written to {args.output}")
     return 0
 

@@ -34,6 +34,7 @@ from repro.api.registry import (
     EMITTERS,
     FILTERS,
     LIBRARIES,
+    ORDERS,
     RULEBASES,
     SPECS,
     Registry,
@@ -48,6 +49,7 @@ __all__ = [
     "EMITTERS",
     "FILTERS",
     "LIBRARIES",
+    "ORDERS",
     "RULEBASES",
     "SPECS",
     "Registry",

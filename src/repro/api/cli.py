@@ -83,6 +83,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-combinations", type=int, default=None, metavar="N",
         help="cap on the per-node S1 cross product")
     synth.add_argument(
+        "--order", default=None, metavar="NAME",
+        help="S1 enumeration order: lex (default), frontier, or a "
+             "registered name (see 'repro list orders'); frontier makes "
+             "--max-combinations keep the best designs")
+    synth.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="workers for parallel subtree evaluation (default: 1)")
+    synth.add_argument(
+        "--parallel-backend", default="thread", choices=["thread", "process"],
+        help="worker backend for --jobs > 1 (process = fork-based "
+             "multiprocessing; default: thread)")
+    synth.add_argument(
         "--prune-partial", action="store_true",
         help="enable dominance pre-pruning before the S1 cross product")
     synth.add_argument(
@@ -98,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what", nargs="?", default="all",
         choices=["all", "libraries", "rulebases", "filters", "emitters",
-                 "specs"],
+                 "specs", "orders"],
         help="which registry to show (default: all)")
     return parser
 
@@ -143,6 +155,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             perf_filter=args.perf_filter,
             prune_partial=args.prune_partial,
             max_combinations=args.max_combinations,
+            jobs=args.jobs,
+            parallel_backend=args.parallel_backend,
+            order=args.order,
         )
     except (registry.RegistryError, OSError, ValueError) as error:
         print(f"{PROG} synth: {error}", file=sys.stderr)
@@ -184,6 +199,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "filters": registry.FILTERS,
         "emitters": registry.EMITTERS,
         "specs": registry.SPECS,
+        "orders": registry.ORDERS,
     }
     selected = sections if args.what == "all" else {args.what: sections[args.what]}
     blocks = []

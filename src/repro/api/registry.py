@@ -153,6 +153,15 @@ EMITTERS = Registry("emitter", "(job) -> str")
 #: ``(width: int) -> ComponentSpec`` for names like ``alu:64``.
 SPECS = Registry("spec", "(width: int) -> ComponentSpec")
 
+#: S1 enumeration orders for the streaming combiner.  Factory
+#: convention: ``() -> Optional[callable]`` returning a function that
+#: reorders one option list (``None`` = keep list order).  Third-party
+#: orders registered here are usable as ``Session(order="name")`` and
+#: ``--order name`` exactly like built-ins.  Names resolve at this
+#: layer (:func:`create_order`); the core engine itself accepts order
+#: *callables* plus the built-in names only.
+ORDERS = Registry("order", "() -> Optional[callable]")
+
 
 # ---------------------------------------------------------------------------
 # Built-in backends
@@ -226,6 +235,17 @@ def _register_builtins() -> None:
         "keep_all", lambda arg=None: KeepAllFilter(),
         description="no pruning (ablation; expect blow-up)")
 
+    from repro.core.configs import pareto_rank_order
+
+    ORDERS.register(
+        "lex", lambda: None,
+        description="enumeration order of the option lists (seed "
+                    "semantics; byte-stable results)")
+    ORDERS.register(
+        "frontier", lambda: pareto_rank_order,
+        description="Pareto-rank + two-ended sweep seeding, so "
+                    "max_combinations keeps the best designs")
+
     SPECS.register("adder", adder_spec, description="n-bit binary adder")
     SPECS.register("alu", alu_spec,
                    description="n-bit 16-function ALU (paper Figure 3)")
@@ -269,6 +289,15 @@ def create_rulebase(spec: Any, library) -> Any:
     if isinstance(spec, str):
         return RULEBASES.create(spec, library)
     return spec
+
+
+def create_order(spec: Any):
+    """Resolve an enumeration-order designator: None passes through
+    (engine default), a string is looked up in :data:`ORDERS`, and a
+    callable passes through as the order function itself."""
+    if spec is None or callable(spec):
+        return spec
+    return ORDERS.create(spec)
 
 
 def parse_spec(text: str):

@@ -24,7 +24,12 @@ import time
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.api.registry import create_filter, create_library, create_rulebase
+from repro.api.registry import (
+    create_filter,
+    create_library,
+    create_order,
+    create_rulebase,
+)
 from repro.api.requests import SynthesisJob, SynthesisRequest
 from repro.core.design_space import DesignSpace, DesignTree
 from repro.core.rules import Rule, RuleBase
@@ -64,6 +69,16 @@ class Session:
     max_combinations:
         Per-node cap on the streamed S1 cross product; None keeps the
         engine default.
+    jobs:
+        Worker count for parallel subtree evaluation (1 = sequential).
+    parallel_backend:
+        ``"thread"`` (default) or ``"process"`` (fork-based real
+        parallelism; degrades to threads where fork is unavailable).
+    order:
+        S1 enumeration order: a registered name (``"lex"`` default,
+        ``"frontier"``), or a callable reordering one option list.
+        ``"frontier"`` makes ``max_combinations`` keep the best
+        designs instead of the lexicographically first.
     """
 
     def __init__(
@@ -76,6 +91,9 @@ class Session:
         validate: bool = True,
         prune_partial: bool = False,
         max_combinations: Optional[int] = None,
+        jobs: int = 1,
+        parallel_backend: str = "thread",
+        order: Any = None,
     ) -> None:
         self.library = create_library(library)
         resolved: RuleBase = create_rulebase(rulebase, self.library)
@@ -89,6 +107,9 @@ class Session:
             self.perf_filter,
             validate=validate,
             prune_partial=prune_partial,
+            jobs=jobs,
+            parallel_backend=parallel_backend,
+            order=create_order(order),
         )
         if max_combinations is not None:
             self.space.max_combinations = max_combinations
@@ -183,6 +204,17 @@ class Session:
     def materialize(self, spec: ComponentSpec,
                     alt: DesignAlternative) -> DesignTree:
         return self.space.materialize(spec, alt.config)
+
+    def retarget(self, library: Any) -> Dict[str, int]:
+        """Incrementally retarget this session to a new cell library
+        (a ``CellLibrary`` or a registered name): leaf cell bindings
+        are recomputed, the decomposition skeleton and its compiled
+        timing programs survive, and memoized costs are invalidated so
+        the next job re-costs only what the retarget touched.  See
+        :func:`repro.lola.assistant.retarget_space` for the LOLA-side
+        driver with rule adaptation."""
+        self.library = create_library(library)
+        return self.space.rebind_library(self.library)
 
     def stats(self) -> Dict[str, int]:
         """Cumulative design-space statistics across all jobs run."""

@@ -23,8 +23,10 @@ from repro.core.filters import (
     TopKFilter,
     TradeoffFilter,
 )
-from repro.core.configs import Configuration
+from repro.core.configs import Configuration, pareto_rank_order
 from repro.core.design_space import DesignSpace, Implementation, SpecNode
+from repro.core.interning import intern_configuration, intern_stats
+from repro.core.parallel import parallel_prefill
 from repro.core.rules import Rule, RuleBase
 from repro.core.synthesizer import DTAS, SynthesisResult, synthesize
 
@@ -64,7 +66,11 @@ __all__ = [
     "SynthesisResult",
     "TopKFilter",
     "TradeoffFilter",
+    "intern_configuration",
+    "intern_stats",
     "make_spec",
+    "pareto_rank_order",
+    "parallel_prefill",
     "port_signature",
     "synthesize",
 ]

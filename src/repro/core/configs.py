@@ -16,19 +16,35 @@ the sort key of every filter pass), and per-spec choice lookup is
 backed by a lazily built dictionary so materializing a design tree is
 linear rather than quadratic in tree size.
 
+Configurations are *interned* (:mod:`repro.core.interning`):
+:func:`make_configuration` returns one canonical instance per distinct
+(area, delays, choices) value, so equality between interned instances
+is an O(1) identity check, duplicate allocation disappears from the
+keep-all ablations, and every lazy per-object cache is computed once
+process-wide.
+
 Combining sibling options is *streaming*: :func:`iter_compatible`
 enumerates the S1-consistent cross product lazily, so a combination cap
 bounds the work performed, not just the length of a list that was
 already fully materialized.  Sibling specification sets are analysed up
 front: an option list whose specs appear in no other list can never
 conflict, so its choices are merged with plain dictionary writes and no
-comparisons at all.
+comparisons at all; for lists that *can* conflict, each option's
+choices are split once (memoized by interned id) into the shared part
+that needs checking and the private part that is written blind.
+
+Enumeration order is pluggable: the default ``"lex"`` order walks the
+option lists exactly as given (the seed semantics, and what keeps
+benchmark results byte-identical), while ``"frontier"`` reorders each
+option list by Pareto rank so a ``limit`` keeps the best designs
+instead of the lexicographically first.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -37,17 +53,29 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
+from repro.core.interning import CONFIGURATIONS
 from repro.core.specs import ComponentSpec
 
 Choice = Tuple[ComponentSpec, int]  # (specification, implementation index)
 DelayItems = Tuple[Tuple[Tuple[str, str], float], ...]
 
+#: An order backend reorders one option list; ``None`` keeps the list
+#: as given (lexicographic enumeration).
+OrderFn = Callable[[Sequence["Configuration"]], List["Configuration"]]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class Configuration:
-    """One consistent, costed implementation choice for a spec subtree."""
+    """One consistent, costed implementation choice for a spec subtree.
+
+    Equality and hashing are by value -- (area, delays, choices) --
+    with an identity fast path that the intern table makes effective:
+    configurations built through :func:`make_configuration` share one
+    canonical instance per value, so the equal case is `a is b`.
+    """
 
     area: float
     delays: DelayItems
@@ -63,6 +91,37 @@ class Configuration:
                 self, "delay", max((d for _, d in self.delays), default=0.0)
             )
 
+    # -- identity ------------------------------------------------------
+    @property
+    def interned_id(self) -> Optional[int]:
+        """Stable small-int identity assigned by the intern table, or
+        ``None`` for instances built outside it."""
+        return self.__dict__.get("_intern_id")
+
+    def __eq__(self, other: object) -> bool:
+        # Identity first: interned equal configurations are the same
+        # object, so the common case never compares tuples.  (No
+        # "both-interned => unequal" shortcut: InternTable.clear() may
+        # leave equal canonical instances from different table
+        # generations alive, and they must still compare equal.)
+        if self is other:
+            return True
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return (
+            self.area == other.area
+            and self.delays == other.delays
+            and self.choices == other.choices
+        )
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.area, self.delays, self.choices))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    # -- cost views ----------------------------------------------------
     def delay_matrix(self) -> Dict[Tuple[str, str], float]:
         return dict(self.delays)
 
@@ -98,17 +157,19 @@ class Configuration:
     def describe(self) -> str:
         return f"area={self.area:.0f} gates, delay={self.delay:.1f} ns"
 
-    def __getstate__(self):
-        """Drop lazily built caches from pickles; they are derived and
-        cheap to rebuild, and ``_impl_by_spec`` keys specs whose hashes
-        are process-specific."""
-        state = dict(self.__dict__)
-        for key in ("_arc_keys", "_delay_values", "_impl_by_spec"):
-            state.pop(key, None)
-        return state
+    # -- pickling ------------------------------------------------------
+    def __reduce__(self):
+        """Pickle by value only -- none of the lazily built caches (and
+        never ``_intern_id``, which is process-specific) enter the
+        payload; unpickling re-interns, so configurations shipped back
+        from a multiprocessing worker land as canonical instances of
+        the receiving process."""
+        return (_restore_configuration, (self.area, self.delays, self.choices))
 
-    def __setstate__(self, state) -> None:
-        self.__dict__.update(state)
+
+def _restore_configuration(area, delays, choices) -> Configuration:
+    """Unpickle target: rebuild through the intern table."""
+    return CONFIGURATIONS.intern_parts(area, delays, choices, Configuration)
 
 
 def make_configuration(
@@ -116,10 +177,13 @@ def make_configuration(
     delays: Mapping[Tuple[str, str], float],
     choices: Mapping[ComponentSpec, int],
 ) -> Configuration:
-    """Normalized constructor (sorted, hashable tuples)."""
+    """Normalized, interned constructor (sorted, hashable tuples; one
+    canonical instance per value process-wide)."""
     delay_items = tuple(sorted(delays.items()))
     choice_items = tuple(sorted(choices.items(), key=lambda kv: kv[0].sort_key))
-    return Configuration(float(area), delay_items, choice_items)
+    return CONFIGURATIONS.intern_parts(
+        float(area), delay_items, choice_items, Configuration
+    )
 
 
 def merge_choices(
@@ -195,10 +259,98 @@ def prune_dominated_options(
     return kept
 
 
+# ---------------------------------------------------------------------------
+# Enumeration orders
+# ---------------------------------------------------------------------------
+
+def pareto_rank_order(options: Sequence[Configuration]) -> List[Configuration]:
+    """Reorder one option list frontier-first for cap-bounded search.
+
+    Non-dominated sorting on (area, worst delay): rank 0 is the Pareto
+    frontier of the list, rank 1 the frontier of what remains, and so
+    on.  Within each rank the points are emitted in a *two-ended
+    sweep* -- smallest-area first, then fastest, then the next point
+    from each end alternately -- so that even a very short prefix of
+    the list contains both cost corners, not just the cheap-and-slow
+    end.  Lexicographic enumeration over sorted lists explores the
+    small-area corner of every sibling before it ever reaches a fast
+    option of the first one; seeding each list this way is what lets
+    ``limit`` keep the best designs (both corners of the composed
+    frontier) instead of the lexicographically first.
+
+    Deterministic: ties are broken by (area, delay, original index).
+    """
+    n = len(options)
+    if n <= 1:
+        return list(options)
+    by_cost = sorted(range(n), key=lambda i: (options[i].area,
+                                              options[i].delay, i))
+    remaining = by_cost
+    rank_groups: List[List[int]] = []
+    while remaining:
+        best_delay = float("inf")
+        group: List[int] = []
+        leftover: List[int] = []
+        for i in remaining:
+            if options[i].delay < best_delay - 1e-12:
+                group.append(i)
+                best_delay = options[i].delay
+            else:
+                leftover.append(i)
+        rank_groups.append(group)
+        remaining = leftover
+    ordered: List[int] = []
+    for group in rank_groups:
+        lo, hi = 0, len(group) - 1
+        take_lo = True
+        while lo <= hi:
+            if take_lo:
+                ordered.append(group[lo])
+                lo += 1
+            else:
+                ordered.append(group[hi])
+                hi -= 1
+            take_lo = not take_lo
+    return [options[i] for i in ordered]
+
+
+#: Built-in enumeration orders (``None`` = keep the given list order).
+#: This is the *engine-level* table: only built-ins live here, and the
+#: engine otherwise takes order callables directly.  Name-based
+#: third-party orders register in :data:`repro.api.registry.ORDERS`
+#: and are resolved to callables at the Session/CLI layer.
+ORDERINGS: Dict[str, Optional[OrderFn]] = {
+    "lex": None,
+    "frontier": pareto_rank_order,
+}
+
+
+def resolve_order(order: Union[str, OrderFn, None]) -> Optional[OrderFn]:
+    """Resolve an order designator: ``None``/``"lex"`` mean no
+    reordering, ``"frontier"`` the Pareto-rank order, and a callable
+    passes through (the extension point name-registered backends use)."""
+    if order is None:
+        return None
+    if callable(order):
+        return order
+    try:
+        return ORDERINGS[order]
+    except KeyError:
+        raise ValueError(
+            f"unknown enumeration order {order!r}; "
+            f"known: {', '.join(sorted(ORDERINGS))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The streaming S1 combiner
+# ---------------------------------------------------------------------------
+
 def iter_compatible(
     option_lists: Sequence[Sequence[Configuration]],
     limit: Optional[int] = None,
     prune_dominated: bool = False,
+    order: Union[str, OrderFn, None] = None,
 ) -> Iterator[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
     """Stream the S1-consistent cross product of per-spec options.
 
@@ -206,7 +358,9 @@ def iter_compatible(
     the order the nested-loop cross product would produce them, pruning
     conflicting prefixes as early as possible.  With ``limit``, the
     enumeration *stops* after that many combinations -- bounding the
-    work done, not just the output returned.
+    work done, not just the output returned.  With ``order``, each
+    option list is reordered first (``"frontier"`` seeds by Pareto
+    rank, so the limited prefix holds the best designs).
 
     The yielded choice map is reused between iterations for speed; copy
     it if it must outlive the loop body (:func:`combine_compatible`
@@ -237,6 +391,28 @@ def iter_compatible(
         if prune_dominated
         else list(option_lists)
     )
+    order_fn = resolve_order(order)
+    if order_fn is not None:
+        lists = [order_fn(options) for options in lists]
+
+    # For conflict-checked lists, split each option's choices once into
+    # the shared part (compared against the running merge) and the
+    # private part (written blind -- private specs cannot collide).
+    # The split is memoized by interned id, so an option appearing in
+    # several lists, or the same canonical configuration reached from
+    # different nodes, is split exactly once per enumeration.
+    split_memo: Dict[int, Tuple[Tuple[Choice, ...], Tuple[Choice, ...]]] = {}
+
+    def split(config: Configuration):
+        key = config.interned_id
+        if key is None:
+            key = -id(config)  # uninterned: fall back to object identity
+        cached = split_memo.get(key)
+        if cached is None:
+            shared_items = tuple(c for c in config.choices if c[0] in shared)
+            private_items = tuple(c for c in config.choices if c[0] not in shared)
+            cached = split_memo[key] = (shared_items, private_items)
+        return cached
 
     merged: Dict[ComponentSpec, int] = {}
     chosen: List[Optional[Configuration]] = [None] * count
@@ -267,20 +443,26 @@ def iter_compatible(
         else:
             for config in options:
                 chosen[depth] = config
-                added: List[ComponentSpec] = []
+                shared_items, private_items = split(config)
                 consistent = True
-                for spec, impl in config.choices:
+                to_add: List[Choice] = []
+                for spec, impl in shared_items:
                     existing = merged.get(spec)
                     if existing is None:
-                        merged[spec] = impl
-                        added.append(spec)
+                        to_add.append((spec, impl))
                     elif existing != impl:
                         consistent = False
                         break
                 if consistent:
+                    for spec, impl in to_add:
+                        merged[spec] = impl
+                    for spec, impl in private_items:
+                        merged[spec] = impl
                     yield from walk(depth + 1)
-                for spec in added:
-                    del merged[spec]
+                    for spec, _ in to_add:
+                        del merged[spec]
+                    for spec, _ in private_items:
+                        del merged[spec]
                 if limit is not None and emitted >= limit:
                     return
 
@@ -290,10 +472,12 @@ def iter_compatible(
 def combine_compatible(
     option_lists: Sequence[Sequence[Configuration]],
     limit: Optional[int] = None,
+    order: Union[str, OrderFn, None] = None,
 ) -> List[Tuple[Tuple[Configuration, ...], Dict[ComponentSpec, int]]]:
     """Materialized form of :func:`iter_compatible` (kept for callers
     and tests that want the whole list; each result owns its map)."""
     return [
         (chosen, dict(merged))
-        for chosen, merged in iter_compatible(option_lists, limit=limit)
+        for chosen, merged in iter_compatible(option_lists, limit=limit,
+                                              order=order)
     ]

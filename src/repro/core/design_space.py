@@ -34,19 +34,30 @@ The evaluation inner loop is engineered for the paper's scale claim
 - rule applications, cell matchings, and compiled programs are pure
   functions of (rule, spec, library) and are cached process-wide, so
   repeated syntheses (benchmarks, serving, LOLA retargeting sweeps)
-  skip re-expansion.
+  skip re-expansion;
+- with ``jobs > 1`` the expanded spec graph is topologically
+  partitioned into independent subtrees and evaluated concurrently
+  (:mod:`repro.core.parallel`); configurations are interned process-wide
+  (:mod:`repro.core.interning`), so the parallel engine produces
+  bit-identical results to the sequential walk;
+- ``recost``/``rebind_library`` support incremental re-evaluation: a
+  LOLA retarget keeps the decomposition skeleton and its compiled
+  timing programs and re-costs only rebound leaves and their
+  dependents.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.configs import (
     Configuration,
     iter_compatible,
     make_configuration,
+    resolve_order,
 )
 from repro.core.filters import ParetoFilter, PerformanceFilter
 from repro.core.mapper import CellBinding, matching_cells
@@ -246,6 +257,9 @@ class DesignSpace:
         validate: bool = True,
         max_combinations: int = 20000,
         prune_partial: bool = False,
+        jobs: int = 1,
+        parallel_backend: str = "thread",
+        order: object = "lex",
     ) -> None:
         self.rulebase = rulebase
         self.library = library
@@ -256,13 +270,46 @@ class DesignSpace:
         #: cost dimension by an option with the same choices (see
         #: :func:`repro.core.configs.prune_dominated_options`).
         self.prune_partial = prune_partial
+        #: Worker count for parallel subtree evaluation (1 = the
+        #: sequential bottom-up walk).
+        self.jobs = max(1, int(jobs))
+        #: ``"thread"`` (default; safe everywhere) or ``"process"``
+        #: (fork-based; real parallelism for the pure-Python inner loop).
+        self.parallel_backend = parallel_backend
+        #: S1 enumeration order: ``"lex"``, ``"frontier"``, or a
+        #: callable reordering one option list (resolved once).
+        self.order = resolve_order(order)
         self.context = RuleContext(library)
         self.nodes: Dict[ComponentSpec, SpecNode] = {}
         self.failures: Dict[ComponentSpec, str] = {}
         self._configs: Dict[ComponentSpec, List[Configuration]] = {}
-        self._expanding: set = set()
-        self._evaluating: set = set()
         self._count_memo: Dict[ComponentSpec, int] = {}
+        #: spec -> specs whose memoized configs were computed from it
+        #: (reverse dependencies, recorded during evaluation; drives
+        #: :meth:`recost` invalidation).
+        self._dependents: Dict[ComponentSpec, Set[ComponentSpec]] = {}
+        #: Scheduling counters of the most recent parallel prefill
+        #: (None until one runs; see :func:`repro.core.parallel.parallel_prefill`).
+        self.last_parallel_stats: Optional[Dict[str, object]] = None
+        # Re-entrancy guards are per *thread*: the parallel evaluator
+        # runs `configs` from worker threads, and a spec mid-evaluation
+        # on another thread is concurrent work, not a decomposition
+        # cycle.
+        self._tls = threading.local()
+
+    @property
+    def _expanding(self) -> set:
+        guard = getattr(self._tls, "expanding", None)
+        if guard is None:
+            guard = self._tls.expanding = set()
+        return guard
+
+    @property
+    def _evaluating(self) -> set:
+        guard = getattr(self._tls, "evaluating", None)
+        if guard is None:
+            guard = self._tls.evaluating = set()
+        return guard
 
     # ------------------------------------------------------------------
     # expansion (rules + technology mapping)
@@ -354,6 +401,7 @@ class DesignSpace:
         distinct_specs = list(dict.fromkeys(m.spec for m in netlist.modules))
         option_lists = []
         for sub in distinct_specs:
+            self._dependents.setdefault(sub, set()).add(spec)
             options = self.configs(sub)
             if not options:
                 return []  # some module is unimplementable
@@ -384,6 +432,7 @@ class DesignSpace:
             option_lists,
             limit=self.max_combinations,
             prune_dominated=self.prune_partial,
+            order=self.order,
         ):
             choices = dict(merged)
             if own_choice is not None:
@@ -409,6 +458,10 @@ class DesignSpace:
     # ------------------------------------------------------------------
     def alternatives(self, spec: ComponentSpec) -> List[Configuration]:
         """Expand and evaluate a single component specification."""
+        if self.jobs > 1 and spec not in self._configs:
+            from repro.core.parallel import parallel_prefill
+
+            parallel_prefill(self, [spec])
         selected = self.configs(spec)
         if not selected:
             raise SynthesisError(self._failure_message(spec))
@@ -422,6 +475,10 @@ class DesignSpace:
         of module implementations, costed with structural timing.
         """
         distinct_specs = list(dict.fromkeys(m.spec for m in netlist.modules))
+        if self.jobs > 1 and any(s not in self._configs for s in distinct_specs):
+            from repro.core.parallel import parallel_prefill
+
+            parallel_prefill(self, distinct_specs)
         option_lists = []
         for sub in distinct_specs:
             options = self.configs(sub)
@@ -459,6 +516,82 @@ class DesignSpace:
             for module in impl.netlist.modules:
                 tree.children[module.name] = self.materialize(module.spec, config)
         return tree
+
+    # ------------------------------------------------------------------
+    # incremental re-evaluation (LOLA retargeting support)
+    # ------------------------------------------------------------------
+    def recost(self, specs: Iterable[ComponentSpec]) -> Set[ComponentSpec]:
+        """Invalidate memoized configurations for ``specs`` and every
+        spec whose results were computed from them (transitively, via
+        the reverse-dependency index recorded during evaluation).
+
+        Expansion state -- spec nodes, implementations, decomposition
+        netlists, and their compiled timing programs -- is untouched,
+        so the next ``configs`` call re-costs the invalidated subtrees
+        over the shared skeleton instead of rebuilding it.
+        """
+        queue = list(specs)
+        invalidated: Set[ComponentSpec] = set()
+        while queue:
+            spec = queue.pop()
+            if spec in invalidated:
+                continue
+            invalidated.add(spec)
+            self._configs.pop(spec, None)
+            self.failures.pop(spec, None)
+            queue.extend(self._dependents.get(spec, ()))
+        return invalidated
+
+    def rebind_library(self, library) -> Dict[str, int]:
+        """Incrementally retarget this design space to a new cell
+        library: recompute the cell bindings of every expanded node
+        against ``library``, keep every decomposition implementation
+        and its compiled timing program (the shared skeleton), and
+        invalidate all memoized costs.
+
+        Only the *leaves* are rebound -- decomposition structure was
+        derived under the old library's width catalog and is reused
+        as-is, which is exactly the incremental contract: a fresh
+        expansion against the new library may discover different
+        decompositions.  Previously returned configurations refer to
+        the old implementation indexing and must not be materialized
+        afterwards.
+
+        Returns counters: expanded nodes visited, nodes whose cell
+        binding set changed, and decomposition programs preserved.
+        """
+        rebound = 0
+        programs_kept = 0
+        for spec, node in self.nodes.items():
+            if not node.expanded:
+                continue
+            old_cells = [impl for impl in node.impls if impl.kind == "cell"]
+            decomps = [impl for impl in node.impls if impl.kind == "decomp"]
+            impls: List[Implementation] = []
+            for binding in _cached_matching_cells(spec, library):
+                impls.append(
+                    Implementation(len(impls), spec, "cell", binding=binding)
+                )
+            new_names = [impl.binding.cell.name for impl in impls]
+            old_names = [impl.binding.cell.name for impl in old_cells]
+            if new_names != old_names:
+                rebound += 1
+            for impl in decomps:
+                impl.index = len(impls)
+                impls.append(impl)
+                if impl.timing_program is not None:
+                    programs_kept += 1
+            node.impls = impls
+        self.library = library
+        self.context = RuleContext(library)
+        invalidated = self.recost(list(self.nodes))
+        self._count_memo.clear()
+        return {
+            "nodes": len(self.nodes),
+            "rebound_nodes": rebound,
+            "invalidated": len(invalidated),
+            "programs_kept": programs_kept,
+        }
 
     # ------------------------------------------------------------------
     # statistics (paper section 5 sizing claims)

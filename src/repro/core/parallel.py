@@ -1,0 +1,257 @@
+"""Work-sharing parallel evaluation of design-space subtrees.
+
+``DesignSpace.configs`` is a memoized bottom-up walk; the units of
+work are *specs*, and two specs with no shared descendants can be
+evaluated in any order -- or at the same time.  This module
+topologically partitions the expanded spec graph under a root into
+independent subtree tasks and evaluates them concurrently, prefilling
+the design space's ``_configs`` memo so the final sequential pass only
+has the top-level residue left to do.
+
+Two backends:
+
+``"thread"`` (default)
+    A work-sharing :class:`~concurrent.futures.ThreadPoolExecutor`
+    evaluating subtrees directly against the shared design space.  The
+    re-entrancy guards are thread-local and the memo writes are
+    idempotent (every worker computes the same value for a shared
+    spec), so no locking is needed.  Under the GIL this mostly overlaps
+    allocation stalls; it is the safe, portable default.
+
+``"process"`` (opt-in)
+    A fork-based :mod:`multiprocessing` pool.  Workers are forked
+    *after* expansion, so they inherit the expanded nodes, rule caches,
+    and compiled timing programs for free; each worker evaluates its
+    subtree and ships back the newly computed configurations, which are
+    picklable by design (:class:`~repro.core.configs.Configuration`
+    re-interns on load, so results land as canonical parent-process
+    instances).  This is the backend that buys real wall-clock
+    parallelism for the pure-Python inner loop.  Where ``fork`` is not
+    available (e.g. Windows), it silently degrades to the thread
+    backend.
+
+Scheduling is largest-subtree-first: tasks are ordered by descendant
+count and handed to whichever worker is free (work sharing), which
+approximates longest-processing-time scheduling without needing a cost
+model.  Subtrees may overlap in their deep, cheap leaves (gates are
+shared by everything); overlapping work is recomputed rather than
+coordinated, and the first result wins -- results are deterministic,
+so every copy is bit-identical and installation order cannot change
+the outcome.
+
+Parity caveat: for *cyclic* decomposition graphs the sequential
+engine's own results depend on evaluation order (the cycle guard drops
+the implementation that closes the cycle as seen from the evaluation
+stack); the parallel engine is guaranteed bit-identical for acyclic
+graphs, which every shipped rulebase produces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.specs import ComponentSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.configs import Configuration
+    from repro.core.design_space import DesignSpace
+
+
+# ---------------------------------------------------------------------------
+# Topological partitioning
+# ---------------------------------------------------------------------------
+
+def child_specs(space: "DesignSpace", spec: ComponentSpec) -> List[ComponentSpec]:
+    """Distinct module specs across the decomposition implementations
+    of ``spec``, in first-seen order."""
+    node = space.nodes.get(spec)
+    if node is None:
+        node = space.expand(spec)
+    seen: Dict[ComponentSpec, None] = {}
+    for impl in node.impls:
+        if impl.kind != "decomp":
+            continue
+        for module in impl.netlist.modules:
+            seen.setdefault(module.spec, None)
+    return list(seen)
+
+
+def descendant_counts(
+    space: "DesignSpace", roots: Sequence[ComponentSpec]
+) -> Dict[ComponentSpec, int]:
+    """Number of distinct specs in each subtree (the task weight used
+    for largest-first scheduling), computed over the expanded DAG."""
+    sets: Dict[ComponentSpec, Set[ComponentSpec]] = {}
+
+    def closure(spec: ComponentSpec, stack: Set[ComponentSpec]) -> Set[ComponentSpec]:
+        cached = sets.get(spec)
+        if cached is not None:
+            return cached
+        if spec in stack:
+            return set()  # cycle: counted by the enclosing call
+        stack.add(spec)
+        acc: Set[ComponentSpec] = {spec}
+        for child in child_specs(space, spec):
+            acc |= closure(child, stack)
+        stack.discard(spec)
+        sets[spec] = acc
+        return acc
+
+    for root in roots:
+        closure(root, set())
+    return {spec: len(members) for spec, members in sets.items()}
+
+
+def partition_subtrees(
+    space: "DesignSpace",
+    roots: Sequence[ComponentSpec],
+    min_tasks: int,
+) -> List[ComponentSpec]:
+    """Independent subtree tasks under ``roots``, heaviest first.
+
+    The first partition level is the distinct module specs of the
+    roots' decompositions; when that yields too few tasks to keep
+    ``min_tasks`` workers busy, one more level is pulled in (keeping
+    the originals -- a worker that lands a parent subtree simply
+    covers its children's results first).  Specs already memoized in
+    the design space are skipped.
+    """
+    frontier: Dict[ComponentSpec, None] = {}
+    for root in roots:
+        space.expand(root)
+        for child in child_specs(space, root):
+            frontier.setdefault(child, None)
+    if len(frontier) < min_tasks:
+        for spec in list(frontier):
+            for child in child_specs(space, spec):
+                frontier.setdefault(child, None)
+    tasks = [spec for spec in frontier if spec not in space._configs]
+    if not tasks:
+        return []
+    weights = descendant_counts(space, tasks)
+    order = {spec: position for position, spec in enumerate(tasks)}
+    tasks.sort(key=lambda spec: (-weights.get(spec, 1), order[spec]))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+def _thread_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
+                    jobs: int) -> None:
+    with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        # list() propagates the first worker exception, if any.
+        list(pool.map(space.configs, tasks))
+
+
+# Fork inheritance channel for the process backend: set immediately
+# before the pool is created, cleared after, under _FORK_LOCK so
+# concurrent sessions cannot fork each other's space (or None).
+# Workers read these module globals as copied at fork time;
+# _FORK_SENT_DEPS is *mutated in the worker* so each task ships only
+# dependency edges the parent has not seen from this worker yet.
+_FORK_SPACE: "DesignSpace" = None
+_FORK_SENT_DEPS: Dict[ComponentSpec, Set[ComponentSpec]] = {}
+_FORK_LOCK = threading.Lock()
+
+#: What a process worker ships back: the configurations it computed
+#: and the reverse-dependency edges it recorded while computing them
+#: (the parent needs those for :meth:`DesignSpace.recost` to keep
+#: working after a process-parallel run).  Both parts are deltas: a
+#: long-lived worker must not re-pickle everything it has computed
+#: since fork on every task.
+_WorkerDelta = Tuple[
+    Dict[ComponentSpec, List["Configuration"]],
+    Dict[ComponentSpec, Set[ComponentSpec]],
+]
+
+
+def _fork_worker(spec: ComponentSpec) -> _WorkerDelta:
+    space = _FORK_SPACE
+    # Snapshot-diff: ship only what *this task* memoized.  Anything an
+    # earlier task of this worker computed is already in the memo (and
+    # was shipped then); the parent's pre-fork memo was inherited.
+    known = frozenset(space._configs)
+    space.configs(spec)
+    configs = {
+        sub: options
+        for sub, options in space._configs.items()
+        if options and sub not in known
+    }
+    dependents: Dict[ComponentSpec, Set[ComponentSpec]] = {}
+    for sub, deps in space._dependents.items():
+        sent = _FORK_SENT_DEPS.get(sub)
+        fresh = deps - sent if sent is not None else set(deps)
+        if fresh:
+            dependents[sub] = fresh
+            _FORK_SENT_DEPS[sub] = fresh if sent is None else sent | fresh
+    return configs, dependents
+
+
+def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
+                     jobs: int) -> None:
+    global _FORK_SPACE, _FORK_SENT_DEPS
+    context = multiprocessing.get_context("fork")
+    with _FORK_LOCK:
+        _FORK_SPACE = space
+        # Seed with the parent's pre-fork edges so workers do not ship
+        # back what the parent already knows.
+        _FORK_SENT_DEPS = {sub: set(deps)
+                           for sub, deps in space._dependents.items()}
+        try:
+            with context.Pool(processes=min(jobs, len(tasks))) as pool:
+                for configs, dependents in pool.imap_unordered(
+                    _fork_worker, tasks, chunksize=1
+                ):
+                    for spec, options in configs.items():
+                        # First result wins; every copy is bit-identical,
+                        # so arrival order cannot change the outcome.
+                        # Empty results are not installed -- the
+                        # sequential pass recomputes them so failure
+                        # diagnostics populate.
+                        if spec not in space._configs:
+                            space._configs[spec] = options
+                    # Dependency edges are facts about the expanded
+                    # graph: union them so recost invalidation sees the
+                    # edges recorded inside the forked children.
+                    for spec, deps in dependents.items():
+                        space._dependents.setdefault(spec, set()).update(deps)
+        finally:
+            _FORK_SPACE = None
+            _FORK_SENT_DEPS = {}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def parallel_prefill(space: "DesignSpace",
+                     roots: Iterable[ComponentSpec]) -> Dict[str, int]:
+    """Evaluate the subtrees under ``roots`` with ``space.jobs``
+    workers, prefilling the configuration memo.
+
+    Called by :meth:`DesignSpace.alternatives` and
+    :meth:`DesignSpace.evaluate_netlist` when ``jobs > 1``; safe to
+    call directly.  Returns scheduling counters (also stored on
+    ``space.last_parallel_stats`` for observability).
+    """
+    roots = list(roots)
+    jobs = space.jobs
+    tasks = partition_subtrees(space, roots, min_tasks=2 * jobs)
+    stats = {"jobs": jobs, "tasks": len(tasks), "backend": "none"}
+    if tasks and jobs > 1:
+        backend = space.parallel_backend
+        if backend == "process" and "fork" not in \
+                multiprocessing.get_all_start_methods():
+            backend = "thread"  # no fork on this platform: degrade safely
+        if backend == "process":
+            _process_prefill(space, tasks, jobs)
+        else:
+            _thread_prefill(space, tasks, jobs)
+        stats["backend"] = backend
+    space.last_parallel_stats = stats
+    return stats

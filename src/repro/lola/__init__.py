@@ -12,7 +12,13 @@ rule factory from :mod:`repro.core.library_rules` at the widths the
 library actually offers.
 """
 
-from repro.lola.assistant import AdaptationReport, adapt
+from repro.lola.assistant import (
+    AdaptationReport,
+    RetargetReport,
+    adapt,
+    retarget_space,
+)
 from repro.lola.principles import ALL_PRINCIPLES, Principle
 
-__all__ = ["ALL_PRINCIPLES", "AdaptationReport", "Principle", "adapt"]
+__all__ = ["ALL_PRINCIPLES", "AdaptationReport", "Principle",
+           "RetargetReport", "adapt", "retarget_space"]

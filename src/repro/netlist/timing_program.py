@@ -136,6 +136,16 @@ class TimingProgram:
         with the same key receive the same delay matrix per evaluation.
         Defaults to the instance name (every instance its own slot).
         Slot order is first-seen instance order.
+
+    Programs are picklable by construction (``slot_of`` is consumed at
+    compile time, never stored), so the multiprocessing evaluation
+    backend and future remote workers can ship compiled programs
+    whole: the interned node table, wiring arcs, and any already
+    compiled per-signature kernels travel with the program, and
+    evaluation on the receiving side is bit-identical (prefix sums and
+    ``max`` over identical paths).  Keep the invariant that nothing
+    stored here is process-local: no lambdas, no weakrefs, no
+    id()-keyed tables.
     """
 
     def __init__(

@@ -1,0 +1,135 @@
+"""Incremental re-evaluation: ``recost`` invalidation, the
+reverse-dependency index, and LOLA-style incremental retargeting that
+reuses the decomposition skeleton."""
+
+import pytest
+
+from repro.core.design_space import DesignSpace
+from repro.core.filters import ParetoFilter
+from repro.core.library_rules import lsi_rules
+from repro.core.rulebase import standard_rulebase
+from repro.core.specs import adder_spec, gate_spec
+from repro.lola import RetargetReport, retarget_space
+from repro.techlib import lsi_logic_library, vendor2_library
+
+
+def _space(library=None) -> DesignSpace:
+    rulebase = standard_rulebase()
+    rulebase.extend(lsi_rules())
+    return DesignSpace(rulebase, library or lsi_logic_library(),
+                       ParetoFilter())
+
+
+class TestRecost:
+    def test_recost_invalidates_spec_and_dependents(self):
+        space = _space()
+        root = adder_spec(16)
+        space.alternatives(root)
+        leaf = gate_spec("XOR")
+        assert leaf in space._configs  # XOR slices appear in adders
+        invalidated = space.recost([leaf])
+        assert leaf in invalidated
+        assert root in invalidated  # transitively dependent
+        assert leaf not in space._configs
+        assert root not in space._configs
+        # untouched siblings keep their memo
+        assert any(spec in space._configs for spec in space.nodes)
+
+    def test_recost_then_reevaluate_is_bit_identical(self):
+        space = _space()
+        root = adder_spec(16)
+        before = space.alternatives(root)
+        space.recost([gate_spec("XOR")])
+        after = space.alternatives(root)
+        # nothing changed, so re-costing over the shared skeleton must
+        # reproduce the same canonical (interned) configurations
+        assert [id(c) for c in after] == [id(c) for c in before]
+
+    def test_dependents_index_populated(self):
+        space = _space()
+        root = adder_spec(16)
+        space.alternatives(root)
+        dependents = space._dependents.get(gate_spec("XOR"), set())
+        assert dependents  # some parent computed configs from XOR
+        assert all(parent in space.nodes for parent in dependents)
+
+    def test_recost_unknown_spec_is_safe(self):
+        space = _space()
+        space.alternatives(adder_spec(4))
+        invalidated = space.recost([adder_spec(64)])
+        assert adder_spec(64) in invalidated
+        assert space.alternatives(adder_spec(4))
+
+
+class TestRebindLibrary:
+    def test_rebind_same_value_library_reproduces_results(self):
+        """Rebinding to an equal (fresh) copy of the same data book
+        must reproduce the results exactly -- the mechanics of
+        rebinding change nothing when the cells are value-equal."""
+        space = _space()
+        root = adder_spec(16)
+        before = space.alternatives(root)
+        report = space.rebind_library(lsi_logic_library(fresh=True))
+        assert report["nodes"] == len(space.nodes)
+        assert report["rebound_nodes"] == 0  # same cell names everywhere
+        assert report["invalidated"] >= report["nodes"]
+        assert report["programs_kept"] > 0
+        after = space.alternatives(root)
+        assert after == before
+        assert all(c is b for c, b in zip(after, before))  # interned
+
+    def test_rebind_to_vendor2_rebinds_leaves_and_recosts(self):
+        space = _space()
+        root = adder_spec(16)
+        lsi_results = space.alternatives(root)
+        report = space.rebind_library(vendor2_library())
+        assert report["rebound_nodes"] > 0
+        assert report["programs_kept"] > 0
+        assert space.library.name == vendor2_library().name
+        vendor_results = space.alternatives(root)
+        assert vendor_results
+        # vendor2 is a faster process: the retargeted frontier is not
+        # the LSI frontier
+        assert [(c.area, c.delay) for c in vendor_results] != \
+            [(c.area, c.delay) for c in lsi_results]
+        # the rebound space still materializes full trees
+        tree = space.materialize(root, vendor_results[0])
+        counts = tree.cell_counts()
+        assert counts and all(name.startswith("A") for name in counts)
+
+
+class TestRetargetSpace:
+    def test_retarget_space_reports_and_adapts(self):
+        space = _space()
+        space.alternatives(adder_spec(16))
+        rules_before = len(space.rulebase)
+        report = retarget_space(space, vendor2_library(), adapt_rules=True)
+        assert isinstance(report, RetargetReport)
+        assert report.library_name == vendor2_library().name
+        assert report.rebind["nodes"] > 0
+        assert report.adaptation is not None
+        assert len(space.rulebase) > rules_before  # LOLA rules added
+        text = report.describe()
+        assert "incremental retarget" in text
+        assert "timing programs kept" in text
+
+    def test_retarget_space_without_adaptation(self):
+        space = _space()
+        space.alternatives(adder_spec(8))
+        report = retarget_space(space, vendor2_library(), adapt_rules=False)
+        assert report.adaptation is None
+        assert space.alternatives(adder_spec(8))
+
+    def test_session_retarget_by_name(self):
+        from repro.api import Session
+
+        session = Session(library="lsi_logic")
+        job = session.synthesize("adder:16")
+        assert job.result.alternatives
+        report = session.retarget("vendor2")
+        assert report["nodes"] > 0
+        assert session.library.name == vendor2_library().name
+        retargeted = session.synthesize("adder:16")
+        assert retargeted.result.alternatives
+        assert [(a.area, a.delay) for a in retargeted.result.alternatives] != \
+            [(a.area, a.delay) for a in job.result.alternatives]

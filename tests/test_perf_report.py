@@ -51,3 +51,50 @@ def test_adder16_points_match_engine(tmp_path):
                   perf_filter=ParetoFilter()).synthesize_spec(adder_spec(16))
     assert entry["points"] == [[a.area, a.delay] for a in result.alternatives] or \
         entry["points"] == [(a.area, a.delay) for a in result.alternatives]
+
+
+def test_compare_mode_detects_drift(tmp_path, capsys):
+    """--compare exits 0 against a matching baseline, nonzero on
+    results drift or a missing baseline."""
+    baseline = tmp_path / "baseline.json"
+    assert perf_report.main(["--output", str(baseline), "--quick",
+                             "--repeats", "1"]) == 0
+    capsys.readouterr()
+
+    assert perf_report.main(["--quick", "--repeats", "1", "--compare",
+                            "--baseline", str(baseline)]) == 0
+    assert "results match" in capsys.readouterr().out
+
+    # corrupt one results field -> drift -> exit 1 with a message
+    doctored = json.loads(baseline.read_text())
+    doctored["results"]["adder16_pareto"]["alternatives"] += 1
+    baseline.write_text(json.dumps(doctored))
+    assert perf_report.main(["--quick", "--repeats", "1", "--compare",
+                            "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "adder16_pareto" in err and "alternatives" in err
+
+    assert perf_report.main(["--quick", "--repeats", "1", "--compare",
+                            "--baseline", str(tmp_path / "missing.json")]) == 2
+
+
+def test_compare_results_ignores_extra_baseline_workloads():
+    fresh = {"results": {"a": {"alternatives": 1}}}
+    baseline = {"results": {"a": {"alternatives": 1},
+                            "b": {"alternatives": 9}}}
+    assert perf_report.compare_results(fresh, baseline) == []
+    missing = perf_report.compare_results(
+        {"results": {"c": {"alternatives": 1}}}, baseline)
+    assert missing and "missing from baseline" in missing[0]
+
+
+def test_jobs_flag_keeps_results_identical(tmp_path, capsys):
+    """The parallel evaluator must not change results: a --jobs 2 run
+    compares clean against a sequential baseline."""
+    baseline = tmp_path / "baseline.json"
+    assert perf_report.main(["--output", str(baseline), "--quick",
+                             "--repeats", "1"]) == 0
+    capsys.readouterr()
+    assert perf_report.main(["--quick", "--repeats", "1", "--jobs", "2",
+                             "--compare", "--baseline", str(baseline)]) == 0
+    assert "results match" in capsys.readouterr().out

@@ -16,7 +16,9 @@ import pickle
 def test_spec_and_config_pickles_drop_process_local_caches():
     """Cached hashes embed the per-process string-hash seed; pickles
     must not carry them (multiprocessing workers would get stale
-    hashes and silent dict-lookup misses)."""
+    hashes and silent dict-lookup misses).  Configurations pickle by
+    value only (``__reduce__``) and re-intern on load, so a
+    same-process round trip returns the canonical instance itself."""
     spec = adder_spec(16)
     hash(spec)
     spec.sort_key
@@ -27,11 +29,18 @@ def test_spec_and_config_pickles_drop_process_local_caches():
 
     config = make_configuration(10, {("A", "O"): 3.0}, {spec: 1})
     config.arc_keys, config.delay_values, config.chosen_impl(spec)
-    config_clone = pickle.loads(pickle.dumps(config))
-    assert all(
-        key not in config_clone.__dict__
-        for key in ("_arc_keys", "_delay_values", "_impl_by_spec")
+    # The payload carries only (area, delays, choices) -- no cache keys,
+    # no intern id -- so nothing process-local can leak to a worker.
+    import pickletools
+    payload = pickle.dumps(config)
+    opcodes = " ".join(
+        str(arg) for _, arg, _ in pickletools.genops(payload) if arg
     )
+    for cache_key in ("_arc_keys", "_delay_values", "_impl_by_spec",
+                      "_hash", "_intern_id"):
+        assert cache_key not in opcodes
+    config_clone = pickle.loads(payload)
+    assert config_clone is config  # re-interned to the canonical object
     assert config_clone == config
     assert config_clone.chosen_impl(clone) == 1
 
@@ -208,4 +217,114 @@ class TestDominancePruning:
                              prune_partial=True).synthesize_spec(mk_adder(16))
         assert [(a.area, a.delay) for a in pareto_base.alternatives] == [
             (a.area, a.delay) for a in pareto_pruned.alternatives
+        ]
+
+
+class TestEnumerationOrders:
+    def _lists(self):
+        a, b = adder_spec(4), mux_spec(2, 4)
+        # Deliberately unsorted, with dominated interior points.
+        return [
+            [_cfg(5, 1, {a: 0}), _cfg(1, 5, {a: 1}), _cfg(3, 3, {a: 2}),
+             _cfg(4, 4, {a: 3})],
+            [_cfg(2, 2, {b: 0}), _cfg(6, 6, {b: 1})],
+        ]
+
+    def test_lex_is_default_and_preserves_list_order(self):
+        lists = self._lists()
+        default = combine_compatible(lists)
+        lex = combine_compatible(lists, order="lex")
+        assert default == lex == _reference_combine(lists)
+
+    def test_frontier_order_is_deterministic(self):
+        from repro.core.configs import pareto_rank_order
+
+        lists = self._lists()
+        first = combine_compatible(lists, order="frontier")
+        second = combine_compatible(lists, order="frontier")
+        assert first == second
+        # and matches the reference cross product over reordered lists
+        reordered = [pareto_rank_order(options) for options in lists]
+        assert first == _reference_combine(reordered)
+
+    def test_frontier_order_same_combination_set_uncapped(self):
+        lists = self._lists()
+        lex = {tuple(m.items()) for _, m in
+               iter_compatible(lists, order="lex")}
+        frontier = {tuple(m.items()) for _, m in
+                    iter_compatible(lists, order="frontier")}
+        assert lex == frontier
+
+    def test_frontier_rank_then_two_ended_sweep(self):
+        from repro.core.configs import pareto_rank_order
+
+        a = adder_spec(4)
+        frontier_pts = [_cfg(1, 9, {a: 0}), _cfg(5, 5, {a: 1}),
+                        _cfg(9, 1, {a: 2})]
+        dominated = [_cfg(9, 9, {a: 3})]
+        ordered = pareto_rank_order(frontier_pts + dominated)
+        # rank 0 first: smallest-area, then fastest, then interior;
+        # the dominated point comes last.
+        assert [c.area for c in ordered] == [1, 9, 5, 9]
+        assert ordered[-1] is dominated[0]
+
+    def test_capped_frontier_prefix_contains_both_corners(self):
+        lists = self._lists()
+        capped = combine_compatible(lists, limit=3, order="frontier")
+        areas = [sum(c.area for c in chosen) for chosen, _ in capped]
+        delays = [max(c.delay for c in chosen) for chosen, _ in capped]
+        full = combine_compatible(lists)
+        best_area = min(sum(c.area for c in chosen) for chosen, _ in full)
+        best_delay = min(max(c.delay for c in chosen) for chosen, _ in full)
+        assert min(areas) == best_area
+        assert min(delays) == best_delay
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="unknown enumeration order"):
+            list(iter_compatible(self._lists(), order="zigzag"))
+
+
+class TestCapSemantics:
+    def test_limit_hit_mid_stream_after_conflict_rejections(self):
+        """The cap counts *yielded* combinations; conflicting prefixes
+        rejected along the way do not consume it."""
+        shared = gate_spec("NAND")
+        a, b = adder_spec(4), mux_spec(2, 4)
+        lists = [
+            [_cfg(i, i, {a: i, shared: i % 2}) for i in range(4)],
+            [_cfg(i, i, {b: i, shared: 0}) for i in range(3)],
+        ]
+        full = combine_compatible(lists)
+        assert 0 < len(full) < 12  # conflicts rejected some combos
+        capped = combine_compatible(lists, limit=3)
+        assert capped == full[:3]
+
+    def test_disjoint_sibling_fast_path_matches_checked_path(self):
+        """Sibling lists with no shared specs take the no-compare merge
+        path; output must equal the reference exactly."""
+        a, b, c = adder_spec(4), adder_spec(8), mux_spec(2, 4)
+        lists = [
+            [_cfg(1, 1, {a: 0}), _cfg(2, 2, {a: 1})],
+            [_cfg(3, 3, {b: 0})],
+            [_cfg(4, 4, {c: 0}), _cfg(5, 5, {c: 1})],
+        ]
+        assert combine_compatible(lists) == _reference_combine(lists)
+        # and the cap is an exact prefix on the fast path too
+        assert combine_compatible(lists, limit=2) == \
+            _reference_combine(lists)[:2]
+
+    def test_deterministic_output_under_both_orders(self):
+        lists = self._mixed_lists()
+        for order in ("lex", "frontier"):
+            runs = [combine_compatible(lists, limit=4, order=order)
+                    for _ in range(3)]
+            assert runs[0] == runs[1] == runs[2]
+
+    def _mixed_lists(self):
+        shared = gate_spec("NAND")
+        a, b = adder_spec(4), mux_spec(2, 4)
+        return [
+            [_cfg(4, 1, {a: 0, shared: 0}), _cfg(1, 4, {a: 1, shared: 1}),
+             _cfg(2, 2, {a: 2, shared: 0})],
+            [_cfg(1, 1, {b: 0, shared: 0}), _cfg(2, 2, {b: 1, shared: 1})],
         ]
