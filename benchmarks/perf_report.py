@@ -22,9 +22,10 @@ a reduced workload set for CI smoke.
 
 ``--compare`` runs the workloads and *diffs* the freshly computed
 ``results`` section against the checked-in report instead of writing
-one, exiting nonzero on any drift -- the CI perf-smoke step uses this,
-so a behavioral regression fails the build instead of waiting for a
-reviewer to eyeball the JSON.  ``--jobs``/``--parallel-backend`` run
+one, exiting nonzero on any drift and printing a unified diff of every
+drifting key -- the CI perf-smoke step uses this, so a behavioral
+regression fails the build with a diagnosable log instead of waiting
+for a reviewer to eyeball the JSON.  ``--jobs``/``--parallel-backend`` run
 every workload through the parallel evaluator (results must not
 change -- compare mode doubles as a parity check), and ``--order``
 switches the S1 enumeration order for ad-hoc measurements.
@@ -33,9 +34,13 @@ switches the S1 enumeration order for ad-hoc measurements.
 from __future__ import annotations
 
 import argparse
+import atexit
+import difflib
 import json
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -117,7 +122,57 @@ def _workloads(quick: bool, jobs: int = 1,
              lambda: synth(alu_spec(64), "pareto", max_combinations=40,
                            pinned_order="frontier")),
         ]
+        jobs_list += _store_workload_pair(jobs=jobs,
+                                          parallel_backend=parallel_backend,
+                                          order=order)
     return jobs_list
+
+
+def _store_workload_pair(jobs: int = 1, parallel_backend: str = "thread",
+                         order: Optional[str] = None
+                         ) -> List[Tuple[str, Callable]]:
+    """The cold-vs-warm store pair: the same ALU64 request against one
+    shared result store (:mod:`repro.store`).
+
+    ``alu64_cold`` clears the store before every repeat, so each run
+    pays the full expansion+evaluation cost plus one store write;
+    ``alu64_store_warm`` runs after it with the store filled, so every
+    repeat is answered from disk with re-interned configurations and
+    no engine work.  Both entries must land byte-identical ``results``
+    -- *that* is the store's correctness contract -- while the
+    ``timings`` delta between them is the persistent-cache win the
+    trajectory file tracks.
+    """
+    from repro.store import ResultStore
+
+    state: Dict[str, ResultStore] = {}
+
+    def shared_store() -> ResultStore:
+        store = state.get("store")
+        if store is None:
+            tmpdir = tempfile.mkdtemp(prefix="repro-bench-store-")
+            atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
+            store = state["store"] = ResultStore(Path(tmpdir) / "bench.sqlite")
+        return store
+
+    def stored_synth():
+        session = Session(library="lsi_logic", perf_filter="tradeoff:0.05",
+                          order=order, jobs=jobs,
+                          parallel_backend=parallel_backend,
+                          store=shared_store())
+        return session.synthesize(alu_spec(64))
+
+    def cold():
+        shared_store().clear()
+        return stored_synth()
+
+    def warm():
+        job = stored_synth()
+        if not job.from_store:  # the pair must measure what it claims
+            raise RuntimeError("alu64_store_warm missed the result store")
+        return job
+
+    return [("alu64_cold", cold), ("alu64_store_warm", warm)]
 
 
 def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
@@ -192,13 +247,31 @@ def _normalize(value):
     return json.loads(json.dumps(value))
 
 
+def _key_diff(name: str, key: str, base_value, fresh_value) -> List[str]:
+    """A unified diff of one drifting results key, so a CI failure log
+    shows *what* moved (which point, which stat) without re-running
+    anything locally."""
+    base_text = json.dumps(base_value, indent=2, sort_keys=True)
+    fresh_text = json.dumps(fresh_value, indent=2, sort_keys=True)
+    return [
+        line.rstrip("\n")
+        for line in difflib.unified_diff(
+            base_text.splitlines(), fresh_text.splitlines(),
+            fromfile=f"baseline/{name}/{key}",
+            tofile=f"fresh/{name}/{key}",
+            lineterm="",
+        )
+    ]
+
+
 def compare_results(fresh: Dict, baseline: Dict) -> List[str]:
     """Differences between two reports' ``results`` sections.
 
     Every workload of the *fresh* run must exist in the baseline and
     match exactly; baseline workloads missing from a (quick) fresh run
     are ignored.  Returns human-readable drift messages (empty = no
-    drift).
+    drift): per drifting workload, a one-line summary followed by a
+    unified diff of each drifting key.
     """
     drift: List[str] = []
     base_results = baseline.get("results", {})
@@ -211,12 +284,11 @@ def compare_results(fresh: Dict, baseline: Dict) -> List[str]:
         entry, base = _normalize(entry), _normalize(base)
         if entry == base:
             continue
-        details = []
-        for key in sorted(set(entry) | set(base)):
-            if entry.get(key) != base.get(key):
-                details.append(
-                    f"{key}: {base.get(key)!r} -> {entry.get(key)!r}")
-        drift.append(f"{name}: " + "; ".join(details[:4]))
+        changed = [key for key in sorted(set(entry) | set(base))
+                   if entry.get(key) != base.get(key)]
+        drift.append(f"{name}: drift in {', '.join(changed)}")
+        for key in changed:
+            drift.extend(_key_diff(name, key, base.get(key), entry.get(key)))
     return drift
 
 

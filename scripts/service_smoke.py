@@ -1,0 +1,182 @@
+"""CI smoke test for the synthesis service (`python -m repro serve`).
+
+Black-box, over real sockets, against a real subprocess:
+
+1. start the server on an ephemeral port with an isolated store;
+2. fire 4 concurrent identical ``POST /synthesize`` requests plus a
+   ``GET /healthz`` probe;
+3. assert every body is bit-identical and ``GET /metrics`` reports
+   exactly **one** engine evaluation (the other three were coalesced
+   onto the in-flight run or served from the store);
+4. restart the server on the same store file and assert one more
+   request is answered from the store (``X-Repro-Source: store``) with
+   the same bytes -- the cross-process warm path.
+
+Exits nonzero on any violation, printing the server log.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEC = {"spec": "alu:64", "filter": "tradeoff:0.05"}
+READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def fail(message: str, server: "ServerProc" = None) -> "NoReturn":
+    print(f"service_smoke: FAIL: {message}", file=sys.stderr)
+    if server is not None:
+        print("---- server log ----", file=sys.stderr)
+        print(server.log(), file=sys.stderr)
+    sys.exit(1)
+
+
+class ServerProc:
+    """`python -m repro serve` as a subprocess with a parsed port."""
+
+    def __init__(self, store_path: Path) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(store_path)],
+            cwd=str(REPO_ROOT), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self._lines: list = []
+        # The drain thread starts first: readline() on a silent-but-
+        # alive server blocks forever, so the ready wait polls the
+        # drained lines against a real deadline instead of reading the
+        # pipe itself.  The thread also keeps the pipe from filling.
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self.host, self.port = self._await_ready()
+
+    def _await_ready(self):
+        deadline = time.time() + 30
+        scanned = 0
+        while time.time() < deadline:
+            lines = self._lines
+            while scanned < len(lines):
+                match = READY_PATTERN.search(lines[scanned])
+                scanned += 1
+                if match:
+                    return match.group(1), int(match.group(2))
+            if self.proc.poll() is not None:
+                fail(f"server exited early with {self.proc.returncode}:\n"
+                     + self.log())
+            time.sleep(0.05)
+        fail("server did not report a listening address within 30s:\n"
+             + self.log())
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            self._lines.append(line.rstrip("\n"))
+
+    def log(self) -> str:
+        return "\n".join(self._lines)
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def request(server: ServerProc, method: str, path: str, body=None,
+            timeout: float = 120.0):
+    conn = http.client.HTTPConnection(server.host, server.port,
+                                      timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        resp = conn.getresponse()
+        return resp.status, resp.read(), resp.getheader("X-Repro-Source")
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    store_path = tmp / "smoke.sqlite"
+    server = ServerProc(store_path)
+    try:
+        # Health probe plus 4 concurrent identical synthesize calls.
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            health_future = pool.submit(request, server, "GET", "/healthz")
+            synth_futures = [
+                pool.submit(request, server, "POST", "/synthesize", SPEC)
+                for _ in range(4)
+            ]
+            health = health_future.result()
+            results = [f.result() for f in synth_futures]
+
+        status, payload, _ = health
+        if status != 200 or json.loads(payload).get("status") != "ok":
+            fail(f"healthz returned {status}: {payload[:200]}", server)
+
+        statuses = [status for status, _, _ in results]
+        if statuses != [200] * 4:
+            fail(f"synthesize statuses {statuses}", server)
+        bodies = {body for _, body, _ in results}
+        if len(bodies) != 1:
+            fail(f"bodies not bit-identical ({len(bodies)} variants)", server)
+        sources = sorted(source for _, _, source in results)
+        if sources.count("engine") != 1:
+            fail(f"expected exactly one engine run, sources={sources}",
+                 server)
+
+        status, payload, _ = request(server, "GET", "/metrics")
+        metrics = json.loads(payload)
+        if status != 200 or metrics.get("engine_evaluations") != 1:
+            fail(f"metrics reported {metrics.get('engine_evaluations')} "
+                 f"engine evaluations, wanted exactly 1", server)
+        if metrics.get("coalesced", 0) + metrics.get("store_hits", 0) != 3:
+            fail(f"coalesced+store_hits != 3: {metrics}", server)
+        cold_body = bodies.pop()
+        print(f"service_smoke: 4 concurrent requests -> 1 engine "
+              f"evaluation ({metrics['coalesced']} coalesced, "
+              f"{metrics['store_hits']} store hits), bodies bit-identical")
+    finally:
+        server.stop()
+
+    # A fresh process over the same store answers warm.
+    server = ServerProc(store_path)
+    try:
+        status, body, source = request(server, "POST", "/synthesize", SPEC)
+        if status != 200 or source != "store":
+            fail(f"restarted server answered {status} from "
+                 f"{source!r}, wanted a store hit", server)
+        if body != cold_body:
+            fail("warm body differs from cold body", server)
+        status, payload, _ = request(server, "GET", "/metrics")
+        if json.loads(payload).get("engine_evaluations") != 0:
+            fail("restarted server touched the engine", server)
+        print("service_smoke: restarted server served the store hit "
+              "byte-identically with zero engine evaluations")
+    finally:
+        server.stop()
+    print("service_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

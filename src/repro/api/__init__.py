@@ -37,8 +37,10 @@ from repro.api.registry import (
     ORDERS,
     RULEBASES,
     SPECS,
+    STORES,
     Registry,
     RegistryError,
+    create_store,
     parse_spec,
 )
 from repro.api.requests import SynthesisJob, SynthesisRequest
@@ -52,11 +54,13 @@ __all__ = [
     "ORDERS",
     "RULEBASES",
     "SPECS",
+    "STORES",
     "Registry",
     "RegistryError",
     "Session",
     "SynthesisJob",
     "SynthesisRequest",
     "ascii_plot",
+    "create_store",
     "parse_spec",
 ]

@@ -9,10 +9,21 @@ resolved by name through :mod:`repro.api.registry`::
     python -m repro synth --legend counter.lgd --generator COUNTER \\
         --param GC_INPUT_WIDTH=8 --emit report
     python -m repro list
+    python -m repro serve --port 8473
+    python -m repro warm --spec alu:64 --spec adder:16
+    python -m repro cache info
+    python -m repro cache prune --max-mb 64
 
 Multiple ``--spec``/``--legend`` targets run as one batch through a
 single session, sharing the expanded design space and every compiled
-timing program (the cache-amortized serving path).
+timing program (the cache-amortized serving path).  ``serve`` puts the
+long-running HTTP service (:mod:`repro.serve`) in front of the same
+sessions; ``warm`` prefills the persistent result store
+(:mod:`repro.store`) and ``cache`` maintains it.
+
+Unknown backend names (library, rulebase, filter, order, emitter,
+spec, store) must exit with status 2 and a message listing the
+registered names -- never a raw ``KeyError`` traceback.
 """
 
 from __future__ import annotations
@@ -36,6 +47,52 @@ def _parse_param(text: str) -> Any:
         return text
 
 
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec", action="append", default=[], metavar="NAME:WIDTH",
+        help="component shorthand such as alu:64 or adder:16 "
+             "(repeatable; see 'repro list specs')")
+    parser.add_argument(
+        "--legend", action="append", default=[], metavar="FILE", type=Path,
+        help="LEGEND source file to elaborate and map (repeatable)")
+    parser.add_argument(
+        "--generator", metavar="NAME",
+        help="generator name inside the LEGEND source (default: first)")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="generator parameter for --legend (repeatable), "
+             "e.g. GC_INPUT_WIDTH=8")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--library", default="lsi_logic", metavar="NAME",
+        help="target cell library (default: lsi_logic)")
+    parser.add_argument(
+        "--rulebase", default=None, metavar="NAME",
+        help="rulebase policy: auto (default), standard, lola")
+    parser.add_argument(
+        "--filter", default="pareto", metavar="NAME[:ARG]", dest="perf_filter",
+        help="performance filter, e.g. pareto, tradeoff:0.05, top_k:4, "
+             "keep_all (default: pareto)")
+    parser.add_argument(
+        "--max-combinations", type=int, default=None, metavar="N",
+        help="cap on the per-node S1 cross product")
+    parser.add_argument(
+        "--order", default=None, metavar="NAME",
+        help="S1 enumeration order: lex (default), frontier, or a "
+             "registered name (see 'repro list orders'); frontier makes "
+             "--max-combinations keep the best designs")
+
+
+def _add_store_arg(parser: argparse.ArgumentParser, default,
+                   help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--store", default=default, metavar="NAME|PATH",
+        help="result store: a registered name (default, memory) or an "
+             "SQLite file path" + help_suffix)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=PROG,
@@ -51,42 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     "into the target cell library, then render each job "
                     "through the requested emitters.",
     )
-    synth.add_argument(
-        "--spec", action="append", default=[], metavar="NAME:WIDTH",
-        help="component shorthand such as alu:64 or adder:16 "
-             "(repeatable; see 'repro list specs')")
-    synth.add_argument(
-        "--legend", action="append", default=[], metavar="FILE", type=Path,
-        help="LEGEND source file to elaborate and map (repeatable)")
-    synth.add_argument(
-        "--generator", metavar="NAME",
-        help="generator name inside the LEGEND source (default: first)")
-    synth.add_argument(
-        "--param", action="append", default=[], metavar="K=V",
-        help="generator parameter for --legend (repeatable), "
-             "e.g. GC_INPUT_WIDTH=8")
-    synth.add_argument(
-        "--library", default="lsi_logic", metavar="NAME",
-        help="target cell library (default: lsi_logic)")
-    synth.add_argument(
-        "--rulebase", default=None, metavar="NAME",
-        help="rulebase policy: auto (default), standard, lola")
-    synth.add_argument(
-        "--filter", default="pareto", metavar="NAME[:ARG]", dest="perf_filter",
-        help="performance filter, e.g. pareto, tradeoff:0.05, top_k:4, "
-             "keep_all (default: pareto)")
+    _add_target_args(synth)
+    _add_engine_args(synth)
     synth.add_argument(
         "--emit", default="report", metavar="NAMES",
         help="comma-separated emitters (default: report; "
              "see 'repro list emitters')")
-    synth.add_argument(
-        "--max-combinations", type=int, default=None, metavar="N",
-        help="cap on the per-node S1 cross product")
-    synth.add_argument(
-        "--order", default=None, metavar="NAME",
-        help="S1 enumeration order: lex (default), frontier, or a "
-             "registered name (see 'repro list orders'); frontier makes "
-             "--max-combinations keep the best designs")
     synth.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="workers for parallel subtree evaluation (default: 1)")
@@ -97,20 +124,78 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--prune-partial", action="store_true",
         help="enable dominance pre-pruning before the S1 cross product")
+    _add_store_arg(synth, default=None,
+                   help_suffix=" (default: no persistence)")
     synth.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
         help="write emitted text to PATH instead of stdout")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP synthesis service",
+        description="Serve POST /synthesize and /batch (json-emitter "
+                    "schema) plus GET /healthz and /metrics.  One session "
+                    "per engine configuration, identical in-flight "
+                    "requests coalesced, store hits served without the "
+                    "engine.  Engine flags set the service defaults; "
+                    "requests may override them per call.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port (default: 8473; 0 = ephemeral)")
+    _add_engine_args(serve)
+    _add_store_arg(serve, default="default",
+                   help_suffix=" (default: the shared on-disk store)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="serve without any persistent store")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="engine executor threads (default: 2)")
+
+    warm = sub.add_parser(
+        "warm",
+        help="prefill the result store with the given targets",
+        description="Run targets through a store-backed session so later "
+                    "processes (and the serve endpoints) answer them "
+                    "without expansion or evaluation.",
+    )
+    _add_target_args(warm)
+    _add_engine_args(warm)
+    _add_store_arg(warm, default="default",
+                   help_suffix=" (default: the shared on-disk store)")
+    warm.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="workers for parallel subtree evaluation (default: 1)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the persistent result store",
+        description="Inspect (info, list), bound (prune --max-mb), or "
+                    "empty (clear) the content-addressed result store.",
+    )
+    cache.add_argument(
+        "action", choices=["info", "list", "show", "prune", "clear"],
+        help="what to do")
+    cache.add_argument(
+        "fingerprint", nargs="?", default=None, metavar="FINGERPRINT",
+        help="show: entry to display (any unambiguous prefix)")
+    _add_store_arg(cache, default="default",
+                   help_suffix=" (default: the shared on-disk store)")
+    cache.add_argument(
+        "--max-mb", type=float, default=None, metavar="MB",
+        help="prune: evict least-recently-used entries until the "
+             "payload total fits this many megabytes")
 
     list_parser = sub.add_parser(
         "list",
         help="show the registered backends",
         description="Show registered libraries, rulebases, filters, "
-                    "emitters, and spec shorthands.",
+                    "emitters, spec shorthands, orders, and stores.",
     )
     list_parser.add_argument(
         "what", nargs="?", default="all",
         choices=["all", "libraries", "rulebases", "filters", "emitters",
-                 "specs", "orders"],
+                 "specs", "orders", "stores"],
         help="which registry to show (default: all)")
     return parser
 
@@ -119,30 +204,49 @@ def _build_parser() -> argparse.ArgumentParser:
 # subcommands
 # ---------------------------------------------------------------------------
 
-def _cmd_synth(args: argparse.Namespace) -> int:
-    if not args.spec and not args.legend:
-        print(f"{PROG} synth: nothing to do -- pass --spec and/or --legend",
-              file=sys.stderr)
-        return 2
+def _collect_requests(args: argparse.Namespace, command: str,
+                      stem_labels: bool = True
+                      ) -> Optional[List[SynthesisRequest]]:
+    """The --spec/--legend targets as requests, or None after printing
+    a usage error (the caller exits 2).
 
+    ``stem_labels``: label LEGEND requests with the source file's stem
+    (nice in synth reports).  ``warm`` turns it off: the label is part
+    of the store fingerprint, and the serve layer's default label is
+    the generator name -- a stem-labeled warm entry would never be hit
+    by an HTTP request for the same source."""
+    if not args.spec and not args.legend:
+        print(f"{PROG} {command}: nothing to do -- pass --spec "
+              f"and/or --legend", file=sys.stderr)
+        return None
     params: Dict[str, Any] = {}
     for item in args.param:
         key, sep, value = item.partition("=")
         if not sep:
-            print(f"{PROG} synth: --param {item!r} is not K=V",
+            print(f"{PROG} {command}: --param {item!r} is not K=V",
                   file=sys.stderr)
-            return 2
+            return None
         params[key] = _parse_param(value)
-
     requests: List[SynthesisRequest] = []
+    for shorthand in args.spec:
+        requests.append(SynthesisRequest.from_spec(
+            registry.parse_spec(shorthand), label=shorthand))
+    for path in args.legend:
+        requests.append(SynthesisRequest.from_legend(
+            path.read_text(), generator=args.generator,
+            label=path.stem if stem_labels else "", params=params))
+    return requests
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    # KeyError is in every backend-resolution catch: RegistryError
+    # subclasses it (and carries the registered-name listing), and a
+    # third-party factory's own stray KeyError must exit 2 with a
+    # message, never escape as a traceback.
     try:
-        for shorthand in args.spec:
-            requests.append(SynthesisRequest.from_spec(
-                registry.parse_spec(shorthand), label=shorthand))
-        for path in args.legend:
-            requests.append(SynthesisRequest.from_legend(
-                path.read_text(), generator=args.generator,
-                label=path.stem, **params))
+        requests = _collect_requests(args, "synth")
+        if requests is None:
+            return 2
         emit_names = [name for name in args.emit.split(",") if name]
         for name in emit_names:
             registry.EMITTERS.get(name)  # fail fast on typos
@@ -158,8 +262,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             parallel_backend=args.parallel_backend,
             order=args.order,
+            store=args.store,
         )
-    except (registry.RegistryError, OSError, ValueError) as error:
+    except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} synth: {error}", file=sys.stderr)
         return 2
 
@@ -192,6 +297,159 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import DEFAULT_PORT, run_server
+
+    store = None if args.no_store else args.store
+    defaults = {
+        "library": args.library,
+        "rulebase": args.rulebase,
+        "filter": args.perf_filter,
+        "order": args.order,
+        "max_combinations": args.max_combinations,
+    }
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        asyncio.run(run_server(
+            host=args.host, port=port, store=store, defaults=defaults,
+            engine_workers=args.workers,
+        ))
+    except (KeyError, OSError, ValueError) as error:
+        print(f"{PROG} serve: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"{PROG} serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    import time
+
+    try:
+        requests = _collect_requests(args, "warm", stem_labels=False)
+        if requests is None:
+            return 2
+
+        from repro.api.session import Session
+
+        session = Session(
+            library=args.library,
+            rulebase=args.rulebase,
+            perf_filter=args.perf_filter,
+            max_combinations=args.max_combinations,
+            jobs=args.jobs,
+            order=args.order,
+            store=args.store,
+        )
+    except (KeyError, OSError, ValueError) as error:
+        print(f"{PROG} warm: {error}", file=sys.stderr)
+        return 2
+    if session.store is None:
+        print(f"{PROG} warm: no result store to warm", file=sys.stderr)
+        return 2
+
+    from repro.core.design_space import SynthesisError
+    from repro.legend.errors import LegendError
+
+    failures = 0
+    for request in requests:
+        start = time.perf_counter()
+        try:
+            job = session.synthesize(request)
+        except (SynthesisError, LegendError, ValueError) as error:
+            print(f"  {request.describe():<32} FAILED: {error}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        elapsed = (time.perf_counter() - start) * 1e3
+        state = "hit " if job.from_store else ("miss" if session.fingerprint(
+            request) else "skip")
+        print(f"  {request.describe():<32} {state}  {elapsed:8.1f} ms  "
+              f"{len(job)} alternatives")
+    info = session.store.info()
+    print(f"store {info['path']}: {info['entries']} entries, "
+          f"{info['payload_bytes'] / 1e6:.2f} MB")
+    return 1 if failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    try:
+        store = registry.create_store(args.store)
+    except (KeyError, OSError, ValueError) as error:
+        print(f"{PROG} cache: {error}", file=sys.stderr)
+        return 2
+    if store is None:
+        print(f"{PROG} cache: no store selected", file=sys.stderr)
+        return 2
+
+    if args.action == "info":
+        info = store.info()
+        print(f"path:     {info['path']}")
+        print(f"schema:   {info['schema']}")
+        print(f"entries:  {info['entries']}")
+        print(f"payload:  {info['payload_bytes'] / 1e6:.2f} MB")
+        print(f"hits:     {info['hits']}")
+        return 0
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print("(store is empty)")
+            return 0
+        print(f"{'fingerprint':<16} {'size':>8} {'hits':>5}  label")
+        for entry in entries:
+            print(f"{entry['fingerprint'][:16]:<16} "
+                  f"{entry['size_bytes']:>8} {entry['hits']:>5}  "
+                  f"{entry['label']}")
+        return 0
+    if args.action == "show":
+        # The persisted artifacts -- label, stats, and the rendered
+        # figure-3 report -- without loading any engine code.
+        if not args.fingerprint:
+            print(f"{PROG} cache show: pass a fingerprint prefix "
+                  f"(see 'repro cache list')", file=sys.stderr)
+            return 2
+        matches = [entry for entry in store.entries()
+                   if entry["fingerprint"].startswith(args.fingerprint)]
+        if not matches:
+            print(f"{PROG} cache show: no entry matches "
+                  f"{args.fingerprint!r}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"{PROG} cache show: {args.fingerprint!r} is ambiguous "
+                  f"({len(matches)} entries)", file=sys.stderr)
+            return 2
+        entry = matches[0]
+        payload = store.peek(entry["fingerprint"]) or {}
+        print(f"fingerprint: {entry['fingerprint']}")
+        print(f"label:       {entry['label']}")
+        print(f"hits:        {entry['hits']}")
+        print(f"size:        {entry['size_bytes']} bytes")
+        timing = payload.get("timing", {})
+        print(f"engine:      {payload.get('runtime_seconds', 0.0) * 1e3:.1f} "
+              f"ms over {timing.get('spec_nodes', 0)} spec nodes, "
+              f"{timing.get('programs_compiled', 0)} compiled programs")
+        report = payload.get("report")
+        if report:
+            print()
+            print(report)
+        return 0
+    if args.action == "prune":
+        if args.max_mb is None:
+            print(f"{PROG} cache prune: pass --max-mb", file=sys.stderr)
+            return 2
+        result = store.prune(args.max_mb)
+        print(f"pruned {result['removed']} entries; {result['remaining']} "
+              f"remain ({result['payload_bytes'] / 1e6:.2f} MB)")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries")
+        return 0
+    return 2
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     sections = {
         "libraries": registry.LIBRARIES,
@@ -200,6 +458,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "emitters": registry.EMITTERS,
         "specs": registry.SPECS,
         "orders": registry.ORDERS,
+        "stores": registry.STORES,
     }
     selected = sections if args.what == "all" else {args.what: sections[args.what]}
     blocks = []
@@ -221,6 +480,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "synth":
         return _cmd_synth(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "warm":
+        return _cmd_warm(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "list":
         return _cmd_list(args)
     parser.error(f"unknown command {args.command!r}")

@@ -21,6 +21,7 @@ below.
 from __future__ import annotations
 
 import difflib
+import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
@@ -44,6 +45,11 @@ class Registry:
         self.signature = signature
         self._factories: Dict[str, Callable] = {}
         self._descriptions: Dict[str, str] = {}
+        # Registration is guarded: the serve layer imports plugin-style
+        # registrations from executor threads, and concurrent decorator
+        # registration must neither corrupt the tables nor let two
+        # threads silently claim the same name.
+        self._lock = threading.Lock()
 
     # -- registration --------------------------------------------------
     def register(
@@ -63,15 +69,16 @@ class Registry:
         key = self._canon(name)
 
         def _install(fn: Callable) -> Callable:
-            if key in self._factories and not replace:
-                raise RegistryError(
-                    f"{self.kind} {name!r} is already registered "
-                    f"(pass replace=True to override)"
-                )
-            self._factories[key] = fn
-            doc = (fn.__doc__ or "").strip()
-            self._descriptions[key] = description or (
-                doc.splitlines()[0] if doc else "")
+            with self._lock:
+                if key in self._factories and not replace:
+                    raise RegistryError(
+                        f"{self.kind} {name!r} is already registered "
+                        f"(pass replace=True to override)"
+                    )
+                self._factories[key] = fn
+                doc = (fn.__doc__ or "").strip()
+                self._descriptions[key] = description or (
+                    doc.splitlines()[0] if doc else "")
             return fn
 
         if factory is None:
@@ -80,36 +87,47 @@ class Registry:
 
     def unregister(self, name: str) -> None:
         key = self._canon(name)
-        self._factories.pop(key, None)
-        self._descriptions.pop(key, None)
+        with self._lock:
+            self._factories.pop(key, None)
+            self._descriptions.pop(key, None)
 
     # -- lookup --------------------------------------------------------
+    # Reads take the same lock as registration: names()/iteration must
+    # never see a dict mid-mutation from another thread (sorted() over
+    # a changing dict raises), and a get concurrent with a replace must
+    # return either the old or the new factory, never crash.
     def get(self, name: str) -> Callable:
         """The raw factory registered under ``name``."""
         key = self._canon(name)
-        try:
-            return self._factories[key]
-        except KeyError:
-            raise RegistryError(self._unknown_message(name)) from None
+        with self._lock:
+            factory = self._factories.get(key)
+        if factory is None:
+            raise RegistryError(self._unknown_message(name))
+        return factory
 
     def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Invoke the factory registered under ``name``."""
         return self.get(name)(*args, **kwargs)
 
     def describe(self, name: str) -> str:
-        return self._descriptions.get(self._canon(name), "")
+        with self._lock:
+            return self._descriptions.get(self._canon(name), "")
 
     def names(self) -> List[str]:
-        return sorted(self._factories)
+        with self._lock:
+            return sorted(self._factories)
 
     def __contains__(self, name: str) -> bool:
-        return self._canon(name) in self._factories
+        key = self._canon(name)
+        with self._lock:
+            return key in self._factories
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
 
     def __len__(self) -> int:
-        return len(self._factories)
+        with self._lock:
+            return len(self._factories)
 
     def __repr__(self) -> str:
         return f"Registry({self.kind}: {', '.join(self.names()) or 'empty'})"
@@ -152,6 +170,13 @@ EMITTERS = Registry("emitter", "(job) -> str")
 #: Component-spec shorthands.  Factory convention:
 #: ``(width: int) -> ComponentSpec`` for names like ``alu:64``.
 SPECS = Registry("spec", "(width: int) -> ComponentSpec")
+
+#: Result stores (persistent, content-addressed result caches; see
+#: :mod:`repro.store`).  Factory convention: ``() -> ResultStore``.
+#: Built-ins: ``default`` (the on-disk store at
+#: ``$REPRO_STORE``/``~/.cache/repro/store.sqlite``) and ``memory``
+#: (ephemeral per-process SQLite, for tests and opt-out serving).
+STORES = Registry("store", "() -> ResultStore")
 
 #: S1 enumeration orders for the streaming combiner.  Factory
 #: convention: ``() -> Optional[callable]`` returning a function that
@@ -246,6 +271,24 @@ def _register_builtins() -> None:
         description="Pareto-rank + two-ended sweep seeding, so "
                     "max_combinations keeps the best designs")
 
+    def _default_store():
+        from repro.store import ResultStore
+
+        return ResultStore()
+
+    def _memory_store():
+        from repro.store import ResultStore
+
+        return ResultStore(":memory:")
+
+    STORES.register(
+        "default", _default_store,
+        description="on-disk store at $REPRO_STORE or "
+                    "~/.cache/repro/store.sqlite")
+    STORES.register(
+        "memory", _memory_store,
+        description="ephemeral in-process SQLite store (tests, opt-out)")
+
     SPECS.register("adder", adder_spec, description="n-bit binary adder")
     SPECS.register("alu", alu_spec,
                    description="n-bit 16-function ALU (paper Figure 3)")
@@ -289,6 +332,21 @@ def create_rulebase(spec: Any, library) -> Any:
     if isinstance(spec, str):
         return RULEBASES.create(spec, library)
     return spec
+
+
+def create_store(spec: Any):
+    """Resolve a result-store designator: ``None`` means no store, a
+    ``ResultStore`` passes through, a registered name (``"default"``,
+    ``"memory"``) is looked up in :data:`STORES`, and any other
+    string/path (or ``True`` for the default location) opens that
+    SQLite file directly."""
+    if spec is None:
+        return None
+    if isinstance(spec, str) and spec in STORES:
+        return STORES.create(spec)
+    from repro.store import open_store
+
+    return open_store(spec)
 
 
 def create_order(spec: Any):

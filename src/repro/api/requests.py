@@ -74,10 +74,18 @@ class SynthesisRequest:
         source: str,
         generator: Optional[str] = None,
         label: str = "",
-        **params: Any,
+        params: Optional[Dict[str, Any]] = None,
+        **kwargs: Any,
     ) -> "SynthesisRequest":
+        """``params`` and keyword arguments both feed the generator;
+        the explicit dict exists so parameter names that collide with
+        this signature (``label``, ``generator``, ``source`` -- all
+        legal LEGEND identifiers) can still be passed, e.g. by the
+        serve layer relaying client JSON."""
+        merged = dict(params or {})
+        merged.update(kwargs)
         return cls(kind="legend", legend_source=source, generator=generator,
-                   params=dict(params), label=label or (generator or "legend"))
+                   params=merged, label=label or (generator or "legend"))
 
     @classmethod
     def from_hls(cls, program: Any, constraints: Any = None,
@@ -122,6 +130,28 @@ class SynthesisRequest:
     def describe(self) -> str:
         return f"{self.kind}:{self.label}"
 
+    # -- content addressing -------------------------------------------
+    def token(self) -> Optional[list]:
+        """Canonical JSON-able token of *what* this request asks for:
+        the root spec, the LEGEND (source digest, generator, params)
+        triple, or the HLS program structure.  ``None`` for requests
+        that are not content-addressable -- netlist requests (the
+        caller owns and may mutate the netlist) and HLS programs with
+        constructs the canonical walker does not know.  This is the
+        request-side half of the result store's fingerprint; the
+        session folds in the engine-side digests."""
+        from repro.store.fingerprint import request_token
+
+        return request_token(self)
+
+    def digest(self) -> Optional[str]:
+        """SHA-256 hex digest of :meth:`token` (stable across processes
+        and hash seeds), or ``None`` when not content-addressable."""
+        from repro.store.fingerprint import digest as _digest
+
+        token = self.token()
+        return None if token is None else _digest(token)
+
 
 class SynthesisJob:
     """The result of one request: alternatives plus derived artifacts.
@@ -145,8 +175,37 @@ class SynthesisJob:
         self.request = request
         self.result = result
         self.session = session
-        self.component = component
-        self.hls = hls
+        self._component = component
+        self._hls = hls
+        #: True when this job was answered from the result store
+        #: without running expansion or evaluation.
+        self.from_store = False
+        #: Store-hit jobs get a thunk that rebuilds the cheap frontend
+        #: artifacts (elaborated LEGEND component / HLS result) on
+        #: first access instead of on every hit -- the serving path's
+        #: JSON body reads neither.
+        self._artifact_loader = None
+
+    def _load_artifacts(self) -> None:
+        loader, self._artifact_loader = self._artifact_loader, None
+        if loader is not None:
+            self._component, self._hls = loader()
+
+    @property
+    def component(self):
+        """The elaborated GENUS component (LEGEND requests); rebuilt
+        lazily on store-hit jobs."""
+        if self._component is None:
+            self._load_artifacts()
+        return self._component
+
+    @property
+    def hls(self):
+        """The full HLS result (behavioral requests); rebuilt lazily
+        on store-hit jobs."""
+        if self._hls is None:
+            self._load_artifacts()
+        return self._hls
 
     # -- the alternatives ---------------------------------------------
     @property

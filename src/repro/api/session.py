@@ -29,6 +29,7 @@ from repro.api.registry import (
     create_library,
     create_order,
     create_rulebase,
+    create_store,
 )
 from repro.api.requests import SynthesisJob, SynthesisRequest
 from repro.core.design_space import DesignSpace, DesignTree
@@ -79,6 +80,16 @@ class Session:
         ``"frontier"``), or a callable reordering one option list.
         ``"frontier"`` makes ``max_combinations`` keep the best
         designs instead of the lexicographically first.
+    store:
+        Persistent result store (see :mod:`repro.store`): ``None``
+        (default) disables persistence, a registered name
+        (``"default"``, ``"memory"``), a path, ``True`` (the default
+        location), or a ``ResultStore``.  With a store, every
+        content-addressable request is first looked up by its
+        canonical fingerprint -- a hit skips expansion and evaluation
+        entirely and returns re-interned canonical configurations --
+        and every computed result is written back for the next
+        process.
     """
 
     def __init__(
@@ -94,6 +105,7 @@ class Session:
         jobs: int = 1,
         parallel_backend: str = "thread",
         order: Any = None,
+        store: Any = None,
     ) -> None:
         self.library = create_library(library)
         resolved: RuleBase = create_rulebase(rulebase, self.library)
@@ -115,17 +127,51 @@ class Session:
             self.space.max_combinations = max_combinations
         self._legend_libraries: Dict[str, Any] = {}
         self.jobs_run = 0
+        #: The raw order designator (name or None), kept for the store
+        #: fingerprint -- a custom callable makes requests uncacheable.
+        self.order_designator = order
+        self.store = create_store(store)
+        self._engine_digest: Optional[str] = None
+        #: Serving counters: store lookups answered warm / answered by
+        #: running the engine / engine runs (incl. uncacheable ones).
+        self.store_hits = 0
+        self.store_misses = 0
+        self.evaluations = 0
 
     # ------------------------------------------------------------------
     # synthesis
     # ------------------------------------------------------------------
-    def synthesize(self, target: RequestLike) -> SynthesisJob:
+    def synthesize(self, target: RequestLike, *,
+                   fingerprint: Optional[str] = None) -> SynthesisJob:
         """Run one request (or raw target; see
-        :meth:`SynthesisRequest.coerce`) through the design space."""
+        :meth:`SynthesisRequest.coerce`) through the design space.
+
+        With a :attr:`store`, content-addressable requests are first
+        looked up by fingerprint: a hit is served without expansion or
+        evaluation (``job.from_store`` is True and its configurations
+        are the canonical interned instances); a miss runs the engine
+        and persists the result for the next process.  ``fingerprint``
+        lets a caller that already computed :meth:`fingerprint` for
+        this exact request (the serve layer, for coalescing) skip the
+        recomputation; passing a wrong one corrupts the store."""
         request = SynthesisRequest.coerce(target)
+        if self.store is None:
+            fingerprint = None  # nothing to look up or persist in
+        elif fingerprint is None:
+            fingerprint = self.fingerprint(request)
+        if fingerprint is not None:
+            job = self._load_stored(fingerprint, request)
+            if job is not None:
+                self.store_hits += 1
+                self.jobs_run += 1
+                return job
+            self.store_misses += 1
         handler = getattr(self, f"_run_{request.kind}")
         job = handler(request)
+        self.evaluations += 1
         self.jobs_run += 1
+        if fingerprint is not None:
+            self._store_job(fingerprint, job)
         return job
 
     def map(self, targets: Iterable[RequestLike]) -> List[SynthesisJob]:
@@ -160,6 +206,10 @@ class Session:
         return SynthesisJob(request, result, session=self, hls=hls)
 
     # -- engine calls --------------------------------------------------
+    # Per-job stats are restricted to the subgraph the request reaches
+    # (`stats_for`), never the whole-space counts: a session's space
+    # accumulates nodes across jobs, and a stored/served result must
+    # not depend on what else the producing session happened to run.
     def _synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:
         start = time.perf_counter()
         configs = self.space.alternatives(spec)
@@ -168,7 +218,8 @@ class Session:
             DesignAlternative(i, config, self.space, spec)
             for i, config in enumerate(configs)
         ]
-        return SynthesisResult(alternatives, self.space.stats(), elapsed, spec)
+        return SynthesisResult(alternatives, self.space.stats_for([spec]),
+                               elapsed, spec)
 
     def _synthesize_netlist(self, netlist: Netlist) -> SynthesisResult:
         start = time.perf_counter()
@@ -178,7 +229,9 @@ class Session:
             DesignAlternative(i, config, self.space, None)
             for i, config in enumerate(configs)
         ]
-        return SynthesisResult(alternatives, self.space.stats(), elapsed)
+        roots = list(dict.fromkeys(m.spec for m in netlist.modules))
+        return SynthesisResult(alternatives, self.space.stats_for(roots),
+                               elapsed)
 
     def _elaborate_legend(self, request: SynthesisRequest):
         """LEGEND source -> GENUS component (libraries cached per
@@ -199,6 +252,96 @@ class Session:
         return library.generate(name, **request.params)
 
     # ------------------------------------------------------------------
+    # the result store
+    # ------------------------------------------------------------------
+    def engine_digest(self) -> str:
+        """Digest of the engine side of the fingerprint: the library
+        data book plus the rulebase (memoized; invalidated by
+        :meth:`retarget`)."""
+        if self._engine_digest is None:
+            from repro.store.fingerprint import (
+                digest,
+                library_digest,
+                rulebase_digest,
+            )
+
+            self._engine_digest = digest([
+                library_digest(self.library),
+                rulebase_digest(self.rulebase),
+            ])
+        return self._engine_digest
+
+    def fingerprint(self, target: RequestLike) -> Optional[str]:
+        """The store key this session would use for ``target``, or
+        ``None`` when the request is not content-addressable (netlist
+        requests, custom order callables, unregisterable filters).
+        Worker count and parallel backend are deliberately excluded:
+        parallel evaluation is bit-identical to sequential."""
+        from repro.store.fingerprint import session_fingerprint
+
+        request = SynthesisRequest.coerce(target)
+        return session_fingerprint(self, request)
+
+    def _load_stored(self, fingerprint: str,
+                     request: SynthesisRequest) -> Optional[SynthesisJob]:
+        import sqlite3
+
+        from repro.store.serialize import jsonable_payload, payload_to_job
+
+        try:
+            payload = self.store.get(fingerprint)
+        except (sqlite3.Error, OSError):
+            return None  # unreadable store degrades to a miss
+        if payload is None or not jsonable_payload(payload):
+            return None
+        try:
+            job = payload_to_job(payload, request, self)
+        except (KeyError, TypeError, ValueError):
+            # A malformed entry must degrade to a cache miss, never
+            # break synthesis; the engine recomputes and overwrites it.
+            return None
+        # The store covers what is expensive -- expansion and evaluation
+        # -- but a job also carries cheap frontend artifacts the payload
+        # does not: the HLS result (schedule, state table, datapath
+        # netlist; what the vhdl emitter renders) and the elaborated
+        # LEGEND component.  A lazy loader rebuilds them on first
+        # access, so a warm job is indistinguishable from a cold one
+        # while the serving path (which reads neither) pays nothing.
+        if request.kind == "hls":
+            def _artifacts(request=request):
+                from repro.hls import hls_synthesize
+
+                return None, hls_synthesize(request.program,
+                                            request.constraints)
+
+            job._artifact_loader = _artifacts
+        elif request.kind == "legend":
+            def _artifacts(request=request):
+                return self._elaborate_legend(request), None
+
+            job._artifact_loader = _artifacts
+        return job
+
+    def _store_job(self, fingerprint: str, job: SynthesisJob) -> None:
+        import sqlite3
+
+        from repro.store.serialize import job_to_payload
+
+        try:
+            self.store.put(fingerprint, job_to_payload(job),
+                           label=job.request.describe())
+        except (sqlite3.Error, OSError):
+            pass  # a result we cannot persist is still a result
+
+    def store_stats(self) -> Dict[str, int]:
+        """Serving counters: warm hits, misses, and engine runs."""
+        return {
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "evaluations": self.evaluations,
+        }
+
+    # ------------------------------------------------------------------
     # conveniences
     # ------------------------------------------------------------------
     def materialize(self, spec: ComponentSpec,
@@ -212,8 +355,18 @@ class Session:
         timing programs survive, and memoized costs are invalidated so
         the next job re-costs only what the retarget touched.  See
         :func:`repro.lola.assistant.retarget_space` for the LOLA-side
-        driver with rule adaptation."""
+        driver with rule adaptation.
+
+        Retargeting detaches the result store: the rebound space keeps
+        the *old* library's decomposition skeleton (that is the whole
+        point of the incremental path), so its results are a
+        session-local approximation of -- and may differ from -- what a
+        fresh expansion under the new library would produce, and must
+        neither be persisted under the new library's fingerprint nor
+        mixed with entries that were."""
         self.library = create_library(library)
+        self._engine_digest = None
+        self.store = None
         return self.space.rebind_library(self.library)
 
     def stats(self) -> Dict[str, int]:

@@ -506,11 +506,17 @@ class DesignSpace:
     # materialization
     # ------------------------------------------------------------------
     def materialize(self, spec: ComponentSpec, config: Configuration) -> DesignTree:
-        """Build the hierarchical design tree a configuration denotes."""
+        """Build the hierarchical design tree a configuration denotes.
+
+        Expands the node on demand: a configuration loaded from the
+        result store is served without any engine work, and only if the
+        caller then asks for the tree is the (deterministic) expansion
+        run, whose implementation indexing the stored choice map was
+        recorded against."""
         choice = config.chosen_impl(spec)
         if choice is None:
             raise SynthesisError(f"configuration does not choose an impl for {spec}")
-        impl = self.nodes[spec].impls[choice]
+        impl = self.expand(spec).impls[choice]
         tree = DesignTree(spec, impl)
         if impl.kind == "decomp":
             for module in impl.netlist.modules:
@@ -639,4 +645,48 @@ class DesignSpace:
             "decompositions": sum(
                 1 for n in self.nodes.values() for i in n.impls if i.kind == "decomp"
             ),
+        }
+
+    def reachable_nodes(self, roots: Iterable[ComponentSpec]) -> List[SpecNode]:
+        """The expanded nodes reachable from ``roots`` through
+        decomposition module specs -- the subgraph one request
+        actually touches, independent of whatever else this space
+        evaluated.  The single traversal behind every per-request
+        statistic (:meth:`stats_for`, the store's timing metadata), so
+        the notion of "reachable" cannot drift between them."""
+        seen: Set[ComponentSpec] = set()
+        queue = list(roots)
+        found: List[SpecNode] = []
+        while queue:
+            spec = queue.pop()
+            if spec in seen:
+                continue
+            seen.add(spec)
+            node = self.nodes.get(spec)
+            if node is None:
+                continue
+            found.append(node)
+            for impl in node.impls:
+                if impl.kind == "decomp":
+                    queue.extend(m.spec for m in impl.netlist.modules)
+        return found
+
+    def stats_for(self, roots: Iterable[ComponentSpec]) -> Dict[str, int]:
+        """:meth:`stats` restricted to the subgraph reachable from
+        ``roots`` -- a *deterministic function of the request*, unlike
+        the whole-space counts, which depend on whatever else the
+        session evaluated before.  Per-job stats (and therefore stored
+        result payloads and served JSON bodies) use this, so a batch
+        session, the serve pool, and a fresh single-request process all
+        report identical numbers for the same request.  For a
+        single-request space the two views coincide: expansion only
+        creates nodes reachable from the root."""
+        nodes = self.reachable_nodes(roots)
+        return {
+            "spec_nodes": len(nodes),
+            "implementations": sum(len(n.impls) for n in nodes),
+            "cell_bindings": sum(
+                1 for n in nodes for i in n.impls if i.kind == "cell"),
+            "decompositions": sum(
+                1 for n in nodes for i in n.impls if i.kind == "decomp"),
         }

@@ -53,6 +53,10 @@ class InternTable:
         self._next_id = 0
         self.hits = 0
         self.misses = 0
+        #: Configurations that entered through :meth:`revive_parts` --
+        #: i.e. loaded from outside the process (pickles shipped back
+        #: from workers, result-store payloads) rather than computed.
+        self.revived = 0
 
     # ------------------------------------------------------------------
     def intern_parts(self, area, delays, choices, cls) -> "Configuration":
@@ -74,6 +78,21 @@ class InternTable:
             self._table[key] = config
             self.misses += 1
             return config
+
+    def revive_parts(self, area, delays, choices, cls) -> "Configuration":
+        """Re-intern a configuration that was serialized in another
+        process (or another run of this one): pickle payloads from
+        multiprocessing workers and result-store loads both land here.
+
+        Exactly :meth:`intern_parts` -- the loaded value collapses onto
+        the canonical instance, identical (``is``) to a freshly
+        computed equal configuration -- plus a counter, so serving
+        metrics can report how much work arrived warm.  The increment
+        takes the table lock like every other counter: revivals land
+        concurrently from serve executor threads and worker pickles."""
+        with self._lock:
+            self.revived += 1
+        return self.intern_parts(area, delays, choices, cls)
 
     def intern(self, config: "Configuration") -> "Configuration":
         """Canonical instance for an existing configuration (used when
@@ -99,7 +118,7 @@ class InternTable:
 
     def stats(self) -> Dict[str, int]:
         return {"size": len(self._table), "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses, "revived": self.revived}
 
     def clear(self) -> None:
         """Drop every entry (tests; live configurations stay valid but
@@ -108,6 +127,7 @@ class InternTable:
             self._table.clear()
             self.hits = 0
             self.misses = 0
+            self.revived = 0
 
     def _reinit_lock(self) -> None:
         """Replace the lock with a fresh one (post-fork hook: a fork

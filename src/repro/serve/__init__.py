@@ -1,0 +1,39 @@
+"""``repro.serve`` -- the concurrent synthesis service.
+
+A long-running asyncio HTTP process in front of the engine:
+``python -m repro serve --port N`` owns one
+:class:`~repro.api.session.Session` per engine configuration, answers
+``POST /synthesize`` / ``POST /batch`` with the ``json`` emitter's
+schema, serves :mod:`repro.store` hits without touching the engine,
+coalesces identical in-flight requests down to exactly one evaluation,
+and exposes ``GET /healthz`` + ``GET /metrics``.  Stdlib only.
+
+Embedding::
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(port=0, store="memory")
+    handle = server.run_in_thread()     # bound port: handle.port
+    ...
+    handle.stop()
+"""
+
+from repro.serve.server import (
+    DEFAULT_PORT,
+    Metrics,
+    ReproServer,
+    ServeError,
+    ServerThread,
+    SynthesisService,
+    run_server,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Metrics",
+    "ReproServer",
+    "ServeError",
+    "ServerThread",
+    "SynthesisService",
+    "run_server",
+]

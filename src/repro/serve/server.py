@@ -1,0 +1,670 @@
+"""The synthesis service: an asyncio HTTP front end over Sessions.
+
+One long-running process owns a pool of :class:`repro.api.Session`
+objects -- one per engine configuration (library, rulebase, filter,
+order, cap) -- each backed by the shared persistent result store, and
+answers:
+
+- ``POST /synthesize`` -- one request; the response body is exactly the
+  ``json`` emitter's schema.  Identical in-flight requests are
+  *coalesced*: N concurrent duplicates trigger exactly one engine
+  evaluation and receive byte-identical bodies.  Store hits are served
+  without touching the engine at all.
+- ``POST /batch`` -- a list of requests through one session (the
+  cache-amortized batch path); body is ``{"jobs": [...]}``, one json
+  emitter payload per request, in order.
+- ``GET /healthz`` -- liveness: status, uptime, session/store summary.
+- ``GET /metrics`` -- counters: requests by endpoint, engine
+  evaluations, store hits/misses, coalesced joiners, in-flight gauge,
+  latency aggregates.
+
+Everything is stdlib: ``asyncio`` owns the sockets and the in-flight
+table; the engine (pure Python, CPU-bound) runs in a thread pool so
+the event loop stays responsive; HTTP/1.1 parsing is the ~40 lines a
+JSON-over-POST service actually needs.  The response source is exposed
+as an ``X-Repro-Source`` header (``engine`` / ``store`` / ``coalesced``)
+rather than in the body, so bodies stay byte-identical across all
+three paths.
+
+The engine itself is synchronous and a Session's design space is not
+safe under *distinct* concurrent jobs, so each session runs one job at
+a time (an asyncio lock per session); concurrency comes from
+coalescing, store hits, and multiple sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.registry import RegistryError
+
+#: Parameters that select the session; everything else rides on the
+#: request itself.
+SESSION_PARAMS = ("library", "rulebase", "filter", "order",
+                  "max_combinations")
+
+#: Default TCP port (spells "DTAS" on a phone pad, near enough).
+DEFAULT_PORT = 8473
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Session-pool bound: the pool key includes client-controlled
+#: parameters (filter, cap, ...), so without a bound a client could
+#: grow one design space per distinct value forever.  Least recently
+#: used sessions are evicted; their store entries survive, so evicted
+#: work stays warm.
+MAX_SESSIONS = 32
+
+#: Sanity bound on a client-supplied combination cap.
+MAX_COMBINATIONS_LIMIT = 10_000_000
+
+#: The served paths; anything else lands in the "other" metrics bucket.
+KNOWN_ENDPOINTS = frozenset(
+    {"/synthesize", "/batch", "/healthz", "/metrics"})
+
+
+class ServeError(Exception):
+    """A client error with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Metrics:
+    """Service counters.  All mutation happens on the event-loop
+    thread (request completion callbacks), so plain ints are safe;
+    per-job counters live here rather than being summed over sessions,
+    which keeps totals monotonic across LRU session eviction."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.requests_total = 0
+        self.by_endpoint: Dict[str, int] = {}
+        self.responses_by_status: Dict[str, int] = {}
+        self.engine_evaluations = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.coalesced = 0
+        self.in_flight = 0
+        self.latency_count = 0
+        self.latency_total = 0.0
+        self.latency_max = 0.0
+
+    def observe(self, endpoint: str, status: int, elapsed: float) -> None:
+        self.requests_total += 1
+        self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+        key = str(status)
+        self.responses_by_status[key] = self.responses_by_status.get(key, 0) + 1
+        self.latency_count += 1
+        self.latency_total += elapsed
+        self.latency_max = max(self.latency_max, elapsed)
+
+
+class SynthesisService:
+    """Session pool + store + request coalescing (transport-agnostic)."""
+
+    def __init__(
+        self,
+        store: Any = "default",
+        defaults: Optional[Dict[str, Any]] = None,
+        engine_workers: int = 2,
+        max_sessions: int = MAX_SESSIONS,
+    ) -> None:
+        from collections import OrderedDict
+
+        from repro.api.registry import create_store
+
+        self.store = create_store(store)
+        self.defaults = {
+            "library": "lsi_logic",
+            "rulebase": None,
+            "filter": "pareto",
+            "order": None,
+            "max_combinations": None,
+        }
+        if defaults:
+            self.defaults.update(defaults)
+        self.metrics = Metrics()
+        self.max_sessions = max(1, max_sessions)
+        self._sessions: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._session_locks: Dict[Tuple, asyncio.Lock] = {}
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, engine_workers),
+            thread_name_prefix="repro-engine",
+        )
+
+    # -- sessions ------------------------------------------------------
+    def _session_params(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(self.defaults)
+        for key in SESSION_PARAMS:
+            if key in body:
+                params[key] = body[key]
+        if params["max_combinations"] is not None:
+            try:
+                params["max_combinations"] = int(params["max_combinations"])
+            except (TypeError, ValueError):
+                raise ServeError(
+                    400, f"max_combinations must be an integer, got "
+                         f"{params['max_combinations']!r}")
+            if not 1 <= params["max_combinations"] <= MAX_COMBINATIONS_LIMIT:
+                raise ServeError(
+                    400, f"max_combinations must be in "
+                         f"[1, {MAX_COMBINATIONS_LIMIT}]")
+        for key in ("library", "rulebase", "filter", "order"):
+            value = params[key]
+            if value is not None and not isinstance(value, str):
+                raise ServeError(400, f"{key} must be a string name")
+        return params
+
+    def session_for(self, params: Dict[str, Any]):
+        """The (cached) session for one engine configuration.  The
+        design space, compiled programs, and store handle are shared by
+        every request that lands on the same key.
+
+        The pool is LRU-bounded (:data:`MAX_SESSIONS`): the key embeds
+        client-controlled parameters, and an unbounded pool would let a
+        client grow one design space per distinct value forever.
+        Serving counters live on :class:`Metrics` (not summed over
+        sessions), so eviction cannot lose them; an evicted session's
+        persisted results remain in the store, so re-creating it later
+        starts warm."""
+        key = tuple(params[k] for k in SESSION_PARAMS)
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            return key, session
+
+        from repro.api.session import Session
+
+        session = Session(
+            library=params["library"],
+            rulebase=params["rulebase"],
+            perf_filter=params["filter"],
+            order=params["order"],
+            max_combinations=params["max_combinations"],
+            store=self.store,
+        )
+        self._sessions[key] = session
+        self._session_locks[key] = asyncio.Lock()
+        while len(self._sessions) > self.max_sessions:
+            old_key, _ = self._sessions.popitem(last=False)
+            self._session_locks.pop(old_key, None)
+        return key, session
+
+    # -- requests ------------------------------------------------------
+    @staticmethod
+    def build_request(body: Dict[str, Any]):
+        """A SynthesisRequest from one request object: ``{"spec":
+        "alu:64"}`` or ``{"legend": <source>, "generator": ...,
+        "params": {...}}``."""
+        from repro.api.registry import parse_spec
+        from repro.api.requests import SynthesisRequest
+
+        spec = body.get("spec")
+        legend = body.get("legend")
+        if (spec is None) == (legend is None):
+            raise ServeError(
+                400, "request needs exactly one of 'spec' or 'legend'")
+        if spec is not None:
+            if not isinstance(spec, str):
+                raise ServeError(400, "'spec' must be a 'name:width' string")
+            try:
+                return SynthesisRequest.from_spec(parse_spec(spec), label=spec)
+            except (RegistryError, KeyError, ValueError) as error:
+                raise ServeError(400, str(error))
+        if not isinstance(legend, str):
+            raise ServeError(400, "'legend' must be LEGEND source text")
+        params = body.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError(400, "'params' must be an object")
+        generator = body.get("generator")
+        if generator is not None and not isinstance(generator, str):
+            raise ServeError(400, "'generator' must be a string")
+        label = body.get("label")
+        if label is not None and not isinstance(label, str):
+            raise ServeError(400, "'label' must be a string")
+        return SynthesisRequest.from_legend(
+            legend, generator=generator, label=label or "", params=params)
+
+    def _emit(self, job) -> bytes:
+        from repro.api.registry import EMITTERS
+
+        return EMITTERS.create("json", job).encode("utf-8")
+
+    def _probe_store(self, session, request,
+                     fingerprint: str) -> Optional[bytes]:
+        """Executor-side store-only lookup, run *before* the session
+        lock is taken: a warm hit must be served at store latency, not
+        queued behind whatever engine evaluation currently holds the
+        session.  Touches only the store and the payload decoder --
+        never the engine."""
+        if session.store is None:
+            return None
+        job = session._load_stored(fingerprint, request)
+        if job is None:
+            return None
+        return self._emit(job)
+
+    def _run_job(self, session, request,
+                 fingerprint: Optional[str]) -> Tuple[bytes, str]:
+        """Engine-side work (executor thread): synthesize and render.
+        The source tag distinguishes a store hit from an engine run.
+        The fingerprint computed for coalescing is reused so the
+        session does not hash the request a second time."""
+        if fingerprint is not None:
+            job = session.synthesize(request, fingerprint=fingerprint)
+        else:
+            job = session.synthesize(request)
+        return self._emit(job), "store" if job.from_store else "engine"
+
+    async def synthesize(self, body: Dict[str, Any]) -> Tuple[bytes, str]:
+        """One request: coalesce, serve warm, or evaluate.
+
+        Returns ``(response bytes, source)`` where source is
+        ``engine`` / ``store`` / ``coalesced``.
+        """
+        params = self._session_params(body)
+        request = self.build_request(body)
+        try:
+            key, session = self.session_for(params)
+        except (RegistryError, KeyError, ValueError) as error:
+            raise ServeError(400, str(error))
+        # Capture the lock now: an LRU eviction during a later await
+        # drops it from the table, but this request keeps serializing
+        # against the session object it actually uses.
+        lock = self._session_locks[key]
+        loop = asyncio.get_running_loop()
+
+        # Coalescing keys on the same canonical fingerprint the store
+        # uses; it applies even with the store disabled.
+        fingerprint = session.fingerprint(request)
+        if fingerprint is not None:
+            pending = self._inflight.get(fingerprint)
+            if pending is not None:
+                self.metrics.coalesced += 1
+                payload, _ = await asyncio.shield(pending)
+                return payload, "coalesced"
+            future: asyncio.Future = loop.create_future()
+            self._inflight[fingerprint] = future
+        else:
+            future = None
+
+        from repro.core.design_space import SynthesisError
+        from repro.legend.errors import LegendError
+
+        try:
+            try:
+                result = None
+                if fingerprint is not None:
+                    warm = await loop.run_in_executor(
+                        self._executor, self._probe_store, session,
+                        request, fingerprint)
+                    if warm is not None:
+                        result = (warm, "store")
+                if result is None:
+                    async with lock:
+                        result = await loop.run_in_executor(
+                            self._executor, self._run_job, session,
+                            request, fingerprint)
+            except (SynthesisError, LegendError, ValueError) as error:
+                # The engine rejecting the request -- unknown generator
+                # parameter, unimplementable spec, malformed LEGEND
+                # source -- is the client's problem, not a 500 (same
+                # classification the CLI uses).
+                raise ServeError(422, f"{type(error).__name__}: {error}")
+            _, source = result
+            if source == "store":
+                self.metrics.store_hits += 1
+            else:
+                self.metrics.engine_evaluations += 1
+                if self.store is not None and fingerprint is not None:
+                    self.metrics.store_misses += 1
+            if future is not None:
+                future.set_result(result)
+            return result
+        except BaseException as error:
+            if future is not None and not future.done():
+                future.set_exception(error)
+                # Awaited by any coalesced joiner; if none arrived the
+                # retrieval below keeps the loop's exception logger
+                # quiet.
+                future.exception()
+            raise
+        finally:
+            if fingerprint is not None:
+                self._inflight.pop(fingerprint, None)
+
+    async def batch(self, body: Dict[str, Any]) -> bytes:
+        requests = body.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ServeError(400, "'requests' must be a non-empty list")
+        jobs: List[Any] = []
+        for i, item in enumerate(requests):
+            if not isinstance(item, dict):
+                raise ServeError(400, f"requests[{i}] must be an object")
+            merged = dict(body)
+            merged.pop("requests", None)
+            merged.update(item)
+            payload, _ = await self.synthesize(merged)
+            jobs.append(json.loads(payload))
+        return json.dumps({"jobs": jobs}, indent=2,
+                          sort_keys=True).encode("utf-8")
+
+    # -- introspection -------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.metrics.started,
+            "sessions": len(self._sessions),
+            "store": self.store.info() if self.store is not None else None,
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        from repro.core.interning import intern_stats
+
+        m = self.metrics
+        mean = m.latency_total / m.latency_count if m.latency_count else 0.0
+        return {
+            "uptime_seconds": time.time() - m.started,
+            "requests_total": m.requests_total,
+            "requests_by_endpoint": dict(m.by_endpoint),
+            "responses_by_status": dict(m.responses_by_status),
+            "engine_evaluations": m.engine_evaluations,
+            "store_hits": m.store_hits,
+            "store_misses": m.store_misses,
+            "jobs_run": m.engine_evaluations + m.store_hits + m.coalesced,
+            "coalesced": m.coalesced,
+            "in_flight": m.in_flight,
+            "sessions": len(self._sessions),
+            "interning": intern_stats(),
+            "latency": {
+                "count": m.latency_count,
+                "total_seconds": m.latency_total,
+                "mean_seconds": mean,
+                "max_seconds": m.latency_max,
+            },
+        }
+
+    def close(self) -> None:
+        # cancel_futures: queued-but-unstarted engine jobs are
+        # discarded, so shutdown does not stall behind work nobody
+        # will receive (concurrent.futures joins worker threads at
+        # interpreter exit).
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# The HTTP layer
+# ---------------------------------------------------------------------------
+
+def _response(status: int, body: bytes, source: str = "") -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 413: "Payload Too Large",
+               422: "Unprocessable Entity", 500: "Internal Server Error"}
+    head = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if source:
+        head.append(f"X-Repro-Source: {source}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _error_body(message: str) -> bytes:
+    return json.dumps({"error": message}, sort_keys=True).encode("utf-8")
+
+
+class ReproServer:
+    """``asyncio.start_server`` wrapper around :class:`SynthesisService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        store: Any = "default",
+        defaults: Optional[Dict[str, Any]] = None,
+        engine_workers: int = 2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.service = SynthesisService(
+            store=store, defaults=defaults, engine_workers=engine_workers)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- request plumbing ----------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("ascii").split(None, 2)
+        except ValueError:
+            raise ServeError(400, "malformed request line")
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ServeError(400, "bad Content-Length")
+                if content_length < 0:
+                    raise ServeError(400, "bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise ServeError(413, "request body too large")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method.upper(), path.split("?", 1)[0], body
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServeError(400, "request body is not valid JSON")
+        if not isinstance(parsed, dict):
+            raise ServeError(400, "request body must be a JSON object")
+        return parsed
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, bytes, str]:
+        service = self.service
+        if path == "/healthz":
+            if method != "GET":
+                raise ServeError(405, "use GET /healthz")
+            return 200, json.dumps(service.healthz(), indent=2,
+                                   sort_keys=True).encode("utf-8"), ""
+        if path == "/metrics":
+            if method != "GET":
+                raise ServeError(405, "use GET /metrics")
+            return 200, json.dumps(service.metrics_payload(), indent=2,
+                                   sort_keys=True).encode("utf-8"), ""
+        if path == "/synthesize":
+            if method != "POST":
+                raise ServeError(405, "use POST /synthesize")
+            payload, source = await service.synthesize(
+                self._parse_json(body))
+            return 200, payload, source
+        if path == "/batch":
+            if method != "POST":
+                raise ServeError(405, "use POST /batch")
+            return 200, await service.batch(self._parse_json(body)), ""
+        raise ServeError(
+            404, f"unknown path {path!r}; endpoints: POST /synthesize, "
+                 f"POST /batch, GET /healthz, GET /metrics")
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        endpoint = "?"
+        status = 500
+        observed = True
+        self.service.metrics.in_flight += 1
+        try:
+            try:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    # A bare connect/close (TCP health probe): nothing
+                    # was requested, so nothing lands in the metrics.
+                    observed = False
+                    return
+                method, path, body = parsed
+                # Metrics keys must not be client-controlled: unknown
+                # paths share one bucket or the by_endpoint dict would
+                # grow per distinct probed path forever.
+                endpoint = path if path in KNOWN_ENDPOINTS else "other"
+                status, payload, source = await self._dispatch(
+                    method, path, body)
+            except ServeError as error:
+                status = error.status
+                payload, source = _error_body(str(error)), ""
+            except (asyncio.IncompleteReadError, ConnectionError):
+                observed = False  # client hung up mid-request
+                return
+            except Exception as error:  # engine/synthesis failures
+                status = 500
+                payload = _error_body(f"{type(error).__name__}: {error}")
+                source = ""
+            writer.write(_response(status, payload, source))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.service.metrics.in_flight -= 1
+            if observed:
+                self.service.metrics.observe(
+                    endpoint, status, time.perf_counter() - started)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.service.close()
+
+    # -- test/embedding support ----------------------------------------
+    def run_in_thread(self) -> "ServerThread":
+        """Start the server on a daemon thread running its own event
+        loop; returns a handle with the bound port and a ``stop()``.
+        Used by the test suite and anyone embedding the service."""
+        handle = ServerThread(self)
+        handle.start()
+        return handle
+
+
+class ServerThread:
+    """A server running on a background thread (tests, embedding).
+
+    ``asyncio.start_server`` begins accepting as soon as it returns, so
+    the thread's event loop just parks on a stop event; ``stop()`` sets
+    it thread-safely, the loop shuts the server down cleanly, and the
+    thread exits."""
+
+    def __init__(self, server: ReproServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self) -> None:
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def main() -> None:
+                self._stop = asyncio.Event()
+                try:
+                    await self.server.start()
+                except BaseException as error:
+                    self._failure = error
+                    self._started.set()
+                    return
+                self._started.set()
+                await self._stop.wait()
+                await self.server.stop()
+
+            try:
+                loop.run_until_complete(main())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        if self._failure is not None:
+            raise RuntimeError(f"server failed to start: {self._failure}")
+
+    def stop(self, timeout: float = 5.0) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            return  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+
+async def run_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    store: Any = "default",
+    defaults: Optional[Dict[str, Any]] = None,
+    engine_workers: int = 2,
+    ready_message: bool = True,
+) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry)."""
+    server = ReproServer(host=host, port=port, store=store,
+                         defaults=defaults, engine_workers=engine_workers)
+    await server.start()
+    if ready_message:
+        store_path = (server.service.store.path
+                      if server.service.store is not None else "disabled")
+        print(f"repro serve: listening on http://{server.host}:{server.port} "
+              f"(store: {store_path})", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

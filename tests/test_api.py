@@ -328,6 +328,48 @@ def test_cli_error_paths(capsys, tmp_path):
     assert "cannot write" in capsys.readouterr().err
 
 
+def test_cli_unknown_backend_names_exit_2_listing_registered(capsys):
+    """Unknown library/rulebase/filter/order names must exit 2 with the
+    registered names listed -- never escape as a KeyError traceback."""
+    cases = [
+        (["synth", "--spec", "adder:8", "--library", "nope"],
+         ("lsi_logic", "vendor2")),
+        (["synth", "--spec", "adder:8", "--rulebase", "nope"],
+         ("auto", "standard", "lola")),
+        (["synth", "--spec", "adder:8", "--filter", "nope"],
+         ("pareto", "tradeoff")),
+        (["synth", "--spec", "adder:8", "--order", "nope"],
+         ("lex", "frontier")),
+        (["warm", "--spec", "adder:8", "--library", "nope"],
+         ("lsi_logic",)),
+    ]
+    for argv, expected_names in cases:
+        assert cli_main(argv) == 2, argv
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "known" in err, argv
+        for name in expected_names:
+            assert name in err, (argv, name)
+
+
+def test_cli_stray_factory_keyerror_exits_2(capsys):
+    """A third-party factory whose own code raises a raw KeyError must
+    still exit 2 with a message instead of a traceback."""
+    from repro.api import LIBRARIES
+
+    @LIBRARIES.register("broken_test_lib")
+    def _broken():
+        raise KeyError("missing databook entry XYZ")
+
+    try:
+        assert cli_main(["synth", "--spec", "adder:8",
+                         "--library", "broken_test_lib"]) == 2
+        err = capsys.readouterr().err
+        assert "XYZ" in err and "Traceback" not in err
+    finally:
+        LIBRARIES.unregister("broken_test_lib")
+
+
 def test_python_dash_m_repro_entry_point():
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "synth", "--spec", "adder:4",

@@ -1,0 +1,304 @@
+"""The synthesis service: endpoints, coalescing, store serving, errors.
+
+The server runs in-process on a background thread with an ephemeral
+port and an isolated store, so these are real sockets end to end but
+self-contained and fast (small specs only)."""
+
+import http.client
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import EMITTERS, Session
+from repro.serve import ReproServer
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = ReproServer(host="127.0.0.1", port=0,
+                      store=tmp_path / "serve.sqlite")
+    handle = srv.run_in_thread()
+    yield handle
+    handle.stop()
+
+
+def _request(handle, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, data, resp.getheader("X-Repro-Source")
+    finally:
+        conn.close()
+
+
+def test_healthz_reports_ok_and_store(server):
+    status, data, _ = _request(server, "GET", "/healthz")
+    assert status == 200
+    payload = json.loads(data)
+    assert payload["status"] == "ok"
+    assert payload["uptime_seconds"] >= 0
+    assert payload["store"]["entries"] == 0
+
+
+def test_synthesize_matches_json_emitter_schema(server):
+    status, data, source = _request(
+        server, "POST", "/synthesize", {"spec": "adder:8"})
+    assert status == 200
+    assert source == "engine"
+    body = json.loads(data)
+    # Byte-identical to what a local session's json emitter produces,
+    # up to runtime: structure, points, and stats must agree.
+    local = json.loads(EMITTERS.create(
+        "json", Session(library="lsi_logic").synthesize("adder:8")))
+    assert body["alternatives"] == local["alternatives"]
+    assert body["space"] == local["space"]
+    assert body["request"] == local["request"]
+
+
+def test_concurrent_duplicates_coalesce_to_one_evaluation(server):
+    body = {"spec": "adder:16"}
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(
+            lambda _: _request(server, "POST", "/synthesize", body),
+            range(4)))
+    assert [status for status, _, _ in results] == [200] * 4
+    assert len({data for _, data, _ in results}) == 1  # bit-identical
+    sources = sorted(source for _, _, source in results)
+    assert sources.count("engine") == 1
+    # The other three overlapped (coalesced) or, if one straggled past
+    # completion, were answered from the store -- never a second run.
+    assert sources.count("coalesced") + sources.count("store") == 3
+
+    status, data, _ = _request(server, "GET", "/metrics")
+    metrics = json.loads(data)
+    assert metrics["engine_evaluations"] == 1
+    assert metrics["coalesced"] + metrics["store_hits"] == 3
+
+
+def test_store_hit_serves_without_engine(server):
+    body = {"spec": "adder:8"}
+    _, cold, source = _request(server, "POST", "/synthesize", body)
+    assert source == "engine"
+    _, warm, source = _request(server, "POST", "/synthesize", body)
+    assert source == "store"
+    assert warm == cold  # byte-identical across cold and warm paths
+
+    _, data, _ = _request(server, "GET", "/metrics")
+    metrics = json.loads(data)
+    assert metrics["engine_evaluations"] == 1
+    assert metrics["store_hits"] == 1
+
+
+def test_batch_runs_through_one_session(server):
+    status, data, _ = _request(server, "POST", "/batch", {
+        "filter": "pareto",
+        "requests": [{"spec": "adder:8"}, {"spec": "adder:16"},
+                     {"spec": "adder:8"}],
+    })
+    assert status == 200
+    jobs = json.loads(data)["jobs"]
+    assert len(jobs) == 3
+    assert jobs[0] == jobs[2]  # duplicate answered from the store
+    assert jobs[0]["request"]["label"] == "adder:8"
+    _, data, _ = _request(server, "GET", "/metrics")
+    assert json.loads(data)["sessions"] == 1
+
+
+def test_request_overrides_select_their_own_session(server):
+    _request(server, "POST", "/synthesize", {"spec": "adder:8"})
+    status, data, _ = _request(server, "POST", "/synthesize",
+                               {"spec": "adder:8", "filter": "top_k:2"})
+    assert status == 200
+    assert len(json.loads(data)["alternatives"]) <= 2
+    _, data, _ = _request(server, "GET", "/metrics")
+    assert json.loads(data)["sessions"] == 2
+
+
+def test_legend_requests_are_served_and_cached(server):
+    from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+
+    body = {"legend": FIGURE_2_COUNTER_SOURCE, "generator": "COUNTER",
+            "params": {"GC_INPUT_WIDTH": 8}}
+    status, cold, source = _request(server, "POST", "/synthesize", body)
+    assert status == 200 and source == "engine"
+    status, warm, source = _request(server, "POST", "/synthesize", body)
+    assert status == 200 and source == "store"
+    assert warm == cold
+
+
+def test_legend_params_colliding_with_request_fields(server):
+    """Generator parameters named like from_legend's own keywords
+    (``label``, ``source``, ``generator``) must not escape as a
+    TypeError 500: they flow through the explicit params dict."""
+    from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+
+    body = {"legend": FIGURE_2_COUNTER_SOURCE, "generator": "COUNTER",
+            "params": {"GC_INPUT_WIDTH": 8, "label": "clash"}}
+    status, data, _ = _request(server, "POST", "/synthesize", body)
+    # The colliding name flows into elaboration as a generator
+    # parameter; whatever elaboration decides, it must be a client
+    # error (422) or success -- never a TypeError-shaped 500.
+    assert status in (200, 422), (status, data)
+
+
+def test_error_paths(server):
+    # Unknown path: 404 with the endpoint listing.
+    status, data, _ = _request(server, "GET", "/nope")
+    assert status == 404
+    assert "/synthesize" in json.loads(data)["error"]
+    # Wrong method.
+    assert _request(server, "GET", "/synthesize")[0] == 405
+    assert _request(server, "POST", "/healthz", {})[0] == 405
+    # Malformed JSON.
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    conn.request("POST", "/synthesize", body="{not json")
+    assert conn.getresponse().status == 400
+    conn.close()
+    # Unknown backend names: 400 with the registered names listed.
+    status, data, _ = _request(server, "POST", "/synthesize",
+                               {"spec": "frobnicator:8"})
+    assert status == 400
+    assert "known" in json.loads(data)["error"]
+    status, data, _ = _request(server, "POST", "/synthesize",
+                               {"spec": "adder:8", "library": "nope"})
+    assert status == 400
+    assert "lsi_logic" in json.loads(data)["error"]
+    # Missing target.
+    assert _request(server, "POST", "/synthesize", {})[0] == 400
+    # Bad batch shape.
+    assert _request(server, "POST", "/batch", {"requests": []})[0] == 400
+    # Negative Content-Length is a client error, not a 500.
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    conn.putrequest("POST", "/synthesize", skip_accept_encoding=True)
+    conn.putheader("Content-Length", "-1")
+    conn.endheaders()
+    assert conn.getresponse().status == 400
+    conn.close()
+    # Unknown paths share one bounded metrics bucket.
+    for i in range(3):
+        _request(server, "GET", f"/probe-{i}")
+    _, data, _ = _request(server, "GET", "/metrics")
+    by_endpoint = json.loads(data)["requests_by_endpoint"]
+    assert by_endpoint.get("other", 0) >= 4  # /nope + the three probes
+    assert not any(key.startswith("/probe") for key in by_endpoint)
+
+
+def test_session_pool_is_lru_bounded(tmp_path):
+    """Client-controlled parameters must not grow the session pool
+    forever; evicted sessions fold their counters into /metrics."""
+    from repro.serve import SynthesisService
+
+    service = SynthesisService(store=tmp_path / "pool.sqlite",
+                               max_sessions=2)
+    try:
+        for cap in (100, 200, 300):
+            service.session_for(service._session_params(
+                {"spec": "adder:8", "max_combinations": cap}))
+        assert len(service._sessions) == 2
+        assert len(service._session_locks) == 2
+        # Oldest (cap=100) evicted; newest two retained.
+        kept = {key[-1] for key in service._sessions}
+        assert kept == {200, 300}
+    finally:
+        service.close()
+
+
+def test_max_combinations_is_validated(server):
+    status, data, _ = _request(
+        server, "POST", "/synthesize",
+        {"spec": "adder:8", "max_combinations": 0})
+    assert status == 400
+    status, data, _ = _request(
+        server, "POST", "/synthesize",
+        {"spec": "adder:8", "max_combinations": "many"})
+    assert status == 400
+
+
+def test_bare_connect_is_not_a_500_response(server):
+    import socket
+
+    before = json.loads(_request(server, "GET", "/metrics")[1])
+    sock = socket.create_connection((server.host, server.port), timeout=10)
+    sock.close()
+    after = json.loads(_request(server, "GET", "/metrics")[1])
+    # Only the two /metrics probes were recorded -- the bare TCP
+    # connect/close (a load-balancer liveness check) left no 500.
+    assert after["responses_by_status"].get("500", 0) == \
+        before["responses_by_status"].get("500", 0)
+    assert after["requests_total"] == before["requests_total"] + 1
+
+
+def test_metrics_latency_and_requests_accounting(server):
+    _request(server, "POST", "/synthesize", {"spec": "adder:8"})
+    _request(server, "GET", "/healthz")
+    _, data, _ = _request(server, "GET", "/metrics")
+    metrics = json.loads(data)
+    assert metrics["requests_by_endpoint"]["/synthesize"] == 1
+    assert metrics["requests_by_endpoint"]["/healthz"] == 1
+    assert metrics["latency"]["count"] >= 2
+    assert metrics["latency"]["max_seconds"] >= 0
+    assert metrics["responses_by_status"]["200"] >= 2
+    assert metrics["in_flight"] >= 1  # the /metrics request itself
+
+
+def test_server_without_store_still_coalesces(tmp_path):
+    """Coalescing is independent of the store: duplicates that overlap
+    an in-flight evaluation share its bytes.  (Without a store a
+    duplicate arriving *after* completion legitimately re-runs, so
+    only the overlap invariant is asserted, not a fixed count.)"""
+    srv = ReproServer(host="127.0.0.1", port=0, store=None)
+    handle = srv.run_in_thread()
+    try:
+        body = {"spec": "adder:16"}
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda _: _request(handle, "POST", "/synthesize", body),
+                range(4)))
+        assert [status for status, _, _ in results] == [200] * 4
+        _, data, _ = _request(handle, "GET", "/metrics")
+        metrics = json.loads(data)
+        sources = [source for _, _, source in results]
+        # Every request was either an engine/session run or a coalesced
+        # joiner, and the joiners' bodies duplicate an engine body.
+        assert metrics["coalesced"] == sources.count("coalesced")
+        engine_bodies = {data for _, data, source in results
+                         if source != "coalesced"}
+        for _, data, source in results:
+            if source == "coalesced":
+                assert data in engine_bodies
+        assert metrics["store_hits"] == 0
+        _, data, _ = _request(handle, "GET", "/healthz")
+        assert json.loads(data)["store"] is None
+    finally:
+        handle.stop()
+
+
+def test_two_servers_share_one_store_across_processes_shape(tmp_path):
+    """Two server instances over the same store file: the second serves
+    the first's work warm (the cross-process serving story, in one
+    process for test speed; true cross-process is covered in
+    test_store.py)."""
+    path = tmp_path / "shared.sqlite"
+    first = ReproServer(host="127.0.0.1", port=0, store=path)
+    handle = first.run_in_thread()
+    try:
+        _, cold, source = _request(handle, "POST", "/synthesize",
+                                   {"spec": "adder:8"})
+        assert source == "engine"
+    finally:
+        handle.stop()
+
+    second = ReproServer(host="127.0.0.1", port=0, store=path)
+    handle = second.run_in_thread()
+    try:
+        _, warm, source = _request(handle, "POST", "/synthesize",
+                                   {"spec": "adder:8"})
+        assert source == "store"
+        assert warm == cold
+    finally:
+        handle.stop()

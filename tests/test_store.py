@@ -1,0 +1,528 @@
+"""The persistent result store: fingerprints, round-trips, eviction,
+session integration, and cross-process warm serving."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import EMITTERS, Session, SynthesisRequest
+from repro.api.cli import main as cli_main
+from repro.core.specs import adder_spec, alu_spec
+from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+from repro.store import (
+    ResultStore,
+    config_from_jsonable,
+    config_to_jsonable,
+    default_store_path,
+    library_digest,
+    open_store,
+    spec_from_token,
+    spec_token,
+)
+from repro.store.store import STORE_ENV
+from repro.techlib import lsi_logic_library, vendor2_library
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store.sqlite")
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+def test_fingerprint_is_stable_and_jobs_independent():
+    base = Session(library="lsi_logic").fingerprint("adder:8")
+    assert base is not None and len(base) == 64
+    # A fresh, identically configured session (new library object,
+    # same data book) lands on the same key...
+    assert Session(library="lsi_logic").fingerprint("adder:8") == base
+    # ...and so do parallel configurations: worker count must not
+    # fragment the store (parallel evaluation is bit-identical).
+    assert Session(library="lsi_logic", jobs=4).fingerprint("adder:8") == base
+    assert Session(library="lsi_logic", jobs=2,
+                   parallel_backend="process").fingerprint("adder:8") == base
+
+
+def test_fingerprint_separates_what_changes_results():
+    fps = {
+        Session().fingerprint("adder:8"),
+        Session().fingerprint("adder:16"),
+        Session(library="vendor2").fingerprint("adder:8"),
+        Session(rulebase="standard").fingerprint("adder:8"),
+        Session(perf_filter="tradeoff:0.05").fingerprint("adder:8"),
+        Session(perf_filter="tradeoff:0.10").fingerprint("adder:8"),
+        Session(order="frontier").fingerprint("adder:8"),
+        Session(max_combinations=40).fingerprint("adder:8"),
+        Session(prune_partial=True).fingerprint("adder:8"),
+    }
+    assert len(fps) == 9  # every engine knob lands on its own key
+
+
+def test_fingerprint_uncacheable_forms():
+    from repro.netlist.netlist import Netlist
+
+    session = Session()
+    # Caller-owned netlists may be mutated between calls.
+    netlist = Netlist("n")
+    assert session.fingerprint(SynthesisRequest.from_netlist(netlist)) is None
+    # A custom order callable is code, not data.
+    custom = Session(order=lambda options: list(options))
+    assert custom.fingerprint("adder:8") is None
+
+
+def test_legend_and_digest_tokens():
+    request = SynthesisRequest.from_legend(
+        FIGURE_2_COUNTER_SOURCE, generator="COUNTER", GC_INPUT_WIDTH=8)
+    other = SynthesisRequest.from_legend(
+        FIGURE_2_COUNTER_SOURCE, generator="COUNTER", GC_INPUT_WIDTH=16)
+    assert request.digest() is not None
+    assert request.digest() != other.digest()
+    # The label is part of the digest: the emitted body echoes it, and
+    # a stored body must be a pure function of the fingerprint (a hit
+    # must never stamp the producer's label onto the consumer's
+    # response).
+    assert (SynthesisRequest.from_spec(adder_spec(8), label="a").digest()
+            != SynthesisRequest.from_spec(adder_spec(8), label="b").digest())
+    assert (SynthesisRequest.from_spec(adder_spec(8), label="a").digest()
+            == SynthesisRequest.from_spec(adder_spec(8), label="a").digest())
+
+
+def test_library_digest_tracks_content_not_identity():
+    assert library_digest(lsi_logic_library()) == \
+        library_digest(lsi_logic_library())
+    assert library_digest(lsi_logic_library()) != \
+        library_digest(vendor2_library())
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trips
+# ---------------------------------------------------------------------------
+
+def test_spec_token_round_trip():
+    for spec in (adder_spec(8), alu_spec(64)):
+        token = json.loads(json.dumps(spec_token(spec)))
+        assert spec_from_token(token) == spec
+        # Canonical: the revived spec is usable as the same dict key.
+        assert hash(spec_from_token(token)) == hash(spec)
+
+
+def test_config_round_trip_re_interns_to_identity():
+    job = Session().synthesize(adder_spec(8))
+    for alt in job.alternatives:
+        data = json.loads(json.dumps(config_to_jsonable(alt.config)))
+        revived = config_from_jsonable(data)
+        # Not merely equal: the canonical interned instance itself.
+        assert revived is alt.config
+
+
+def test_revive_counts_in_intern_stats():
+    from repro.core.interning import intern_stats
+
+    job = Session().synthesize(adder_spec(8))
+    before = intern_stats()["revived"]
+    config_from_jsonable(config_to_jsonable(job.alternatives[0].config))
+    assert intern_stats()["revived"] == before + 1
+
+
+# ---------------------------------------------------------------------------
+# the store itself
+# ---------------------------------------------------------------------------
+
+def test_store_put_get_and_lru_accounting(tmp_path):
+    store = _store(tmp_path)
+    assert store.get("missing") is None
+    store.put("fp1", {"x": 1}, label="one")
+    assert "fp1" in store
+    assert store.get("fp1") == {"x": 1}
+    assert store.get("fp1") == {"x": 1}
+    entry = store.entries()[0]
+    assert entry["hits"] == 2
+    assert entry["label"] == "one"
+    info = store.info()
+    assert info["entries"] == 1 and info["payload_bytes"] > 0
+
+
+def test_store_prune_evicts_least_recently_used(tmp_path):
+    store = _store(tmp_path)
+    blob = {"pad": "x" * 2000}
+    for i in range(5):
+        store.put(f"fp{i}", blob, label=f"{i}")
+    store.get("fp0")  # refresh fp0: it must survive the prune
+    result = store.prune(0.006)  # ~3 entries of ~2kB
+    assert result["removed"] >= 1
+    assert "fp0" in store
+    assert store.info()["payload_bytes"] <= 6000
+
+
+def test_store_schema_mismatch_resets(tmp_path):
+    from repro.store import store as store_mod
+
+    store = _store(tmp_path)
+    store.put("fp", {"x": 1})
+    store.close()
+    original = store_mod.STORE_SCHEMA
+    try:
+        store_mod.STORE_SCHEMA = original + 1
+        reopened = _store(tmp_path)
+        assert len(reopened) == 0  # old-format cache dropped, not parsed
+        reopened.close()
+    finally:
+        store_mod.STORE_SCHEMA = original
+
+
+def test_store_corrupt_payload_is_a_miss(tmp_path):
+    store = _store(tmp_path)
+    store.put("fp", {"x": 1})
+    with store._lock, store._db:
+        store._db.execute(
+            "UPDATE results SET payload = '{not json' WHERE fingerprint='fp'")
+    assert store.get("fp") is None
+    assert "fp" not in store  # deleted, so the engine will overwrite
+
+
+def test_default_store_path_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(STORE_ENV, str(tmp_path / "custom.sqlite"))
+    assert default_store_path() == tmp_path / "custom.sqlite"
+    monkeypatch.delenv(STORE_ENV)
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_store_path() == tmp_path / "xdg" / "repro" / "store.sqlite"
+
+
+def test_open_store_designators(tmp_path):
+    assert open_store(None) is None
+    store = _store(tmp_path)
+    assert open_store(store) is store
+    by_path = open_store(tmp_path / "other.sqlite")
+    assert isinstance(by_path, ResultStore)
+    with pytest.raises(TypeError):
+        open_store(42)
+
+
+# ---------------------------------------------------------------------------
+# session integration (the warm path)
+# ---------------------------------------------------------------------------
+
+def test_session_warm_path_is_canonical_and_byte_identical(tmp_path):
+    store = _store(tmp_path)
+    cold = Session(library="lsi_logic", store=store)
+    cold_job = cold.synthesize("adder:16")
+    assert not cold_job.from_store
+    assert cold.store_stats() == {
+        "store_hits": 0, "store_misses": 1, "evaluations": 1}
+
+    warm = Session(library="lsi_logic", store=store)
+    warm_job = warm.synthesize("adder:16")
+    assert warm_job.from_store
+    # No expansion, no evaluation: the warm session's space is empty.
+    assert warm.store_stats() == {
+        "store_hits": 1, "store_misses": 0, "evaluations": 0}
+    assert len(warm.space.nodes) == 0
+
+    # Canonically identical configurations (the same interned objects),
+    # and a byte-identical JSON emission.
+    assert [a.config for a in warm_job.alternatives] == \
+        [a.config for a in cold_job.alternatives]
+    assert all(w.config is c.config for w, c in
+               zip(warm_job.alternatives, cold_job.alternatives))
+    assert EMITTERS.create("json", warm_job) == \
+        EMITTERS.create("json", cold_job)
+    assert warm_job.report() == cold_job.report()
+
+
+def test_warm_job_can_still_materialize_lazily(tmp_path):
+    store = _store(tmp_path)
+    Session(store=store).synthesize("adder:8")
+    warm = Session(store=store)
+    job = warm.synthesize("adder:8")
+    assert job.from_store and len(warm.space.nodes) == 0
+    tree = job.smallest().tree()  # triggers (deterministic) expansion
+    assert tree.cell_counts()
+    assert "entity" in job.vhdl().lower()
+
+
+def test_warm_path_legend_request_restores_label_and_component(tmp_path):
+    store = _store(tmp_path)
+    request = SynthesisRequest.from_legend(
+        FIGURE_2_COUNTER_SOURCE, generator="COUNTER", GC_INPUT_WIDTH=8)
+    cold_job = Session(store=store).synthesize(request)
+    warm_job = Session(store=store).synthesize(request)
+    assert warm_job.from_store
+    assert warm_job.request.label == cold_job.request.label
+    assert EMITTERS.create("json", warm_job) == \
+        EMITTERS.create("json", cold_job)
+    # The elaborated GENUS component is rebuilt on the warm path, so a
+    # warm job is indistinguishable from a cold one.
+    assert warm_job.component is not None
+    assert warm_job.component.spec == cold_job.component.spec
+
+
+def test_warm_path_hls_request_rebuilds_artifacts(tmp_path):
+    from repro.hls.ir import Assign, Program
+
+    def gcd_like():
+        p = Program("smoke", width=4)
+        a = p.input("a")
+        v = p.variable("v")
+        p.output("result", v)
+        p.body = [Assign(v, a + 1)]
+        return p
+
+    store = _store(tmp_path)
+    cold_job = Session(store=store).synthesize(
+        SynthesisRequest.from_hls(gcd_like()))
+    warm_job = Session(store=store).synthesize(
+        SynthesisRequest.from_hls(gcd_like()))
+    assert warm_job.from_store
+    # The HLS frontend artifacts are rebuilt, so the vhdl emitter (which
+    # renders the datapath netlist for spec-less jobs) works identically.
+    assert warm_job.hls is not None
+    assert EMITTERS.create("json", warm_job) == \
+        EMITTERS.create("json", cold_job)
+    assert EMITTERS.create("vhdl", warm_job) == \
+        EMITTERS.create("vhdl", cold_job)
+
+
+def test_store_serves_across_engine_settings_that_do_not_matter(tmp_path):
+    store = _store(tmp_path)
+    Session(store=store).synthesize("adder:8")
+    parallel = Session(store=store, jobs=4)
+    assert parallel.synthesize("adder:8").from_store
+
+
+def test_different_filters_do_not_share_entries(tmp_path):
+    store = _store(tmp_path)
+    Session(store=store, perf_filter="pareto").synthesize("adder:8")
+    other = Session(store=store, perf_filter="top_k:2")
+    job = other.synthesize("adder:8")
+    assert not job.from_store
+    assert len(job) <= 2
+
+
+def test_retarget_detaches_the_store(tmp_path):
+    store = _store(tmp_path)
+    session = Session(store=store)
+    session.synthesize("adder:8")
+    session.retarget("vendor2")
+    assert session.store is None  # incremental results must not persist
+    entries = len(store)
+    session.synthesize("adder:8")
+    assert len(store) == entries
+
+
+def test_uncacheable_requests_bypass_the_store(tmp_path):
+    from repro.core.specs import make_spec, port_signature
+    from repro.netlist import Netlist
+    from repro.netlist.ports import in_port, out_port
+
+    netlist = Netlist("one_adder")
+    a = netlist.add_port(in_port("A", 8))
+    b = netlist.add_port(in_port("B", 8))
+    o = netlist.add_port(out_port("O", 8))
+    spec = make_spec("ADD", 8)
+    netlist.add_module("add", spec, port_signature(spec),
+                       {"A": a.ref(), "B": b.ref(), "S": o.ref()})
+
+    store = _store(tmp_path)
+    session = Session(store=store)
+    netlist_job = session.synthesize(SynthesisRequest.from_netlist(netlist))
+    assert len(netlist_job) > 0
+    assert not netlist_job.from_store
+    assert session.store_stats()["store_misses"] == 0  # never consulted
+    assert len(store) == 0  # and nothing was persisted
+
+
+def test_cross_process_warm_round_trip(tmp_path):
+    """A second *process* answers from the store: no engine work, and
+    the JSON body is byte-identical to the cold process's."""
+    store_path = tmp_path / "shared.sqlite"
+    script = (
+        "import sys, json\n"
+        "from repro.api import Session, EMITTERS\n"
+        "session = Session(library='lsi_logic', store=sys.argv[1])\n"
+        "job = session.synthesize('adder:16')\n"
+        "print(json.dumps({'from_store': job.from_store,\n"
+        "                  'stats': session.store_stats(),\n"
+        "                  'body': EMITTERS.create('json', job)}))\n"
+    )
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(store_path)],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    cold = run()
+    warm = run()
+    assert not cold["from_store"] and cold["stats"]["evaluations"] == 1
+    assert warm["from_store"] and warm["stats"]["evaluations"] == 0
+    assert warm["body"] == cold["body"]
+
+
+# ---------------------------------------------------------------------------
+# CLI: warm + cache maintenance
+# ---------------------------------------------------------------------------
+
+def test_cli_warm_then_cache_info_and_clear(tmp_path, capsys):
+    store_arg = str(tmp_path / "cli.sqlite")
+    assert cli_main(["warm", "--spec", "adder:8", "--store", store_arg]) == 0
+    out = capsys.readouterr().out
+    assert "miss" in out and "1 entries" in out
+
+    assert cli_main(["warm", "--spec", "adder:8", "--store", store_arg]) == 0
+    assert "hit" in capsys.readouterr().out
+
+    assert cli_main(["cache", "info", "--store", store_arg]) == 0
+    assert "entries:  1" in capsys.readouterr().out
+    assert cli_main(["cache", "list", "--store", store_arg]) == 0
+    assert "spec:adder:8" in capsys.readouterr().out
+    assert cli_main(["cache", "prune", "--store", store_arg,
+                     "--max-mb", "0"]) == 0
+    assert "pruned 1" in capsys.readouterr().out
+    assert cli_main(["cache", "clear", "--store", store_arg]) == 0
+
+
+def test_cli_cache_show_renders_persisted_report(tmp_path, capsys):
+    store_arg = str(tmp_path / "show.sqlite")
+    assert cli_main(["warm", "--spec", "adder:8", "--store", store_arg]) == 0
+    capsys.readouterr()
+    assert cli_main(["cache", "list", "--store", store_arg]) == 0
+    listing = capsys.readouterr().out
+    prefix = listing.splitlines()[1].split()[0][:8]
+
+    assert cli_main(["cache", "show", prefix, "--store", store_arg]) == 0
+    out = capsys.readouterr().out
+    assert "spec:adder:8" in out
+    assert "DTAS alternatives" in out  # the persisted figure-3 report
+    assert "compiled programs" in out
+
+    assert cli_main(["cache", "show", "ffffffff",
+                     "--store", store_arg]) == 2
+    assert "no entry" in capsys.readouterr().err
+    assert cli_main(["cache", "show", "--store", store_arg]) == 2
+    assert "prefix" in capsys.readouterr().err
+
+
+def test_cli_warm_legend_entry_is_hit_by_serve_style_request(tmp_path,
+                                                            capsys):
+    """`repro warm --legend` must store under the same label default
+    the serve layer uses (the generator name, not the file stem), or
+    warming is useless for HTTP clients."""
+    source_file = tmp_path / "counter.lgd"
+    source_file.write_text(FIGURE_2_COUNTER_SOURCE)
+    store_path = tmp_path / "warmserve.sqlite"
+    assert cli_main(["warm", "--legend", str(source_file),
+                     "--generator", "COUNTER",
+                     "--param", "GC_INPUT_WIDTH=8",
+                     "--store", str(store_path)]) == 0
+    capsys.readouterr()
+
+    # The request exactly as repro.serve's build_request constructs it.
+    serve_request = SynthesisRequest.from_legend(
+        FIGURE_2_COUNTER_SOURCE, generator="COUNTER", label="",
+        params={"GC_INPUT_WIDTH": 8})
+    session = Session(store=ResultStore(store_path))
+    assert session.synthesize(serve_request).from_store
+
+
+def test_cli_cache_prune_requires_max_mb(tmp_path, capsys):
+    rc = cli_main(["cache", "prune", "--store", str(tmp_path / "x.sqlite")])
+    assert rc == 2
+    assert "--max-mb" in capsys.readouterr().err
+
+
+def test_cli_synth_with_store_hits_second_time(tmp_path, capsys):
+    store_arg = str(tmp_path / "synth.sqlite")
+    assert cli_main(["synth", "--spec", "adder:8", "--emit", "json",
+                     "--store", store_arg]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["synth", "--spec", "adder:8", "--emit", "json",
+                     "--store", store_arg]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_cli_unusable_store_path_exits_2(tmp_path, capsys):
+    # A store path under a plain file cannot be created; the CLI must
+    # report it and exit 2, never traceback.
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    rc = cli_main(["warm", "--spec", "adder:8",
+                   "--store", str(blocker / "store.sqlite")])
+    assert rc == 2
+    assert "warm:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# store registry + thread safety of registration (satellite)
+# ---------------------------------------------------------------------------
+
+def test_stores_registry_memory_backend():
+    from repro.api import STORES, create_store
+
+    assert "default" in STORES and "memory" in STORES
+    store = create_store("memory")
+    try:
+        session = Session(store=store)
+        session.synthesize("adder:8")
+        assert len(store) == 1
+    finally:
+        store.close()
+
+
+def test_registry_duplicate_name_raises_clear_error():
+    from repro.api import Registry, RegistryError
+
+    reg = Registry("gadget")
+    reg.register("x", lambda: 1)
+    with pytest.raises(RegistryError) as err:
+        reg.register("x", lambda: 2)
+    assert "already registered" in str(err.value)
+    assert reg.create("x") == 1  # first registration untouched
+
+
+def test_registry_registration_is_thread_safe():
+    """Decorator registration from many threads: every distinct name
+    lands exactly once, and concurrent claims of the *same* name admit
+    exactly one winner (guards the STORES registry used by serve)."""
+    from repro.api import Registry, RegistryError
+
+    reg = Registry("gizmo")
+    threads = 8
+    per_thread = 50
+    contended_errors = []
+    barrier = threading.Barrier(threads)
+
+    def register_many(tid):
+        barrier.wait()
+        for i in range(per_thread):
+            @reg.register(f"t{tid}_n{i}")
+            def _factory(tid=tid, i=i):
+                return (tid, i)
+        try:
+            reg.register("contended", lambda: "mine")
+        except RegistryError as error:
+            contended_errors.append(error)
+
+    workers = [threading.Thread(target=register_many, args=(t,))
+               for t in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+    assert len(reg) == threads * per_thread + 1
+    assert len(contended_errors) == threads - 1  # exactly one winner
+    for t in range(threads):
+        for i in range(per_thread):
+            assert reg.create(f"t{t}_n{i}") == (t, i)
