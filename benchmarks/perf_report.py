@@ -37,6 +37,7 @@ import argparse
 import atexit
 import difflib
 import json
+import os
 import platform
 import shutil
 import sys
@@ -46,7 +47,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api import Session
-from repro.core.specs import adder_spec, alu_spec, counter_spec
+from repro.core.specs import adder_spec, alu_spec, comparator_spec, counter_spec
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_report.json"
@@ -125,6 +126,9 @@ def _workloads(quick: bool, jobs: int = 1,
         jobs_list += _store_workload_pair(jobs=jobs,
                                           parallel_backend=parallel_backend,
                                           order=order)
+        jobs_list += _node_workload(jobs=jobs,
+                                    parallel_backend=parallel_backend,
+                                    order=order)
     return jobs_list
 
 
@@ -173,6 +177,54 @@ def _store_workload_pair(jobs: int = 1, parallel_backend: str = "thread",
         return job
 
     return [("alu64_cold", cold), ("alu64_store_warm", warm)]
+
+
+def _node_workload(jobs: int = 1, parallel_backend: str = "thread",
+                   order: Optional[str] = None
+                   ) -> List[Tuple[str, Callable]]:
+    """``alu64_nodes_warm``: the subtree-sharing workload.
+
+    A *distinct-but-overlapping* request -- a bare COMPARATOR<64>,
+    whose expanded subgraph is the heaviest subtree of the ALU64 --
+    served through the per-node option cache (:mod:`repro.nodestore`)
+    after an ALU64 run warmed it.  The first repeat pays the producer's
+    ALU64 run plus the comparator evaluation (the cold path, visible in
+    ``wall_seconds_first``); later repeats answer the comparator from
+    persisted node entries with no S1 cross products at all, which is
+    the number ``wall_seconds`` tracks.  The thunk asserts the cache
+    was actually reused -- results must stay byte-identical either way,
+    so only the stats can prove the warm path ran.
+    """
+    from repro.nodestore import NodeStore
+
+    state: Dict[str, object] = {}
+
+    def shared_nodes() -> NodeStore:
+        nodes = state.get("nodes")
+        if nodes is None:
+            tmpdir = tempfile.mkdtemp(prefix="repro-bench-nodes-")
+            atexit.register(shutil.rmtree, tmpdir, ignore_errors=True)
+            nodes = state["nodes"] = NodeStore(Path(tmpdir) / "nodes.sqlite")
+        return nodes
+
+    def nodes_warm():
+        nodes = shared_nodes()
+        if not state.get("warmed"):
+            Session(library="lsi_logic", perf_filter="tradeoff:0.05",
+                    order=order, jobs=jobs,
+                    parallel_backend=parallel_backend,
+                    node_store=nodes).synthesize(alu_spec(64))
+            state["warmed"] = True
+        session = Session(library="lsi_logic", perf_filter="tradeoff:0.05",
+                          order=order, jobs=jobs,
+                          parallel_backend=parallel_backend,
+                          node_store=nodes)
+        job = session.synthesize(comparator_spec(64))
+        if session.node_cache_stats()["hits"] < 1:
+            raise RuntimeError("alu64_nodes_warm missed the node cache")
+        return job
+
+    return [("alu64_nodes_warm", nodes_warm)]
 
 
 def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
@@ -233,6 +285,10 @@ def run(repeats: int = 3, quick: bool = False, jobs: int = 1,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "jobs": jobs,
+            # Contextualizes the parallel workloads: a wall-clock
+            # "regression" on --jobs runs usually just means fewer
+            # cores than the run that wrote the baseline.
+            "cpu_count": os.cpu_count(),
         },
     }
 

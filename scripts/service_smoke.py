@@ -10,7 +10,15 @@ Black-box, over real sockets, against a real subprocess:
    onto the in-flight run or served from the store);
 4. restart the server on the same store file and assert one more
    request is answered from the store (``X-Repro-Source: store``) with
-   the same bytes -- the cross-process warm path.
+   the same bytes -- the cross-process warm path;
+5. node-cache smoke: against that same restarted server (which just
+   served the ALU64), fire a *distinct-but-overlapping*
+   ``COMPARATOR<64>`` request and assert via ``/metrics`` that it was
+   served half-warm (node-cache hits > 0) from the subtrees the ALU64
+   run persisted -- then run the same request on a cold process with a
+   fresh store and assert the bodies are byte-identical up to the
+   wall-clock ``runtime_seconds`` field (the only nondeterministic
+   byte in the json emitter's schema).
 
 Exits nonzero on any violation, printing the server log.
 
@@ -35,7 +43,21 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SPEC = {"spec": "alu:64", "filter": "tradeoff:0.05"}
+#: Distinct-but-overlapping request: COMPARATOR<64> is the heaviest
+#: subtree of the ALU64's expanded graph, so serving it after an ALU64
+#: run must reuse persisted node entries.  Same filter -- the node keys
+#: embed the search controls.
+OVERLAP_SPEC = {"spec": "comparator:64", "filter": "tradeoff:0.05"}
 READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def normalized_body(body: bytes) -> str:
+    """The json body with the wall-clock runtime pinned: two engine
+    runs can never agree on ``runtime_seconds``, and everything else
+    must be byte-identical."""
+    data = json.loads(body)
+    data["runtime_seconds"] = 0.0
+    return json.dumps(data, sort_keys=True)
 
 
 def fail(message: str, server: "ServerProc" = None) -> "NoReturn":
@@ -172,6 +194,51 @@ def main() -> int:
             fail("restarted server touched the engine", server)
         print("service_smoke: restarted server served the store hit "
               "byte-identically with zero engine evaluations")
+
+        # Node-cache smoke, against the same server that just served
+        # the ALU64: the overlapping COMPARATOR<64> is a result-store
+        # miss, so the engine runs -- but half-warm, over the node
+        # entries the ALU64 evaluation persisted.
+        status, warm_overlap, source = request(
+            server, "POST", "/synthesize", OVERLAP_SPEC)
+        if status != 200 or source != "engine":
+            fail(f"overlap request answered {status} from {source!r}, "
+                 f"wanted an engine run", server)
+        status, payload, _ = request(server, "GET", "/metrics")
+        metrics = json.loads(payload)
+        node_cache = metrics.get("node_cache", {})
+        if node_cache.get("hits", 0) < 1:
+            fail(f"overlapping request reused no node entries: "
+                 f"{node_cache}", server)
+        if metrics.get("engine_evaluations") != 1:
+            fail(f"expected exactly one engine evaluation for the "
+                 f"overlap request, got "
+                 f"{metrics.get('engine_evaluations')}", server)
+        print(f"service_smoke: COMPARATOR<64> after ALU64 served "
+              f"half-warm ({node_cache['hits']} node-cache hits, "
+              f"{node_cache['published']} published)")
+    finally:
+        server.stop()
+
+    # Byte-identity gate: a cold process (fresh store, nothing warm)
+    # must produce the same body for the overlap request, up to the
+    # wall-clock runtime field.
+    server = ServerProc(tmp / "cold.sqlite")
+    try:
+        status, cold_overlap, source = request(
+            server, "POST", "/synthesize", OVERLAP_SPEC)
+        if status != 200 or source != "engine":
+            fail(f"cold overlap run answered {status} from {source!r}",
+                 server)
+        status, payload, _ = request(server, "GET", "/metrics")
+        if json.loads(payload).get("node_cache", {}).get("hits", 0) != 0:
+            fail("cold-store server unexpectedly hit the node cache",
+                 server)
+        if normalized_body(warm_overlap) != normalized_body(cold_overlap):
+            fail("half-warm body differs from the cold-process body",
+                 server)
+        print("service_smoke: half-warm and cold-process COMPARATOR<64> "
+              "bodies byte-identical (runtime field normalized)")
     finally:
         server.stop()
     print("service_smoke: OK")

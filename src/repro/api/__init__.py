@@ -34,12 +34,14 @@ from repro.api.registry import (
     EMITTERS,
     FILTERS,
     LIBRARIES,
+    NODE_STORES,
     ORDERS,
     RULEBASES,
     SPECS,
     STORES,
     Registry,
     RegistryError,
+    create_node_store,
     create_store,
     parse_spec,
 )
@@ -51,6 +53,7 @@ __all__ = [
     "EMITTERS",
     "FILTERS",
     "LIBRARIES",
+    "NODE_STORES",
     "ORDERS",
     "RULEBASES",
     "SPECS",
@@ -61,6 +64,7 @@ __all__ = [
     "SynthesisJob",
     "SynthesisRequest",
     "ascii_plot",
+    "create_node_store",
     "create_store",
     "parse_spec",
 ]

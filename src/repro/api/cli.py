@@ -11,8 +11,10 @@ resolved by name through :mod:`repro.api.registry`::
     python -m repro list
     python -m repro serve --port 8473
     python -m repro warm --spec alu:64 --spec adder:16
+    python -m repro warm --nodes --spec alu:64
     python -m repro cache info
     python -m repro cache prune --max-mb 64
+    python -m repro cache nodes info
 
 Multiple ``--spec``/``--legend`` targets run as one batch through a
 single session, sharing the expanded design space and every compiled
@@ -22,8 +24,8 @@ sessions; ``warm`` prefills the persistent result store
 (:mod:`repro.store`) and ``cache`` maintains it.
 
 Unknown backend names (library, rulebase, filter, order, emitter,
-spec, store) must exit with status 2 and a message listing the
-registered names -- never a raw ``KeyError`` traceback.
+spec, store, node store) must exit with status 2 and a message listing
+the registered names -- never a raw ``KeyError`` traceback.
 """
 
 from __future__ import annotations
@@ -93,6 +95,15 @@ def _add_store_arg(parser: argparse.ArgumentParser, default,
              "SQLite file path" + help_suffix)
 
 
+def _add_node_store_arg(parser: argparse.ArgumentParser, default,
+                        help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--node-store", default=default, metavar="NAME|PATH",
+        help="per-node option cache for subtree-level work sharing: a "
+             "registered name (default, memory) or an SQLite file path "
+             "(may be the result store's file)" + help_suffix)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=PROG,
@@ -126,6 +137,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable dominance pre-pruning before the S1 cross product")
     _add_store_arg(synth, default=None,
                    help_suffix=" (default: no persistence)")
+    _add_node_store_arg(synth, default=None,
+                        help_suffix=" (default: no node cache)")
     synth.add_argument(
         "--output", type=Path, default=None, metavar="PATH",
         help="write emitted text to PATH instead of stdout")
@@ -149,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help_suffix=" (default: the shared on-disk store)")
     serve.add_argument("--no-store", action="store_true",
                        help="serve without any persistent store")
+    _add_node_store_arg(serve, default="auto",
+                        help_suffix=" (default: auto = the nodes table "
+                                     "in the result store's file)")
+    serve.add_argument("--no-node-store", action="store_true",
+                       help="serve without the per-node option cache")
     serve.add_argument("--workers", type=int, default=2, metavar="N",
                        help="engine executor threads (default: 2)")
 
@@ -157,12 +175,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="prefill the result store with the given targets",
         description="Run targets through a store-backed session so later "
                     "processes (and the serve endpoints) answer them "
-                    "without expansion or evaluation.",
+                    "without expansion or evaluation.  Exits 1 (with a "
+                    "per-target summary) when any target fails.",
     )
     _add_target_args(warm)
     _add_engine_args(warm)
     _add_store_arg(warm, default="default",
                    help_suffix=" (default: the shared on-disk store)")
+    warm.add_argument(
+        "--nodes", action="store_true",
+        help="also publish per-node option lists, so *overlapping* "
+             "future requests start half-warm (see 'repro cache nodes')")
+    _add_node_store_arg(warm, default=None,
+                        help_suffix=" (default with --nodes: the nodes "
+                                     "table in the result store's file)")
     warm.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="workers for parallel subtree evaluation (default: 1)")
@@ -171,14 +197,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache",
         help="inspect and maintain the persistent result store",
         description="Inspect (info, list), bound (prune --max-mb), or "
-                    "empty (clear) the content-addressed result store.",
+                    "empty (clear) the content-addressed result store.  "
+                    "'cache nodes info|list|prune|clear' maintains the "
+                    "per-node option cache sharing the same file "
+                    "(prune budgets are shared: --max-mb bounds result "
+                    "and node payloads together).",
     )
     cache.add_argument(
-        "action", choices=["info", "list", "show", "prune", "clear"],
-        help="what to do")
+        "action",
+        choices=["info", "list", "show", "prune", "clear", "nodes"],
+        help="what to do ('nodes' takes its own sub-action)")
     cache.add_argument(
-        "fingerprint", nargs="?", default=None, metavar="FINGERPRINT",
-        help="show: entry to display (any unambiguous prefix)")
+        "fingerprint", nargs="?", default=None, metavar="ARG",
+        help="show: entry to display (any unambiguous prefix); "
+             "nodes: sub-action (info, list, prune, clear)")
     _add_store_arg(cache, default="default",
                    help_suffix=" (default: the shared on-disk store)")
     cache.add_argument(
@@ -195,7 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what", nargs="?", default="all",
         choices=["all", "libraries", "rulebases", "filters", "emitters",
-                 "specs", "orders", "stores"],
+                 "specs", "orders", "stores", "node_stores"],
         help="which registry to show (default: all)")
     return parser
 
@@ -263,6 +295,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             parallel_backend=args.parallel_backend,
             order=args.order,
             store=args.store,
+            node_store=args.node_store,
         )
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} synth: {error}", file=sys.stderr)
@@ -303,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DEFAULT_PORT, run_server
 
     store = None if args.no_store else args.store
+    node_store = None if args.no_node_store else args.node_store
     defaults = {
         "library": args.library,
         "rulebase": args.rulebase,
@@ -313,8 +347,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     port = args.port if args.port is not None else DEFAULT_PORT
     try:
         asyncio.run(run_server(
-            host=args.host, port=port, store=store, defaults=defaults,
-            engine_workers=args.workers,
+            host=args.host, port=port, store=store, node_store=node_store,
+            defaults=defaults, engine_workers=args.workers,
         ))
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} serve: {error}", file=sys.stderr)
@@ -332,6 +366,17 @@ def _cmd_warm(args: argparse.Namespace) -> int:
         if requests is None:
             return 2
 
+        store = registry.create_store(args.store)
+        if store is None:
+            print(f"{PROG} warm: no result store to warm", file=sys.stderr)
+            return 2
+        # --nodes publishes per-node option lists alongside the
+        # results; without an explicit --node-store they land in the
+        # same file, where prune budgets are shared.
+        node_designator = args.node_store
+        if node_designator is None and args.nodes:
+            node_designator = store.path
+
         from repro.api.session import Session
 
         session = Session(
@@ -341,19 +386,17 @@ def _cmd_warm(args: argparse.Namespace) -> int:
             max_combinations=args.max_combinations,
             jobs=args.jobs,
             order=args.order,
-            store=args.store,
+            store=store,
+            node_store=node_designator,
         )
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} warm: {error}", file=sys.stderr)
-        return 2
-    if session.store is None:
-        print(f"{PROG} warm: no result store to warm", file=sys.stderr)
         return 2
 
     from repro.core.design_space import SynthesisError
     from repro.legend.errors import LegendError
 
-    failures = 0
+    failed: List[str] = []
     for request in requests:
         start = time.perf_counter()
         try:
@@ -361,7 +404,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
         except (SynthesisError, LegendError, ValueError) as error:
             print(f"  {request.describe():<32} FAILED: {error}",
                   file=sys.stderr)
-            failures += 1
+            failed.append(request.describe())
             continue
         elapsed = (time.perf_counter() - start) * 1e3
         state = "hit " if job.from_store else ("miss" if session.fingerprint(
@@ -371,7 +414,73 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     info = session.store.info()
     print(f"store {info['path']}: {info['entries']} entries, "
           f"{info['payload_bytes'] / 1e6:.2f} MB")
-    return 1 if failures else 0
+    if session.node_store is not None:
+        nstats = session.node_cache_stats()
+        ninfo = session.node_store.info()
+        print(f"node cache {ninfo['path']}: {ninfo['entries']} entries "
+              f"({nstats['published']} published, {nstats['hits']} hits "
+              f"this run)")
+    warmed = len(requests) - len(failed)
+    print(f"warmed {warmed}/{len(requests)} targets"
+          + (f", {len(failed)} failed" if failed else ""))
+    if failed:
+        # The summary goes to stderr too: a cron/CI caller that only
+        # captures stderr still sees *which* targets are cold, and the
+        # nonzero exit makes the failure impossible to miss.
+        print(f"{PROG} warm: {len(failed)} of {len(requests)} targets "
+              f"failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache_nodes(args: argparse.Namespace, store) -> int:
+    """``repro cache nodes <info|list|prune|clear>`` -- maintain the
+    per-node option cache that shares the result store's file."""
+    action = args.fingerprint or "info"
+    if action not in ("info", "list", "prune", "clear"):
+        print(f"{PROG} cache nodes: unknown action {action!r} "
+              f"(expected info, list, prune, or clear)", file=sys.stderr)
+        return 2
+    try:
+        from repro.nodestore import NodeStore
+
+        nodes = NodeStore(store.path)
+    except (KeyError, OSError, ValueError) as error:
+        print(f"{PROG} cache nodes: {error}", file=sys.stderr)
+        return 2
+
+    if action == "info":
+        info = nodes.info()
+        print(f"path:     {info['path']}")
+        print(f"schema:   {info['schema']}")
+        print(f"entries:  {info['entries']}")
+        print(f"payload:  {info['payload_bytes'] / 1e6:.2f} MB")
+        print(f"hits:     {info['hits']}")
+        return 0
+    if action == "list":
+        entries = nodes.entries()
+        if not entries:
+            print("(node cache is empty)")
+            return 0
+        print(f"{'fingerprint':<16} {'size':>8} {'hits':>5}  spec")
+        for entry in entries:
+            print(f"{entry['fingerprint'][:16]:<16} "
+                  f"{entry['size_bytes']:>8} {entry['hits']:>5}  "
+                  f"{entry['spec']}")
+        return 0
+    if action == "prune":
+        if args.max_mb is None:
+            print(f"{PROG} cache nodes prune: pass --max-mb",
+                  file=sys.stderr)
+            return 2
+        result = nodes.prune(args.max_mb)
+        print(f"pruned {result['removed']} entries (results and nodes "
+              f"share the budget); {result['remaining']} node entries "
+              f"remain ({result['payload_bytes'] / 1e6:.2f} MB total)")
+        return 0
+    removed = nodes.clear()
+    print(f"cleared {removed} node entries")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -383,6 +492,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if store is None:
         print(f"{PROG} cache: no store selected", file=sys.stderr)
         return 2
+
+    if args.action == "nodes":
+        return _cmd_cache_nodes(args, store)
 
     if args.action == "info":
         info = store.info()
@@ -459,6 +571,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "specs": registry.SPECS,
         "orders": registry.ORDERS,
         "stores": registry.STORES,
+        "node_stores": registry.NODE_STORES,
     }
     selected = sections if args.what == "all" else {args.what: sections[args.what]}
     blocks = []

@@ -178,6 +178,13 @@ SPECS = Registry("spec", "(width: int) -> ComponentSpec")
 #: (ephemeral per-process SQLite, for tests and opt-out serving).
 STORES = Registry("store", "() -> ResultStore")
 
+#: Node stores (persistent per-node option caches for subtree-level
+#: work sharing; see :mod:`repro.nodestore`).  Factory convention:
+#: ``() -> NodeStore``.  Built-ins: ``default`` (the ``nodes`` table in
+#: the default result-store file) and ``memory`` (ephemeral
+#: per-process SQLite, for tests and opt-out serving).
+NODE_STORES = Registry("node store", "() -> NodeStore")
+
 #: S1 enumeration orders for the streaming combiner.  Factory
 #: convention: ``() -> Optional[callable]`` returning a function that
 #: reorders one option list (``None`` = keep list order).  Third-party
@@ -260,7 +267,7 @@ def _register_builtins() -> None:
         "keep_all", lambda arg=None: KeepAllFilter(),
         description="no pruning (ablation; expect blow-up)")
 
-    from repro.core.configs import pareto_rank_order
+    from repro.core.configs import adaptive_order, pareto_rank_order
 
     ORDERS.register(
         "lex", lambda: None,
@@ -270,6 +277,10 @@ def _register_builtins() -> None:
         "frontier", lambda: pareto_rank_order,
         description="Pareto-rank + two-ended sweep seeding, so "
                     "max_combinations keeps the best designs")
+    ORDERS.register(
+        "auto", lambda: adaptive_order,
+        description="cap-adaptive: lex prefix + frontier tail, so tiny "
+                    "caps keep the knee region and the delay corner")
 
     def _default_store():
         from repro.store import ResultStore
@@ -288,6 +299,24 @@ def _register_builtins() -> None:
     STORES.register(
         "memory", _memory_store,
         description="ephemeral in-process SQLite store (tests, opt-out)")
+
+    def _default_node_store():
+        from repro.nodestore import NodeStore
+
+        return NodeStore()
+
+    def _memory_node_store():
+        from repro.nodestore import NodeStore
+
+        return NodeStore(":memory:")
+
+    NODE_STORES.register(
+        "default", _default_node_store,
+        description="nodes table co-located with the default result "
+                    "store file")
+    NODE_STORES.register(
+        "memory", _memory_node_store,
+        description="ephemeral in-process SQLite node cache (tests)")
 
     SPECS.register("adder", adder_spec, description="n-bit binary adder")
     SPECS.register("alu", alu_spec,
@@ -347,6 +376,23 @@ def create_store(spec: Any):
     from repro.store import open_store
 
     return open_store(spec)
+
+
+def create_node_store(spec: Any):
+    """Resolve a node-store designator: ``None`` means no node cache, a
+    ``NodeStore`` passes through, a registered name (``"default"``,
+    ``"memory"``) is looked up in :data:`NODE_STORES`, and any other
+    string/path (or ``True`` for the default location) opens the
+    ``nodes`` table in that SQLite file directly -- which may be, and
+    by default is, the same file a :class:`~repro.store.ResultStore`
+    uses."""
+    if spec is None:
+        return None
+    if isinstance(spec, str) and spec in NODE_STORES:
+        return NODE_STORES.create(spec)
+    from repro.nodestore import open_node_store
+
+    return open_node_store(spec)
 
 
 def create_order(spec: Any):

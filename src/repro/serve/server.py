@@ -15,8 +15,16 @@ answers:
   emitter payload per request, in order.
 - ``GET /healthz`` -- liveness: status, uptime, session/store summary.
 - ``GET /metrics`` -- counters: requests by endpoint, engine
-  evaluations, store hits/misses, coalesced joiners, in-flight gauge,
-  latency aggregates.
+  evaluations, store hits/misses, node-cache hits/misses/published
+  (subtree-level sharing; see :mod:`repro.nodestore`), coalesced
+  joiners, in-flight gauge, latency aggregates.
+
+A per-node option cache is co-located with the result store by default
+(``node_store="auto"``), so a request that misses the result store is
+still served *half-warm* wherever its expanded subgraph overlaps
+anything evaluated before -- by another session in this process, a
+previous incarnation of the server, or any other process sharing the
+store file.
 
 Everything is stdlib: ``asyncio`` owns the sockets and the in-flight
 table; the engine (pure Python, CPU-bound) runs in a thread pool so
@@ -115,12 +123,30 @@ class SynthesisService:
         defaults: Optional[Dict[str, Any]] = None,
         engine_workers: int = 2,
         max_sessions: int = MAX_SESSIONS,
+        node_store: Any = "auto",
     ) -> None:
         from collections import OrderedDict
 
-        from repro.api.registry import create_store
+        from repro.api.registry import create_node_store, create_store
 
         self.store = create_store(store)
+        # The per-node option cache (subtree-level sharing): ``"auto"``
+        # co-locates the nodes table with the result store's file, so a
+        # request that misses the result store still starts half-warm
+        # wherever its expanded subgraph overlaps anything served
+        # before -- by this process or any other on the same file.
+        # One NodeStore is shared by every pooled session: the hot tier
+        # and the hit/miss/published counters survive LRU session
+        # eviction, keeping /metrics monotonic.
+        if node_store == "auto":
+            if self.store is not None:
+                from repro.nodestore import NodeStore
+
+                self.node_store = NodeStore(self.store.path)
+            else:
+                self.node_store = None
+        else:
+            self.node_store = create_node_store(node_store)
         self.defaults = {
             "library": "lsi_logic",
             "rulebase": None,
@@ -190,6 +216,7 @@ class SynthesisService:
             order=params["order"],
             max_combinations=params["max_combinations"],
             store=self.store,
+            node_store=self.node_store,
         )
         self._sessions[key] = session
         self._session_locks[key] = asyncio.Lock()
@@ -383,6 +410,14 @@ class SynthesisService:
             "coalesced": m.coalesced,
             "in_flight": m.in_flight,
             "sessions": len(self._sessions),
+            # Per-node option-cache traffic: with the node cache on, a
+            # result-store miss whose expanded subgraph overlaps earlier
+            # work (an ALU64 after a bare COMPARATOR<64>, or vice versa)
+            # shows up here as hits instead of re-evaluated subtrees.
+            "node_cache": (self.node_store.stats()
+                           if self.node_store is not None else
+                           {"hits": 0, "misses": 0, "published": 0,
+                            "errors": 0, "hot_entries": 0}),
             "interning": intern_stats(),
             "latency": {
                 "count": m.latency_count,
@@ -433,11 +468,13 @@ class ReproServer:
         store: Any = "default",
         defaults: Optional[Dict[str, Any]] = None,
         engine_workers: int = 2,
+        node_store: Any = "auto",
     ) -> None:
         self.host = host
         self.port = port
         self.service = SynthesisService(
-            store=store, defaults=defaults, engine_workers=engine_workers)
+            store=store, defaults=defaults, engine_workers=engine_workers,
+            node_store=node_store)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- request plumbing ----------------------------------------------
@@ -654,10 +691,12 @@ async def run_server(
     defaults: Optional[Dict[str, Any]] = None,
     engine_workers: int = 2,
     ready_message: bool = True,
+    node_store: Any = "auto",
 ) -> None:
     """Run the service until cancelled (the ``repro serve`` entry)."""
     server = ReproServer(host=host, port=port, store=store,
-                         defaults=defaults, engine_workers=engine_workers)
+                         defaults=defaults, engine_workers=engine_workers,
+                         node_store=node_store)
     await server.start()
     if ready_message:
         store_path = (server.service.store.path

@@ -52,30 +52,85 @@ class StoreError(OSError):
     file problem (exit 2 with a message, no traceback)."""
 
 
+#: Cache tables that may share one store file: whole-request results
+#: (:class:`ResultStore`) and per-node option lists
+#: (:class:`repro.nodestore.NodeStore`).  LRU eviction accounts for
+#: them *together* -- one file, one byte budget -- so pruning from
+#: either entry point cannot blow past ``max_mb`` because the other
+#: table's payloads were invisible to it.
+CACHE_TABLES = ("results", "nodes")
+
+
+def prune_cache_tables(db, budget_bytes: int) -> Dict[str, int]:
+    """Evict least-recently-used entries across every co-located cache
+    table until the *combined* payload total fits ``budget_bytes``.
+
+    All of :data:`CACHE_TABLES` share the same metadata columns
+    (``fingerprint``/``size_bytes``/``last_used``), so eviction order is
+    a single global LRU: a stale node entry is evicted before a hot
+    result entry and vice versa.  Returns ``removed`` (entries deleted,
+    all tables) and ``payload_bytes`` (combined total after).  The
+    caller holds its own lock and commits/VACUUMs."""
+    present = {
+        row[0]
+        for row in db.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+    }
+    rows: List[tuple] = []
+    total = 0
+    for table in CACHE_TABLES:
+        if table not in present:
+            continue
+        for fingerprint, size, used in db.execute(
+            f"SELECT fingerprint, size_bytes, last_used FROM {table}"
+        ).fetchall():
+            rows.append((used, table, fingerprint, size))
+            total += size
+    rows.sort()
+    removed = 0
+    with db:
+        for used, table, fingerprint, size in rows:
+            if total <= budget_bytes:
+                break
+            db.execute(
+                f"DELETE FROM {table} WHERE fingerprint = ?", (fingerprint,)
+            )
+            total -= size
+            removed += 1
+    return {"removed": removed, "payload_bytes": int(total)}
+
+
 class ResultStore:
     """A content-addressed result store backed by one SQLite file."""
 
     def __init__(self, path: Union[str, Path, None] = None) -> None:
         self.path = Path(path) if path is not None else default_store_path()
         self._lock = threading.Lock()
+        # Everything through the schema setup stays inside one try:
+        # sqlite3.connect is lazy, so a corrupt or non-SQLite file only
+        # surfaces (sqlite3.DatabaseError, not an OSError) on the first
+        # execute -- and that too must become a StoreError, not a
+        # traceback.
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._db = sqlite3.connect(
                 str(self.path), timeout=10.0, check_same_thread=False
             )
+            self._db.execute("PRAGMA busy_timeout=10000")
+            # WAL turns the hit path's LRU stamp into an append instead
+            # of a rollback-journal commit, and NORMAL drops the
+            # per-commit fsync -- fine for a cache (a lost stamp costs
+            # nothing).  Both are best-effort: some filesystems refuse
+            # WAL.
+            try:
+                self._db.execute("PRAGMA journal_mode=WAL")
+                self._db.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.Error:
+                pass
+            self._ensure_schema()
         except (OSError, sqlite3.Error) as error:
             raise StoreError(f"cannot open result store {self.path}: {error}")
-        self._db.execute("PRAGMA busy_timeout=10000")
-        # WAL turns the hit path's LRU stamp into an append instead of
-        # a rollback-journal commit, and NORMAL drops the per-commit
-        # fsync -- fine for a cache (a lost stamp costs nothing).  Both
-        # are best-effort: some filesystems refuse WAL.
-        try:
-            self._db.execute("PRAGMA journal_mode=WAL")
-            self._db.execute("PRAGMA synchronous=NORMAL")
-        except sqlite3.Error:
-            pass
-        self._ensure_schema()
 
     # ------------------------------------------------------------------
     # schema
@@ -234,33 +289,20 @@ class ResultStore:
 
     def prune(self, max_mb: float) -> Dict[str, int]:
         """Evict least-recently-used entries until the payload total is
-        within ``max_mb`` megabytes, then compact the file."""
+        within ``max_mb`` megabytes, then compact the file.
+
+        Accounting is shared with any co-located node-cache table
+        (:func:`prune_cache_tables`): the budget bounds the *file*, and
+        eviction order is one LRU across result and node entries."""
         budget = int(max_mb * 1_000_000)
-        removed = 0
         with self._lock:
-            rows = self._db.execute(
-                "SELECT fingerprint, size_bytes FROM results "
-                "ORDER BY last_used ASC"
-            ).fetchall()
-            (total,) = self._db.execute(
-                "SELECT COALESCE(SUM(size_bytes), 0) FROM results"
-            ).fetchone()
-            with self._db:
-                for fingerprint, size in rows:
-                    if total <= budget:
-                        break
-                    self._db.execute(
-                        "DELETE FROM results WHERE fingerprint = ?",
-                        (fingerprint,),
-                    )
-                    total -= size
-                    removed += 1
-            if removed:
+            result = prune_cache_tables(self._db, budget)
+            if result["removed"]:
                 self._db.execute("VACUUM")
         return {
-            "removed": removed,
+            "removed": result["removed"],
             "remaining": len(self),
-            "payload_bytes": int(total),
+            "payload_bytes": result["payload_bytes"],
         }
 
     def clear(self) -> int:

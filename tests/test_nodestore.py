@@ -1,0 +1,707 @@
+"""The per-node option cache: fingerprints, parity (cold / warm /
+half-warm / parallel), self-healing, shared prune accounting, the
+adaptive enumeration order, CLI, and serve metrics."""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import EMITTERS, NODE_STORES, Session, create_node_store
+from repro.api.cli import main as cli_main
+from repro.api.requests import SynthesisRequest
+from repro.core.specs import alu_spec, comparator_spec, make_spec
+from repro.legend.stdlib_source import FIGURE_2_COUNTER_SOURCE
+from repro.nodestore import (
+    NodeStore,
+    node_key,
+    session_space_key,
+    space_key,
+)
+from repro.store import ResultStore
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _nodes(tmp_path, name="nodes.sqlite") -> NodeStore:
+    return NodeStore(tmp_path / name)
+
+
+def _normalized_body(job) -> str:
+    """The json emitter's body with the one nondeterministic field
+    (wall-clock runtime) pinned: everything else must be byte-identical
+    across cache states."""
+    data = json.loads(EMITTERS.create("json", job))
+    data["runtime_seconds"] = 0.0
+    return json.dumps(data, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# node fingerprints
+# ---------------------------------------------------------------------------
+
+def test_space_key_stable_and_jobs_independent():
+    base = session_space_key(Session(library="lsi_logic"))
+    assert base is not None and len(base) == 64
+    # A fresh, identically configured session lands on the same key...
+    assert session_space_key(Session(library="lsi_logic")) == base
+    # ...and so do parallel configurations: worker count and backend
+    # must not fragment the node cache (parallel evaluation is
+    # bit-identical, and cross-worker sharing *requires* shared keys).
+    assert session_space_key(Session(library="lsi_logic", jobs=4)) == base
+    assert session_space_key(Session(
+        library="lsi_logic", jobs=2, parallel_backend="process")) == base
+
+
+def test_space_key_separates_what_changes_per_node_options():
+    keys = {
+        session_space_key(Session()),
+        session_space_key(Session(library="vendor2")),
+        session_space_key(Session(rulebase="standard")),
+        session_space_key(Session(perf_filter="tradeoff:0.05")),
+        session_space_key(Session(order="frontier")),
+        session_space_key(Session(order="auto")),
+        session_space_key(Session(max_combinations=40)),
+        session_space_key(Session(prune_partial=True)),
+        session_space_key(Session(validate=False)),
+    }
+    assert len(keys) == 9  # every knob that shapes option lists
+
+
+def test_space_key_uncanonicalizable_order_disables_caching(tmp_path):
+    session = Session(order=lambda options: list(options),
+                      node_store=_nodes(tmp_path))
+    assert session_space_key(session) is None
+    # The cache is detached, not broken: synthesis still works and
+    # nothing is published under a key that cannot be reproduced.
+    job = session.synthesize("adder:8")
+    assert len(job) > 0
+    assert session.space.node_store is None
+    assert len(session.node_store) == 0
+
+
+def test_node_key_is_attr_order_independent():
+    key = session_space_key(Session())
+    a = make_spec("COMPARATOR", 8, ops=("EQ", "LT"), cascaded=True)
+    b = make_spec("COMPARATOR", 8, cascaded=True, ops=("EQ", "LT"))
+    assert a == b
+    assert node_key(key, a) == node_key(key, b)
+    assert node_key(key, a) != node_key(key, make_spec("COMPARATOR", 16,
+                                                       ops=("EQ", "LT"),
+                                                       cascaded=True))
+
+
+def test_space_key_function_matches_session_path():
+    """The standalone :func:`space_key` (for direct DesignSpace users)
+    and the session-side memoized path must agree, or direct users and
+    sessions would never share entries."""
+    session = Session(library="lsi_logic", perf_filter="tradeoff:0.05")
+    direct = space_key(session.library, session.rulebase,
+                       session.perf_filter, order=None,
+                       max_combinations=session.space.max_combinations)
+    assert direct == session_space_key(session)
+
+
+# ---------------------------------------------------------------------------
+# parity: cold / warm / half-warm / parallel (the bit-identity gate)
+# ---------------------------------------------------------------------------
+
+def _normalized_report(job) -> str:
+    """The figure-3 report minus its wall-clock "generated in" line."""
+    return "\n".join(line for line in job.report().splitlines()
+                     if "generated in" not in line)
+
+
+def _assert_same_job(reference, job):
+    assert len(job) == len(reference)
+    # Not merely equal: the canonical interned instances themselves.
+    assert all(a.config is b.config
+               for a, b in zip(job.alternatives, reference.alternatives))
+    assert _normalized_body(job) == _normalized_body(reference)
+    assert _normalized_report(job) == _normalized_report(reference)
+    assert job.stats == reference.stats
+
+
+def test_parity_gate_alu64_and_figure2_counter(tmp_path):
+    """The acceptance gate: ALU64 and the Figure-2 counter produce
+    byte-identical emitter bodies with the node cache disabled, cold,
+    pre-warmed, and pre-warmed under --jobs 2 -- and the warm runs
+    demonstrably reuse persisted node entries."""
+    requests = [
+        SynthesisRequest.from_spec(alu_spec(64), label="alu:64"),
+        SynthesisRequest.from_legend(FIGURE_2_COUNTER_SOURCE,
+                                     generator="COUNTER",
+                                     params={"GC_INPUT_WIDTH": 8}),
+    ]
+    path = tmp_path / "parity.sqlite"
+    for request in requests:
+        baseline = Session(library="lsi_logic").synthesize(request)
+
+        cold = Session(library="lsi_logic", node_store=path)
+        cold_job = cold.synthesize(request)
+        _assert_same_job(baseline, cold_job)
+        assert cold.node_cache_stats()["published"] >= 1
+
+        # Fresh NodeStore object on the same file: reuse must come from
+        # *persisted* entries, not the producer's in-process tier.
+        warm = Session(library="lsi_logic", node_store=path)
+        warm_job = warm.synthesize(request)
+        _assert_same_job(baseline, warm_job)
+        assert warm.node_cache_stats()["hits"] >= 1
+
+        parallel = Session(library="lsi_logic", jobs=2, node_store=path)
+        _assert_same_job(baseline, parallel.synthesize(request))
+        assert parallel.node_cache_stats()["hits"] >= 1
+
+
+def test_overlapping_request_reuses_persisted_subtree(tmp_path):
+    """The subsystem's reason to exist: a *different* request over an
+    overlapping expanded subgraph starts half-warm."""
+    path = tmp_path / "overlap.sqlite"
+    producer = Session(library="lsi_logic", node_store=path)
+    producer.synthesize(alu_spec(16))
+    published = producer.node_cache_stats()["published"]
+    assert published >= 10  # the ALU's decomposition nodes
+
+    consumer = Session(library="lsi_logic", node_store=path)
+    job = consumer.synthesize(comparator_spec(16))
+    stats = consumer.node_cache_stats()
+    assert stats["hits"] >= 1  # served from the ALU's persisted leaves
+
+    reference = Session(library="lsi_logic").synthesize(comparator_spec(16))
+    _assert_same_job(reference, job)
+
+
+def test_half_warm_request_probes_and_publishes(tmp_path):
+    """The reverse overlap: a small producer (comparator) leaves a big
+    consumer (ALU) half-warm -- it hits the shared subtree and
+    publishes only what was missing."""
+    path = tmp_path / "half.sqlite"
+    producer = Session(library="lsi_logic", node_store=path)
+    producer.synthesize(comparator_spec(16))
+
+    consumer = Session(library="lsi_logic", node_store=path)
+    job = consumer.synthesize(alu_spec(16))
+    stats = consumer.node_cache_stats()
+    assert stats["hits"] >= 1 and stats["published"] >= 1
+    _assert_same_job(Session(library="lsi_logic").synthesize(alu_spec(16)),
+                     job)
+
+
+def test_parallel_thread_backend_shares_through_cache(tmp_path):
+    path = tmp_path / "threads.sqlite"
+    cold = Session(library="lsi_logic", jobs=2, node_store=path)
+    cold_job = cold.synthesize(alu_spec(16))
+    assert cold.node_cache_stats()["published"] >= 1
+    warm = Session(library="lsi_logic", jobs=2, node_store=path)
+    warm_job = warm.synthesize(alu_spec(16))
+    assert warm.node_cache_stats()["hits"] >= 1
+    _assert_same_job(Session(library="lsi_logic").synthesize(alu_spec(16)),
+                     cold_job)
+    _assert_same_job(cold_job, warm_job)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+def test_fork_workers_share_and_report_through_cache(tmp_path):
+    """Process-backend workers publish and probe over their own
+    post-fork connections to the shared file, and their counter deltas
+    ship back with the results."""
+    path = tmp_path / "fork.sqlite"
+    producer = Session(library="lsi_logic", jobs=2,
+                       parallel_backend="process", node_store=path)
+    job = producer.synthesize(alu_spec(16))
+    stats = producer.node_cache_stats()
+    # Worker-side publications are visible in the parent's stats and
+    # actually landed in the file (strictly more entries than the
+    # parent process alone published).
+    assert stats["published"] >= 1
+    assert len(NodeStore(path)) >= 1
+
+    consumer = Session(library="lsi_logic", jobs=2,
+                       parallel_backend="process", node_store=path)
+    warm_job = consumer.synthesize(alu_spec(16))
+    assert consumer.node_cache_stats()["hits"] >= 1
+    _assert_same_job(Session(library="lsi_logic").synthesize(alu_spec(16)),
+                     job)
+    _assert_same_job(job, warm_job)
+
+
+def test_cross_process_subtree_reuse(tmp_path):
+    """A second *process* reuses the first one's persisted nodes for a
+    different, overlapping request -- with identical output."""
+    path = tmp_path / "xproc.sqlite"
+    script = (
+        "import sys, json\n"
+        "from repro.api import Session, EMITTERS\n"
+        "session = Session(library='lsi_logic', node_store=sys.argv[1])\n"
+        "job = session.synthesize(sys.argv[2])\n"
+        "body = json.loads(EMITTERS.create('json', job))\n"
+        "body['runtime_seconds'] = 0.0\n"
+        "print(json.dumps({'stats': session.node_cache_stats(),\n"
+        "                  'body': body}, sort_keys=True))\n"
+    )
+
+    def run(target):
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path), target],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    producer = run("alu:16")
+    assert producer["stats"]["published"] >= 10
+    consumer = run("comparator:16")
+    assert consumer["stats"]["hits"] >= 1
+
+    reference = run("comparator:16")  # fully warm now
+    assert consumer["body"] == reference["body"]
+
+
+# ---------------------------------------------------------------------------
+# self-healing and store mechanics
+# ---------------------------------------------------------------------------
+
+def test_round_trip_returns_canonical_interned_options(tmp_path):
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    node = session.space.nodes[spec]
+
+    store = _nodes(tmp_path)
+    key = node_key(session_space_key(session), spec)
+    assert store.save_options(key, spec, options, impls=len(node.impls))
+    # A fresh store object on the same file: decode from SQLite, not
+    # the producer's hot tier.
+    fresh = NodeStore(store.path)
+    loaded = fresh.load_options(key, spec, expected_impls=len(node.impls))
+    assert loaded is not None
+    assert all(a is b for a, b in zip(loaded, options))  # re-interned
+    assert [a for a in loaded] == list(options)  # same order, same length
+
+
+def test_corrupt_node_payload_self_heals(tmp_path):
+    path = tmp_path / "corrupt.sqlite"
+    producer = Session(library="lsi_logic", node_store=path)
+    producer.synthesize(alu_spec(16))
+
+    store = NodeStore(path)
+    with store._lock, store._db:
+        store._db.execute("UPDATE nodes SET payload = '{not json'")
+    entries = len(store)
+    store.close()
+
+    # Every probe misses (corrupt rows are deleted), the engine
+    # recomputes, and the cache repopulates -- results unchanged.
+    session = Session(library="lsi_logic", node_store=path)
+    job = session.synthesize(alu_spec(16))
+    stats = session.node_cache_stats()
+    assert stats["hits"] == 0 and stats["published"] >= 1
+    _assert_same_job(Session(library="lsi_logic").synthesize(alu_spec(16)),
+                     job)
+    repaired = NodeStore(path)
+    payloads = [row["size_bytes"] for row in repaired.entries()]
+    assert len(payloads) == entries  # republished, not abandoned
+
+
+def test_impl_count_mismatch_is_a_self_healing_miss(tmp_path):
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    impls = len(session.space.nodes[spec].impls)
+
+    store = _nodes(tmp_path)
+    key = node_key(session_space_key(session), spec)
+    store.save_options(key, spec, options, impls=impls + 1)  # stale shape
+    fresh = NodeStore(store.path)
+    assert fresh.load_options(key, spec, expected_impls=impls) is None
+    assert key not in fresh  # deleted, so the next publish overwrites
+    assert fresh.stats()["misses"] == 1
+
+
+def test_corrupt_store_file_is_a_store_error_not_a_traceback(tmp_path,
+                                                             capsys):
+    """sqlite3.connect is lazy, so a corrupt/non-SQLite file surfaces
+    on the first execute -- and must become a StoreError (exit 2 from
+    the CLI), never a raw DatabaseError traceback."""
+    from repro.store import StoreError
+
+    garbage = tmp_path / "garbage.sqlite"
+    garbage.write_text("this is not an sqlite database, not even close")
+    with pytest.raises(StoreError):
+        NodeStore(garbage)
+    with pytest.raises(StoreError):
+        ResultStore(garbage)
+    rc = cli_main(["synth", "--spec", "adder:8",
+                   "--node-store", str(garbage)])
+    assert rc == 2
+    assert "node store" in capsys.readouterr().err
+
+
+def test_hot_hits_keep_entries_prune_safe_and_republishable(tmp_path):
+    """Finding of the shared-LRU design: entries served from the hot
+    tier must not look cold to prune, and entries pruned by another
+    handle must be re-publishable despite still being hot here."""
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    path = tmp_path / "lru.sqlite"
+    store = NodeStore(path)
+    store.save_options("older", spec, options, impls=1)
+    store.save_options("newer", spec, options, impls=1)
+    with store._lock, store._db:  # force a clear recency gap
+        store._db.execute(
+            "UPDATE nodes SET last_used = 10 WHERE fingerprint = 'older'")
+        store._db.execute(
+            "UPDATE nodes SET last_used = 20 WHERE fingerprint = 'newer'")
+    # A hot-tier hit on the older entry stamps the persistent row...
+    assert store.load_options("older", spec, expected_impls=1) is not None
+    size = store.info()["payload_bytes"] // 2
+    other = NodeStore(path)
+    assert other.prune((size + 50) / 1e6)["removed"] == 1
+    # ...so the *unused* newer entry is the one evicted.
+    assert "older" in other and "newer" not in other
+
+    # The producer's hot tier still holds the pruned entry; a fresh
+    # publish must notice the row is gone and re-persist it.
+    assert other.prune(0)["removed"] == 1  # file now empty
+    assert store.save_options("older", spec, options, impls=1) is True
+    assert "older" in NodeStore(path)
+
+
+def test_failed_persist_is_not_counted_as_published(tmp_path):
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    store = _nodes(tmp_path)
+    store.close()  # every write now fails
+    assert store.save_options("fp", spec, options, impls=1) is False
+    stats = store.stats()
+    assert stats["published"] == 0 and stats["errors"] >= 1
+    # The hot tier still serves this process.
+    assert store.load_options("fp", spec, expected_impls=1) is not None
+
+
+def test_hot_tier_is_bounded_lru(tmp_path):
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    store = NodeStore(tmp_path / "hot.sqlite", hot_entries=2)
+    for i in range(4):
+        store.save_options(f"fp{i}", spec, options, impls=1)
+    assert store.stats()["hot_entries"] == 2
+    assert len(store) == 4  # SQLite keeps everything
+
+
+def test_shared_prune_accounting_across_result_and_node_tables(tmp_path):
+    """One file, one budget: LRU eviction interleaves result and node
+    entries by last_used, from either entry point."""
+    path = tmp_path / "shared.sqlite"
+    results = ResultStore(path)
+    nodes = NodeStore(path)
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+
+    # Interleave entries with controlled recency: result r0 oldest,
+    # then node n0, then r1, then n1 (timestamps forced via SQL so the
+    # ordering cannot depend on clock granularity).
+    results.put("r0", {"pad": "x" * 2000})
+    results.put("r1", {"pad": "x" * 2000})
+    nodes.save_options("n0", spec, options, impls=1)
+    nodes.save_options("n1", spec, options, impls=1)
+    with results._lock, results._db:
+        results._db.execute(
+            "UPDATE results SET last_used = 10 WHERE fingerprint = 'r0'")
+        results._db.execute(
+            "UPDATE results SET last_used = 30 WHERE fingerprint = 'r1'")
+    with nodes._lock, nodes._db:
+        nodes._db.execute(
+            "UPDATE nodes SET last_used = 20 WHERE fingerprint = 'n0'")
+        nodes._db.execute(
+            "UPDATE nodes SET last_used = 40 WHERE fingerprint = 'n1'")
+
+    node_size = nodes.info()["payload_bytes"] // 2
+    # Budget for one result entry + one node entry: the two oldest
+    # (r0, then n0) must go, regardless of which table they live in.
+    budget_mb = (2100 + node_size) / 1e6
+    pruned = results.prune(budget_mb)
+    assert pruned["removed"] == 2
+    assert "r0" not in results and "r1" in results
+    fresh_nodes = NodeStore(path)
+    assert "n0" not in fresh_nodes and "n1" in fresh_nodes
+
+    # The node-store entry point shares the same accounting: a zero
+    # budget clears both tables.
+    assert fresh_nodes.prune(0)["removed"] == 2
+    assert len(fresh_nodes) == 0 and len(results) == 0
+
+
+def test_node_clear_leaves_results_untouched(tmp_path):
+    path = tmp_path / "both.sqlite"
+    results = ResultStore(path)
+    results.put("r", {"x": 1})
+    session = Session(library="lsi_logic", store=results, node_store=path)
+    session.synthesize(alu_spec(16))
+    nodes = NodeStore(path)
+    assert len(nodes) >= 1
+    assert nodes.clear() >= 1
+    assert len(nodes) == 0
+    assert "r" in results and len(results) >= 1
+
+
+# ---------------------------------------------------------------------------
+# session integration + registry
+# ---------------------------------------------------------------------------
+
+def test_session_retarget_detaches_node_cache(tmp_path):
+    session = Session(node_store=_nodes(tmp_path))
+    session.synthesize("adder:8")
+    session.retarget("vendor2")
+    assert session.node_store is None
+    assert session.space.node_store is None  # rebind detached the space
+    entries = len(NodeStore(tmp_path / "nodes.sqlite"))
+    session.synthesize("adder:8")  # incremental results must not persist
+    assert len(NodeStore(tmp_path / "nodes.sqlite")) == entries
+
+
+def test_node_stores_registry_and_designators(tmp_path):
+    assert "default" in NODE_STORES and "memory" in NODE_STORES
+    assert create_node_store(None) is None
+    store = _nodes(tmp_path)
+    assert create_node_store(store) is store
+    by_path = create_node_store(tmp_path / "other.sqlite")
+    assert isinstance(by_path, NodeStore)
+    memory = create_node_store("memory")
+    try:
+        session = Session(node_store=memory)
+        session.synthesize("adder:8")
+        assert session.node_cache_stats()["published"] >= 1
+    finally:
+        memory.close()
+    with pytest.raises(TypeError):
+        create_node_store(42)
+
+
+def test_node_cache_composes_with_result_store(tmp_path):
+    """Result store answers identical requests; node cache covers the
+    overlap of different ones -- one file serves both."""
+    path = tmp_path / "composed.sqlite"
+    first = Session(store=ResultStore(path), node_store=path)
+    first.synthesize(alu_spec(16))
+    # Identical request: whole-result hit, node cache never probed.
+    second = Session(store=ResultStore(path), node_store=path)
+    job = second.synthesize(alu_spec(16))
+    assert job.from_store
+    assert second.node_cache_stats() == {
+        "hits": 0, "misses": 0, "published": 0}
+    # Overlapping request: result-store miss, node-cache hits.
+    third = Session(store=ResultStore(path), node_store=path)
+    overlap = third.synthesize(comparator_spec(16))
+    assert not overlap.from_store
+    assert third.node_cache_stats()["hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the adaptive enumeration order (order="auto")
+# ---------------------------------------------------------------------------
+
+def test_adaptive_order_is_a_permutation_and_limit_aware():
+    from repro.core.configs import ORDERINGS, adaptive_order
+
+    session = Session(library="lsi_logic")
+    options = session.space.alternatives(alu_spec(8))
+    assert ORDERINGS["auto"] is adaptive_order
+    assert adaptive_order.limit_aware is True
+    # No cap: the list is kept as given (lex seed semantics).
+    assert adaptive_order(options, None) == list(options)
+    reordered = adaptive_order(options, 10)
+    assert sorted(map(id, reordered)) == sorted(map(id, options))
+    # The lex prefix survives in place; the tail is frontier-seeded.
+    assert reordered[:3] == list(options[:3])
+    # A cap smaller than the prefix shrinks it.
+    tiny = adaptive_order(options, 1)
+    assert tiny[0] is options[0]
+    assert sorted(map(id, tiny)) == sorted(map(id, options))
+
+
+def test_auto_order_keeps_knee_and_delay_corner_under_caps():
+    """The ROADMAP corner case: at a tiny cap lex keeps the knee
+    (best area-delay product) but misses the delay corner, frontier
+    the reverse; auto must match the better of both at cap 10 *and*
+    still reach frontier's fastest design at cap 40."""
+
+    def run(cap, order):
+        job = Session(library="lsi_logic", perf_filter="pareto",
+                      max_combinations=cap, order=order).synthesize(
+                          alu_spec(64))
+        points = [(alt.area, alt.delay) for alt in job.alternatives]
+        return (min(d for _, d in points),
+                min(a * d for a, d in points))
+
+    lex_dmin, lex_adp = run(10, "lex")
+    frontier_dmin, frontier_adp = run(10, "frontier")
+    auto_dmin, auto_adp = run(10, "auto")
+    assert auto_dmin <= frontier_dmin < lex_dmin  # the delay corner
+    assert auto_adp <= lex_adp < frontier_adp     # the knee region
+
+    assert run(40, "auto")[0] <= run(40, "frontier")[0]
+
+
+def test_auto_order_registered_in_orders_and_cli(capsys):
+    from repro.api import ORDERS
+
+    assert "auto" in ORDERS
+    assert cli_main(["list", "orders"]) == 0
+    assert "auto" in capsys.readouterr().out
+    assert cli_main(["synth", "--spec", "adder:8", "--order", "auto",
+                     "--max-combinations", "50", "--emit", "report"]) == 0
+    assert "DTAS alternatives" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# CLI: warm --nodes, cache nodes, failure summaries
+# ---------------------------------------------------------------------------
+
+def test_cli_warm_nodes_then_cache_nodes_maintenance(tmp_path, capsys):
+    store_arg = str(tmp_path / "warm.sqlite")
+    assert cli_main(["warm", "--nodes", "--spec", "alu:16",
+                     "--store", store_arg]) == 0
+    out = capsys.readouterr().out
+    assert "node cache" in out and "published" in out
+    assert "warmed 1/1 targets" in out
+
+    assert cli_main(["cache", "nodes", "info", "--store", store_arg]) == 0
+    info = capsys.readouterr().out
+    assert "entries:" in info and "entries:  0" not in info
+
+    assert cli_main(["cache", "nodes", "list", "--store", store_arg]) == 0
+    assert "ALU<16>" in capsys.readouterr().out
+
+    assert cli_main(["cache", "nodes", "prune", "--store", store_arg,
+                     "--max-mb", "0"]) == 0
+    assert "share the budget" in capsys.readouterr().out
+    assert cli_main(["cache", "nodes", "clear", "--store", store_arg]) == 0
+    assert "cleared" in capsys.readouterr().out
+
+    assert cli_main(["cache", "nodes", "prune", "--store", store_arg]) == 2
+    assert "--max-mb" in capsys.readouterr().err
+    assert cli_main(["cache", "nodes", "bogus", "--store", store_arg]) == 2
+    assert "unknown action" in capsys.readouterr().err
+
+
+def test_cli_warm_failure_exits_nonzero_with_summary(tmp_path, capsys):
+    bad = tmp_path / "counter.lgd"
+    bad.write_text(FIGURE_2_COUNTER_SOURCE)
+    store_arg = str(tmp_path / "fail.sqlite")
+    rc = cli_main(["warm", "--spec", "adder:8",
+                   "--legend", str(bad), "--generator", "NOPE",
+                   "--store", store_arg])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "FAILED" in captured.err
+    assert "1 of 2 targets failed" in captured.err
+    assert "warmed 1/2 targets, 1 failed" in captured.out
+    # The good target was still persisted -- failing fast on the bad
+    # one must not throw away completed work.
+    assert "1 entries" in captured.out
+
+    # All-good runs keep exiting 0 with the full summary.
+    assert cli_main(["warm", "--spec", "adder:8",
+                     "--store", store_arg]) == 0
+    assert "warmed 1/1 targets" in capsys.readouterr().out
+
+
+def test_cli_synth_node_store_flag_half_warms_overlap(tmp_path, capsys):
+    node_arg = str(tmp_path / "synth-nodes.sqlite")
+    assert cli_main(["synth", "--spec", "alu:16", "--emit", "json",
+                     "--node-store", node_arg]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert cli_main(["synth", "--spec", "alu:16", "--emit", "json",
+                     "--node-store", node_arg]) == 0
+    second = json.loads(capsys.readouterr().out)
+    first["runtime_seconds"] = second["runtime_seconds"] = 0.0
+    assert first == second
+    assert len(NodeStore(tmp_path / "synth-nodes.sqlite")) >= 1
+
+
+# ---------------------------------------------------------------------------
+# serve: node-cache metrics for partially-warm requests
+# ---------------------------------------------------------------------------
+
+def test_serve_overlap_hits_node_cache_in_metrics(tmp_path):
+    import http.client
+
+    from repro.serve import ReproServer
+
+    def request(handle, method, path, body=None):
+        conn = http.client.HTTPConnection(handle.host, handle.port,
+                                          timeout=60)
+        try:
+            conn.request(method, path,
+                         body=json.dumps(body) if body is not None else None)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    server = ReproServer(host="127.0.0.1", port=0,
+                         store=tmp_path / "serve.sqlite")
+    handle = server.run_in_thread()
+    try:
+        assert request(handle, "POST", "/synthesize",
+                       {"spec": "alu:16"})[0] == 200
+        status, data = request(handle, "GET", "/metrics")
+        published = json.loads(data)["node_cache"]["published"]
+        assert status == 200 and published >= 1
+
+        # Overlapping request through a *different* session: explicit
+        # "rulebase": "auto" keys its own pool slot but resolves to the
+        # identical engine configuration, so its node keys match -- the
+        # fresh session starts half-warm from the first one's subtrees.
+        # (Within one session the design-space memo already shares
+        # subtrees; the node cache is what carries that across
+        # sessions, restarts, and processes.)
+        assert request(handle, "POST", "/synthesize",
+                       {"spec": "comparator:16", "rulebase": "auto"})[0] == 200
+        metrics = json.loads(request(handle, "GET", "/metrics")[1])
+        assert metrics["sessions"] == 2
+        assert metrics["node_cache"]["hits"] >= 1
+        assert metrics["engine_evaluations"] == 2
+        assert metrics["store_hits"] == 0
+    finally:
+        handle.stop()
+
+    # The node cache co-locates with the store file, so a *restarted*
+    # server starts with the subtrees warm too.
+    server = ReproServer(host="127.0.0.1", port=0,
+                         store=tmp_path / "serve.sqlite")
+    handle = server.run_in_thread()
+    try:
+        assert request(handle, "POST", "/synthesize",
+                       {"spec": "comparator:32"})[0] == 200
+        metrics = json.loads(request(handle, "GET", "/metrics")[1])
+        assert metrics["node_cache"]["hits"] >= 1
+    finally:
+        handle.stop()
+
+
+def test_serve_without_store_has_zeroed_node_metrics(tmp_path):
+    from repro.serve import SynthesisService
+
+    service = SynthesisService(store=None)
+    try:
+        assert service.node_store is None
+        payload = service.metrics_payload()
+        assert payload["node_cache"] == {
+            "hits": 0, "misses": 0, "published": 0, "errors": 0,
+            "hot_entries": 0}
+    finally:
+        service.close()
