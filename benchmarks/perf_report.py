@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api import Session
+from repro.core.design_space import DEFAULT_BATCH
 from repro.core.specs import adder_spec, alu_spec, comparator_spec, counter_spec
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -62,30 +63,49 @@ SCHEMA = 1
 MAX_POINTS = 64
 
 
+#: Written by each workload thunk right after its run: the number of
+#: S1 combinations the session's design space actually costed, picked
+#: up by :func:`_run_workload` for the ``timings`` section.  A
+#: side-channel (rather than a return-value change) so the thunk
+#: protocol -- "return the job" -- stays untouched.
+_LAST_COMBINATIONS: List[int] = [0]
+
+
+def _note_combinations(session: Session) -> None:
+    _LAST_COMBINATIONS[0] = session.space.combinations_costed
+
+
 def _synth(spec, perf_filter: str, max_combinations=None, order=None,
-           jobs: int = 1, parallel_backend: str = "thread"):
+           jobs: int = 1, parallel_backend: str = "thread", batch=None):
     """One workload: a fresh session (shared process-wide caches stay
     warm, per-session design space starts cold), one request."""
     session = Session(library="lsi_logic", perf_filter=perf_filter,
                       max_combinations=max_combinations, order=order,
-                      jobs=jobs, parallel_backend=parallel_backend)
-    return session.synthesize(spec)
+                      jobs=jobs, parallel_backend=parallel_backend,
+                      batch=batch)
+    job = session.synthesize(spec)
+    _note_combinations(session)
+    return job
 
 
 def _workloads(quick: bool, jobs: int = 1,
                parallel_backend: str = "thread",
-               order: Optional[str] = None) -> List[Tuple[str, Callable]]:
+               order: Optional[str] = None,
+               batch: Optional[int] = None) -> List[Tuple[str, Callable]]:
     """(name, thunk) pairs; each thunk runs one synthesis workload.
 
-    ``jobs``/``parallel_backend``/``order`` apply to every workload
-    that does not pin its own order -- with the defaults the results
-    section is byte-stable against the checked-in report.
+    ``jobs``/``parallel_backend``/``order``/``batch`` apply to every
+    workload that does not pin its own order or batch -- with the
+    defaults the results section is byte-stable against the checked-in
+    report.
     """
 
-    def synth(spec, perf_filter, max_combinations=None, pinned_order=None):
+    def synth(spec, perf_filter, max_combinations=None, pinned_order=None,
+              pinned_batch=None):
         return _synth(spec, perf_filter, max_combinations=max_combinations,
                       order=pinned_order if pinned_order is not None else order,
-                      jobs=jobs, parallel_backend=parallel_backend)
+                      jobs=jobs, parallel_backend=parallel_backend,
+                      batch=pinned_batch if pinned_batch is not None else batch)
 
     jobs_list: List[Tuple[str, Callable]] = [
         ("adder16_pareto",
@@ -107,6 +127,14 @@ def _workloads(quick: bool, jobs: int = 1,
             ("adder8_keepall_capped",
              lambda: synth(adder_spec(8), "keep_all",
                            max_combinations=2000)),
+            # The same workload with the batched costing path pinned
+            # on: when a --batch 1 run forces the scalar path
+            # everywhere else, this entry still exercises (and gates
+            # byte-identity of) the vectorized evaluator.
+            ("adder8_keepall_batched",
+             lambda: synth(adder_spec(8), "keep_all",
+                           max_combinations=2000,
+                           pinned_batch=DEFAULT_BATCH)),
             ("alu16_top4_ablation",
              lambda: synth(alu_spec(16), "top_k:4")),
             ("adder32_pareto_ablation",
@@ -125,15 +153,16 @@ def _workloads(quick: bool, jobs: int = 1,
         ]
         jobs_list += _store_workload_pair(jobs=jobs,
                                           parallel_backend=parallel_backend,
-                                          order=order)
+                                          order=order, batch=batch)
         jobs_list += _node_workload(jobs=jobs,
                                     parallel_backend=parallel_backend,
-                                    order=order)
+                                    order=order, batch=batch)
     return jobs_list
 
 
 def _store_workload_pair(jobs: int = 1, parallel_backend: str = "thread",
-                         order: Optional[str] = None
+                         order: Optional[str] = None,
+                         batch: Optional[int] = None
                          ) -> List[Tuple[str, Callable]]:
     """The cold-vs-warm store pair: the same ALU64 request against one
     shared result store (:mod:`repro.store`).
@@ -162,9 +191,11 @@ def _store_workload_pair(jobs: int = 1, parallel_backend: str = "thread",
     def stored_synth():
         session = Session(library="lsi_logic", perf_filter="tradeoff:0.05",
                           order=order, jobs=jobs,
-                          parallel_backend=parallel_backend,
+                          parallel_backend=parallel_backend, batch=batch,
                           store=shared_store())
-        return session.synthesize(alu_spec(64))
+        job = session.synthesize(alu_spec(64))
+        _note_combinations(session)
+        return job
 
     def cold():
         shared_store().clear()
@@ -180,7 +211,8 @@ def _store_workload_pair(jobs: int = 1, parallel_backend: str = "thread",
 
 
 def _node_workload(jobs: int = 1, parallel_backend: str = "thread",
-                   order: Optional[str] = None
+                   order: Optional[str] = None,
+                   batch: Optional[int] = None
                    ) -> List[Tuple[str, Callable]]:
     """``alu64_nodes_warm``: the subtree-sharing workload.
 
@@ -212,14 +244,15 @@ def _node_workload(jobs: int = 1, parallel_backend: str = "thread",
         if not state.get("warmed"):
             Session(library="lsi_logic", perf_filter="tradeoff:0.05",
                     order=order, jobs=jobs,
-                    parallel_backend=parallel_backend,
+                    parallel_backend=parallel_backend, batch=batch,
                     node_store=nodes).synthesize(alu_spec(64))
             state["warmed"] = True
         session = Session(library="lsi_logic", perf_filter="tradeoff:0.05",
                           order=order, jobs=jobs,
-                          parallel_backend=parallel_backend,
+                          parallel_backend=parallel_backend, batch=batch,
                           node_store=nodes)
         job = session.synthesize(comparator_spec(64))
+        _note_combinations(session)
         if session.node_cache_stats()["hits"] < 1:
             raise RuntimeError("alu64_nodes_warm missed the node cache")
         return job
@@ -231,9 +264,11 @@ def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
     times: List[float] = []
     result = None
     for _ in range(max(1, repeats)):
+        _LAST_COMBINATIONS[0] = 0
         start = time.perf_counter()
         result = thunk()
         times.append(time.perf_counter() - start)
+    combinations = _LAST_COMBINATIONS[0]
     points = [(alt.area, alt.delay) for alt in result.alternatives]
     results = {
         "alternatives": len(points),
@@ -245,32 +280,53 @@ def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
         "points_truncated": max(0, len(points) - MAX_POINTS),
         "space": result.stats,
     }
+    best = min(times)
     timings = {
-        "wall_seconds": min(times),
+        "wall_seconds": best,
         "wall_seconds_mean": sum(times) / len(times),
         "wall_seconds_first": times[0],
         "repeats": len(times),
+        # S1 combinations the design space actually costed on the last
+        # repeat (cache-served workloads legitimately report 0), and
+        # the resulting throughput at the best wall clock -- the number
+        # the vectorized evaluator moves.  Timings-only: the results
+        # schema stays untouched so --compare is unaffected.
+        "combinations": combinations,
+        "combinations_per_sec": (
+            combinations / best if combinations and best > 0 else 0.0),
     }
     return results, timings
 
 
 def run(repeats: int = 3, quick: bool = False, jobs: int = 1,
         parallel_backend: str = "thread",
-        order: Optional[str] = None) -> Dict:
+        order: Optional[str] = None, batch: Optional[int] = None,
+        only: Optional[List[str]] = None) -> Dict:
     """Run every workload; return the report as a dict.
 
     The report separates the deterministic ``results`` section (the
     regression anchor: diffs there mean the engine changed behavior)
     from the machine/run-dependent ``timings`` and ``environment``
     sections, so a reviewer can diff ``results`` byte-for-byte while
-    reading ``timings`` as a trend.
+    reading ``timings`` as a trend.  ``only`` restricts the run to the
+    named workloads (the --workload dev loop).
     """
+    workloads = _workloads(quick, jobs=jobs,
+                           parallel_backend=parallel_backend,
+                           order=order, batch=batch)
+    if only:
+        known = {name for name, _ in workloads}
+        missing = [name for name in only if name not in known]
+        if missing:
+            raise KeyError(
+                f"unknown workload(s) {', '.join(missing)}; "
+                f"known: {', '.join(sorted(known))}")
+        workloads = [(name, thunk) for name, thunk in workloads
+                     if name in set(only)]
     results: Dict[str, Dict] = {}
     timings: Dict[str, Dict] = {}
     total = 0.0
-    for name, thunk in _workloads(quick, jobs=jobs,
-                                  parallel_backend=parallel_backend,
-                                  order=order):
+    for name, thunk in workloads:
         results[name], timings[name] = _run_workload(thunk, repeats)
         total += timings[name]["wall_seconds"]
     return {
@@ -285,6 +341,7 @@ def run(repeats: int = 3, quick: bool = False, jobs: int = 1,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "jobs": jobs,
+            "batch": batch,
             # Contextualizes the parallel workloads: a wall-clock
             # "regression" on --jobs runs usually just means fewer
             # cores than the run that wrote the baseline.
@@ -375,6 +432,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--order", default=None,
                         help="S1 enumeration order override for ad-hoc "
                              "measurements (lex, frontier)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="S1 costing block size for every workload "
+                             "that does not pin its own (1 = scalar "
+                             "path; results must not change)")
+    parser.add_argument("--workload", action="append", default=None,
+                        metavar="NAME", dest="workloads",
+                        help="run only this workload (repeatable; the "
+                             "dev loop).  Warm store/node workloads "
+                             "need their producers in the same run.")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -388,8 +454,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    report = run(repeats=args.repeats, quick=args.quick, jobs=args.jobs,
-                 parallel_backend=args.parallel_backend, order=args.order)
+    try:
+        report = run(repeats=args.repeats, quick=args.quick, jobs=args.jobs,
+                     parallel_backend=args.parallel_backend, order=args.order,
+                     batch=args.batch, only=args.workloads)
+    except KeyError as error:
+        print(f"perf_report: {error.args[0]}", file=sys.stderr)
+        return 2
 
     width = max(len(name) for name in report["results"])
     print(f"{'workload':<{width}}  {'best':>9}  {'mean':>9}  alts")

@@ -65,6 +65,33 @@ from repro.core.specs import ComponentSpec
 Choice = Tuple[ComponentSpec, int]  # (specification, implementation index)
 DelayItems = Tuple[Tuple[Tuple[str, str], float], ...]
 
+
+class ChoiceTuple(tuple):
+    """A choice tuple that caches its hash.
+
+    Plain tuples recompute their hash on every use, and a choice
+    tuple's hash walks every spec's (Python-level) ``__hash__``.  The
+    intern table hashes the choices part of its key on every lookup --
+    twice on a miss (probe, then insert) -- so the batched evaluator
+    builds rows' choice items as ``ChoiceTuple`` and pays the spec walk
+    once per instance instead of once per dictionary operation.
+    Equality and the hash *value* are exactly the underlying tuple's,
+    so mixing with plain tuples (store revivals, scalar-path rows)
+    stays transparent; pickles degrade to plain tuples so a cached
+    hash (which embeds the per-process string-hash seed) never crosses
+    a process boundary.
+    """
+
+    def __hash__(self) -> int:
+        d = self.__dict__
+        h = d.get("_h")
+        if h is None:
+            h = d["_h"] = tuple.__hash__(self)
+        return h
+
+    def __reduce__(self):
+        return (tuple, (tuple(self),))
+
 #: An order backend reorders one option list; ``None`` keeps the list
 #: as given (lexicographic enumeration).
 OrderFn = Callable[[Sequence["Configuration"]], List["Configuration"]]
@@ -150,6 +177,20 @@ class Configuration:
     def choice_map(self) -> Dict[ComponentSpec, int]:
         return dict(self.choices)
 
+    @property
+    def choice_specs(self) -> frozenset:
+        """The specs this configuration binds, as a cached frozenset.
+
+        The S1 combiners union these per option list to find which
+        lists can conflict at all; caching on the (interned, shared)
+        configuration makes that a C-level set union instead of a
+        re-scan of every choice tuple on every evaluation."""
+        cached = self.__dict__.get("_choice_specs")
+        if cached is None:
+            cached = frozenset(spec for spec, _ in self.choices)
+            object.__setattr__(self, "_choice_specs", cached)
+        return cached
+
     def chosen_impl(self, spec: ComponentSpec) -> Optional[int]:
         table = self.__dict__.get("_impl_by_spec")
         if table is None:
@@ -186,7 +227,8 @@ def revive_configuration(
     configuration equal to a freshly computed one *is* that object --
     but counted separately by the intern table's ``revived`` stat."""
     delay_items = tuple(sorted(delays.items()))
-    choice_items = tuple(sorted(choices.items(), key=lambda kv: kv[0].sort_key))
+    choice_items = ChoiceTuple(
+        sorted(choices.items(), key=lambda kv: kv[0].sort_key))
     return CONFIGURATIONS.revive_parts(
         float(area), delay_items, choice_items, Configuration
     )
@@ -200,9 +242,31 @@ def make_configuration(
     """Normalized, interned constructor (sorted, hashable tuples; one
     canonical instance per value process-wide)."""
     delay_items = tuple(sorted(delays.items()))
-    choice_items = tuple(sorted(choices.items(), key=lambda kv: kv[0].sort_key))
+    choice_items = ChoiceTuple(
+        sorted(choices.items(), key=lambda kv: kv[0].sort_key))
     return CONFIGURATIONS.intern_parts(
         float(area), delay_items, choice_items, Configuration
+    )
+
+
+def make_configuration_parts(
+    area: float,
+    delay_items: DelayItems,
+    choice_items: Tuple[Choice, ...],
+    delay: float,
+) -> Configuration:
+    """Interned constructor for *already canonical* parts.
+
+    The batched evaluator builds its delay items pre-sorted (the kernel
+    result layout is sorted once per arc signature), merges choice items
+    in sorted order, and knows the worst-delay scalar from the block's
+    value columns -- so the normalizing sorts and the ``__post_init__``
+    scan of :func:`make_configuration` would be pure overhead.  The
+    caller owns canonicality: parts must equal what
+    :func:`make_configuration` would produce for the same value.
+    """
+    return CONFIGURATIONS.intern_parts(
+        area, delay_items, choice_items, Configuration, delay
     )
 
 
@@ -415,6 +479,44 @@ def resolve_order(order: Union[str, OrderFn, None]) -> Optional[OrderFn]:
 # The streaming S1 combiner
 # ---------------------------------------------------------------------------
 
+def _prepare_lists(
+    option_lists: Sequence[Sequence[Configuration]],
+    limit: Optional[int],
+    prune_dominated: bool,
+    order: Union[str, OrderFn, None],
+) -> Tuple[List[Sequence[Configuration]], List[set], set]:
+    """Shared front half of the S1 combiners: per-list spec universes,
+    the shared-spec set (specs that can collide across lists), optional
+    dominance pruning, and the enumeration-order transform.  Factored
+    out so the streaming and the batched enumerations cannot drift."""
+    # Which option lists can conflict at all?  A spec can collide only
+    # when it appears in the choice universes of two different lists.
+    universes: List[set] = []
+    for options in option_lists:
+        universe: set = set()
+        for config in options:
+            universe |= config.choice_specs
+        universes.append(universe)
+    shared: set = set()
+    seen: set = set()
+    for universe in universes:
+        shared |= universe & seen
+        seen |= universe
+
+    lists: List[Sequence[Configuration]] = (
+        [prune_dominated_options(options, shared) for options in option_lists]
+        if prune_dominated
+        else list(option_lists)
+    )
+    order_fn = resolve_order(order)
+    if order_fn is not None:
+        if getattr(order_fn, "limit_aware", False):
+            lists = [order_fn(options, limit) for options in lists]
+        else:
+            lists = [order_fn(options) for options in lists]
+    return lists, universes, shared
+
+
 def iter_compatible(
     option_lists: Sequence[Sequence[Configuration]],
     limit: Optional[int] = None,
@@ -438,34 +540,9 @@ def iter_compatible(
     if limit is not None and limit <= 0:
         return
     count = len(option_lists)
-
-    # Which option lists can conflict at all?  A spec can collide only
-    # when it appears in the choice universes of two different lists.
-    universes: List[set] = []
-    for options in option_lists:
-        universe = set()
-        for config in options:
-            for spec, _ in config.choices:
-                universe.add(spec)
-        universes.append(universe)
-    shared: set = set()
-    seen: set = set()
-    for universe in universes:
-        shared |= universe & seen
-        seen |= universe
+    lists, universes, shared = _prepare_lists(
+        option_lists, limit, prune_dominated, order)
     checked = [bool(universe & shared) for universe in universes]
-
-    lists: List[Sequence[Configuration]] = (
-        [prune_dominated_options(options, shared) for options in option_lists]
-        if prune_dominated
-        else list(option_lists)
-    )
-    order_fn = resolve_order(order)
-    if order_fn is not None:
-        if getattr(order_fn, "limit_aware", False):
-            lists = [order_fn(options, limit) for options in lists]
-        else:
-            lists = [order_fn(options) for options in lists]
 
     # For conflict-checked lists, split each option's choices once into
     # the shared part (compared against the running merge) and the
@@ -553,3 +630,258 @@ def combine_compatible(
         for chosen, merged in iter_compatible(option_lists, limit=limit,
                                               order=order)
     ]
+
+
+#: One batched combination row: the chosen configurations plus the
+#: canonically-sorted merged choice items (``None`` = rejected by the
+#: caller's own-choice S1 check; the row still counted against the cap).
+Row = Tuple[Tuple[Configuration, ...], Optional[Tuple[Choice, ...]]]
+
+
+def enumerate_rows(
+    option_lists: Sequence[Sequence[Configuration]],
+    limit: Optional[int] = None,
+    prune_dominated: bool = False,
+    order: Union[str, OrderFn, None] = None,
+    own_choice: Optional[Mapping[ComponentSpec, int]] = None,
+) -> List[Row]:
+    """The S1 cross product as a materialized block of rows.
+
+    Exactly the combinations :func:`iter_compatible` streams -- same
+    order transform, same conflict pruning at the same depth, same
+    ``limit`` semantics (enumeration aborts at the cap, so the cap
+    bounds both the work and this list's memory) -- but built for the
+    batched costing path: instead of a reusable merged choice *map*,
+    each row carries the merged choice items already in canonical
+    sorted order, ready for :func:`make_configuration_parts`.  The sort
+    never compares two specs: every spec of the node gets a small
+    integer *rank* in sort-key order (equal sort keys imply equal
+    specs, so the rank map is order-preserving and injective), each
+    option's choices are decorated once with a packed
+    ``(rank, depth, position)`` integer key, and a row's items are one
+    integer sort over the per-depth runs at emit time.  S1 consistency
+    bookkeeping runs over the same ranks, so the hot loop hashes small
+    ints, not specs.  Only rows that actually contain a duplicated spec
+    pay a dedup pass.
+
+    ``own_choice`` folds the caller's own (spec -> impl) entries into
+    every row the way the scalar evaluator does after the merge: a row
+    whose children pin an own spec to a different impl is an S1
+    conflict -- it still counts against ``limit`` (the scalar path
+    counts it before its conflict check too) but its choice items are
+    ``None`` so the caller skips costing it.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    count = len(option_lists)
+    lists, universes, shared = _prepare_lists(
+        option_lists, limit, prune_dominated, order)
+
+    own_items: Tuple[Choice, ...] = ()
+    if own_choice:
+        own_items = tuple(
+            sorted(own_choice.items(), key=lambda kv: kv[0].sort_key))
+    rows: List[Row] = []
+    if count == 0:
+        # No sibling lists: the scalar walk yields exactly one empty
+        # combination, whose choices are the caller's own entries.
+        rows.append(((), own_items))
+        return rows
+
+    # The merge map tracks every spec that can appear twice in one row:
+    # the shared set, plus own specs present in some child universe (the
+    # scalar evaluator catches own-vs-child conflicts against its full
+    # merged map).  Widening beyond ``shared`` changes no sibling
+    # pruning -- a spec private to one list can never conflict between
+    # siblings -- it only makes the own-choice check exact.
+    tracked = shared
+    if own_items:
+        extra = {spec for spec, _ in own_items
+                 if any(spec in universe for universe in universes)}
+        extra -= shared
+        if extra:
+            tracked = shared | extra
+    checked = [bool(universe & tracked) for universe in universes]
+
+    # Integer spec ranks in sort-key order.  Each entry's packed key is
+    # (rank, depth, j) with strides wide enough that integer comparison
+    # equals lexicographic tuple comparison; keys are unique within a
+    # row (one config per depth, j indexes its choices), so the emit
+    # sort never falls through to comparing the payload.
+    all_specs: set = set()
+    for universe in universes:
+        all_specs |= universe
+    all_specs.update(spec for spec, _ in own_items)
+    rank_of = {
+        spec: rank
+        for rank, spec in enumerate(
+            sorted(all_specs, key=lambda s: s.sort_key))
+    }
+    # Identity fast path for rank lookups: specs are interned by
+    # :func:`make_spec`, so a config's choice spec is almost always
+    # *the* object sitting in the universe sets; an int-keyed get then
+    # skips the (Python-level) spec hash.  Equal-but-distinct spec
+    # objects fall back to the value-keyed map, so nothing relies on
+    # the interning.
+    rank_by_id = {id(spec): rank for spec, rank in rank_of.items()}
+    rank_by_id_get = rank_by_id.get
+    tracked_ranks = {rank_of[spec] for spec in tracked}
+    j_stride = len(own_items) + 1
+    for options in lists:
+        for config in options:
+            width = len(config.choices) + 1
+            if width > j_stride:
+                j_stride = width
+    depth_stride = count + 2
+    rank_stride = depth_stride * j_stride
+
+    own_run = [
+        (rank_of[spec] * rank_stride + count * j_stride + j, (spec, impl))
+        for j, (spec, impl) in enumerate(own_items)
+    ]
+    own_rank_items = [(rank_of[spec], impl) for spec, impl in own_items]
+
+    # Per-depth memo tables parallel to the option lists, filled
+    # lazily: position indexing keeps the innermost loops free of both
+    # id() calls and dictionary probes.
+    run_tables: List[list] = [[None] * len(options) for options in lists]
+    tracked_tables: List[list] = [[None] * len(options) for options in lists]
+
+    merged: Dict[int, int] = {}
+    merged_get = merged.get
+    chosen: List[Optional[Configuration]] = [None] * count
+    #: The flat stack of the current prefix's decorated entries; walk
+    #: extends it per depth and truncates on unwind, so emit only pays
+    #: one sorted copy per row.
+    entries: list = []
+    rows_append = rows.append
+    done = False
+    limit_n = -1 if limit is None else limit
+
+    def emit(multiplicity: int) -> None:
+        nonlocal done
+        duplicates = multiplicity - len(merged)
+        if own_rank_items:
+            for rank, impl in own_rank_items:
+                existing = merged_get(rank)
+                if existing is not None:
+                    if existing != impl:
+                        rows_append((tuple(chosen), None))
+                        if len(rows) == limit_n:
+                            done = True
+                        return
+                    duplicates += 1
+            ent = entries + own_run
+            ent.sort()
+        else:
+            ent = sorted(entries)
+        if duplicates:
+            # Equal specs share one rank (the rank map is value-keyed),
+            # so duplicates are adjacent after the sort and detected by
+            # integer division alone; keep the first occurrence (lowest
+            # depth -- the scalar dict's insertion position, and the
+            # impls of duplicates are equal by construction).
+            deduped = []
+            prev_rank = -1
+            for entry in ent:
+                rank = entry[0] // rank_stride
+                if rank == prev_rank:
+                    continue
+                prev_rank = rank
+                deduped.append(entry)
+            ent = deduped
+        rows_append(
+            (tuple(chosen), ChoiceTuple([entry[1] for entry in ent])))
+        if len(rows) == limit_n:
+            done = True
+
+    def decorated_run(table: list, index: int,
+                      config: Configuration, depth_off: int) -> list:
+        run: list = []
+        append = run.append
+        j = depth_off
+        for choice in config.choices:
+            rank = rank_by_id_get(id(choice[0]))
+            if rank is None:
+                rank = rank_of[choice[0]]
+            append((rank * rank_stride + j, choice))
+            j += 1
+        table[index] = run
+        return run
+
+    def tracked_items(table: list, index: int,
+                      config: Configuration) -> list:
+        items: list = []
+        append = items.append
+        for spec, impl in config.choices:
+            rank = rank_by_id_get(id(spec))
+            if rank is None:
+                rank = rank_of[spec]
+            if rank in tracked_ranks:
+                append((rank, impl))
+        table[index] = items
+        return items
+
+    def walk(depth: int, multiplicity: int) -> None:
+        options = lists[depth]
+        last = depth + 1 == count
+        run_table = run_tables[depth]
+        depth_off = depth * j_stride
+        base = len(entries)
+        extend = entries.extend
+        if not checked[depth]:
+            # No spec of this list appears anywhere else: conflicts are
+            # impossible, so no merge bookkeeping at all.
+            index = 0
+            for config in options:
+                run = run_table[index]
+                if run is None:
+                    run = decorated_run(run_table, index, config, depth_off)
+                index += 1
+                chosen[depth] = config
+                extend(run)
+                if last:
+                    emit(multiplicity)
+                else:
+                    walk(depth + 1, multiplicity)
+                del entries[base:]
+                if done:
+                    return
+        else:
+            tracked_table = tracked_tables[depth]
+            index = 0
+            for config in options:
+                items = tracked_table[index]
+                if items is None:
+                    items = tracked_items(tracked_table, index, config)
+                consistent = True
+                to_add: List[int] = []
+                for rank, impl in items:
+                    existing = merged_get(rank)
+                    if existing is None:
+                        to_add.append(rank)
+                    elif existing != impl:
+                        consistent = False
+                        break
+                if consistent:
+                    for rank, impl in items:
+                        merged[rank] = impl
+                    run = run_table[index]
+                    if run is None:
+                        run = decorated_run(
+                            run_table, index, config, depth_off)
+                    chosen[depth] = config
+                    extend(run)
+                    if last:
+                        emit(multiplicity + len(items))
+                    else:
+                        walk(depth + 1, multiplicity + len(items))
+                    del entries[base:]
+                    for rank in to_add:
+                        del merged[rank]
+                index += 1
+                if done:
+                    return
+
+    walk(0, 0)
+    return rows

@@ -60,10 +60,14 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from array import array
+
 from repro.core.configs import (
     Configuration,
+    enumerate_rows,
     iter_compatible,
     make_configuration,
+    make_configuration_parts,
     resolve_order,
 )
 from repro.core.filters import ParetoFilter, PerformanceFilter
@@ -81,6 +85,14 @@ if False:  # typing only; avoids a circular import with repro.techlib
 class SynthesisError(Exception):
     """No implementation exists for a specification; the message names
     the leaf specifications that could not be implemented."""
+
+
+#: Default combination-costing block size (``DesignSpace(batch=...)``).
+#: Big enough that the per-block numpy dispatch and layout costs
+#: amortize, small enough that per-slot weight matrices stay cache
+#: friendly; kernels additionally chunk internally so wide netlists
+#: cannot blow memory whatever the block size.
+DEFAULT_BATCH = 256
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +295,7 @@ class DesignSpace:
         jobs: int = 1,
         parallel_backend: str = "thread",
         order: object = "lex",
+        batch: Optional[int] = None,
     ) -> None:
         self.rulebase = rulebase
         self.library = library
@@ -302,6 +315,17 @@ class DesignSpace:
         #: S1 enumeration order: ``"lex"``, ``"frontier"``, or a
         #: callable reordering one option list (resolved once).
         self.order = resolve_order(order)
+        #: Combination-costing block size: with ``batch > 1`` the S1
+        #: cross product is costed through the kernels' vectorized
+        #: ``run_batch`` path in blocks sharing an arc signature;
+        #: ``batch=1`` restores the scalar per-combination loop.  Both
+        #: paths are bit-identical (and the knob is therefore excluded
+        #: from store/node fingerprints, like ``jobs``).
+        self.batch = DEFAULT_BATCH if batch is None else max(1, int(batch))
+        #: Total S1-consistent combinations costed by this space (rows
+        #: that survived the own-choice conflict check and went through
+        #: a timing kernel); benchmarks report combinations/second.
+        self.combinations_costed = 0
         self.context = RuleContext(library)
         self.nodes: Dict[ComponentSpec, SpecNode] = {}
         self.failures: Dict[ComponentSpec, str] = {}
@@ -443,7 +467,8 @@ class DesignSpace:
         if not node.impls or not self._node_cacheable(node):
             return None
         options = self.node_store.load_options(
-            self._node_key(spec), spec, expected_impls=len(node.impls))
+            self._node_key(spec), spec, expected_impls=len(node.impls),
+            space_key=self.node_space_key)
         if options is None:
             with _NODE_STATS_LOCK:
                 self.node_stats["misses"] += 1
@@ -467,6 +492,7 @@ class DesignSpace:
         if self.node_store.save_options(
             self._node_key(spec), spec, selected,
             impls=len(node.impls), programs=programs,
+            space_key=self.node_space_key,
         ):
             with _NODE_STATS_LOCK:
                 self.node_stats["published"] += 1
@@ -500,7 +526,7 @@ class DesignSpace:
             candidates: List[Configuration] = []
             for impl in node.impls:
                 candidates.extend(self._impl_configs(spec, impl))
-            selected = self.perf_filter.select(candidates)
+            selected = self._select(candidates)
             if not selected:
                 self.failures.setdefault(
                     spec,
@@ -514,6 +540,17 @@ class DesignSpace:
             return selected
         finally:
             self._evaluating.discard(spec)
+
+    def _select(self, candidates: List[Configuration]) -> List[Configuration]:
+        """Apply the performance filter, preferring its single-pass
+        block path (``select_block``) when batching is on.  Both paths
+        return bit-identical survivors in identical order; third-party
+        filters without ``select_block`` fall back to ``select``."""
+        if self.batch > 1:
+            block = getattr(self.perf_filter, "select_block", None)
+            if block is not None:
+                return block(candidates)
+        return self.perf_filter.select(candidates)
 
     def _impl_configs(
         self, spec: ComponentSpec, impl: Implementation
@@ -556,10 +593,16 @@ class DesignSpace:
     ) -> List[Configuration]:
         """Cost every S1-consistent combination of module options.
 
-        The streaming combiner enforces ``max_combinations`` during
-        enumeration; the compiled timing program substitutes each
-        combination's delay weights into the prebuilt graph.
+        The combiner enforces ``max_combinations`` during enumeration;
+        the compiled timing program substitutes each combination's
+        delay weights into the prebuilt graph.  With ``batch > 1`` the
+        combinations are materialized as rows, grouped by arc signature,
+        and costed through the kernels' vectorized block path --
+        bit-identical results in the identical order.
         """
+        if self.batch > 1:
+            return self._evaluate_combinations_batched(
+                program, option_lists, own_choice)
         results: List[Configuration] = []
         for chosen, merged in iter_compatible(
             option_lists,
@@ -584,7 +627,102 @@ class DesignSpace:
                 [c.delay_values for c in chosen],
             )
             results.append(make_configuration(area, delays, choices))
+        self.combinations_costed += len(results)
         return results
+
+    def _evaluate_combinations_batched(
+        self,
+        program: TimingProgram,
+        option_lists: List[List[Configuration]],
+        own_choice: Optional[Dict[ComponentSpec, int]],
+    ) -> List[Configuration]:
+        """Vectorized combination costing: materialize the (capped) S1
+        rows, group them by arc signature, push each group's delay
+        weights through ``run_batch`` as flat matrices, and rebuild the
+        configurations from the presorted parts.  Results land back in
+        enumeration order, so output is byte-identical to the scalar
+        loop."""
+        rows = enumerate_rows(
+            option_lists,
+            limit=self.max_combinations,
+            prune_dominated=self.prune_partial,
+            order=self.order,
+            own_choice=own_choice,
+        )
+        results: List[Optional[Configuration]] = [None] * len(rows)
+        # Group rows by arc signature through small per-slot integer
+        # ids (hashing the nested string-tuple signatures per row is
+        # measurable; hashing a tuple of small ints is not).  The same
+        # per-slot pass precomputes id -> (delay values, area) so the
+        # chunk loops below never touch a property per row.
+        arc_ids: Dict[tuple, int] = {}
+        slot_maps: List[Dict[int, int]] = []
+        value_maps: List[Dict[int, tuple]] = []
+        area_maps: List[Dict[int, float]] = []
+        for options in option_lists:
+            slot_map: Dict[int, int] = {}
+            value_map: Dict[int, tuple] = {}
+            area_map: Dict[int, float] = {}
+            for config in options:
+                keys = config.arc_keys
+                arc_id = arc_ids.get(keys)
+                if arc_id is None:
+                    arc_id = arc_ids[keys] = len(arc_ids)
+                cid = id(config)
+                slot_map[cid] = arc_id
+                value_map[cid] = config.delay_values
+                area_map[cid] = config.area
+            slot_maps.append(slot_map)
+            value_maps.append(value_map)
+            area_maps.append(area_map)
+        groups: Dict[tuple, List[int]] = {}
+        groups_get = groups.get
+        for index, row in enumerate(rows):
+            if row[1] is None:
+                continue  # own-choice conflict: counted, never costed
+            key = tuple([slot_maps[slot][id(config)]
+                         for slot, config in enumerate(row[0])])
+            group = groups_get(key)
+            if group is None:
+                groups[key] = [index]
+            else:
+                group.append(index)
+        module_slots = program.module_slots
+        batch = self.batch
+        costed = 0
+        for indices in groups.values():
+            signature = tuple(
+                c.arc_keys for c in rows[indices[0]][0])
+            kernel = program.kernel(signature)
+            costed += len(indices)
+            for start in range(0, len(indices), batch):
+                chunk = indices[start:start + batch]
+                chosen_rows = [rows[index][0] for index in chunk]
+                matrices = []
+                for slot in range(len(signature)):
+                    buffer = array("d")
+                    extend = buffer.extend
+                    value_map = value_maps[slot]
+                    for chosen in chosen_rows:
+                        extend(value_map[id(chosen[slot])])
+                    matrices.append(buffer)
+                keys, block = kernel.run_batch(matrices, len(chunk))
+                for offset, index in enumerate(chunk):
+                    chosen = chosen_rows[offset]
+                    values = block[offset]
+                    # Same float addition sequence as the scalar
+                    # path's program.total_area walk.
+                    area = 0.0
+                    for slot in module_slots:
+                        area += area_maps[slot][id(chosen[slot])]
+                    results[index] = make_configuration_parts(
+                        area,
+                        tuple(zip(keys, values)),
+                        rows[index][1],
+                        max(values) if values else 0.0,
+                    )
+        self.combinations_costed += costed
+        return [config for config in results if config is not None]
 
     # ------------------------------------------------------------------
     # top-level entry points
@@ -623,7 +761,7 @@ class DesignSpace:
         # call; every combination within the call still reuses it).
         program = TimingProgram(netlist, slot_of=lambda inst: inst.spec)
         results = self._evaluate_combinations(program, option_lists, None)
-        return self.perf_filter.select(results)
+        return self._select(results)
 
     def _failure_message(self, spec: ComponentSpec) -> str:
         self.configs(spec)

@@ -20,9 +20,19 @@ from typing import Iterable, List, Protocol, Sequence
 
 from repro.core.configs import Configuration
 
+try:  # optional: the block paths fall back to the scalar sort without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
 
 class PerformanceFilter(Protocol):
-    """Protocol for search-control filters over configurations."""
+    """Protocol for search-control filters over configurations.
+
+    Filters may additionally offer ``select_block`` (same contract as
+    ``select``); the batched evaluator prefers it when present and
+    falls back to ``select`` otherwise, so third-party filters keep
+    working unchanged."""
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
         """Return the retained configurations, sorted by (area, delay)."""
@@ -31,6 +41,20 @@ class PerformanceFilter(Protocol):
 
 def _sorted(configs: Iterable[Configuration]) -> List[Configuration]:
     return sorted(configs, key=lambda c: (c.area, c.delay))
+
+
+def _sorted_block(configs: Sequence[Configuration]) -> List[Configuration]:
+    """(area, delay)-sorted copy via one pass over the block's cost
+    columns: ``np.lexsort`` over the gathered (area, delay) arrays is
+    stable with the secondary key applied first, so the permutation is
+    bit-identical to ``sorted(key=(area, delay))`` -- ties in both
+    coordinates keep the original order in both implementations."""
+    if _np is None or len(configs) < 32:
+        return _sorted(configs)
+    areas = _np.array([c.area for c in configs])
+    delays = _np.array([c.delay for c in configs])
+    order = _np.lexsort((delays, areas))
+    return [configs[i] for i in order.tolist()]
 
 
 def pareto_frontier(sorted_configs: Sequence[Configuration]) -> List[Configuration]:
@@ -58,6 +82,11 @@ class KeepAllFilter:
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
         return _sorted(configs)
 
+    def select_block(
+        self, configs: Sequence[Configuration]
+    ) -> List[Configuration]:
+        return _sorted_block(configs)
+
 
 class ParetoFilter:
     """Keep the area/delay Pareto frontier.
@@ -72,6 +101,11 @@ class ParetoFilter:
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
         return pareto_frontier(_sorted(configs))
+
+    def select_block(
+        self, configs: Sequence[Configuration]
+    ) -> List[Configuration]:
+        return pareto_frontier(_sorted_block(configs))
 
 
 class TradeoffFilter:
@@ -93,7 +127,14 @@ class TradeoffFilter:
         self.min_delay_gain = min_delay_gain
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
-        frontier = pareto_frontier(_sorted(configs))
+        return self._thin(pareto_frontier(_sorted(configs)))
+
+    def select_block(
+        self, configs: Sequence[Configuration]
+    ) -> List[Configuration]:
+        return self._thin(pareto_frontier(_sorted_block(configs)))
+
+    def _thin(self, frontier: List[Configuration]) -> List[Configuration]:
         if len(frontier) <= 2:
             return frontier
         kept = [frontier[0]]
@@ -126,7 +167,14 @@ class TopKFilter:
         self.k = k
 
     def select(self, configs: Sequence[Configuration]) -> List[Configuration]:
-        frontier = pareto_frontier(_sorted(configs))
+        return self._top(pareto_frontier(_sorted(configs)))
+
+    def select_block(
+        self, configs: Sequence[Configuration]
+    ) -> List[Configuration]:
+        return self._top(pareto_frontier(_sorted_block(configs)))
+
+    def _top(self, frontier: List[Configuration]) -> List[Configuration]:
         if len(frontier) <= self.k:
             return frontier
         kept = {0, len(frontier) - 1}

@@ -23,6 +23,8 @@ netlists, simulation, VHDL emission, and timing all agree on interfaces.
 from __future__ import annotations
 
 import math
+import os
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
@@ -111,18 +113,15 @@ class ComponentSpec:
             object.__setattr__(self, "_hash", cached)
         return cached
 
-    def __getstate__(self):
-        """Exclude cached derivations from pickles: ``_hash`` embeds the
-        per-process string-hash seed, and a stale value shipped to a
-        worker process would silently break dict lookups against
-        locally built equal specs."""
-        state = dict(self.__dict__)
-        state.pop("_hash", None)
-        state.pop("_sort_key", None)
-        return state
+    def __reduce__(self):
+        """Pickle by field value only and re-intern on load.
 
-    def __setstate__(self, state) -> None:
-        self.__dict__.update(state)
+        None of the lazy caches enter the payload (``_hash`` embeds the
+        per-process string-hash seed, so shipping it would silently
+        break dict lookups in the receiving process), and unpickling
+        lands on the canonical interned instance, so specs shipped back
+        from worker processes keep the identity fast paths effective."""
+        return (_restore_spec, (self.ctype, self.width, self.attrs))
 
     def get(self, key: str, default: Any = None) -> Any:
         for k, v in self.attrs:
@@ -179,12 +178,29 @@ class ComponentSpec:
         return self.describe()
 
 
+# Weakly held canonical instances: equal specs built through
+# :func:`make_spec` are the *same object*, so the engine's many
+# spec-keyed dictionaries (design-space nodes, merged choice maps, the
+# S1 combiner's rank tables) resolve lookups on the identity fast path
+# instead of falling through to field-tuple comparison.  Identity is an
+# optimization only -- nothing relies on it (specs restored from
+# pickles or built directly still compare by value).
+_SPEC_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_SPEC_INTERN_LOCK = threading.Lock()
+
+if hasattr(os, "register_at_fork"):  # a fork can snapshot a held lock
+    os.register_at_fork(
+        after_in_child=lambda: globals().__setitem__(
+            "_SPEC_INTERN_LOCK", threading.Lock()))
+
+
 def make_spec(ctype: str, width: int = 1, **attrs: Any) -> ComponentSpec:
     """Create a normalized :class:`ComponentSpec`.
 
     Attribute values are frozen (lists become tuples), ``None`` values
     are dropped, and keys are stored sorted so equal specs compare and
-    hash equal regardless of construction order.
+    hash equal regardless of construction order.  The returned instance
+    is canonical process-wide (interned weakly by value).
     """
     if width < 1:
         raise ValueError(f"{ctype}: width must be >= 1, got {width}")
@@ -196,10 +212,33 @@ def make_spec(ctype: str, width: int = 1, **attrs: Any) -> ComponentSpec:
             value = bool(value)
         cleaned[key] = _freeze(value)
     frozen = tuple(sorted(cleaned.items()))
+    key = (ctype, width, frozen)
+    with _SPEC_INTERN_LOCK:
+        spec = _SPEC_INTERN.get(key)
+        if spec is not None:
+            return spec
     spec = ComponentSpec(ctype, width, frozen)
     # Fail fast on unknown ctypes / malformed attrs by deriving ports.
     port_signature(spec)
-    return spec
+    with _SPEC_INTERN_LOCK:
+        return _SPEC_INTERN.setdefault(key, spec)
+
+
+def _restore_spec(ctype: str, width: int,
+                  attrs: Tuple[Tuple[str, Hashable], ...]) -> ComponentSpec:
+    """Unpickle target: land on the canonical interned instance.
+
+    The fields were normalized and validated when the spec was first
+    built, so this skips :func:`make_spec`'s cleaning and port
+    derivation."""
+    key = (ctype, width, attrs)
+    with _SPEC_INTERN_LOCK:
+        spec = _SPEC_INTERN.get(key)
+        if spec is not None:
+            return spec
+    spec = ComponentSpec(ctype, width, attrs)
+    with _SPEC_INTERN_LOCK:
+        return _SPEC_INTERN.setdefault(key, spec)
 
 
 # ---------------------------------------------------------------------------

@@ -38,10 +38,16 @@ arrival times are prefix sums along identical paths combined with
 from __future__ import annotations
 
 from collections import defaultdict
+from operator import add as _add
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.netlist.nets import endpoint_masks
 from repro.netlist.netlist import ModuleInst, Netlist
+
+try:  # optional fast path only; the stdlib batch sweep is the contract
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
 
 #: Virtual pin name standing for the clock edge inside a component.
 #: (Canonically re-exported by :mod:`repro.netlist.timing`.)
@@ -66,13 +72,48 @@ class TimingCycleError(Exception):
     """
 
 
+#: Soft bound on the (sources x nodes x rows) scratch a single batched
+#: propagation may allocate; ``run_batch`` chunks its rows so wide
+#: netlists cannot blow memory no matter what block size callers pick.
+_BATCH_ELEMENTS = 1 << 21
+
+
+class _BatchPlan:
+    """Per-kernel layout shared by every ``run_batch`` call.
+
+    Reachability of a (source, sink) pair is *structural*: every delay
+    weight is a finite float, so which pairs carry a value depends only
+    on the edge graph, never on the weights.  That lets the result keys
+    be fixed (and sorted) once per kernel, each with its contributor
+    (source row, node) pairs -- a batched run then fills a dense
+    (keys x rows) matrix instead of rebuilding a dict per combination.
+    """
+
+    __slots__ = ("keys", "contribs", "source_edges", "np_cache")
+
+    def __init__(self, keys, contribs, source_edges) -> None:
+        #: Sorted (source, sink) result keys -- exactly
+        #: ``tuple(sorted(run(...).keys()))`` for any weight set.
+        self.keys = keys
+        #: Parallel to ``keys``: tuple of (source row, node id) pairs
+        #: whose arrival times max-merge into that key.
+        self.contribs = contribs
+        #: Per source row, the edge indices reachable from that source
+        #: (the batched sweep skips the rest -- the same work the scalar
+        #: path's ``du != neg`` guard avoids).
+        self.source_edges = source_edges
+        #: Lazily built numpy views of the edge arrays (None until the
+        #: numpy path first runs).
+        self.np_cache = None
+
+
 class _Kernel:
     """Everything evaluation needs for one arc signature: flattened
     edges in topological order plus the sources and labeled sinks."""
 
     __slots__ = (
         "n_nodes", "edge_u", "edge_v", "edge_ref",
-        "sources", "labeled",
+        "sources", "labeled", "_plan",
     )
 
     def __init__(
@@ -90,6 +131,22 @@ class _Kernel:
         self.edge_ref = edge_ref
         self.sources = sources
         self.labeled = labeled
+        self._plan: Optional[_BatchPlan] = None
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self):
+        """The batch plan stays process-local (it may hold numpy
+        arrays); shipped kernels rebuild it lazily on first batched
+        run, keeping programs picklable by construction."""
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__ if name != "_plan"
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._plan = None
 
     def run(
         self, values: Sequence[Sequence[float]]
@@ -121,6 +178,173 @@ class _Kernel:
                     if prev is None or value > prev:
                         result[key] = value
         return result
+
+    # -- batched evaluation --------------------------------------------
+    def _build_plan(self) -> _BatchPlan:
+        """Derive the structural result layout (see :class:`_BatchPlan`)
+        by propagating reachability once per source."""
+        edge_u, edge_v = self.edge_u, self.edge_v
+        contrib_map: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        source_edges: List[List[int]] = []
+        for row, (source_name, src) in enumerate(self.sources):
+            reach = [False] * self.n_nodes
+            reach[src] = True
+            edges: List[int] = []
+            for eid, (u, v) in enumerate(zip(edge_u, edge_v)):
+                if reach[u]:
+                    reach[v] = True
+                    edges.append(eid)
+            source_edges.append(edges)
+            for nid, label in self.labeled:
+                if nid != src and reach[nid]:
+                    contrib_map.setdefault((source_name, label), []).append(
+                        (row, nid))
+        keys = tuple(sorted(contrib_map))
+        contribs = tuple(tuple(contrib_map[key]) for key in keys)
+        plan = _BatchPlan(keys, contribs, source_edges)
+        self._plan = plan  # benign race: equal plans, last write wins
+        return plan
+
+    def run_batch(
+        self, values: Sequence[Sequence[float]], rows: int
+    ) -> Tuple[Tuple[Tuple[str, str], ...], List[List[float]]]:
+        """Longest-path propagation for a whole block of weight rows.
+
+        ``values[s]`` is a flat row-major matrix (``array('d')`` /
+        memoryview / any indexable float sequence) of shape
+        ``rows x len(arc_keys of slot s)``.  Returns ``(keys, block)``:
+        ``keys`` are the sorted (source, sink) result pairs -- the same
+        set :meth:`run` would produce for any of the rows -- and
+        ``block[r]`` lists row ``r``'s delays parallel to ``keys``.
+        Results are bit-identical to per-row :meth:`run` calls: every
+        row propagates the same prefix sums along the same topological
+        edge list, merged with order-independent ``max``.
+        """
+        plan = self._plan
+        if plan is None:
+            plan = self._build_plan()
+        if rows <= 0:
+            return plan.keys, []
+        chunk = max(1, _BATCH_ELEMENTS
+                    // max(1, len(self.sources) * self.n_nodes))
+        if rows <= chunk:
+            if _np is not None:
+                return plan.keys, self._run_batch_np(plan, values, rows)
+            return plan.keys, self._run_batch_py(plan, values, rows)
+        arc_counts = [
+            len(mat) // rows if rows else 0 for mat in values
+        ]
+        block: List[List[float]] = []
+        for start in range(0, rows, chunk):
+            stop = min(rows, start + chunk)
+            part = [
+                mat[start * n:stop * n]
+                for mat, n in zip(values, arc_counts)
+            ]
+            if _np is not None:
+                block.extend(self._run_batch_np(plan, part, stop - start))
+            else:
+                block.extend(self._run_batch_py(plan, part, stop - start))
+        return plan.keys, block
+
+    def _run_batch_py(
+        self, plan: _BatchPlan, values: Sequence[Sequence[float]], rows: int
+    ) -> List[List[float]]:
+        """Stdlib batch sweep: one pass over the topological edge list
+        per source, with each edge relaxing all rows at once."""
+        neg = _NEG_INF
+        edge_u, edge_v, edge_ref = self.edge_u, self.edge_v, self.edge_ref
+        arc_counts = [len(mat) // rows for mat in values]
+        # Gather each edge's weight row once, shared by every source.
+        zero_row = [0.0] * rows
+        weight_rows: List[List[float]] = []
+        for slot, index in edge_ref:
+            if slot < 0:
+                weight_rows.append(zero_row)
+            else:
+                mat, n = values[slot], arc_counts[slot]
+                weight_rows.append([mat[r * n + index] for r in range(rows)])
+        n_keys = len(plan.keys)
+        block = [[neg] * n_keys for _ in range(rows)]
+        dist: List[Optional[List[float]]] = [None] * self.n_nodes
+        for row, (_, src) in enumerate(self.sources):
+            edges = plan.source_edges[row]
+            if not edges:
+                continue
+            touched = [src]
+            dist[src] = [0.0] * rows
+            for eid in edges:
+                u, v = edge_u[eid], edge_v[eid]
+                du = dist[u]
+                w = weight_rows[eid]
+                dv = dist[v]
+                if dv is None:
+                    touched.append(v)
+                    dist[v] = [a + b for a, b in zip(du, w)]
+                else:
+                    dist[v] = [
+                        t if t > b else b
+                        for t, b in zip(map(_add, du, w), dv)
+                    ]
+            for k, pairs in enumerate(plan.contribs):
+                for source_row, nid in pairs:
+                    if source_row != row:
+                        continue
+                    dn = dist[nid]
+                    for r in range(rows):
+                        value = dn[r]
+                        out = block[r]
+                        if value > out[k]:
+                            out[k] = value
+            for nid in touched:
+                dist[nid] = None
+        return block
+
+    def _run_batch_np(
+        self, plan: _BatchPlan, values: Sequence[Sequence[float]], rows: int
+    ) -> List[List[float]]:
+        """Numpy fast path: identical arithmetic (elementwise add and
+        max over float64 match the scalar sequence bit for bit;
+        ``-inf + w`` stays ``-inf``, standing in for the scalar path's
+        reachability guard)."""
+        cache = plan.np_cache
+        if cache is None:
+            n_edges = len(self.edge_u)
+            slot_gather: List[Tuple[int, object, object]] = []
+            by_slot: Dict[int, List[Tuple[int, int]]] = {}
+            for eid, (slot, index) in enumerate(self.edge_ref):
+                if slot >= 0:
+                    by_slot.setdefault(slot, []).append((eid, index))
+            for slot, pairs in by_slot.items():
+                eids = _np.array([p[0] for p in pairs], dtype=_np.intp)
+                cols = _np.array([p[1] for p in pairs], dtype=_np.intp)
+                slot_gather.append((slot, eids, cols))
+            src_rows = _np.array([src for _, src in self.sources],
+                                 dtype=_np.intp)
+            gathers = tuple(
+                (_np.array([c[0] for c in pairs], dtype=_np.intp),
+                 _np.array([c[1] for c in pairs], dtype=_np.intp))
+                for pairs in plan.contribs
+            )
+            cache = plan.np_cache = (n_edges, tuple(slot_gather), src_rows,
+                                     gathers)
+        n_edges, slot_gather, src_rows, gathers = cache
+        arc_counts = [len(mat) // rows for mat in values]
+        weights = _np.zeros((n_edges, rows))
+        for slot, eids, cols in slot_gather:
+            mat = _np.frombuffer(values[slot], dtype=_np.float64)
+            weights[eids] = mat.reshape(rows, arc_counts[slot])[:, cols].T
+        n_sources = len(self.sources)
+        dist = _np.full((n_sources, self.n_nodes, rows), _NEG_INF)
+        dist[_np.arange(n_sources), src_rows] = 0.0
+        maximum, add = _np.maximum, _np.add
+        for u, v, w in zip(self.edge_u, self.edge_v, weights):
+            dv = dist[:, v]
+            maximum(add(dist[:, u], w), dv, out=dv)
+        out = _np.empty((len(plan.keys), rows))
+        for k, (rows_idx, nids) in enumerate(gathers):
+            out[k] = dist[rows_idx, nids].max(axis=0)
+        return out.T.tolist()
 
 
 class TimingProgram:
@@ -311,6 +535,14 @@ class TimingProgram:
         return _Kernel(n, edge_u, edge_v, edge_ref, sources, labeled)
 
     # ------------------------------------------------------------------
+    def kernel(self, arc_keys_by_slot: Tuple[ArcKeys, ...]) -> _Kernel:
+        """The compiled kernel for one arc signature (cached)."""
+        kernel = self._kernels.get(arc_keys_by_slot)
+        if kernel is None:
+            kernel = self._compile_kernel(arc_keys_by_slot)
+            self._kernels[arc_keys_by_slot] = kernel
+        return kernel
+
     def evaluate(
         self,
         arc_keys_by_slot: Tuple[ArcKeys, ...],
@@ -324,20 +556,57 @@ class TimingProgram:
         result maps ``(source, sink)`` to nanoseconds exactly like
         :func:`repro.netlist.timing.port_delay_matrix`.
         """
-        kernel = self._kernels.get(arc_keys_by_slot)
-        if kernel is None:
-            kernel = self._compile_kernel(arc_keys_by_slot)
-            self._kernels[arc_keys_by_slot] = kernel
-        return kernel.run(values_by_slot)
+        return self.kernel(arc_keys_by_slot).run(values_by_slot)
+
+    def evaluate_batch(
+        self,
+        arc_keys_by_slot: Tuple[ArcKeys, ...],
+        values_by_slot: Sequence[Sequence[float]],
+        rows: int,
+    ) -> Tuple[Tuple[Tuple[str, str], ...], List[List[float]]]:
+        """Block form of :meth:`evaluate`: ``values_by_slot[s]`` is a
+        flat row-major ``rows x len(arc_keys_by_slot[s])`` matrix, and
+        the result is ``(sorted result keys, per-row value lists)`` --
+        see :meth:`_Kernel.run_batch`."""
+        return self.kernel(arc_keys_by_slot).run_batch(values_by_slot, rows)
 
     def evaluate_matrices(
         self, matrices_by_slot: Sequence[Dict[Tuple[str, str], float]]
     ) -> Dict[Tuple[str, str], float]:
-        """Convenience wrapper taking one delay-matrix mapping per slot."""
-        items = [tuple(sorted(m.items())) for m in matrices_by_slot]
-        arcs = tuple(tuple(k for k, _ in part) for part in items)
-        values = [tuple(v for _, v in part) for part in items]
-        return self.evaluate(arcs, values)
+        """Convenience wrapper taking one delay-matrix mapping per slot.
+
+        The canonical (arcs, values) extraction -- a sort per matrix --
+        is memoized per matrix *object* (the memo holds the matrix, so
+        its id cannot be recycled while the entry lives); callers that
+        re-pass the same mapping objects stop paying the sort.  Treat a
+        matrix as frozen once passed: a same-length in-place mutation is
+        not detectable at this cost.
+        """
+        memo = self.__dict__.get("_matrix_memo")
+        if memo is None:
+            memo = self._matrix_memo = {}
+        arcs: List[ArcKeys] = []
+        values: List[Tuple[float, ...]] = []
+        for matrix in matrices_by_slot:
+            entry = memo.get(id(matrix))
+            if entry is None or entry[0] is not matrix \
+                    or len(entry[1]) != len(matrix):
+                if len(memo) >= 1024:
+                    memo.clear()
+                items = tuple(sorted(matrix.items()))
+                entry = (matrix, tuple(k for k, _ in items),
+                         tuple(v for _, v in items))
+                memo[id(matrix)] = entry
+            arcs.append(entry[1])
+            values.append(entry[2])
+        return self.evaluate(tuple(arcs), values)
+
+    def __getstate__(self):
+        """Keep programs picklable by construction: the matrix memo is
+        keyed by object id, which is meaningless in another process."""
+        state = self.__dict__.copy()
+        state.pop("_matrix_memo", None)
+        return state
 
 
 def compile_timing(

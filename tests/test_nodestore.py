@@ -705,3 +705,139 @@ def test_serve_without_store_has_zeroed_node_metrics(tmp_path):
             "hot_entries": 0}
     finally:
         service.close()
+
+
+# ---------------------------------------------------------------------------
+# delta-encoded payloads (payload v2)
+# ---------------------------------------------------------------------------
+
+def test_payload_v2_shape_and_shared_dictionary(tmp_path):
+    """Rows written through a session are delta payloads: version
+    tagged, signature-dictionary encoded, choices referencing the
+    per-space-key dictionary in ``node_dicts`` instead of inline spec
+    tokens."""
+    import sqlite3
+
+    from repro.nodestore.store import NODE_PAYLOAD
+
+    path = tmp_path / "v2.sqlite"
+    session = Session(library="lsi_logic", node_store=path)
+    session.synthesize(alu_spec(16))
+
+    db = sqlite3.connect(path)
+    rows = db.execute("SELECT payload FROM nodes").fetchall()
+    assert rows
+    for (text,) in rows:
+        payload = json.loads(text)
+        assert payload["payload"] == NODE_PAYLOAD
+        assert "sigs" in payload and "options" in payload
+        assert "specs" not in payload  # shared dictionary, not inline
+        count, digest = payload["dict"]
+        assert count >= 1 and isinstance(digest, str)
+    dicts = db.execute(
+        "SELECT space_key, entries FROM node_dicts").fetchall()
+    assert len(dicts) == 1
+    assert dicts[0][0] == session_space_key(session)
+    assert len(json.loads(dicts[0][1])) >= 1
+
+
+def test_payload_v2_round_trips_without_space_key_inline(tmp_path):
+    """Direct save/load with no space key must stay self-contained --
+    the dictionary rides inline in the payload."""
+    import sqlite3
+
+    session = Session(library="lsi_logic")
+    spec = comparator_spec(8)
+    options = session.space.alternatives(spec)
+    impls = len(session.space.nodes[spec].impls)
+
+    store = _nodes(tmp_path)
+    key = node_key(session_space_key(session), spec)
+    assert store.save_options(key, spec, options, impls=impls)
+    db = sqlite3.connect(store.path)
+    (text,) = db.execute("SELECT payload FROM nodes").fetchone()
+    assert "specs" in json.loads(text)
+
+    fresh = NodeStore(store.path)
+    loaded = fresh.load_options(key, spec, expected_impls=impls)
+    assert loaded is not None
+    assert all(a is b for a, b in zip(loaded, options))
+
+
+def test_old_payload_version_self_heals_to_miss(tmp_path):
+    """A row written by an older payload encoding (simulated by
+    downgrading the version tag) must read as a miss -- recomputed and
+    republished, never an error."""
+    import sqlite3
+
+    path = tmp_path / "old.sqlite"
+    producer = Session(library="lsi_logic", node_store=path)
+    baseline = producer.synthesize(alu_spec(16))
+
+    db = sqlite3.connect(path)
+    with db:
+        db.execute(
+            "UPDATE nodes SET payload = json_set(payload, '$.payload', 1)")
+    db.close()
+
+    consumer = Session(library="lsi_logic", node_store=path)
+    job = consumer.synthesize(alu_spec(16))
+    stats = consumer.node_cache_stats()
+    assert stats["hits"] == 0 and stats["published"] >= 1
+    _assert_same_job(baseline, job)
+
+
+def test_clobbered_shared_dictionary_is_a_miss_not_wrong_specs(tmp_path):
+    """The payload's (count, digest) guard: if the shared dictionary a
+    row was encoded against is replaced with different entries, decode
+    must miss (and heal) rather than resolve indices to wrong specs."""
+    import sqlite3
+
+    path = tmp_path / "clobber.sqlite"
+    producer = Session(library="lsi_logic", node_store=path)
+    baseline = producer.synthesize(alu_spec(16))
+
+    db = sqlite3.connect(path)
+    (entries_text,) = db.execute(
+        "SELECT entries FROM node_dicts").fetchone()
+    entries = json.loads(entries_text)
+    entries.reverse()  # same length, different positions
+    with db:
+        db.execute("UPDATE node_dicts SET entries = ?",
+                   (json.dumps(entries),))
+    db.close()
+
+    consumer = Session(library="lsi_logic", node_store=path)
+    job = consumer.synthesize(alu_spec(16))
+    stats = consumer.node_cache_stats()
+    assert stats["hits"] == 0 and stats["published"] >= 1
+    _assert_same_job(baseline, job)
+
+
+def test_concurrent_dictionary_growth_merges_append_only(tmp_path):
+    """Two store handles on one file publishing different nodes must
+    merge their dictionary appends: indices already written stay
+    valid, and both handles' rows decode through a third."""
+    session = Session(library="lsi_logic")
+    spec_a, spec_b = comparator_spec(8), comparator_spec(16)
+    sk = session_space_key(session)
+    options_a = session.space.alternatives(spec_a)
+    options_b = session.space.alternatives(spec_b)
+    impls_a = len(session.space.nodes[spec_a].impls)
+    impls_b = len(session.space.nodes[spec_b].impls)
+
+    first = _nodes(tmp_path)
+    second = NodeStore(first.path)
+    assert first.save_options(node_key(sk, spec_a), spec_a, options_a,
+                              impls=impls_a, space_key=sk)
+    assert second.save_options(node_key(sk, spec_b), spec_b, options_b,
+                               impls=impls_b, space_key=sk)
+
+    third = NodeStore(first.path)
+    loaded_a = third.load_options(node_key(sk, spec_a), spec_a,
+                                  expected_impls=impls_a, space_key=sk)
+    loaded_b = third.load_options(node_key(sk, spec_b), spec_b,
+                                  expected_impls=impls_b, space_key=sk)
+    assert loaded_a is not None and loaded_b is not None
+    assert all(a is b for a, b in zip(loaded_a, options_a))
+    assert all(a is b for a, b in zip(loaded_b, options_b))

@@ -16,22 +16,32 @@ import pickle
 def test_spec_and_config_pickles_drop_process_local_caches():
     """Cached hashes embed the per-process string-hash seed; pickles
     must not carry them (multiprocessing workers would get stale
-    hashes and silent dict-lookup misses).  Configurations pickle by
-    value only (``__reduce__``) and re-intern on load, so a
-    same-process round trip returns the canonical instance itself."""
+    hashes and silent dict-lookup misses).  Specs and configurations
+    both pickle by value only (``__reduce__``) and re-intern on load,
+    so a same-process round trip returns the canonical instance
+    itself and a cross-process load rebuilds every cache fresh."""
+    import pickletools
+
     spec = adder_spec(16)
     hash(spec)
     spec.sort_key
-    clone = pickle.loads(pickle.dumps(spec))
-    assert "_hash" not in clone.__dict__
-    assert "_sort_key" not in clone.__dict__
+    # The payload carries only (ctype, width, attrs): no cached hash or
+    # sort key can ever reach another process, even though the
+    # same-process round trip hands back the canonical (cache-warm)
+    # instance itself.
+    spec_payload = pickle.dumps(spec)
+    spec_ops = " ".join(
+        str(arg) for _, arg, _ in pickletools.genops(spec_payload) if arg
+    )
+    assert "_hash" not in spec_ops and "_sort_key" not in spec_ops
+    clone = pickle.loads(spec_payload)
+    assert clone is spec  # re-interned to the canonical spec
     assert clone == spec and hash(clone) == hash(spec)
 
     config = make_configuration(10, {("A", "O"): 3.0}, {spec: 1})
     config.arc_keys, config.delay_values, config.chosen_impl(spec)
     # The payload carries only (area, delays, choices) -- no cache keys,
     # no intern id -- so nothing process-local can leak to a worker.
-    import pickletools
     payload = pickle.dumps(config)
     opcodes = " ".join(
         str(arg) for _, arg, _ in pickletools.genops(payload) if arg
