@@ -71,6 +71,15 @@ MAX_POINTS = 64
 _LAST_COMBINATIONS: List[int] = [0]
 
 
+#: Second side-channel: extra ``timings`` keys a workload wants to
+#: report beyond the wall clock (the serve workloads put achieved RPS
+#: and server-side p99 here).  Cleared before every repeat; the repeat
+#: with the best wall clock contributes its extras to the report.
+#: Timings-only by construction, so the byte-gated ``results`` section
+#: never sees machine-dependent numbers.
+_LAST_EXTRA_TIMINGS: Dict[str, object] = {}
+
+
 def _note_combinations(session: Session) -> None:
     _LAST_COMBINATIONS[0] = session.space.combinations_costed
 
@@ -157,6 +166,7 @@ def _workloads(quick: bool, jobs: int = 1,
         jobs_list += _node_workload(jobs=jobs,
                                     parallel_backend=parallel_backend,
                                     order=order, batch=batch)
+        jobs_list += _serve_workload_pair()
     return jobs_list
 
 
@@ -260,14 +270,104 @@ def _node_workload(jobs: int = 1, parallel_backend: str = "thread",
     return [("alu64_nodes_warm", nodes_warm)]
 
 
+def _serve_workload_pair() -> List[Tuple[str, Callable]]:
+    """``serve_throughput_1w`` / ``serve_throughput_2w``: the scale-out
+    serving pair -- the same 12-request mix driven concurrently over
+    real sockets through a fleet of 1 vs 2 worker processes
+    (:mod:`repro.fleet`), store disabled so every distinct request is
+    an engine evaluation and the delta between the two entries is the
+    multi-process scaling win.
+
+    Achieved RPS and the *server-side* p99 (from the aggregated
+    fixed-bucket histograms) land in ``timings`` via the extra-timings
+    side channel.  The byte-gated ``results`` anchor is a local,
+    deterministic ``adder:8``/pareto synthesis -- socket timings must
+    never leak into the compare gate.
+    """
+    import http.client
+    from concurrent.futures import ThreadPoolExecutor
+
+    #: Distinct CPU-heavy requests (no duplicates): coalescing and
+    #: store hits are the *other* workloads' story; this pair measures
+    #: how engine throughput scales with worker *processes*.  All
+    #: eight share one session key (spec is not a session parameter),
+    #: so within a worker they serialize on the session lock -- the
+    #: pure-Python engine is GIL-bound anyway -- and the 1w->2w delta
+    #: is the process-scale-out win.  keep_all with a cap keeps each
+    #: request heavy enough (~0.5 s) that engine time dominates the
+    #: per-process cache fill.
+    mix = [f"adder:{width}" for width in range(6, 14)]
+    mix_controls = {"filter": "keep_all", "max_combinations": 1500}
+
+    def post(port: int, body: Dict) -> int:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+        try:
+            conn.request("POST", "/synthesize", body=json.dumps(body))
+            response = conn.getresponse()
+            response.read()
+            return response.status
+        finally:
+            conn.close()
+
+    def fetch_metrics(port: int) -> Dict:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            conn.request("GET", "/metrics")
+            return json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+
+    def drive(workers: int):
+        from repro.fleet import FleetRouter, FleetService
+        from repro.serve import histogram_quantile
+
+        fleet = FleetService(workers=workers, store=None, node_store=None)
+        router = FleetRouter(fleet, port=0)
+        handle = router.run_in_thread()
+        try:
+            requests = [{"spec": spec, **mix_controls} for spec in mix]
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                statuses = list(pool.map(
+                    lambda body: post(handle.port, body), requests))
+            elapsed = time.perf_counter() - start
+            if statuses != [200] * len(requests):
+                raise RuntimeError(
+                    f"serve_throughput_{workers}w: statuses {statuses}")
+            metrics = fetch_metrics(handle.port)
+            histogram = metrics["latency_histograms"].get("/synthesize", {})
+            _LAST_EXTRA_TIMINGS.update({
+                "serve_workers": workers,
+                "serve_requests": len(requests),
+                "serve_achieved_rps": len(requests) / elapsed,
+                "serve_wall_seconds": elapsed,
+                "serve_p99_seconds": histogram_quantile(
+                    histogram.get("counts", []), 0.99),
+                "serve_engine_evaluations": metrics["engine_evaluations"],
+            })
+        finally:
+            handle.stop()
+        # The deterministic results anchor (never from the sockets).
+        session = Session(library="lsi_logic", perf_filter="pareto")
+        job = session.synthesize(adder_spec(8))
+        _note_combinations(session)
+        return job
+
+    return [("serve_throughput_1w", lambda: drive(1)),
+            ("serve_throughput_2w", lambda: drive(2))]
+
+
 def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
     times: List[float] = []
+    extras: List[Dict] = []
     result = None
     for _ in range(max(1, repeats)):
         _LAST_COMBINATIONS[0] = 0
+        _LAST_EXTRA_TIMINGS.clear()
         start = time.perf_counter()
         result = thunk()
         times.append(time.perf_counter() - start)
+        extras.append(dict(_LAST_EXTRA_TIMINGS))
     combinations = _LAST_COMBINATIONS[0]
     points = [(alt.area, alt.delay) for alt in result.alternatives]
     results = {
@@ -295,6 +395,9 @@ def _run_workload(thunk: Callable, repeats: int) -> Tuple[Dict, Dict]:
         "combinations_per_sec": (
             combinations / best if combinations and best > 0 else 0.0),
     }
+    # Extra timings keys from the best repeat (the serve workloads'
+    # achieved RPS / server-side p99 ride along here).
+    timings.update(extras[times.index(best)])
     return results, timings
 
 

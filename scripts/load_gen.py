@@ -1,0 +1,268 @@
+"""Open-loop load generator for ``repro serve`` / ``repro fleet``.
+
+Fires ``POST /synthesize`` requests at a *target* RPS on a fixed
+schedule -- open-loop: a slow server does not slow the arrival rate,
+it grows the in-flight queue, which is what makes saturation visible
+-- cycling through a request mix, then reports:
+
+- achieved RPS (completions over the driving window), error counts;
+- client-side latency p50/p90/p99 (nearest-rank over all completions);
+- server-side p50/p90/p99 for ``/synthesize`` from the service's
+  fixed-bucket latency histograms (``GET /metrics`` deltas) -- on a
+  fleet these aggregate every worker;
+- hit ratios from the ``/metrics`` counter deltas: how much of the
+  offered load was served by the store, coalesced onto in-flight
+  duplicates, or actually evaluated.
+
+Stdlib only.  Usage::
+
+    PYTHONPATH=src python scripts/load_gen.py \
+        --url http://127.0.0.1:8473 --rps 20 --duration 10 \
+        --mix adder:8,counter:8,mux:8 --filter pareto
+
+Exits 1 when nothing completed successfully, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+DEFAULT_MIX = "adder:8,counter:8,mux:8"
+
+
+def percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values`` (q in [0, 1])."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), int(round(q * len(ordered) + 0.5))))
+    return ordered[rank - 1]
+
+
+def histogram_quantile(counts: List[int], q: float,
+                       buckets: List[float]) -> Optional[float]:
+    """The q-quantile upper bound from fixed-bucket histogram counts
+    (mirrors :func:`repro.serve.histogram_quantile`; duplicated so the
+    load generator works against a remote service with no repro
+    package installed)."""
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank and count:
+            return buckets[min(i, len(buckets) - 1)]
+    return buckets[-1]
+
+
+def request(host: str, port: int, method: str, path: str,
+            body: Optional[Dict] = None,
+            timeout: float = 300.0) -> Tuple[int, bytes]:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def fetch_metrics(host: str, port: int) -> Optional[Dict]:
+    try:
+        status, payload = request(host, port, "GET", "/metrics",
+                                  timeout=30.0)
+        if status != 200:
+            return None
+        return json.loads(payload)
+    except (OSError, ValueError):
+        return None
+
+
+def synthesize_histogram(metrics: Optional[Dict]) -> Tuple[List[int],
+                                                           List[float]]:
+    hist = (metrics or {}).get("latency_histograms", {}).get(
+        "/synthesize", {})
+    return list(hist.get("counts", [])), list(hist.get("le_seconds", []))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="load_gen",
+        description="Open-loop load generator for the repro synthesis "
+                    "service (serve or fleet).")
+    parser.add_argument("--url", default="http://127.0.0.1:8473",
+                        help="service base URL "
+                             "(default: http://127.0.0.1:8473)")
+    parser.add_argument("--rps", type=float, default=10.0,
+                        help="target request rate (default: 10)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="driving window in seconds (default: 10)")
+    parser.add_argument("--mix", default=DEFAULT_MIX,
+                        help="comma-separated spec shorthands cycled "
+                             f"per request (default: {DEFAULT_MIX})")
+    parser.add_argument("--filter", default="pareto", dest="perf_filter",
+                        help="performance filter sent with every request "
+                             "(default: pareto)")
+    parser.add_argument("--max-combinations", type=int, default=None,
+                        help="per-request combination cap (optional)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request timeout seconds (default: 300)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="client thread pool size (default: "
+                             "min(256, 4 * rps), at least 8)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    parsed = urlparse(args.url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    mix = [spec.strip() for spec in args.mix.split(",") if spec.strip()]
+    if not mix or args.rps <= 0 or args.duration <= 0:
+        print("load_gen: need a non-empty --mix and positive "
+              "--rps/--duration", file=sys.stderr)
+        return 2
+
+    bodies = []
+    for spec in mix:
+        body = {"spec": spec, "filter": args.perf_filter}
+        if args.max_combinations is not None:
+            body["max_combinations"] = args.max_combinations
+        bodies.append(body)
+
+    before = fetch_metrics(host, port)
+    if before is None:
+        print(f"load_gen: cannot reach {args.url} (GET /metrics failed)",
+              file=sys.stderr)
+        return 2
+
+    total = max(1, int(args.rps * args.duration))
+    workers = args.concurrency or max(8, min(256, int(4 * args.rps)))
+    latencies: List[float] = []
+    statuses: Dict[int, int] = {}
+    errors = 0
+
+    def one(body: Dict) -> None:
+        nonlocal errors
+        started = time.perf_counter()
+        try:
+            status, _ = request(host, port, "POST", "/synthesize", body,
+                                timeout=args.timeout)
+        except OSError:
+            errors += 1
+            return
+        elapsed = time.perf_counter() - started
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == 200:
+            latencies.append(elapsed)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = []
+        for i in range(total):
+            # Open loop: fire at the scheduled instant no matter how
+            # many earlier requests are still in flight.
+            target = start + i / args.rps
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(one, bodies[i % len(bodies)]))
+        for future in futures:
+            future.result()
+    elapsed = time.perf_counter() - start
+    after = fetch_metrics(host, port)
+
+    completed = len(latencies)
+    summary: Dict[str, object] = {
+        "url": args.url,
+        "target_rps": args.rps,
+        "offered": total,
+        "completed_200": completed,
+        "errors": errors + sum(count for status, count in statuses.items()
+                               if status != 200),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "achieved_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "client_latency_seconds": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+        },
+    }
+
+    if after is not None:
+        delta = {
+            key: after.get(key, 0) - before.get(key, 0)
+            for key in ("engine_evaluations", "store_hits", "coalesced",
+                        "store_misses")
+        }
+        served = sum(delta[key] for key in
+                     ("engine_evaluations", "store_hits", "coalesced"))
+        summary["metrics_delta"] = delta
+        summary["hit_ratios"] = {
+            "store": delta["store_hits"] / served if served else 0.0,
+            "coalesced": delta["coalesced"] / served if served else 0.0,
+            "engine": (delta["engine_evaluations"] / served
+                       if served else 0.0),
+        }
+        counts_after, buckets = synthesize_histogram(after)
+        counts_before, _ = synthesize_histogram(before)
+        counts = [c - (counts_before[i] if i < len(counts_before) else 0)
+                  for i, c in enumerate(counts_after)]
+        if buckets:
+            summary["server_latency_seconds"] = {
+                "p50": histogram_quantile(counts, 0.50, buckets),
+                "p90": histogram_quantile(counts, 0.90, buckets),
+                "p99": histogram_quantile(counts, 0.99, buckets),
+            }
+        fleet = after.get("fleet")
+        if fleet is not None:
+            summary["fleet"] = {
+                "workers_routed": [worker["routed"]
+                                   for worker in fleet["workers"]],
+                "worker_restarts": fleet["worker_restarts"],
+                "unrouted_503": fleet["unrouted_503"],
+            }
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"load_gen: {args.url}  target {args.rps:g} rps for "
+              f"{args.duration:g}s")
+        print(f"  offered {total}, completed {completed}, "
+              f"errors {summary['errors']}, "
+              f"achieved {summary['achieved_rps']:.1f} rps")
+        client = summary["client_latency_seconds"]
+        if client["p50"] is not None:
+            print(f"  client latency  p50 {client['p50'] * 1e3:.1f}ms  "
+                  f"p90 {client['p90'] * 1e3:.1f}ms  "
+                  f"p99 {client['p99'] * 1e3:.1f}ms")
+        server = summary.get("server_latency_seconds")
+        if server and server.get("p50") is not None:
+            print(f"  server latency  p50 <={server['p50'] * 1e3:.1f}ms  "
+                  f"p90 <={server['p90'] * 1e3:.1f}ms  "
+                  f"p99 <={server['p99'] * 1e3:.1f}ms")
+        ratios = summary.get("hit_ratios")
+        if ratios:
+            print(f"  served by: engine {ratios['engine']:.0%}, "
+                  f"store {ratios['store']:.0%}, "
+                  f"coalesced {ratios['coalesced']:.0%}")
+        fleet = summary.get("fleet")
+        if fleet:
+            print(f"  fleet: routed {fleet['workers_routed']}, "
+                  f"restarts {fleet['worker_restarts']}, "
+                  f"503s {fleet['unrouted_503']}")
+    return 0 if completed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

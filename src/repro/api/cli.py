@@ -174,6 +174,50 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="serve without the per-node option cache")
     serve.add_argument("--workers", type=int, default=2, metavar="N",
                        help="engine executor threads (default: 2)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="on SIGTERM/SIGINT, wait up to S seconds for "
+                            "in-flight requests before closing the stores "
+                            "and exiting (default: 10)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-worker serving tier (router + N serve workers)",
+        description="Spawn and supervise N 'repro serve' worker processes "
+                    "sharing one store, and route POST /synthesize by "
+                    "consistent hashing so identical requests land on the "
+                    "same worker (coalescing stays exact fleet-wide).  "
+                    "POST /batch is split per item; GET /metrics "
+                    "aggregates every worker plus the router's own "
+                    "counters.  Crashed workers restart with backoff; "
+                    "SIGTERM drains the router, then the workers.",
+    )
+    fleet.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="router bind address (default: 127.0.0.1)")
+    fleet.add_argument("--port", type=int, default=None, metavar="N",
+                       help="router TCP port (default: 8473; 0 = ephemeral); "
+                            "workers always bind ephemeral local ports")
+    fleet.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes to spawn (default: 2)")
+    _add_engine_args(fleet)
+    _add_store_arg(fleet, default="default",
+                   help_suffix=" shared by every worker (default: the "
+                               "shared on-disk store)")
+    fleet.add_argument("--no-store", action="store_true",
+                       help="serve without any persistent store")
+    _add_node_store_arg(fleet, default="auto",
+                        help_suffix=" (default: auto = the nodes table "
+                                    "in the result store's file)")
+    fleet.add_argument("--no-node-store", action="store_true",
+                       help="serve without the per-node option cache")
+    fleet.add_argument("--engine-workers", type=int, default=2, metavar="N",
+                       help="engine executor threads per worker "
+                            "(default: 2)")
+    fleet.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="on SIGTERM/SIGINT, wait up to S seconds for "
+                            "in-flight requests before stopping the "
+                            "workers (default: 10)")
 
     warm = sub.add_parser(
         "warm",
@@ -232,7 +276,8 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what", nargs="?", default="all",
         choices=["all", "libraries", "rulebases", "filters", "emitters",
-                 "specs", "orders", "stores", "node_stores"],
+                 "specs", "orders", "stores", "node_stores",
+                 "store_schemes"],
         help="which registry to show (default: all)")
     return parser
 
@@ -356,12 +401,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_server(
             host=args.host, port=port, store=store, node_store=node_store,
             defaults=defaults, engine_workers=args.workers,
+            drain_timeout=args.drain_timeout,
         ))
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} serve: {error}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         print(f"{PROG} serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fleet import FleetError, run_fleet
+    from repro.serve import DEFAULT_PORT
+
+    store = None if args.no_store else args.store
+    node_store = None if args.no_node_store else args.node_store
+    defaults = {
+        "library": args.library,
+        "rulebase": args.rulebase,
+        "filter": args.perf_filter,
+        "order": args.order,
+        "max_combinations": args.max_combinations,
+        "batch": args.batch,
+    }
+    port = args.port if args.port is not None else DEFAULT_PORT
+    if args.workers < 1:
+        print(f"{PROG} fleet: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(run_fleet(
+            host=args.host, port=port, workers=args.workers,
+            store=store, node_store=node_store, defaults=defaults,
+            engine_workers=args.engine_workers,
+            drain_timeout=args.drain_timeout,
+        ))
+    except (FleetError, KeyError, OSError, ValueError) as error:
+        print(f"{PROG} fleet: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"{PROG} fleet: shutting down", file=sys.stderr)
     return 0
 
 
@@ -580,6 +661,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "orders": registry.ORDERS,
         "stores": registry.STORES,
         "node_stores": registry.NODE_STORES,
+        "store_schemes": registry.STORE_SCHEMES,
     }
     selected = sections if args.what == "all" else {args.what: sections[args.what]}
     blocks = []
@@ -603,6 +685,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_synth(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "warm":
         return _cmd_warm(args)
     if args.command == "cache":

@@ -185,6 +185,19 @@ STORES = Registry("store", "() -> ResultStore")
 #: per-process SQLite, for tests and opt-out serving).
 NODE_STORES = Registry("node store", "() -> NodeStore")
 
+#: Store backend URL schemes (see :mod:`repro.store.backend`).  One
+#: registry serves result stores *and* node stores: the factory
+#: convention is ``(rest: str, url: str, kind: str) -> backend`` where
+#: ``rest`` is everything after ``scheme:``, ``url`` is the full
+#: designator (for error messages), and ``kind`` is ``"results"`` or
+#: ``"nodes"`` -- so one URL (``sqlite:///path``) designates whichever
+#: cache the call site wants, and both kinds can co-locate.  Built-ins:
+#: ``sqlite`` (the default file backend) and ``memory`` (ephemeral).
+#: Third-party backends register a scheme here and become usable as
+#: ``--store scheme://...`` everywhere with no engine changes.
+STORE_SCHEMES = Registry("store URL scheme",
+                         "(rest, url, kind: 'results'|'nodes') -> backend")
+
 #: S1 enumeration orders for the streaming combiner.  Factory
 #: convention: ``() -> Optional[callable]`` returning a function that
 #: reorders one option list (``None`` = keep list order).  Third-party
@@ -318,6 +331,40 @@ def _register_builtins() -> None:
         "memory", _memory_node_store,
         description="ephemeral in-process SQLite node cache (tests)")
 
+    def _sqlite_scheme(rest, url, kind):
+        from repro.store import ResultStore, sqlite_url_path
+
+        try:
+            path = sqlite_url_path(rest, url)
+        except ValueError as error:
+            raise RegistryError(str(error)) from None
+        if kind == "nodes":
+            from repro.nodestore import NodeStore
+
+            return NodeStore(path)
+        return ResultStore(path)
+
+    def _memory_scheme(rest, url, kind):
+        if rest not in ("", "//"):
+            raise RegistryError(
+                f"store URL {url!r} is malformed: the memory scheme "
+                f"takes no path (use 'memory:')")
+        if kind == "nodes":
+            from repro.nodestore import NodeStore
+
+            return NodeStore(":memory:")
+        from repro.store import ResultStore
+
+        return ResultStore(":memory:")
+
+    STORE_SCHEMES.register(
+        "sqlite", _sqlite_scheme,
+        description="one SQLite file (sqlite:///abs/path.sqlite or "
+                    "sqlite://relative.sqlite); the default backend")
+    STORE_SCHEMES.register(
+        "memory", _memory_scheme,
+        description="ephemeral per-process SQLite (memory:)")
+
     SPECS.register("adder", adder_spec, description="n-bit binary adder")
     SPECS.register("alu", alu_spec,
                    description="n-bit 16-function ALU (paper Figure 3)")
@@ -363,16 +410,46 @@ def create_rulebase(spec: Any, library) -> Any:
     return spec
 
 
+def _create_from_url(spec: str, kind: str, names: "Registry"):
+    """Resolve a URL-style store designator through
+    :data:`STORE_SCHEMES`, or return ``None`` when ``spec`` is not a
+    URL at all (a bare name or path -- the caller's business).
+
+    An *unknown scheme* and a *malformed URL* both raise
+    :class:`RegistryError` listing the registered schemes and names --
+    the same exit-2 contract bare-name typos get from the CLI."""
+    from repro.store import parse_store_url
+
+    url = parse_store_url(spec)
+    if url is None:
+        return None
+    scheme, rest = url
+    try:
+        factory = STORE_SCHEMES.get(scheme)
+    except RegistryError:
+        raise RegistryError(
+            f"unknown {names.kind} URL scheme {scheme!r} in {spec!r}; "
+            f"registered schemes: {', '.join(STORE_SCHEMES.names())} "
+            f"(registered {names.kind} names: {', '.join(names.names())})"
+        ) from None
+    return factory(rest, spec, kind)
+
+
 def create_store(spec: Any):
     """Resolve a result-store designator: ``None`` means no store, a
-    ``ResultStore`` passes through, a registered name (``"default"``,
-    ``"memory"``) is looked up in :data:`STORES`, and any other
-    string/path (or ``True`` for the default location) opens that
-    SQLite file directly."""
+    ``StoreBackend`` passes through, a registered name (``"default"``,
+    ``"memory"``) is looked up in :data:`STORES`, a URL
+    (``sqlite:///path``, ``memory:``) resolves through
+    :data:`STORE_SCHEMES`, and any other string/path (or ``True`` for
+    the default location) opens that SQLite file directly."""
     if spec is None:
         return None
-    if isinstance(spec, str) and spec in STORES:
-        return STORES.create(spec)
+    if isinstance(spec, str):
+        backend = _create_from_url(spec, "results", STORES)
+        if backend is not None:
+            return backend
+        if spec in STORES:
+            return STORES.create(spec)
     from repro.store import open_store
 
     return open_store(spec)
@@ -380,16 +457,21 @@ def create_store(spec: Any):
 
 def create_node_store(spec: Any):
     """Resolve a node-store designator: ``None`` means no node cache, a
-    ``NodeStore`` passes through, a registered name (``"default"``,
-    ``"memory"``) is looked up in :data:`NODE_STORES`, and any other
-    string/path (or ``True`` for the default location) opens the
-    ``nodes`` table in that SQLite file directly -- which may be, and
-    by default is, the same file a :class:`~repro.store.ResultStore`
-    uses."""
+    ``NodeStoreBackend`` passes through, a registered name
+    (``"default"``, ``"memory"``) is looked up in :data:`NODE_STORES`,
+    a URL (``sqlite:///path``, ``memory:``) resolves through
+    :data:`STORE_SCHEMES`, and any other string/path (or ``True`` for
+    the default location) opens the ``nodes`` table in that SQLite
+    file directly -- which may be, and by default is, the same file a
+    :class:`~repro.store.ResultStore` uses."""
     if spec is None:
         return None
-    if isinstance(spec, str) and spec in NODE_STORES:
-        return NODE_STORES.create(spec)
+    if isinstance(spec, str):
+        backend = _create_from_url(spec, "nodes", NODE_STORES)
+        if backend is not None:
+            return backend
+        if spec in NODE_STORES:
+            return NODE_STORES.create(spec)
     from repro.nodestore import open_node_store
 
     return open_node_store(spec)

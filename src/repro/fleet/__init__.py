@@ -1,0 +1,49 @@
+"""``repro.fleet`` -- the multi-worker serving tier.
+
+A front router over N supervised ``repro serve`` worker processes:
+``python -m repro fleet --workers N --port P`` shards ``POST
+/synthesize`` by consistent hashing over the request's routing key
+(identical requests -> same worker, so per-worker coalescing stays
+exact fleet-wide), splits ``POST /batch`` per item, aggregates worker
+``GET /metrics`` under one endpoint, restarts crashed workers with
+backoff, and drains gracefully on SIGTERM.  Stdlib only; same HTTP
+conventions as :mod:`repro.serve`.
+
+Embedding::
+
+    from repro.fleet import FleetRouter, FleetService
+
+    fleet = FleetService(workers=2, store=store_path)
+    router = FleetRouter(fleet, port=0)
+    handle = router.run_in_thread()     # bound port: handle.port
+    ...
+    handle.stop()
+"""
+
+from repro.fleet.router import (
+    BACKOFF_BASE,
+    BACKOFF_MAX,
+    VNODES,
+    FleetError,
+    FleetRouter,
+    FleetService,
+    HashRing,
+    WorkerHandle,
+    aggregate_metrics,
+    routing_key,
+    run_fleet,
+)
+
+__all__ = [
+    "BACKOFF_BASE",
+    "BACKOFF_MAX",
+    "VNODES",
+    "FleetError",
+    "FleetRouter",
+    "FleetService",
+    "HashRing",
+    "WorkerHandle",
+    "aggregate_metrics",
+    "routing_key",
+    "run_fleet",
+]

@@ -1,0 +1,839 @@
+"""The fleet router: one front door over N ``repro serve`` workers.
+
+``python -m repro fleet --workers N`` spawns N ``repro serve``
+processes on ephemeral local ports -- all sharing one result/node
+store file -- and serves the same four endpoints in front of them:
+
+- ``POST /synthesize`` is routed by *consistent hashing* over the
+  request's routing key (the canonical form of exactly the fields that
+  enter the store fingerprint: session parameters plus the request
+  itself).  Identical requests therefore always land on the same
+  worker, so the worker's in-flight coalescing stays exact across the
+  whole fleet: N concurrent duplicates anywhere still trigger exactly
+  one engine evaluation.  The original body bytes are forwarded
+  untouched, so worker-side fingerprints -- and response bodies -- are
+  byte-identical to a direct single-process run.
+- ``POST /batch`` is split per item, each routed to its owning worker
+  concurrently, and reassembled into the exact ``{"jobs": [...]}``
+  bytes a single worker would have produced.
+- ``GET /metrics`` aggregates every live worker's counters (sums;
+  element-wise sums for the fixed-bucket latency histograms, which is
+  why the buckets are fixed) and adds the router's own counters:
+  per-worker routed requests, worker restarts, rejected requests, and
+  the router's in-flight queue depth.
+- ``GET /healthz`` reports per-worker liveness.
+
+Supervision: a crashed worker is restarted with exponential backoff
+and -- because the hash ring's points are a pure function of the slot
+index -- re-owns exactly its old shard when it comes back; while it is
+down, lookups walk the ring to the next *live* slot, so only the dead
+slot's keys remap.  503 is returned only when no live worker owns the
+shard (every worker down or restarting).
+
+SIGTERM/SIGINT drain the router's in-flight requests (bounded by
+``--drain-timeout``), then SIGTERM the workers so each drains and
+closes its stores cleanly.
+
+Everything is stdlib, same HTTP conventions as :mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import re
+import sys
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.serve.server import (
+    DEFAULT_PORT,
+    LATENCY_BUCKETS,
+    MAX_BODY_BYTES,
+    SESSION_PARAMS,
+    Metrics,
+    ReproServer,
+    ServeError,
+    ServerThread,
+    install_signal_handlers,
+)
+
+#: The worker ready line (what ``repro serve`` prints on startup).
+READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+#: Virtual nodes per worker slot: enough that shard sizes are within a
+#: few percent of uniform for small fleets, cheap enough that ring
+#: construction stays trivial.
+VNODES = 64
+
+#: Restart backoff: ``base * 2**consecutive_failures`` seconds,
+#: capped.  A worker that comes back healthy resets the failure count.
+BACKOFF_BASE = 0.5
+BACKOFF_MAX = 10.0
+
+#: The engine can legitimately take minutes on a cold wide request.
+REQUEST_TIMEOUT = 600.0
+
+WORKER_READY_TIMEOUT = 60.0
+
+_NAME_PARAMS = ("library", "rulebase", "filter", "order")
+_REQUEST_FIELDS = ("spec", "legend", "generator", "params", "label")
+
+#: Session-parameter defaults mirrored from
+#: :class:`repro.serve.server.SynthesisService` -- the router must
+#: normalize a request exactly the way a worker will, so a request
+#: that *spells out* a default routes to the same shard as one that
+#: omits it.
+_BASE_DEFAULTS: Dict[str, Any] = {
+    "library": "lsi_logic",
+    "rulebase": None,
+    "filter": "pareto",
+    "order": None,
+    "max_combinations": None,
+    "batch": None,
+}
+
+
+class FleetError(Exception):
+    """A fleet-level startup or supervision failure."""
+
+
+def routing_key(body: Dict[str, Any],
+                defaults: Optional[Dict[str, Any]] = None) -> str:
+    """The consistent-hashing key for one ``/synthesize`` body.
+
+    Canonicalizes exactly the fields that enter the store fingerprint
+    -- the session parameters (defaults applied, registry names
+    canonicalized the way :class:`~repro.api.registry.Registry` does)
+    plus the request fields -- so two requests that an individual
+    worker would coalesce always hash to the same worker.  This is a
+    *routing* key, not the store fingerprint itself: it never loads a
+    library or rulebase, so the router stays library-blind and
+    forwards the original bytes untouched.
+    """
+    params = dict(_BASE_DEFAULTS)
+    if defaults:
+        params.update(defaults)
+    for key in SESSION_PARAMS:
+        if key in body:
+            params[key] = body[key]
+    normalized: Dict[str, Any] = {}
+    for key in SESSION_PARAMS:
+        value = params.get(key)
+        if key in _NAME_PARAMS and isinstance(value, str):
+            value = value.strip().lower().replace("-", "_")
+        if key == "max_combinations" and value is not None:
+            try:
+                value = int(value)
+            except (TypeError, ValueError):
+                pass  # the worker will 400 it; route it anywhere stable
+        normalized[key] = value
+    request_fields = {
+        key: body.get(key) for key in _REQUEST_FIELDS if key in body
+    }
+    blob = json.dumps(
+        {"request": request_fields, "session": normalized},
+        sort_keys=True, separators=(",", ":"), default=repr,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class HashRing:
+    """Consistent hashing over worker *slot indices*.
+
+    Every slot contributes :data:`VNODES` points that are a pure
+    function of the slot index -- never of the process or port -- so a
+    restarted worker re-owns exactly the shard its predecessor had.
+    Lookups walk clockwise to the first **live** slot: while a slot is
+    down only its own keys remap (to their clockwise successors); the
+    rest of the keyspace does not move.
+    """
+
+    def __init__(self, slots: int, vnodes: int = VNODES) -> None:
+        if slots < 1:
+            raise ValueError("a hash ring needs at least one slot")
+        self.slots = slots
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for slot in range(slots):
+            for v in range(vnodes):
+                digest = hashlib.sha256(
+                    f"repro-fleet:slot={slot}:vnode={v}".encode("ascii")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), slot))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    def owner(self, key: str,
+              live: Optional[Set[int]] = None) -> Optional[int]:
+        """The slot owning hex ``key``, restricted to ``live`` slots
+        (None = all slots live).  None when no live slot exists."""
+        if live is not None and not live:
+            return None
+        point = int(key[:16], 16)
+        count = len(self._points)
+        start = bisect.bisect_right(self._keys, point) % count
+        if live is None:
+            return self._points[start][1]
+        for i in range(count):
+            slot = self._points[(start + i) % count][1]
+            if slot in live:
+                return slot
+        return None
+
+
+class WorkerHandle:
+    """One supervised ``repro serve`` subprocess."""
+
+    def __init__(self, slot: int, argv: List[str],
+                 env: Dict[str, str]) -> None:
+        self.slot = slot
+        self.argv = argv
+        self.env = env
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.ready = False
+        self.restarts = 0       # lifetime restarts (metrics)
+        self.failures = 0       # consecutive failures (backoff)
+        self.log_lines: "deque[str]" = deque(maxlen=200)
+        self._drain_task: Optional[asyncio.Task] = None
+
+    async def spawn(self, timeout: float = WORKER_READY_TIMEOUT) -> None:
+        """Start the subprocess and wait for its ready line."""
+        self.ready = False
+        self.proc = await asyncio.create_subprocess_exec(
+            *self.argv, env=self.env,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        try:
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise FleetError(
+                        f"worker {self.slot} did not report a listening "
+                        f"address within {timeout:.0f}s")
+                try:
+                    line = await asyncio.wait_for(
+                        self.proc.stdout.readline(), timeout=remaining)
+                except (asyncio.TimeoutError, TimeoutError):
+                    continue
+                if not line:
+                    raise FleetError(
+                        f"worker {self.slot} exited before becoming ready "
+                        f"(rc={self.proc.returncode}):\n" + self.log())
+                text = line.decode("utf-8", errors="replace").rstrip()
+                self.log_lines.append(text)
+                match = READY_PATTERN.search(text)
+                if match:
+                    self.host = match.group(1)
+                    self.port = int(match.group(2))
+                    break
+        except FleetError:
+            self.terminate()
+            raise
+        self.ready = True
+        # Keep draining stdout so the pipe never fills and the last
+        # lines are available for crash reports.
+        self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        assert self.proc is not None
+        while True:
+            line = await self.proc.stdout.readline()
+            if not line:
+                break
+            self.log_lines.append(
+                line.decode("utf-8", errors="replace").rstrip())
+
+    def log(self) -> str:
+        return "\n".join(self.log_lines)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    def terminate(self) -> None:
+        if self.alive:
+            try:
+                self.proc.terminate()
+            except ProcessLookupError:
+                pass
+
+    def kill(self) -> None:
+        if self.alive:
+            try:
+                self.proc.kill()
+            except ProcessLookupError:
+                pass
+
+
+async def _http_request(host: str, port: int, method: str, path: str,
+                        body: bytes = b"",
+                        timeout: float = REQUEST_TIMEOUT
+                        ) -> Tuple[int, Dict[str, str], bytes]:
+    """One ``Connection: close`` HTTP exchange against a worker."""
+
+    async def exchange() -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    f"Content-Type: application/json; charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.split(None, 2)
+            if len(parts) < 2:
+                raise ConnectionError("malformed status line from worker")
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = headers.get("content-length")
+            if length is not None:
+                payload = await reader.readexactly(int(length))
+            else:
+                payload = await reader.read()
+            return status, headers, payload
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(exchange(), timeout=timeout)
+
+
+def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fleet-wide metrics from N worker ``/metrics`` payloads.
+
+    Counters sum; ``uptime_seconds`` and latency maxima take the max;
+    the fixed-bucket latency histograms sum element-wise (valid
+    *because* every worker cuts at the same
+    :data:`~repro.serve.server.LATENCY_BUCKETS` edges); the latency
+    mean is recomputed from the summed totals.  Pure function -- unit
+    tests feed it synthetic payloads."""
+    summed = ("requests_total", "engine_evaluations", "store_hits",
+              "store_misses", "jobs_run", "coalesced", "in_flight",
+              "sessions")
+    agg: Dict[str, Any] = {key: 0 for key in summed}
+    agg["uptime_seconds"] = 0.0
+    by_endpoint: Dict[str, int] = {}
+    by_status: Dict[str, int] = {}
+    node = {"hits": 0, "misses": 0, "published": 0, "errors": 0,
+            "hot_entries": 0}
+    latency = {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+    histograms: Dict[str, Dict[str, List]] = {}
+    for payload in payloads:
+        for key in summed:
+            agg[key] += payload.get(key, 0)
+        agg["uptime_seconds"] = max(
+            agg["uptime_seconds"], payload.get("uptime_seconds", 0.0))
+        for source, target in (
+            (payload.get("requests_by_endpoint", {}), by_endpoint),
+            (payload.get("responses_by_status", {}), by_status),
+        ):
+            for key, value in source.items():
+                target[key] = target.get(key, 0) + value
+        for key in node:
+            node[key] += payload.get("node_cache", {}).get(key, 0)
+        worker_latency = payload.get("latency", {})
+        latency["count"] += worker_latency.get("count", 0)
+        latency["total_seconds"] += worker_latency.get("total_seconds", 0.0)
+        latency["max_seconds"] = max(
+            latency["max_seconds"], worker_latency.get("max_seconds", 0.0))
+        for endpoint, hist in payload.get("latency_histograms", {}).items():
+            counts = hist.get("counts", [])
+            merged = histograms.setdefault(endpoint, {
+                "le_seconds": list(hist.get("le_seconds",
+                                            LATENCY_BUCKETS)),
+                "counts": [0] * len(counts),
+            })
+            if len(merged["counts"]) < len(counts):
+                merged["counts"].extend(
+                    [0] * (len(counts) - len(merged["counts"])))
+            for i, count in enumerate(counts):
+                merged["counts"][i] += count
+    latency["mean_seconds"] = (latency["total_seconds"] / latency["count"]
+                               if latency["count"] else 0.0)
+    agg["requests_by_endpoint"] = by_endpoint
+    agg["responses_by_status"] = by_status
+    agg["node_cache"] = node
+    agg["latency"] = latency
+    agg["latency_histograms"] = histograms
+    agg["workers_reporting"] = len(payloads)
+    return agg
+
+
+class FleetService:
+    """Worker fleet: spawn/supervise N serve processes, route by
+    consistent hashing, aggregate metrics (transport-agnostic)."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store: Any = "default",
+        node_store: Any = "auto",
+        defaults: Optional[Dict[str, Any]] = None,
+        engine_workers: int = 2,
+        worker_host: str = "127.0.0.1",
+        worker_drain_timeout: float = 10.0,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_max: float = BACKOFF_MAX,
+        request_timeout: float = REQUEST_TIMEOUT,
+        ready_timeout: float = WORKER_READY_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        if store is True:
+            store = "default"
+        if store is not None and not isinstance(store, (str, os.PathLike)):
+            raise TypeError(
+                "a fleet store must be a string designator (name, path, "
+                "or URL) -- workers are separate processes and cannot "
+                "share a live store object")
+        self.store = store
+        self.node_store = node_store
+        self.defaults = dict(_BASE_DEFAULTS)
+        if defaults:
+            self.defaults.update(defaults)
+        self.engine_workers = max(1, engine_workers)
+        self.worker_host = worker_host
+        self.worker_drain_timeout = worker_drain_timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.request_timeout = request_timeout
+        self.ready_timeout = ready_timeout
+        self.metrics = Metrics()  # the router's own HTTP metrics
+        self.ring = HashRing(workers)
+        argv = self._worker_argv()
+        env = self._worker_env()
+        self.workers = [WorkerHandle(slot, argv, env)
+                        for slot in range(workers)]
+        self.routed_by_worker = [0] * workers
+        self.worker_restarts = 0
+        self.unrouted = 0       # 503s: no live worker owned the shard
+        self.proxy_errors = 0   # 502s: owning worker failed mid-request
+        self._supervisors: List[asyncio.Task] = []
+        self._closing = False
+
+    # -- worker plumbing ----------------------------------------------
+    def _worker_argv(self) -> List[str]:
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--host", self.worker_host, "--port", "0",
+                "--workers", str(self.engine_workers),
+                "--drain-timeout", str(self.worker_drain_timeout)]
+        if self.store is None:
+            argv.append("--no-store")
+        else:
+            argv += ["--store", str(self.store)]
+        if self.node_store is None:
+            argv.append("--no-node-store")
+        elif self.node_store != "auto":
+            argv += ["--node-store", str(self.node_store)]
+        d = self.defaults
+        argv += ["--library", str(d["library"]),
+                 "--filter", str(d["filter"])]
+        if d["rulebase"] is not None:
+            argv += ["--rulebase", str(d["rulebase"])]
+        if d["order"] is not None:
+            argv += ["--order", str(d["order"])]
+        if d["max_combinations"] is not None:
+            argv += ["--max-combinations", str(d["max_combinations"])]
+        if d["batch"] is not None:
+            argv += ["--batch", str(d["batch"])]
+        return argv
+
+    @staticmethod
+    def _worker_env() -> Dict[str, str]:
+        # The workers must import the same repro package this process
+        # did, whether it came from PYTHONPATH, an install, or cwd.
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + existing if existing else "")
+        return env
+
+    async def start(self) -> None:
+        results = await asyncio.gather(
+            *(worker.spawn(self.ready_timeout) for worker in self.workers),
+            return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            for worker in self.workers:
+                worker.terminate()
+            raise FleetError(f"fleet startup failed: {failures[0]}")
+        for worker in self.workers:
+            self._supervisors.append(
+                asyncio.ensure_future(self._supervise(worker)))
+
+    async def _supervise(self, worker: WorkerHandle) -> None:
+        """Restart ``worker`` with exponential backoff whenever its
+        process exits -- until the fleet itself is closing."""
+        while not self._closing:
+            if worker.proc is not None:
+                await worker.proc.wait()
+            worker.ready = False
+            if self._closing:
+                return
+            self.worker_restarts += 1
+            worker.restarts += 1
+            delay = min(self.backoff_base * (2 ** worker.failures),
+                        self.backoff_max)
+            worker.failures += 1
+            await asyncio.sleep(delay)
+            if self._closing:
+                return
+            try:
+                await worker.spawn(self.ready_timeout)
+            except (FleetError, OSError):
+                continue  # next iteration backs off longer
+            worker.failures = 0
+
+    def _live_slots(self) -> Set[int]:
+        return {worker.slot for worker in self.workers if worker.ready}
+
+    def _owner(self, key: str) -> Optional[WorkerHandle]:
+        slot = self.ring.owner(key, self._live_slots())
+        return None if slot is None else self.workers[slot]
+
+    async def _proxy(self, worker: WorkerHandle, method: str, path: str,
+                     body: bytes = b""
+                     ) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            return await _http_request(
+                worker.host, worker.port, method, path, body,
+                timeout=self.request_timeout)
+        except (OSError, ConnectionError, ValueError,
+                asyncio.IncompleteReadError) as error:
+            self.proxy_errors += 1
+            raise ServeError(
+                502, f"worker {worker.slot} failed mid-request: "
+                     f"{type(error).__name__}: {error}")
+        except (asyncio.TimeoutError, TimeoutError):
+            self.proxy_errors += 1
+            raise ServeError(
+                502, f"worker {worker.slot} timed out after "
+                     f"{self.request_timeout:.0f}s")
+
+    # -- endpoints -----------------------------------------------------
+    async def synthesize(self, raw: bytes,
+                         body: Dict[str, Any]) -> Tuple[int, bytes, str]:
+        """Route one request to its owning worker; the original bytes
+        are forwarded untouched so worker-side fingerprints (and the
+        response body) match a direct single-process run exactly."""
+        key = routing_key(body, self.defaults)
+        worker = self._owner(key)
+        if worker is None:
+            self.unrouted += 1
+            raise ServeError(
+                503, "no live worker owns this shard (all workers down "
+                     "or restarting); retry shortly")
+        self.routed_by_worker[worker.slot] += 1
+        status, headers, payload = await self._proxy(
+            worker, "POST", "/synthesize", raw)
+        return status, payload, headers.get("x-repro-source", "")
+
+    async def batch(self, body: Dict[str, Any]) -> bytes:
+        """Split a batch per item across owning workers, concurrently,
+        and reassemble the exact bytes one worker's ``/batch`` would
+        have produced (``{"jobs": [...]}``, in request order)."""
+        requests = body.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ServeError(400, "'requests' must be a non-empty list")
+        base = dict(body)
+        base.pop("requests", None)
+
+        async def one(index: int, item: Any) -> Tuple[int, bytes]:
+            if not isinstance(item, dict):
+                raise ServeError(400, f"requests[{index}] must be an object")
+            # Item fields override batch-level fields -- the same merge
+            # a worker's own /batch applies.
+            merged = {**base, **item}
+            raw = json.dumps(merged, sort_keys=True).encode("utf-8")
+            status, payload, _ = await self.synthesize(raw, merged)
+            return status, payload
+
+        results = await asyncio.gather(
+            *(one(i, item) for i, item in enumerate(requests)),
+            return_exceptions=True)
+        # A single worker aborts a batch at the first failing request;
+        # report the lowest-index failure to match those semantics.
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+            status, payload = result
+            if status != 200:
+                try:
+                    message = json.loads(payload).get("error", "")
+                except ValueError:
+                    message = payload.decode("utf-8", errors="replace")
+                raise ServeError(status, message or "worker error")
+        jobs = [json.loads(payload) for _, payload in results]
+        return json.dumps({"jobs": jobs}, indent=2,
+                          sort_keys=True).encode("utf-8")
+
+    # -- introspection -------------------------------------------------
+    def fleet_stats(self) -> Dict[str, Any]:
+        """The router's own counters (the ``fleet`` metrics section)."""
+        return {
+            "workers": [
+                {
+                    "slot": worker.slot,
+                    "port": worker.port,
+                    "ready": worker.ready,
+                    "restarts": worker.restarts,
+                    "routed": self.routed_by_worker[worker.slot],
+                }
+                for worker in self.workers
+            ],
+            "worker_restarts": self.worker_restarts,
+            "routed_total": sum(self.routed_by_worker),
+            "unrouted_503": self.unrouted,
+            "proxy_errors_502": self.proxy_errors,
+            "queue_depth": self.metrics.in_flight,
+            "ring": {"slots": self.ring.slots,
+                     "vnodes": self.ring.vnodes},
+        }
+
+    async def healthz(self) -> Dict[str, Any]:
+        live = self._live_slots()
+        return {
+            "status": "ok" if live else "degraded",
+            "uptime_seconds": time.time() - self.metrics.started,
+            "workers_live": len(live),
+            "workers_total": len(self.workers),
+            "workers": [
+                {"slot": worker.slot, "port": worker.port,
+                 "ready": worker.ready, "restarts": worker.restarts}
+                for worker in self.workers
+            ],
+        }
+
+    async def metrics_payload(self) -> Dict[str, Any]:
+        live = [worker for worker in self.workers if worker.ready]
+
+        async def fetch(worker: WorkerHandle):
+            try:
+                status, _, payload = await self._proxy(
+                    worker, "GET", "/metrics")
+                if status != 200:
+                    return None
+                return json.loads(payload)
+            except (ServeError, ValueError):
+                return None
+
+        payloads = [p for p in await asyncio.gather(
+            *(fetch(worker) for worker in live)) if p is not None]
+        aggregated = aggregate_metrics(payloads)
+        aggregated["fleet"] = self.fleet_stats()
+        return aggregated
+
+    # -- lifecycle -----------------------------------------------------
+    async def stop_workers(self, drain_timeout: float = 10.0) -> None:
+        """SIGTERM every worker (each drains itself and closes its
+        stores), bounded-wait, then SIGKILL stragglers."""
+        self._closing = True
+        for task in self._supervisors:
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(*self._supervisors,
+                                 return_exceptions=True)
+        self._supervisors = []
+        for worker in self.workers:
+            worker.ready = False
+            worker.terminate()
+        waits = [worker.proc.wait() for worker in self.workers
+                 if worker.proc is not None]
+        if waits:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*waits),
+                    timeout=max(1.0, drain_timeout + 5.0))
+            except (asyncio.TimeoutError, TimeoutError):
+                for worker in self.workers:
+                    worker.kill()
+
+    def close(self, close_stores: bool = False) -> None:
+        """Sync best-effort teardown (the embedded/abnormal path; the
+        graceful path is :meth:`stop_workers`).  Workers own their
+        stores, so ``close_stores`` has nothing extra to do here."""
+        self._closing = True
+        for task in self._supervisors:
+            task.cancel()
+        for worker in self.workers:
+            worker.terminate()
+
+
+class FleetRouter(ReproServer):
+    """The HTTP front door: :class:`~repro.serve.server.ReproServer`'s
+    request plumbing with dispatch, lifecycle, and shutdown rebound to
+    a :class:`FleetService`.  Duck-types ReproServer closely enough
+    that :class:`~repro.serve.server.ServerThread` embeds it
+    unchanged."""
+
+    def __init__(self, fleet: FleetService, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT) -> None:
+        # Deliberately NOT calling ReproServer.__init__: the fleet has
+        # no local SynthesisService.  self.service is the FleetService
+        # -- _handle only touches service.metrics, which it provides.
+        self.host = host
+        self.port = port
+        self.fleet = fleet
+        self.service = fleet
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, bytes, str]:
+        fleet = self.fleet
+        if path == "/healthz":
+            if method != "GET":
+                raise ServeError(405, "use GET /healthz")
+            return 200, json.dumps(await fleet.healthz(), indent=2,
+                                   sort_keys=True).encode("utf-8"), ""
+        if path == "/metrics":
+            if method != "GET":
+                raise ServeError(405, "use GET /metrics")
+            return 200, json.dumps(await fleet.metrics_payload(), indent=2,
+                                   sort_keys=True).encode("utf-8"), ""
+        if path == "/synthesize":
+            if method != "POST":
+                raise ServeError(405, "use POST /synthesize")
+            status, payload, source = await fleet.synthesize(
+                body, self._parse_json(body))
+            return status, payload, source
+        if path == "/batch":
+            if method != "POST":
+                raise ServeError(405, "use POST /batch")
+            return 200, await fleet.batch(self._parse_json(body)), ""
+        raise ServeError(
+            404, f"unknown path {path!r}; endpoints: POST /synthesize, "
+                 f"POST /batch, GET /healthz, GET /metrics")
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        await self.fleet.start()
+        try:
+            await super().start()
+        except BaseException:
+            await self.fleet.stop_workers(drain_timeout=1.0)
+            raise
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        await self.fleet.stop_workers(
+            drain_timeout=self.fleet.worker_drain_timeout)
+
+    async def shutdown(self, drain_timeout: float = 10.0,
+                       close_stores: bool = True) -> int:
+        """Graceful stop: close the listener, drain the router's
+        in-flight requests (bounded), then SIGTERM the workers so each
+        runs its own drain and closes its stores.  Returns the requests
+        still in flight when the drain window closed."""
+        loop = asyncio.get_running_loop()
+        if self._server is not None:
+            self._server.close()
+        deadline = loop.time() + max(0.0, drain_timeout)
+        while (self.fleet.metrics.in_flight > 0
+               and loop.time() < deadline):
+            await asyncio.sleep(0.05)
+        remaining = self.fleet.metrics.in_flight
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        await self.fleet.stop_workers(drain_timeout=drain_timeout)
+        return remaining
+
+    def run_in_thread(self) -> ServerThread:
+        handle = ServerThread(self)
+        handle.start()
+        return handle
+
+
+async def run_fleet(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+    store: Any = "default",
+    node_store: Any = "auto",
+    defaults: Optional[Dict[str, Any]] = None,
+    engine_workers: int = 2,
+    ready_message: bool = True,
+    drain_timeout: float = 10.0,
+) -> None:
+    """Run the fleet until cancelled or signalled (the ``repro fleet``
+    entry).  SIGTERM/SIGINT drain the router, then the workers."""
+    fleet = FleetService(
+        workers=workers, store=store, node_store=node_store,
+        defaults=defaults, engine_workers=engine_workers,
+        worker_host=host if host != "0.0.0.0" else "127.0.0.1",
+        worker_drain_timeout=drain_timeout,
+    )
+    router = FleetRouter(fleet, host=host, port=port)
+    await router.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    # Handlers go in *before* the ready line: the ready line is the
+    # signal that it is safe to interact with (and signal) the router.
+    installed = install_signal_handlers(loop, stop.set)
+    if ready_message:
+        ports = ", ".join(str(worker.port) for worker in fleet.workers)
+        print(f"repro fleet: listening on http://{router.host}:"
+              f"{router.port} with {workers} worker(s) "
+              f"(worker ports: {ports}; store: {store})", flush=True)
+    serve_task = asyncio.ensure_future(router.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
+    try:
+        done, _ = await asyncio.wait(
+            {serve_task, stop_task},
+            return_when=asyncio.FIRST_COMPLETED)
+        if serve_task in done:
+            serve_task.result()  # propagate listener failures
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        for task in (serve_task, stop_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        in_flight = fleet.metrics.in_flight
+        if ready_message and in_flight:
+            print(f"repro fleet: draining {in_flight} in-flight "
+                  f"request(s) (up to {drain_timeout:.0f}s)", flush=True)
+        remaining = await router.shutdown(drain_timeout)
+        if ready_message:
+            state = ("drained cleanly" if remaining == 0 else
+                     f"drain timed out with {remaining} request(s) "
+                     f"in flight")
+            print(f"repro fleet: {state}; workers stopped", flush=True)

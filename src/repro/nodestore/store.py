@@ -50,6 +50,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.store.backend import NodeStoreBackend
 from repro.store.fingerprint import spec_token
 from repro.store.store import (
     StoreError,
@@ -97,8 +98,13 @@ def _token_key(token: Any) -> str:
     return json.dumps(token, sort_keys=True, separators=(",", ":"))
 
 
-class NodeStore:
-    """A content-addressed per-node option cache (SQLite + hot tier)."""
+class NodeStore(NodeStoreBackend):
+    """The SQLite :class:`~repro.store.backend.NodeStoreBackend` -- a
+    content-addressed per-node option cache (SQLite + hot tier), the
+    default backend (URL form: ``sqlite:///path``, by default the
+    result store's own file)."""
+
+    scheme = "sqlite"
 
     def __init__(self, path: Union[str, Path, None] = None,
                  hot_entries: int = HOT_TIER_ENTRIES) -> None:
@@ -775,7 +781,7 @@ def open_node_store(spec: Any) -> Optional[NodeStore]:
     here."""
     if spec is None:
         return None
-    if isinstance(spec, NodeStore):
+    if isinstance(spec, NodeStoreBackend):
         return spec
     if spec is True:
         return NodeStore()
@@ -783,5 +789,5 @@ def open_node_store(spec: Any) -> Optional[NodeStore]:
         return NodeStore(spec)
     raise TypeError(
         f"cannot open a node store from {type(spec).__name__}: expected "
-        f"None, True, a path, or a NodeStore"
+        f"None, True, a path, or a NodeStoreBackend"
     )

@@ -20,20 +20,26 @@ Embedding::
 
 from repro.serve.server import (
     DEFAULT_PORT,
+    LATENCY_BUCKETS,
     Metrics,
     ReproServer,
     ServeError,
     ServerThread,
     SynthesisService,
+    histogram_quantile,
+    install_signal_handlers,
     run_server,
 )
 
 __all__ = [
     "DEFAULT_PORT",
+    "LATENCY_BUCKETS",
     "Metrics",
     "ReproServer",
     "ServeError",
     "ServerThread",
     "SynthesisService",
+    "histogram_quantile",
+    "install_signal_handlers",
     "run_server",
 ]

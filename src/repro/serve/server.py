@@ -43,6 +43,7 @@ coalescing, store hits, and multiple sessions.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import json
 import threading
 import time
@@ -75,6 +76,35 @@ MAX_COMBINATIONS_LIMIT = 10_000_000
 KNOWN_ENDPOINTS = frozenset(
     {"/synthesize", "/batch", "/healthz", "/metrics"})
 
+#: Fixed per-endpoint latency histogram bucket bounds (seconds,
+#: ``le`` semantics; one implicit overflow bucket past the last).
+#: *Fixed* is the point: every worker of a fleet cuts at the same
+#: edges, so fleet-level histograms are plain element-wise sums and a
+#: load generator can report *server-side* percentiles across N
+#: workers instead of trusting its own client-side clock.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+def histogram_quantile(counts: List[int], q: float,
+                       buckets: Tuple[float, ...] = LATENCY_BUCKETS
+                       ) -> Optional[float]:
+    """The ``q``-quantile upper bound from histogram ``counts``
+    (``len(buckets) + 1`` entries, the last being overflow), or None
+    when the histogram is empty.  Reports the bucket's upper edge --
+    the conservative, aggregation-stable convention -- and the last
+    finite edge for overflow observations."""
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank and count:
+            return buckets[min(i, len(buckets) - 1)]
+    return buckets[-1]
+
 
 class ServeError(Exception):
     """A client error with an HTTP status."""
@@ -103,6 +133,10 @@ class Metrics:
         self.latency_count = 0
         self.latency_total = 0.0
         self.latency_max = 0.0
+        # Per-endpoint fixed-bucket histograms (endpoint keys are the
+        # bounded KNOWN_ENDPOINTS/"other" set, so this cannot grow per
+        # probed path).
+        self.histograms: Dict[str, List[int]] = {}
 
     def observe(self, endpoint: str, status: int, elapsed: float) -> None:
         self.requests_total += 1
@@ -112,6 +146,11 @@ class Metrics:
         self.latency_count += 1
         self.latency_total += elapsed
         self.latency_max = max(self.latency_max, elapsed)
+        counts = self.histograms.get(endpoint)
+        if counts is None:
+            counts = self.histograms[endpoint] = (
+                [0] * (len(LATENCY_BUCKETS) + 1))
+        counts[bisect.bisect_left(LATENCY_BUCKETS, elapsed)] += 1
 
 
 class SynthesisService:
@@ -429,14 +468,38 @@ class SynthesisService:
                 "mean_seconds": mean,
                 "max_seconds": m.latency_max,
             },
+            # Server-side percentiles for the load generator: fixed
+            # edges (le semantics, seconds; counts has one extra
+            # overflow slot), identical on every worker, so a fleet
+            # aggregates by summing counts element-wise.
+            "latency_histograms": {
+                endpoint: {
+                    "le_seconds": list(LATENCY_BUCKETS),
+                    "counts": list(counts),
+                }
+                for endpoint, counts in sorted(m.histograms.items())
+            },
         }
 
-    def close(self) -> None:
+    def close(self, close_stores: bool = False) -> None:
         # cancel_futures: queued-but-unstarted engine jobs are
         # discarded, so shutdown does not stall behind work nobody
         # will receive (concurrent.futures joins worker threads at
         # interpreter exit).
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if not close_stores:
+            return
+        # The graceful-shutdown path (after the drain): flush and
+        # release the SQLite handles instead of relying on process
+        # teardown.  Best-effort -- a store that cannot close must not
+        # turn a clean drain into a crash.
+        for handle in (self.node_store, self.store):
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except Exception:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -446,7 +509,8 @@ class SynthesisService:
 def _response(status: int, body: bytes, source: str = "") -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 413: "Payload Too Large",
-               422: "Unprocessable Entity", 500: "Internal Server Error"}
+               422: "Unprocessable Entity", 500: "Internal Server Error",
+               502: "Bad Gateway", 503: "Service Unavailable"}
     head = [
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}",
         "Content-Type: application/json; charset=utf-8",
@@ -611,6 +675,33 @@ class ReproServer:
             await self._server.wait_closed()
         self.service.close()
 
+    async def shutdown(self, drain_timeout: float = 10.0,
+                       close_stores: bool = True) -> int:
+        """Graceful stop: close the listener (no new connections),
+        wait -- bounded by ``drain_timeout`` seconds -- for in-flight
+        requests to finish, then release the executor and (by default)
+        the store handles.  Returns how many requests were still in
+        flight when the drain window closed (0 = clean drain)."""
+        loop = asyncio.get_running_loop()
+        if self._server is not None:
+            self._server.close()
+        deadline = loop.time() + max(0.0, drain_timeout)
+        while (self.service.metrics.in_flight > 0
+               and loop.time() < deadline):
+            await asyncio.sleep(0.05)
+        remaining = self.service.metrics.in_flight
+        if self._server is not None:
+            # 3.12+ wait_closed also waits on connection handlers; a
+            # request stuck past the drain window must not stall the
+            # exit, so the wait is bounded too.
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        self.service.close(close_stores=close_stores)
+        return remaining
+
     # -- test/embedding support ----------------------------------------
     def run_in_thread(self) -> "ServerThread":
         """Start the server on a daemon thread running its own event
@@ -688,6 +779,24 @@ class ServerThread:
             self._thread.join(timeout=timeout)
 
 
+def install_signal_handlers(loop: asyncio.AbstractEventLoop,
+                            callback) -> List[int]:
+    """Route SIGTERM/SIGINT to ``callback`` on the event loop; returns
+    the signals actually installed (platforms without
+    ``add_signal_handler`` -- Windows event loops -- get none and keep
+    their default KeyboardInterrupt behavior)."""
+    import signal as signal_module
+
+    installed: List[int] = []
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        try:
+            loop.add_signal_handler(signum, callback)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(signum)
+    return installed
+
+
 async def run_server(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
@@ -696,18 +805,50 @@ async def run_server(
     engine_workers: int = 2,
     ready_message: bool = True,
     node_store: Any = "auto",
+    drain_timeout: float = 10.0,
 ) -> None:
-    """Run the service until cancelled (the ``repro serve`` entry)."""
+    """Run the service until cancelled or signalled (the ``repro
+    serve`` entry).  SIGTERM/SIGINT trigger a *graceful* stop: the
+    listener closes, in-flight requests drain (bounded by
+    ``drain_timeout`` seconds), and the stores close cleanly."""
     server = ReproServer(host=host, port=port, store=store,
                          defaults=defaults, engine_workers=engine_workers,
                          node_store=node_store)
     await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    # Handlers go in *before* the ready line: the ready line is the
+    # signal that it is safe to interact with (and signal) the server.
+    installed = install_signal_handlers(loop, stop.set)
     if ready_message:
         store_path = (server.service.store.path
                       if server.service.store is not None else "disabled")
         print(f"repro serve: listening on http://{server.host}:{server.port} "
               f"(store: {store_path})", flush=True)
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
     try:
-        await server.serve_forever()
+        done, _ = await asyncio.wait(
+            {serve_task, stop_task},
+            return_when=asyncio.FIRST_COMPLETED)
+        if serve_task in done:
+            serve_task.result()  # propagate listener failures
     finally:
-        await server.stop()
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        for task in (serve_task, stop_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        in_flight = server.service.metrics.in_flight
+        if ready_message and in_flight:
+            print(f"repro serve: draining {in_flight} in-flight "
+                  f"request(s) (up to {drain_timeout:.0f}s)", flush=True)
+        remaining = await server.shutdown(drain_timeout)
+        if ready_message:
+            state = ("drained cleanly" if remaining == 0 else
+                     f"drain timed out with {remaining} request(s) "
+                     f"in flight")
+            print(f"repro serve: {state}; stores closed", flush=True)

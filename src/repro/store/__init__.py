@@ -21,6 +21,12 @@ through the CLI: ``repro cache info | list | prune --max-mb N | clear``
 and ``repro warm`` to prefill.
 """
 
+from repro.store.backend import (
+    NodeStoreBackend,
+    StoreBackend,
+    parse_store_url,
+    sqlite_url_path,
+)
 from repro.store.fingerprint import (
     FINGERPRINT_SCHEMA,
     library_digest,
@@ -48,7 +54,11 @@ from repro.store.store import (
 
 __all__ = [
     "FINGERPRINT_SCHEMA",
+    "NodeStoreBackend",
     "PAYLOAD_SCHEMA",
+    "StoreBackend",
+    "parse_store_url",
+    "sqlite_url_path",
     "STORE_ENV",
     "STORE_SCHEMA",
     "ResultStore",

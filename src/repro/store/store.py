@@ -28,6 +28,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.store.backend import StoreBackend
+
 #: Store format version; a mismatch resets the store (it is a cache).
 STORE_SCHEMA = 1
 
@@ -101,8 +103,12 @@ def prune_cache_tables(db, budget_bytes: int) -> Dict[str, int]:
     return {"removed": removed, "payload_bytes": int(total)}
 
 
-class ResultStore:
-    """A content-addressed result store backed by one SQLite file."""
+class ResultStore(StoreBackend):
+    """The SQLite :class:`~repro.store.backend.StoreBackend` -- the
+    default backend, and the reference implementation of the protocol
+    (URL form: ``sqlite:///path``)."""
+
+    scheme = "sqlite"
 
     def __init__(self, path: Union[str, Path, None] = None) -> None:
         self.path = Path(path) if path is not None else default_store_path()
@@ -338,7 +344,7 @@ def open_store(spec: Any) -> Optional[ResultStore]:
     """
     if spec is None:
         return None
-    if isinstance(spec, ResultStore):
+    if isinstance(spec, StoreBackend):
         return spec
     if spec is True:
         return ResultStore()
@@ -346,5 +352,5 @@ def open_store(spec: Any) -> Optional[ResultStore]:
         return ResultStore(spec)
     raise TypeError(
         f"cannot open a result store from {type(spec).__name__}: expected "
-        f"None, True, a path, or a ResultStore"
+        f"None, True, a path, or a StoreBackend"
     )

@@ -1,0 +1,447 @@
+"""The fleet tier: hash ring, routing keys, store-backend URLs,
+metrics aggregation, worker supervision, and graceful drain.
+
+The pure pieces (ring, routing key, aggregation, URL parsing) are
+unit-tested directly.  The end-to-end tests run a real
+:class:`~repro.fleet.FleetRouter` over real worker subprocesses --
+expensive, so one module-scoped fleet is shared and the crash/restart
+test runs last against it."""
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.api import cli, registry
+from repro.fleet import (
+    FleetRouter,
+    FleetService,
+    HashRing,
+    aggregate_metrics,
+    routing_key,
+)
+from repro.serve import LATENCY_BUCKETS, Metrics, ServeError, histogram_quantile
+from repro.store import parse_store_url, sqlite_url_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# store-backend URL designators
+# ---------------------------------------------------------------------------
+
+def test_parse_store_url():
+    assert parse_store_url("sqlite:///tmp/x.sqlite") == ("sqlite",
+                                                         "///tmp/x.sqlite")
+    assert parse_store_url("memory:") == ("memory", "")
+    # Non-URLs stay None: bare names, paths, SQLite's :memory:, and
+    # Windows drive letters must keep resolving as names/paths.
+    assert parse_store_url("default") is None
+    assert parse_store_url("/tmp/x.sqlite") is None
+    assert parse_store_url(":memory:") is None
+    assert parse_store_url("C:/store.sqlite") is None
+
+
+def test_sqlite_url_path_strips_authority_slashes():
+    assert sqlite_url_path("///tmp/x.sqlite", "sqlite:///tmp/x.sqlite") \
+        == "/tmp/x.sqlite"
+    assert sqlite_url_path("relative.sqlite", "sqlite:relative.sqlite") \
+        == "relative.sqlite"
+    with pytest.raises(ValueError):
+        sqlite_url_path("", "sqlite:")
+    with pytest.raises(ValueError):
+        sqlite_url_path("//", "sqlite://")
+
+
+def test_store_urls_resolve_to_backends(tmp_path):
+    store = registry.create_store(f"sqlite://{tmp_path}/url.sqlite")
+    try:
+        store.put("fp", {"x": 1})
+        assert store.get("fp") == {"x": 1}
+        assert store.path == tmp_path / "url.sqlite"
+    finally:
+        store.close()
+    memory = registry.create_store("memory:")
+    try:
+        assert len(memory) == 0
+    finally:
+        memory.close()
+    nodes = registry.create_node_store(f"sqlite://{tmp_path}/url.sqlite")
+    try:
+        assert nodes.path == tmp_path / "url.sqlite"
+    finally:
+        nodes.close()
+
+
+def test_unknown_scheme_lists_registered_schemes_and_names():
+    with pytest.raises(registry.RegistryError) as error:
+        registry.create_store("bogus://somewhere")
+    message = str(error.value)
+    assert "bogus" in message
+    assert "sqlite" in message and "memory" in message  # schemes
+    assert "default" in message                         # names
+
+
+def test_malformed_urls_are_registry_errors():
+    with pytest.raises(registry.RegistryError):
+        registry.create_store("memory://extra/path")
+    with pytest.raises(registry.RegistryError):
+        registry.create_store("sqlite:")
+    with pytest.raises(registry.RegistryError):
+        registry.create_node_store("sqlite://")
+
+
+def test_cli_exits_2_on_bad_store_designators(capsys):
+    # Unknown scheme, malformed URL, both through a real subcommand.
+    for designator in ("bogus://x", "memory://extra", "sqlite:"):
+        assert cli.main(["cache", "info", "--store", designator]) == 2
+        stderr = capsys.readouterr().err
+        assert "sqlite" in stderr or "memory" in stderr
+    assert cli.main(["list", "store_schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "sqlite" in out and "memory" in out
+
+
+# ---------------------------------------------------------------------------
+# hash ring + routing key
+# ---------------------------------------------------------------------------
+
+def test_ring_ownership_is_stable_and_total():
+    ring = HashRing(3)
+    keys = [routing_key({"spec": f"adder:{i}"}) for i in range(200)]
+    owners = [ring.owner(key) for key in keys]
+    assert owners == [ring.owner(key) for key in keys]  # deterministic
+    assert set(owners) <= {0, 1, 2}
+    assert len(set(owners)) == 3  # every slot owns something
+
+
+def test_dead_slot_remaps_only_its_own_keys():
+    ring = HashRing(3)
+    keys = [routing_key({"spec": f"x:{i}"}) for i in range(300)]
+    full = [ring.owner(key) for key in keys]
+    live = {0, 2}
+    partial = [ring.owner(key, live) for key in keys]
+    for before, after in zip(full, partial):
+        if before != 1:
+            assert after == before  # live shards did not move
+        else:
+            assert after in live    # dead shard re-sharded to live
+    # A restarted slot re-owns exactly its old shard.
+    assert [ring.owner(key, {0, 1, 2}) for key in keys] == full
+    assert ring.owner(keys[0], set()) is None
+
+
+def test_routing_key_normalizes_like_a_worker():
+    bare = routing_key({"spec": "alu:64"})
+    spelled = routing_key({"spec": "alu:64", "library": "LSI-Logic",
+                           "filter": "pareto"})
+    assert bare == spelled  # defaults spelled out == defaults omitted
+    assert routing_key({"spec": "alu:64", "max_combinations": "40"}) \
+        == routing_key({"spec": "alu:64", "max_combinations": 40})
+    assert routing_key({"spec": "alu:32"}) != bare
+    assert routing_key({"spec": "alu:64", "filter": "top_k:4"}) != bare
+    # Router-level defaults shift the key exactly like a request field.
+    assert routing_key({"spec": "alu:64"}, {"filter": "top_k:4"}) \
+        == routing_key({"spec": "alu:64", "filter": "top_k:4"})
+
+
+# ---------------------------------------------------------------------------
+# latency histograms + aggregation
+# ---------------------------------------------------------------------------
+
+def test_metrics_histogram_buckets_observations():
+    metrics = Metrics()
+    metrics.observe("/synthesize", 200, 0.0009)   # first bucket
+    metrics.observe("/synthesize", 200, 0.3)      # le=0.5 bucket
+    metrics.observe("/synthesize", 200, 99.0)     # overflow
+    counts = metrics.histograms["/synthesize"]
+    assert len(counts) == len(LATENCY_BUCKETS) + 1
+    assert counts[0] == 1
+    assert counts[LATENCY_BUCKETS.index(0.5)] == 1
+    assert counts[-1] == 1
+    assert sum(counts) == 3
+
+
+def test_histogram_quantile():
+    counts = [0] * (len(LATENCY_BUCKETS) + 1)
+    assert histogram_quantile(counts, 0.99) is None  # empty
+    counts[2] = 90   # le 0.005
+    counts[6] = 10   # le 0.1
+    assert histogram_quantile(counts, 0.50) == 0.005
+    assert histogram_quantile(counts, 0.99) == 0.1
+    overflow = [0] * (len(LATENCY_BUCKETS) + 1)
+    overflow[-1] = 5
+    assert histogram_quantile(overflow, 0.5) == LATENCY_BUCKETS[-1]
+
+
+def test_aggregate_metrics_sums_and_maxes():
+    def payload(evaluations, uptime, counts):
+        return {
+            "uptime_seconds": uptime,
+            "requests_total": evaluations + 1,
+            "engine_evaluations": evaluations,
+            "store_hits": 2, "store_misses": 1, "coalesced": 3,
+            "jobs_run": evaluations + 5, "in_flight": 1, "sessions": 2,
+            "requests_by_endpoint": {"/synthesize": evaluations},
+            "responses_by_status": {"200": evaluations},
+            "node_cache": {"hits": 4, "misses": 2, "published": 1,
+                           "errors": 0, "hot_entries": 7},
+            "latency": {"count": 10, "total_seconds": 1.0,
+                        "max_seconds": uptime / 100},
+            "latency_histograms": {
+                "/synthesize": {"le_seconds": list(LATENCY_BUCKETS),
+                                "counts": counts},
+            },
+        }
+
+    counts_a = [1] * (len(LATENCY_BUCKETS) + 1)
+    counts_b = [2] * (len(LATENCY_BUCKETS) + 1)
+    agg = aggregate_metrics([payload(5, 100.0, counts_a),
+                             payload(7, 50.0, counts_b)])
+    assert agg["engine_evaluations"] == 12
+    assert agg["store_hits"] == 4
+    assert agg["uptime_seconds"] == 100.0
+    assert agg["requests_by_endpoint"]["/synthesize"] == 12
+    assert agg["node_cache"]["hits"] == 8
+    assert agg["latency"]["count"] == 20
+    assert agg["latency"]["max_seconds"] == 1.0
+    assert agg["latency"]["mean_seconds"] == pytest.approx(0.1)
+    merged = agg["latency_histograms"]["/synthesize"]["counts"]
+    assert merged == [3] * (len(LATENCY_BUCKETS) + 1)
+    assert agg["workers_reporting"] == 2
+    empty = aggregate_metrics([])
+    assert empty["engine_evaluations"] == 0
+    assert empty["latency"]["mean_seconds"] == 0.0
+
+
+def test_unstarted_fleet_rejects_with_503():
+    fleet = FleetService(workers=2, store=None)
+    with pytest.raises(ServeError) as error:
+        asyncio.run(fleet.synthesize(b"{}", {"spec": "adder:8"}))
+    assert error.value.status == 503
+    assert fleet.unrouted == 1
+
+
+def test_fleet_store_must_be_a_designator():
+    from repro.store import ResultStore
+
+    store = ResultStore(":memory:")
+    try:
+        with pytest.raises(TypeError):
+            FleetService(workers=1, store=store)
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: a real 2-worker fleet (module-scoped; crash test last)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fleet_handle(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fleet")
+    fleet = FleetService(workers=2, store=str(tmp / "fleet.sqlite"),
+                         backoff_base=0.2)
+    router = FleetRouter(fleet, port=0)
+    handle = router.run_in_thread()
+    yield handle, fleet
+    handle.stop()
+
+
+def _request(handle, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        resp = conn.getresponse()
+        return resp.status, resp.read(), resp.getheader("X-Repro-Source")
+    finally:
+        conn.close()
+
+
+def test_fleet_healthz_sees_both_workers(fleet_handle):
+    handle, _ = fleet_handle
+    status, data, _ = _request(handle, "GET", "/healthz")
+    assert status == 200
+    payload = json.loads(data)
+    assert payload["status"] == "ok"
+    assert payload["workers_live"] == 2
+
+
+def test_fleet_wide_coalescing_is_exact(fleet_handle):
+    handle, _ = fleet_handle
+    body = {"spec": "adder:16", "filter": "tradeoff:0.05"}
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(
+            lambda _: _request(handle, "POST", "/synthesize", body),
+            range(4)))
+    assert [status for status, _, _ in results] == [200] * 4
+    assert len({data for _, data, _ in results}) == 1  # bit-identical
+    sources = sorted(source for _, _, source in results)
+    assert sources.count("engine") == 1  # exactly one evaluation
+
+    status, data, _ = _request(handle, "GET", "/metrics")
+    metrics = json.loads(data)
+    assert metrics["engine_evaluations"] == 1
+    assert metrics["coalesced"] + metrics["store_hits"] == 3
+    assert metrics["fleet"]["routed_total"] >= 4
+    assert metrics["fleet"]["unrouted_503"] == 0
+
+
+def test_fleet_batch_reassembles_in_order(fleet_handle):
+    handle, _ = fleet_handle
+    status, data, _ = _request(handle, "POST", "/batch", {
+        "filter": "pareto",
+        "requests": [{"spec": "adder:8"}, {"spec": "counter:8"},
+                     {"spec": "adder:8"}],
+    })
+    assert status == 200
+    jobs = json.loads(data)["jobs"]
+    assert len(jobs) == 3
+    assert jobs[0] == jobs[2]
+    assert jobs[0]["request"]["label"] == "adder:8"
+    assert jobs[1]["request"]["label"] == "counter:8"
+
+
+def test_fleet_batch_error_aborts_with_client_status(fleet_handle):
+    handle, _ = fleet_handle
+    status, data, _ = _request(handle, "POST", "/batch", {
+        "requests": [{"spec": "adder:8"}, {"spec": "nope:8"}],
+    })
+    assert status == 400
+    assert "error" in json.loads(data)
+
+
+def test_fleet_metrics_aggregate_histograms(fleet_handle):
+    handle, _ = fleet_handle
+    status, data, _ = _request(handle, "GET", "/metrics")
+    metrics = json.loads(data)
+    histograms = metrics["latency_histograms"]
+    assert "/synthesize" in histograms
+    entry = histograms["/synthesize"]
+    assert entry["le_seconds"] == list(LATENCY_BUCKETS)
+    assert sum(entry["counts"]) >= 1
+    assert histogram_quantile(entry["counts"], 0.99) is not None
+
+
+def test_worker_crash_restart_reshard_and_warm_serving(fleet_handle):
+    """Kill a worker mid-fleet: requests re-shard to the survivor (or
+    503 while nothing owns the shard), the supervisor restarts the
+    worker, and the restarted worker answers warm -- byte-identically
+    -- from the shared store.  Runs last: it perturbs the fleet."""
+    handle, fleet = fleet_handle
+    body = {"spec": "mux:8", "filter": "pareto"}
+    status, cold, source = _request(handle, "POST", "/synthesize", body)
+    assert status == 200 and source == "engine"
+
+    # Kill the worker that owns this request's shard.
+    key = routing_key(body, fleet.defaults)
+    owner_slot = fleet.ring.owner(key)
+    victim = fleet.workers[owner_slot]
+    victim.proc.kill()
+
+    # Until the supervisor notices, a routed request may hit the dead
+    # port (502); once noticed, the shard re-maps to the live worker,
+    # which must answer warm from the shared store, byte-identically.
+    deadline = time.time() + 30
+    resharded = None
+    while time.time() < deadline:
+        status, data, source = _request(handle, "POST", "/synthesize", body)
+        if status == 200 and not victim.ready:
+            resharded = (data, source)
+            break
+        assert status in (200, 502, 503)
+        time.sleep(0.1)
+    assert resharded is not None, "shard never re-mapped to the survivor"
+    assert resharded[0] == cold      # byte-identical from the shared store
+    assert resharded[1] == "store"   # warm, no re-evaluation
+
+    # The supervisor restarts the victim; it re-owns its shard and
+    # also answers warm from the shared store.
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if victim.ready:
+            break
+        time.sleep(0.1)
+    assert victim.ready, "killed worker was never restarted"
+    status, data, source = _request(handle, "POST", "/synthesize", body)
+    assert status == 200
+    assert data == cold
+    assert source == "store"
+
+    status, data, _ = _request(handle, "GET", "/metrics")
+    metrics = json.loads(data)
+    assert metrics["fleet"]["worker_restarts"] >= 1
+    assert metrics["fleet"]["workers"][owner_slot]["restarts"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# graceful drain (serve, as a real subprocess under SIGTERM)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(os.name == "nt", reason="POSIX signals")
+def test_serve_sigterm_drains_and_closes_stores(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", str(tmp_path / "drain.sqlite"),
+         "--drain-timeout", "5"],
+        cwd=str(REPO_ROOT), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        # Wait for the ready line, then SIGTERM.
+        deadline = time.time() + 60
+        ready = False
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if "listening on http://" in line:
+                ready = True
+                break
+            if proc.poll() is not None:
+                pytest.fail(f"serve exited early: {proc.returncode}")
+        assert ready, "serve never reported ready"
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    assert proc.returncode == 0
+    assert "drained cleanly; stores closed" in out
+
+
+def test_server_shutdown_closes_stores_in_process(tmp_path):
+    """The in-process drain path: shutdown() drains (idle -> 0
+    remaining) and closes the SQLite handles."""
+    from repro.serve import ReproServer
+
+    server = ReproServer(host="127.0.0.1", port=0,
+                         store=tmp_path / "inproc.sqlite")
+
+    async def scenario():
+        await server.start()
+        return await server.shutdown(drain_timeout=1.0)
+
+    remaining = asyncio.run(scenario())
+    assert remaining == 0
+    # The store handle is closed: any further use must fail.
+    import sqlite3
+
+    with pytest.raises(sqlite3.ProgrammingError):
+        server.service.store._db.execute("SELECT 1")
+
+
+def test_fleet_cli_rejects_bad_worker_count(capsys):
+    assert cli.main(["fleet", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
