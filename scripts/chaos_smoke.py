@@ -1,0 +1,233 @@
+"""CI chaos test for the serving stack's resilience layer.
+
+Black-box, over real sockets, against real subprocesses -- three
+phases, each a failure mode the fleet must absorb:
+
+1. **Worker churn**: a 2-worker fleet with ``--chaos kill-worker:3``
+   SIGKILLs one worker every 3s while warm requests keep arriving.
+   Every request must answer 200 (rescued by the failover retry or
+   re-sharded to the survivor, never a 502/503), and the aggregated
+   ``/metrics`` must show the chaos kills, the supervised restarts,
+   and -- because kills land mid-traffic -- retries.
+2. **Store outage**: a fleet pointed at a fault-injected store URL
+   (``fail_rate=1.0``) with a low breaker threshold must keep
+   answering 200 engine-only, report ``degraded`` via ``/healthz``,
+   and show open store breakers in the aggregated ``/metrics``.
+3. **Clean drain**: SIGTERM on the phase-2 fleet (store still fully
+   failing) must exit 0 with the "drained cleanly" line -- breakers
+   never wedge shutdown.
+
+Exits nonzero on any violation, printing the router log (which
+includes every worker's log lines).
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+WARM_SPECS = [
+    {"spec": "adder:8", "filter": "tradeoff:0.05"},
+    {"spec": "counter:8", "filter": "tradeoff:0.05"},
+]
+CHURN_SECONDS = 12.0
+KILL_PERIOD = 3
+
+
+def fail(message: str, proc: "Proc" = None) -> "NoReturn":
+    print(f"chaos_smoke: FAIL: {message}", file=sys.stderr)
+    if proc is not None:
+        print("---- process log ----", file=sys.stderr)
+        print(proc.log(), file=sys.stderr)
+    sys.exit(1)
+
+
+class Proc:
+    """A repro CLI server subprocess with a parsed ready port."""
+
+    def __init__(self, argv: list) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + argv,
+            cwd=str(REPO_ROOT), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self._lines: list = []
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self.host, self.port = self._await_ready()
+
+    def _await_ready(self):
+        deadline = time.time() + 90
+        scanned = 0
+        while time.time() < deadline:
+            lines = self._lines
+            while scanned < len(lines):
+                match = READY_PATTERN.search(lines[scanned])
+                scanned += 1
+                if match:
+                    return match.group(1), int(match.group(2))
+            if self.proc.poll() is not None:
+                fail(f"process exited early with {self.proc.returncode}:\n"
+                     + self.log())
+            time.sleep(0.05)
+        fail("process did not report a listening address within 90s:\n"
+             + self.log())
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            self._lines.append(line.rstrip("\n"))
+
+    def log(self) -> str:
+        return "\n".join(self._lines)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def request(proc: Proc, method: str, path: str, body=None,
+            timeout: float = 180.0):
+    conn = http.client.HTTPConnection(proc.host, proc.port, timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        resp = conn.getresponse()
+        return resp.status, resp.read(), resp.getheader("X-Repro-Source")
+    finally:
+        conn.close()
+
+
+def metrics(proc: Proc) -> dict:
+    status, payload, _ = request(proc, "GET", "/metrics", timeout=30.0)
+    if status != 200:
+        fail(f"GET /metrics returned {status}", proc)
+    return json.loads(payload)
+
+
+def phase_worker_churn(tmp: Path) -> None:
+    fleet = Proc(["fleet", "--workers", "2", "--port", "0",
+                  "--store", str(tmp / "churn.sqlite"),
+                  "--chaos", f"kill-worker:{KILL_PERIOD}"])
+    try:
+        # Warm both keys so every request during the churn is a cheap
+        # store hit -- the point is routing under fire, not engine time.
+        for spec in WARM_SPECS:
+            status, _, _ = request(fleet, "POST", "/synthesize", spec)
+            if status != 200:
+                fail(f"warming {spec['spec']} returned {status}", fleet)
+
+        offered, statuses = 0, {}
+        deadline = time.time() + CHURN_SECONDS
+        while time.time() < deadline:
+            status, _, _ = request(fleet, "POST", "/synthesize",
+                                   WARM_SPECS[offered % len(WARM_SPECS)])
+            statuses[status] = statuses.get(status, 0) + 1
+            offered += 1
+            time.sleep(0.25)
+
+        if set(statuses) != {200}:
+            fail(f"requests under chaos were not all 200: {statuses}", fleet)
+        stats = metrics(fleet).get("fleet", {})
+        if stats.get("chaos_kills", 0) < 1:
+            fail(f"chaos loop never killed a worker: {stats}", fleet)
+        if stats.get("worker_restarts", 0) < 1:
+            fail(f"no supervised restart happened: {stats}", fleet)
+        print(f"chaos_smoke: phase 1 OK -- {offered} requests all 200 "
+              f"through {stats['chaos_kills']} kills / "
+              f"{stats['worker_restarts']} restarts "
+              f"(retries {stats.get('retries', 0)}, "
+              f"failovers {stats.get('failovers', 0)})")
+    finally:
+        fleet.stop()
+
+
+def phase_store_outage(tmp: Path) -> Proc:
+    store_url = (f"fault+sqlite://{tmp / 'outage.sqlite'}"
+                 f"?fail_rate=1.0&latency_ms=5")
+    fleet = Proc(["fleet", "--workers", "2", "--port", "0",
+                  "--store", store_url,
+                  "--breaker-threshold", "3", "--breaker-reset", "30"])
+    ok = False
+    try:
+        for spec in WARM_SPECS:
+            for _ in range(3):   # enough misses+puts to trip the breaker
+                status, _, source = request(fleet, "POST", "/synthesize",
+                                            spec)
+                if status != 200:
+                    fail(f"engine-only serving broke: {status}", fleet)
+                if source != "engine":
+                    fail(f"a fully failing store served a '{source}' "
+                         f"response", fleet)
+
+        status, payload, _ = request(fleet, "GET", "/healthz", timeout=30.0)
+        health = json.loads(payload)
+        if status != 200 or not health.get("degraded"):
+            fail(f"healthz does not report degraded: {status} "
+                 f"{payload[:300]}", fleet)
+
+        breakers = metrics(fleet).get("breakers", {}).get("store", {})
+        if breakers.get("states", {}).get("open", 0) < 1:
+            fail(f"no open store breaker in aggregated metrics: "
+                 f"{breakers}", fleet)
+        print(f"chaos_smoke: phase 2 OK -- store at fail_rate=1.0, all "
+              f"200 from the engine, healthz degraded, breaker states "
+              f"{breakers['states']}")
+        ok = True
+        return fleet
+    finally:
+        if not ok:
+            fleet.stop()
+
+
+def phase_clean_drain(fleet: Proc) -> None:
+    fleet.proc.send_signal(signal.SIGTERM)
+    try:
+        fleet.proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        fleet.proc.kill()
+        fail("fleet did not exit within 60s of SIGTERM", fleet)
+    time.sleep(0.2)   # let the log reader thread drain the last lines
+    if fleet.proc.returncode != 0:
+        fail(f"fleet exited {fleet.proc.returncode} on SIGTERM "
+             f"(wanted a clean 0)", fleet)
+    if "drained cleanly" not in fleet.log():
+        fail("fleet log does not report a clean drain", fleet)
+    print("chaos_smoke: phase 3 OK -- SIGTERM under store faults -> "
+          "exit 0 with a clean drain")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-smoke-"))
+    phase_worker_churn(tmp)
+    fleet = phase_store_outage(tmp)
+    phase_clean_drain(fleet)
+    print("chaos_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,11 +66,13 @@ def histogram_quantile(counts: List[int], q: float,
 
 def request(host: str, port: int, method: str, path: str,
             body: Optional[Dict] = None,
-            timeout: float = 300.0) -> Tuple[int, bytes]:
+            timeout: float = 300.0,
+            headers: Optional[Dict[str, str]] = None) -> Tuple[int, bytes]:
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         conn.request(method, path,
-                     body=json.dumps(body) if body is not None else None)
+                     body=json.dumps(body) if body is not None else None,
+                     headers=headers or {})
         response = conn.getresponse()
         return response.status, response.read()
     finally:
@@ -117,6 +119,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-request combination cap (optional)")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="per-request timeout seconds (default: 300)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="send an X-Repro-Deadline-Ms header with "
+                             "every request; the service answers 504 "
+                             "when the budget runs out (optional)")
     parser.add_argument("--concurrency", type=int, default=None,
                         help="client thread pool size (default: "
                              "min(256, 4 * rps), at least 8)")
@@ -152,12 +159,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     statuses: Dict[int, int] = {}
     errors = 0
 
+    extra_headers: Dict[str, str] = {}
+    if args.deadline_ms is not None:
+        extra_headers["X-Repro-Deadline-Ms"] = f"{args.deadline_ms:g}"
+
     def one(body: Dict) -> None:
         nonlocal errors
         started = time.perf_counter()
         try:
             status, _ = request(host, port, "POST", "/synthesize", body,
-                                timeout=args.timeout)
+                                timeout=args.timeout,
+                                headers=extra_headers)
         except OSError:
             errors += 1
             return
@@ -226,11 +238,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             }
         fleet = after.get("fleet")
         if fleet is not None:
+            fleet_before = (before or {}).get("fleet") or {}
+
+            def fleet_delta(key: str) -> int:
+                return fleet.get(key, 0) - fleet_before.get(key, 0)
+
             summary["fleet"] = {
                 "workers_routed": [worker["routed"]
                                    for worker in fleet["workers"]],
                 "worker_restarts": fleet["worker_restarts"],
                 "unrouted_503": fleet["unrouted_503"],
+                "retries": fleet_delta("retries"),
+                "failovers": fleet_delta("failovers"),
+                "timeouts_504": fleet_delta("timeouts_504"),
             }
 
     if args.json:
@@ -241,6 +261,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  offered {total}, completed {completed}, "
               f"errors {summary['errors']}, "
               f"achieved {summary['achieved_rps']:.1f} rps")
+        if statuses:
+            breakdown = "  ".join(f"{status}={count}" for status, count
+                                  in sorted(statuses.items()))
+            print(f"  statuses: {breakdown}"
+                  + (f"  (connect errors {errors})" if errors else ""))
         client = summary["client_latency_seconds"]
         if client["p50"] is not None:
             print(f"  client latency  p50 {client['p50'] * 1e3:.1f}ms  "
@@ -260,7 +285,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if fleet:
             print(f"  fleet: routed {fleet['workers_routed']}, "
                   f"restarts {fleet['worker_restarts']}, "
-                  f"503s {fleet['unrouted_503']}")
+                  f"503s {fleet['unrouted_503']}, "
+                  f"retries {fleet['retries']}, "
+                  f"failovers {fleet['failovers']}, "
+                  f"504s {fleet['timeouts_504']}")
     return 0 if completed else 1
 
 

@@ -109,6 +109,22 @@ def _add_node_store_arg(parser: argparse.ArgumentParser, default,
              "(may be the result store's file)" + help_suffix)
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds (default: unbounded); "
+             "a request that exceeds it gets a 504, and clients can "
+             "tighten it per call with an X-Repro-Deadline-Ms header")
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive store failures before the circuit breaker "
+             "opens and serving goes engine-only (default: 5)")
+    parser.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="S",
+        help="seconds an open breaker waits before a half-open probe "
+             "(default: 30)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=PROG,
@@ -179,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="on SIGTERM/SIGINT, wait up to S seconds for "
                             "in-flight requests before closing the stores "
                             "and exiting (default: 10)")
+    _add_resilience_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -218,6 +235,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="on SIGTERM/SIGINT, wait up to S seconds for "
                             "in-flight requests before stopping the "
                             "workers (default: 10)")
+    _add_resilience_args(fleet)
+    fleet.add_argument(
+        "--chaos", default=None, metavar="MODE:PERIOD",
+        help="fault-injection harness: kill-worker:PERIOD SIGKILLs one "
+             "ready worker (round-robin) every PERIOD seconds, "
+             "exercising supervised restart and failover retries "
+             "(e.g. kill-worker:8)")
 
     warm = sub.add_parser(
         "warm",
@@ -402,6 +426,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host, port=port, store=store, node_store=node_store,
             defaults=defaults, engine_workers=args.workers,
             drain_timeout=args.drain_timeout,
+            request_timeout=args.request_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
         ))
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} serve: {error}", file=sys.stderr)
@@ -437,6 +464,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             store=store, node_store=node_store, defaults=defaults,
             engine_workers=args.engine_workers,
             drain_timeout=args.drain_timeout,
+            request_timeout=args.request_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
+            chaos=args.chaos,
         ))
     except (FleetError, KeyError, OSError, ValueError) as error:
         print(f"{PROG} fleet: {error}", file=sys.stderr)

@@ -331,18 +331,40 @@ def _register_builtins() -> None:
         "memory", _memory_node_store,
         description="ephemeral in-process SQLite node cache (tests)")
 
+    def _pop_busy_timeout(params, url):
+        text = params.pop("busy_timeout_ms", None)
+        if text is None:
+            return 10_000
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"store URL {url!r}: busy_timeout_ms must be an "
+                f"integer number of milliseconds, got {text!r}") from None
+        if value < 1:
+            raise ValueError(
+                f"store URL {url!r}: busy_timeout_ms must be >= 1, "
+                f"got {value}")
+        return value
+
     def _sqlite_scheme(rest, url, kind):
-        from repro.store import ResultStore, sqlite_url_path
+        from repro.store import ResultStore, split_url_query, sqlite_url_path
 
         try:
+            rest, params = split_url_query(rest, url)
             path = sqlite_url_path(rest, url)
+            busy_timeout_ms = _pop_busy_timeout(params, url)
+            if params:
+                raise ValueError(
+                    f"store URL {url!r} has unknown query parameter(s): "
+                    f"{', '.join(sorted(params))} (known: busy_timeout_ms)")
         except ValueError as error:
             raise RegistryError(str(error)) from None
         if kind == "nodes":
             from repro.nodestore import NodeStore
 
-            return NodeStore(path)
-        return ResultStore(path)
+            return NodeStore(path, busy_timeout_ms=busy_timeout_ms)
+        return ResultStore(path, busy_timeout_ms=busy_timeout_ms)
 
     def _memory_scheme(rest, url, kind):
         if rest not in ("", "//"):
@@ -357,13 +379,69 @@ def _register_builtins() -> None:
 
         return ResultStore(":memory:")
 
+    def _fault_sqlite_scheme(rest, url, kind):
+        from repro.resilience import (
+            FaultInjectingNodeStore,
+            FaultInjectingStore,
+            FaultPolicy,
+        )
+        from repro.store import ResultStore, split_url_query, sqlite_url_path
+
+        try:
+            rest, params = split_url_query(rest, url)
+            path = sqlite_url_path(rest, url)
+            busy_timeout_ms = _pop_busy_timeout(params, url)
+            policy = FaultPolicy.from_params(params, url)
+        except ValueError as error:
+            raise RegistryError(str(error)) from None
+        if kind == "nodes":
+            from repro.nodestore import NodeStore
+
+            return FaultInjectingNodeStore(
+                NodeStore(path, busy_timeout_ms=busy_timeout_ms), policy)
+        return FaultInjectingStore(
+            ResultStore(path, busy_timeout_ms=busy_timeout_ms), policy)
+
+    def _fault_memory_scheme(rest, url, kind):
+        from repro.resilience import (
+            FaultInjectingNodeStore,
+            FaultInjectingStore,
+            FaultPolicy,
+        )
+        from repro.store import ResultStore, split_url_query
+
+        try:
+            rest, params = split_url_query(rest, url)
+            if rest not in ("", "//"):
+                raise ValueError(
+                    f"store URL {url!r} is malformed: the fault+memory "
+                    f"scheme takes no path (use 'fault+memory:?...')")
+            policy = FaultPolicy.from_params(params, url)
+        except ValueError as error:
+            raise RegistryError(str(error)) from None
+        if kind == "nodes":
+            from repro.nodestore import NodeStore
+
+            return FaultInjectingNodeStore(NodeStore(":memory:"), policy)
+        return FaultInjectingStore(ResultStore(":memory:"), policy)
+
     STORE_SCHEMES.register(
         "sqlite", _sqlite_scheme,
         description="one SQLite file (sqlite:///abs/path.sqlite or "
-                    "sqlite://relative.sqlite); the default backend")
+                    "sqlite://relative.sqlite?busy_timeout_ms=500); the "
+                    "default backend")
     STORE_SCHEMES.register(
         "memory", _memory_scheme,
         description="ephemeral per-process SQLite (memory:)")
+    STORE_SCHEMES.register(
+        "fault+sqlite", _fault_sqlite_scheme,
+        description="SQLite behind deterministic fault injection "
+                    "(fault+sqlite://path?fail_rate=&latency_ms=&"
+                    "corrupt_rate=&seed=&fail_first=)")
+    STORE_SCHEMES.register(
+        "fault+memory", _fault_memory_scheme,
+        description="ephemeral SQLite behind fault injection "
+                    "(fault+memory:?fail_rate=...)")
 
     SPECS.register("adder", adder_spec, description="n-bit binary adder")
     SPECS.register("alu", alu_spec,

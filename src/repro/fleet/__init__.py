@@ -28,6 +28,7 @@ from repro.fleet.router import (
     FleetRouter,
     FleetService,
     HashRing,
+    WorkerFailure,
     WorkerHandle,
     aggregate_metrics,
     routing_key,
@@ -42,6 +43,7 @@ __all__ = [
     "FleetRouter",
     "FleetService",
     "HashRing",
+    "WorkerFailure",
     "WorkerHandle",
     "aggregate_metrics",
     "routing_key",

@@ -50,6 +50,12 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.resilience import (
+    BREAKER_RESET,
+    BREAKER_THRESHOLD,
+    Deadline,
+    parse_chaos,
+)
 from repro.serve.server import (
     DEFAULT_PORT,
     LATENCY_BUCKETS,
@@ -59,6 +65,7 @@ from repro.serve.server import (
     ReproServer,
     ServeError,
     ServerThread,
+    _deadline_error,
     install_signal_handlers,
 )
 
@@ -100,6 +107,19 @@ _BASE_DEFAULTS: Dict[str, Any] = {
 
 class FleetError(Exception):
     """A fleet-level startup or supervision failure."""
+
+
+class WorkerFailure(ServeError):
+    """A worker connect/read failure mid-request -- the *retryable*
+    proxy error: ``/synthesize`` is idempotent (content-addressed,
+    byte-identical by construction), so the router may replay the
+    request against the next live ring slot.  Timeouts are NOT this
+    class: a slow worker may still be computing, and replaying a
+    request that exhausted its budget cannot meet the budget either."""
+
+    def __init__(self, slot: int, message: str) -> None:
+        super().__init__(502, message)
+        self.slot = slot
 
 
 def routing_key(body: Dict[str, Any],
@@ -278,17 +298,21 @@ class WorkerHandle:
 
 async def _http_request(host: str, port: int, method: str, path: str,
                         body: bytes = b"",
-                        timeout: float = REQUEST_TIMEOUT
+                        timeout: float = REQUEST_TIMEOUT,
+                        extra_headers: Optional[Dict[str, str]] = None
                         ) -> Tuple[int, Dict[str, str], bytes]:
     """One ``Connection: close`` HTTP exchange against a worker."""
 
     async def exchange() -> Tuple[int, Dict[str, str], bytes]:
         reader, writer = await asyncio.open_connection(host, port)
         try:
+            extras = "".join(f"{name}: {value}\r\n"
+                             for name, value in (extra_headers or {}).items())
             head = (f"{method} {path} HTTP/1.1\r\n"
                     f"Host: {host}:{port}\r\n"
                     f"Content-Type: application/json; charset=utf-8\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    + extras +
                     f"Connection: close\r\n\r\n")
             writer.write(head.encode("ascii") + body)
             await writer.drain()
@@ -330,12 +354,13 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
     mean is recomputed from the summed totals.  Pure function -- unit
     tests feed it synthetic payloads."""
     summed = ("requests_total", "engine_evaluations", "store_hits",
-              "store_misses", "jobs_run", "coalesced", "in_flight",
-              "sessions")
+              "store_misses", "jobs_run", "coalesced", "timeouts",
+              "in_flight", "sessions")
     agg: Dict[str, Any] = {key: 0 for key in summed}
     agg["uptime_seconds"] = 0.0
     by_endpoint: Dict[str, int] = {}
     by_status: Dict[str, int] = {}
+    breakers: Dict[str, Dict[str, Any]] = {}
     node = {"hits": 0, "misses": 0, "published": 0, "errors": 0,
             "hot_entries": 0}
     latency = {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
@@ -353,6 +378,19 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
                 target[key] = target.get(key, 0) + value
         for key in node:
             node[key] += payload.get("node_cache", {}).get(key, 0)
+        # Breakers merge as state *counts* plus summed transition
+        # counters: "how many workers are serving degraded, and how
+        # often have breakers tripped fleet-wide".
+        for kind, stats in payload.get("breakers", {}).items():
+            merged = breakers.setdefault(kind, {
+                "states": {}, "failures": 0, "short_circuited": 0,
+                "opens": 0, "closes": 0, "half_open_probes": 0,
+            })
+            state = stats.get("state", "closed")
+            merged["states"][state] = merged["states"].get(state, 0) + 1
+            for key in ("failures", "short_circuited", "opens",
+                        "closes", "half_open_probes"):
+                merged[key] += stats.get(key, 0)
         worker_latency = payload.get("latency", {})
         latency["count"] += worker_latency.get("count", 0)
         latency["total_seconds"] += worker_latency.get("total_seconds", 0.0)
@@ -374,6 +412,7 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
                                if latency["count"] else 0.0)
     agg["requests_by_endpoint"] = by_endpoint
     agg["responses_by_status"] = by_status
+    agg["breakers"] = breakers
     agg["node_cache"] = node
     agg["latency"] = latency
     agg["latency_histograms"] = histograms
@@ -398,6 +437,10 @@ class FleetService:
         backoff_max: float = BACKOFF_MAX,
         request_timeout: float = REQUEST_TIMEOUT,
         ready_timeout: float = WORKER_READY_TIMEOUT,
+        request_deadline: Optional[float] = None,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_reset: float = BREAKER_RESET,
+        chaos: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -420,6 +463,16 @@ class FleetService:
         self.backoff_max = backoff_max
         self.request_timeout = request_timeout
         self.ready_timeout = ready_timeout
+        #: The default per-request budget in seconds (None = unbounded;
+        #: ``--request-timeout``); clients can only tighten it via the
+        #: ``X-Repro-Deadline-Ms`` header.  Distinct from
+        #: ``request_timeout``, the proxy's socket-level bound.
+        self.request_deadline = request_deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        # Parsed at construction so a malformed --chaos spec is a
+        # ValueError (CLI exit 2), not a surprise mid-run.
+        self.chaos = parse_chaos(chaos) if chaos else None
         self.metrics = Metrics()  # the router's own HTTP metrics
         self.ring = HashRing(workers)
         argv = self._worker_argv()
@@ -429,8 +482,13 @@ class FleetService:
         self.routed_by_worker = [0] * workers
         self.worker_restarts = 0
         self.unrouted = 0       # 503s: no live worker owned the shard
-        self.proxy_errors = 0   # 502s: owning worker failed mid-request
+        self.proxy_errors = 0   # worker connect/read failures mid-request
+        self.retries = 0        # failover attempts after a WorkerFailure
+        self.failovers = 0      # requests rescued by a retry
+        self.timeouts_504 = 0   # deadline/timeout 504s issued by router
+        self.chaos_kills = 0    # workers killed by the chaos loop
         self._supervisors: List[asyncio.Task] = []
+        self._chaos_task: Optional[asyncio.Task] = None
         self._closing = False
 
     # -- worker plumbing ----------------------------------------------
@@ -438,7 +496,11 @@ class FleetService:
         argv = [sys.executable, "-m", "repro", "serve",
                 "--host", self.worker_host, "--port", "0",
                 "--workers", str(self.engine_workers),
-                "--drain-timeout", str(self.worker_drain_timeout)]
+                "--drain-timeout", str(self.worker_drain_timeout),
+                "--breaker-threshold", str(self.breaker_threshold),
+                "--breaker-reset", str(self.breaker_reset)]
+        if self.request_deadline is not None:
+            argv += ["--request-timeout", str(self.request_deadline)]
         if self.store is None:
             argv.append("--no-store")
         else:
@@ -486,6 +548,8 @@ class FleetService:
         for worker in self.workers:
             self._supervisors.append(
                 asyncio.ensure_future(self._supervise(worker)))
+        if self.chaos is not None:
+            self._chaos_task = asyncio.ensure_future(self._chaos_loop())
 
     async def _supervise(self, worker: WorkerHandle) -> None:
         """Restart ``worker`` with exponential backoff whenever its
@@ -510,6 +574,29 @@ class FleetService:
                 continue  # next iteration backs off longer
             worker.failures = 0
 
+    async def _chaos_loop(self) -> None:
+        """``--chaos kill-worker:PERIOD``: SIGKILL one ready worker
+        (round-robin) every PERIOD seconds.  The supervisor restarts it
+        with backoff; meanwhile its shard remaps and mid-request
+        failures exercise the failover-retry path -- chaos engineering
+        run by the service itself, deterministic enough for CI."""
+        _, period = self.chaos
+        victim = 0
+        while not self._closing:
+            await asyncio.sleep(period)
+            if self._closing:
+                return
+            ready = [worker for worker in self.workers if worker.ready]
+            # Strike only at full strength: at most one worker is ever
+            # chaos-down at a time, so the harness exercises failover
+            # without ever collapsing the whole fleet into 503s.
+            if len(ready) < len(self.workers):
+                continue
+            worker = ready[victim % len(ready)]
+            victim += 1
+            self.chaos_kills += 1
+            worker.kill()
+
     def _live_slots(self) -> Set[int]:
         return {worker.slot for worker in self.workers if worker.ready}
 
@@ -518,43 +605,86 @@ class FleetService:
         return None if slot is None else self.workers[slot]
 
     async def _proxy(self, worker: WorkerHandle, method: str, path: str,
-                     body: bytes = b""
+                     body: bytes = b"",
+                     deadline: Optional[Deadline] = None,
+                     extra_headers: Optional[Dict[str, str]] = None
                      ) -> Tuple[int, Dict[str, str], bytes]:
+        timeout = self.request_timeout
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline.remaining()))
         try:
             return await _http_request(
                 worker.host, worker.port, method, path, body,
-                timeout=self.request_timeout)
+                timeout=timeout, extra_headers=extra_headers)
         except (OSError, ConnectionError, ValueError,
                 asyncio.IncompleteReadError) as error:
             self.proxy_errors += 1
-            raise ServeError(
-                502, f"worker {worker.slot} failed mid-request: "
-                     f"{type(error).__name__}: {error}")
+            raise WorkerFailure(
+                worker.slot,
+                f"worker {worker.slot} failed mid-request: "
+                f"{type(error).__name__}: {error}")
         except (asyncio.TimeoutError, TimeoutError):
-            self.proxy_errors += 1
+            self.timeouts_504 += 1
+            if deadline is not None and deadline.expired:
+                raise _deadline_error(deadline)
             raise ServeError(
-                502, f"worker {worker.slot} timed out after "
-                     f"{self.request_timeout:.0f}s")
+                504, f"worker {worker.slot} timed out after "
+                     f"{timeout:.0f}s")
 
     # -- endpoints -----------------------------------------------------
-    async def synthesize(self, raw: bytes,
-                         body: Dict[str, Any]) -> Tuple[int, bytes, str]:
+    async def synthesize(self, raw: bytes, body: Dict[str, Any],
+                         deadline: Optional[Deadline] = None
+                         ) -> Tuple[int, bytes, str]:
         """Route one request to its owning worker; the original bytes
         are forwarded untouched so worker-side fingerprints (and the
-        response body) match a direct single-process run exactly."""
-        key = routing_key(body, self.defaults)
-        worker = self._owner(key)
-        if worker is None:
-            self.unrouted += 1
-            raise ServeError(
-                503, "no live worker owns this shard (all workers down "
-                     "or restarting); retry shortly")
-        self.routed_by_worker[worker.slot] += 1
-        status, headers, payload = await self._proxy(
-            worker, "POST", "/synthesize", raw)
-        return status, payload, headers.get("x-repro-source", "")
+        response body) match a direct single-process run exactly.
 
-    async def batch(self, body: Dict[str, Any]) -> bytes:
+        A mid-request worker connect/read failure is retried **once**
+        against the next live ring slot (``/synthesize`` is idempotent
+        and content-addressed, so a replay is safe and -- when the
+        first worker got far enough to publish -- served warm from the
+        shared store).  The remaining deadline budget rides along as
+        ``X-Repro-Deadline-Ms``, recomputed per attempt, so queueing
+        and the failed first attempt shrink what the retry may spend."""
+        key = routing_key(body, self.defaults)
+        attempted: Set[int] = set()
+        last_failure: Optional[WorkerFailure] = None
+        for attempt in range(2):
+            if deadline is not None and deadline.expired:
+                self.timeouts_504 += 1
+                raise _deadline_error(deadline)
+            slot = self.ring.owner(key, self._live_slots() - attempted)
+            if slot is None:
+                if last_failure is not None:
+                    raise last_failure
+                self.unrouted += 1
+                raise ServeError(
+                    503, "no live worker owns this shard (all workers "
+                         "down or restarting); retry shortly")
+            worker = self.workers[slot]
+            self.routed_by_worker[slot] += 1
+            extra = None
+            if deadline is not None:
+                extra = {"X-Repro-Deadline-Ms":
+                         str(deadline.remaining_ms())}
+            try:
+                status, headers, payload = await self._proxy(
+                    worker, "POST", "/synthesize", raw,
+                    deadline=deadline, extra_headers=extra)
+            except WorkerFailure as failure:
+                attempted.add(slot)
+                last_failure = failure
+                if attempt == 0:
+                    self.retries += 1
+                    continue
+                raise
+            if attempt > 0:
+                self.failovers += 1
+            return status, payload, headers.get("x-repro-source", "")
+        raise last_failure  # unreachable; keeps the checker honest
+
+    async def batch(self, body: Dict[str, Any],
+                    deadline: Optional[Deadline] = None) -> bytes:
         """Split a batch per item across owning workers, concurrently,
         and reassemble the exact bytes one worker's ``/batch`` would
         have produced (``{"jobs": [...]}``, in request order)."""
@@ -571,7 +701,8 @@ class FleetService:
             # a worker's own /batch applies.
             merged = {**base, **item}
             raw = json.dumps(merged, sort_keys=True).encode("utf-8")
-            status, payload, _ = await self.synthesize(raw, merged)
+            status, payload, _ = await self.synthesize(
+                raw, merged, deadline=deadline)
             return status, payload
 
         results = await asyncio.gather(
@@ -611,22 +742,54 @@ class FleetService:
             "routed_total": sum(self.routed_by_worker),
             "unrouted_503": self.unrouted,
             "proxy_errors_502": self.proxy_errors,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "timeouts_504": self.timeouts_504,
+            "chaos_kills": self.chaos_kills,
             "queue_depth": self.metrics.in_flight,
             "ring": {"slots": self.ring.slots,
                      "vnodes": self.ring.vnodes},
         }
 
     async def healthz(self) -> Dict[str, Any]:
+        """Fleet liveness, *including* worker-reported degradation: a
+        fleet whose workers are serving engine-only (store breakers
+        open) is alive but ``degraded``, and operators should see that
+        here rather than by polling every worker themselves."""
         live = self._live_slots()
+
+        async def probe(worker: WorkerHandle) -> Optional[Dict[str, Any]]:
+            if not worker.ready:
+                return None
+            # Straight to _http_request (not _proxy): a health probe
+            # failing must not count as a mid-request proxy error.
+            try:
+                status, _, payload = await _http_request(
+                    worker.host, worker.port, "GET", "/healthz",
+                    timeout=min(5.0, self.request_timeout))
+                if status != 200:
+                    return None
+                return json.loads(payload)
+            except (OSError, ConnectionError, ValueError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, TimeoutError):
+                return None
+
+        payloads = await asyncio.gather(
+            *(probe(worker) for worker in self.workers))
+        degraded = not live or any(
+            p is not None and p.get("degraded") for p in payloads)
         return {
-            "status": "ok" if live else "degraded",
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
             "uptime_seconds": time.time() - self.metrics.started,
             "workers_live": len(live),
             "workers_total": len(self.workers),
             "workers": [
                 {"slot": worker.slot, "port": worker.port,
-                 "ready": worker.ready, "restarts": worker.restarts}
-                for worker in self.workers
+                 "ready": worker.ready, "restarts": worker.restarts,
+                 "degraded": bool(p and p.get("degraded"))}
+                for worker, p in zip(self.workers, payloads)
             ],
         }
 
@@ -654,6 +817,9 @@ class FleetService:
         """SIGTERM every worker (each drains itself and closes its
         stores), bounded-wait, then SIGKILL stragglers."""
         self._closing = True
+        if self._chaos_task is not None:
+            self._chaos_task.cancel()
+            self._chaos_task = None
         for task in self._supervisors:
             task.cancel()
         if self._supervisors:
@@ -679,6 +845,9 @@ class FleetService:
         graceful path is :meth:`stop_workers`).  Workers own their
         stores, so ``close_stores`` has nothing extra to do here."""
         self._closing = True
+        if self._chaos_task is not None:
+            self._chaos_task.cancel()
+            self._chaos_task = None
         for task in self._supervisors:
             task.cancel()
         for worker in self.workers:
@@ -703,8 +872,8 @@ class FleetRouter(ReproServer):
         self.service = fleet
         self._server: Optional[asyncio.AbstractServer] = None
 
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, bytes, str]:
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        headers: Dict[str, str]) -> Tuple[int, bytes, str]:
         fleet = self.fleet
         if path == "/healthz":
             if method != "GET":
@@ -720,12 +889,15 @@ class FleetRouter(ReproServer):
             if method != "POST":
                 raise ServeError(405, "use POST /synthesize")
             status, payload, source = await fleet.synthesize(
-                body, self._parse_json(body))
+                body, self._parse_json(body),
+                deadline=self._request_deadline(headers))
             return status, payload, source
         if path == "/batch":
             if method != "POST":
                 raise ServeError(405, "use POST /batch")
-            return 200, await fleet.batch(self._parse_json(body)), ""
+            return 200, await fleet.batch(
+                self._parse_json(body),
+                deadline=self._request_deadline(headers)), ""
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
                  f"POST /batch, GET /healthz, GET /metrics")
@@ -789,6 +961,10 @@ async def run_fleet(
     engine_workers: int = 2,
     ready_message: bool = True,
     drain_timeout: float = 10.0,
+    request_timeout: Optional[float] = None,
+    breaker_threshold: int = BREAKER_THRESHOLD,
+    breaker_reset: float = BREAKER_RESET,
+    chaos: Optional[str] = None,
 ) -> None:
     """Run the fleet until cancelled or signalled (the ``repro fleet``
     entry).  SIGTERM/SIGINT drain the router, then the workers."""
@@ -797,6 +973,10 @@ async def run_fleet(
         defaults=defaults, engine_workers=engine_workers,
         worker_host=host if host != "0.0.0.0" else "127.0.0.1",
         worker_drain_timeout=drain_timeout,
+        request_deadline=request_timeout,
+        breaker_threshold=breaker_threshold,
+        breaker_reset=breaker_reset,
+        chaos=chaos,
     )
     router = FleetRouter(fleet, host=host, port=port)
     await router.start()

@@ -107,8 +107,10 @@ class NodeStore(NodeStoreBackend):
     scheme = "sqlite"
 
     def __init__(self, path: Union[str, Path, None] = None,
-                 hot_entries: int = HOT_TIER_ENTRIES) -> None:
+                 hot_entries: int = HOT_TIER_ENTRIES,
+                 busy_timeout_ms: int = 10_000) -> None:
         self.path = Path(path) if path is not None else default_store_path()
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self._lock = threading.Lock()
         self._pid = os.getpid()
         self._hot: "OrderedDict[str, Tuple[tuple, int]]" = OrderedDict()
@@ -140,9 +142,10 @@ class NodeStore(NodeStoreBackend):
     # connection lifecycle (fork safety)
     # ------------------------------------------------------------------
     def _connect(self) -> sqlite3.Connection:
-        db = sqlite3.connect(str(self.path), timeout=10.0,
+        db = sqlite3.connect(str(self.path),
+                             timeout=self.busy_timeout_ms / 1000.0,
                              check_same_thread=False)
-        db.execute("PRAGMA busy_timeout=10000")
+        db.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
         try:
             db.execute("PRAGMA journal_mode=WAL")
             db.execute("PRAGMA synchronous=NORMAL")

@@ -1,0 +1,91 @@
+"""Request deadlines: a monotonic budget carried across hops.
+
+A :class:`Deadline` is created once at the edge (router or worker)
+from the smaller of the client's ``X-Repro-Deadline-Ms`` header and
+the server's ``--request-timeout`` default, then *remaining* budget --
+never the original figure -- is what every subsequent hop sees: the
+fleet router forwards ``X-Repro-Deadline-Ms: <remaining>`` to the
+owning worker, so queueing and proxy time upstream shrink the budget
+downstream and the whole request chain is bounded by one number.
+
+Exceeding a deadline is a **504** with a structured body (the serve
+layer owns that conversion; this module is transport-free).  The
+engine thread itself cannot be killed mid-evaluation (pure Python), so
+a timed-out evaluation keeps running in the executor and its result
+still lands in the store / resolves coalesced joiners -- the deadline
+bounds *response latency*, and the abandoned work warms the next
+attempt instead of being wasted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Deadline:
+    """A fixed budget in seconds against a monotonic clock."""
+
+    def __init__(self, budget_seconds: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.budget = max(0.0, float(budget_seconds))
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def budget_ms(self) -> float:
+        return self.budget * 1000.0
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.budget - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.budget - self.elapsed() <= 0.0
+
+    def remaining_ms(self) -> int:
+        """Remaining budget as whole milliseconds for the propagation
+        header, floored at 1 so a nearly-exhausted deadline still
+        parses as valid downstream (and expires there immediately)."""
+        return max(1, int(self.remaining() * 1000.0))
+
+    def __repr__(self) -> str:
+        return (f"Deadline(budget={self.budget:.3f}s, "
+                f"remaining={self.remaining():.3f}s)")
+
+
+def parse_deadline_ms(text: str) -> float:
+    """The millisecond value of one ``X-Repro-Deadline-Ms`` header.
+    Raises ``ValueError`` (the caller's 400) on anything but a
+    positive finite number."""
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"X-Repro-Deadline-Ms must be a positive number of "
+            f"milliseconds, got {text!r}")
+    if not 0 < value < float("inf"):
+        raise ValueError(
+            f"X-Repro-Deadline-Ms must be a positive finite number of "
+            f"milliseconds, got {text!r}")
+    return value
+
+
+def effective_deadline(header_value: Optional[str],
+                       default_seconds: Optional[float]
+                       ) -> Optional[Deadline]:
+    """The deadline governing one request: the *smaller* of the
+    client's header budget and the server's configured default; None
+    when neither bounds the request.  Malformed headers raise
+    ``ValueError``."""
+    budget: Optional[float] = None
+    if header_value is not None:
+        budget = parse_deadline_ms(header_value) / 1000.0
+    if default_seconds is not None:
+        budget = (default_seconds if budget is None
+                  else min(budget, default_seconds))
+    return None if budget is None else Deadline(budget)

@@ -51,6 +51,15 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.registry import RegistryError
+from repro.resilience import (
+    BREAKER_RESET,
+    BREAKER_THRESHOLD,
+    CircuitBreaker,
+    Deadline,
+    ResilientNodeStore,
+    ResilientStore,
+    effective_deadline,
+)
 
 #: Parameters that select the session; everything else rides on the
 #: request itself.
@@ -107,11 +116,27 @@ def histogram_quantile(counts: List[int], q: float,
 
 
 class ServeError(Exception):
-    """A client error with an HTTP status."""
+    """A client error with an HTTP status.  ``payload`` is optional
+    extra structure merged into the JSON error body (a 504 carries its
+    deadline figures, say)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.payload = payload
+
+
+def _deadline_error(deadline: Deadline) -> ServeError:
+    """The 504 a request that outlived its deadline gets: structured,
+    so callers can tell an exhausted budget from a sick worker."""
+    return ServeError(
+        504,
+        f"request deadline of {deadline.budget_ms:.0f} ms exceeded",
+        payload={
+            "deadline_ms": deadline.budget_ms,
+            "elapsed_ms": deadline.elapsed() * 1000.0,
+        })
 
 
 class Metrics:
@@ -129,6 +154,7 @@ class Metrics:
         self.store_hits = 0
         self.store_misses = 0
         self.coalesced = 0
+        self.timeouts = 0
         self.in_flight = 0
         self.latency_count = 0
         self.latency_total = 0.0
@@ -153,6 +179,14 @@ class Metrics:
         counts[bisect.bisect_left(LATENCY_BUCKETS, elapsed)] += 1
 
 
+def _retrieve_exception(task: "asyncio.Task") -> None:
+    """Mark a task's exception retrieved: a request that 504s abandons
+    its evaluation task, and the late failure (already delivered to any
+    coalesced joiner) must not trip the loop's exception logger."""
+    if not task.cancelled():
+        task.exception()
+
+
 class SynthesisService:
     """Session pool + store + request coalescing (transport-agnostic)."""
 
@@ -163,12 +197,30 @@ class SynthesisService:
         engine_workers: int = 2,
         max_sessions: int = MAX_SESSIONS,
         node_store: Any = "auto",
+        request_timeout: Optional[float] = None,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_reset: float = BREAKER_RESET,
     ) -> None:
         from collections import OrderedDict
 
         from repro.api.registry import create_node_store, create_store
 
-        self.store = create_store(store)
+        # Both caches sit behind circuit breakers: the session layer
+        # already degrades per call (a broken store is a miss), but it
+        # re-pays the store's failure latency on every request.  The
+        # breaker remembers -- after ``breaker_threshold`` consecutive
+        # failures every cache operation short-circuits to an instant
+        # miss (engine-only degraded serving, surfaced in /healthz)
+        # until a half-open probe succeeds.
+        raw_store = create_store(store)
+        if raw_store is not None:
+            self._store_breaker = CircuitBreaker(
+                "store", breaker_threshold, breaker_reset)
+            self.store: Optional[ResilientStore] = ResilientStore(
+                raw_store, self._store_breaker)
+        else:
+            self._store_breaker = None
+            self.store = None
         # The per-node option cache (subtree-level sharing): ``"auto"``
         # co-locates the nodes table with the result store's file, so a
         # request that misses the result store still starts half-warm
@@ -181,11 +233,23 @@ class SynthesisService:
             if self.store is not None:
                 from repro.nodestore import NodeStore
 
-                self.node_store = NodeStore(self.store.path)
+                raw_node_store = NodeStore(self.store.path)
             else:
-                self.node_store = None
+                raw_node_store = None
         else:
-            self.node_store = create_node_store(node_store)
+            raw_node_store = create_node_store(node_store)
+        if raw_node_store is not None:
+            self._node_breaker = CircuitBreaker(
+                "node_store", breaker_threshold, breaker_reset)
+            self.node_store: Optional[ResilientNodeStore] = (
+                ResilientNodeStore(raw_node_store, self._node_breaker))
+        else:
+            self._node_breaker = None
+            self.node_store = None
+        #: The server-side default request budget in seconds (None =
+        #: unbounded); the per-request ``X-Repro-Deadline-Ms`` header
+        #: can only tighten it.
+        self.request_deadline = request_timeout
         self.defaults = {
             "library": "lsi_logic",
             "rulebase": None,
@@ -334,8 +398,35 @@ class SynthesisService:
             job = session.synthesize(request)
         return self._emit(job), "store" if job.from_store else "engine"
 
-    async def synthesize(self, body: Dict[str, Any]) -> Tuple[bytes, str]:
-        """One request: coalesce, serve warm, or evaluate.
+    async def _await_bounded(self, awaitable,
+                             deadline: Optional[Deadline]):
+        """Await ``awaitable`` within the deadline's remaining budget.
+        Exhaustion raises the structured 504; the awaitable should be
+        shielded by the caller so the underlying work keeps running
+        (the engine thread cannot be killed anyway -- the result still
+        lands in the store and resolves coalesced joiners, so the
+        abandoned work warms the next attempt instead of being
+        wasted)."""
+        if deadline is None:
+            return await awaitable
+        remaining = deadline.remaining()
+        if remaining > 0:
+            try:
+                return await asyncio.wait_for(awaitable, timeout=remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        else:
+            # Already expired: consume the awaitable so the abandoned
+            # shield wrapper never trips the loop's exception logger.
+            asyncio.ensure_future(awaitable).cancel()
+        self.metrics.timeouts += 1
+        raise _deadline_error(deadline)
+
+    async def synthesize(self, body: Dict[str, Any],
+                         deadline: Optional[Deadline] = None
+                         ) -> Tuple[bytes, str]:
+        """One request: coalesce, serve warm, or evaluate -- bounded by
+        ``deadline`` when one governs the request (a 504 on exhaustion).
 
         Returns ``(response bytes, source)`` where source is
         ``engine`` / ``store`` / ``coalesced``.
@@ -359,12 +450,30 @@ class SynthesisService:
             pending = self._inflight.get(fingerprint)
             if pending is not None:
                 self.metrics.coalesced += 1
-                payload, _ = await asyncio.shield(pending)
+                payload, _ = await self._await_bounded(
+                    asyncio.shield(pending), deadline)
                 return payload, "coalesced"
             future: asyncio.Future = loop.create_future()
             self._inflight[fingerprint] = future
         else:
             future = None
+
+        # The evaluation runs as its own task so a deadline can abandon
+        # *waiting* without abandoning the work: the shield keeps the
+        # task alive past a 504, its result still resolves coalesced
+        # joiners and lands in the store.
+        task = asyncio.ensure_future(
+            self._evaluate(session, lock, request, fingerprint, future))
+        task.add_done_callback(_retrieve_exception)
+        return await self._await_bounded(asyncio.shield(task), deadline)
+
+    async def _evaluate(self, session, lock, request,
+                        fingerprint: Optional[str],
+                        future: Optional[asyncio.Future]
+                        ) -> Tuple[bytes, str]:
+        """The owner path: probe the store, then run the engine under
+        the session lock; resolves the in-flight future either way."""
+        loop = asyncio.get_running_loop()
 
         from repro.core.design_space import SynthesisError
         from repro.legend.errors import LegendError
@@ -411,7 +520,8 @@ class SynthesisService:
             if fingerprint is not None:
                 self._inflight.pop(fingerprint, None)
 
-    async def batch(self, body: Dict[str, Any]) -> bytes:
+    async def batch(self, body: Dict[str, Any],
+                    deadline: Optional[Deadline] = None) -> bytes:
         requests = body.get("requests")
         if not isinstance(requests, list) or not requests:
             raise ServeError(400, "'requests' must be a non-empty list")
@@ -422,18 +532,34 @@ class SynthesisService:
             merged = dict(body)
             merged.pop("requests", None)
             merged.update(item)
-            payload, _ = await self.synthesize(merged)
+            # One deadline bounds the whole batch: the first item to
+            # exhaust it turns the batch into a 504 (batches are
+            # all-or-nothing on errors already -- a 422 aborts too).
+            payload, _ = await self.synthesize(merged, deadline=deadline)
             jobs.append(json.loads(payload))
         return json.dumps({"jobs": jobs}, indent=2,
                           sort_keys=True).encode("utf-8")
 
     # -- introspection -------------------------------------------------
+    def breaker_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-cache breaker snapshots (empty without stores)."""
+        stats: Dict[str, Dict[str, Any]] = {}
+        if self._store_breaker is not None:
+            stats["store"] = self._store_breaker.stats()
+        if self._node_breaker is not None:
+            stats["node_store"] = self._node_breaker.stats()
+        return stats
+
     def healthz(self) -> Dict[str, Any]:
+        breakers = self.breaker_stats()
+        degraded = any(b["state"] != "closed" for b in breakers.values())
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
             "uptime_seconds": time.time() - self.metrics.started,
             "sessions": len(self._sessions),
             "store": self.store.info() if self.store is not None else None,
+            "breakers": breakers,
         }
 
     def metrics_payload(self) -> Dict[str, Any]:
@@ -451,8 +577,10 @@ class SynthesisService:
             "store_misses": m.store_misses,
             "jobs_run": m.engine_evaluations + m.store_hits + m.coalesced,
             "coalesced": m.coalesced,
+            "timeouts": m.timeouts,
             "in_flight": m.in_flight,
             "sessions": len(self._sessions),
+            "breakers": self.breaker_stats(),
             # Per-node option-cache traffic: with the node cache on, a
             # result-store miss whose expanded subgraph overlaps earlier
             # work (an ALU64 after a bare COMPARATOR<64>, or vice versa)
@@ -510,7 +638,8 @@ def _response(status: int, body: bytes, source: str = "") -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 413: "Payload Too Large",
                422: "Unprocessable Entity", 500: "Internal Server Error",
-               502: "Bad Gateway", 503: "Service Unavailable"}
+               502: "Bad Gateway", 503: "Service Unavailable",
+               504: "Gateway Timeout"}
     head = [
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}",
         "Content-Type: application/json; charset=utf-8",
@@ -522,8 +651,11 @@ def _response(status: int, body: bytes, source: str = "") -> bytes:
     return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
 
 
-def _error_body(message: str) -> bytes:
-    return json.dumps({"error": message}, sort_keys=True).encode("utf-8")
+def _error_body(message: str,
+                extra: Optional[Dict[str, Any]] = None) -> bytes:
+    body: Dict[str, Any] = dict(extra) if extra else {}
+    body["error"] = message
+    return json.dumps(body, sort_keys=True).encode("utf-8")
 
 
 class ReproServer:
@@ -537,12 +669,17 @@ class ReproServer:
         defaults: Optional[Dict[str, Any]] = None,
         engine_workers: int = 2,
         node_store: Any = "auto",
+        request_timeout: Optional[float] = None,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_reset: float = BREAKER_RESET,
     ) -> None:
         self.host = host
         self.port = port
         self.service = SynthesisService(
             store=store, defaults=defaults, engine_workers=engine_workers,
-            node_store=node_store)
+            node_store=node_store, request_timeout=request_timeout,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- request plumbing ----------------------------------------------
@@ -555,12 +692,16 @@ class ReproServer:
         except ValueError:
             raise ServeError(400, "malformed request line")
         content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            # First value wins (only singleton headers matter here).
+            headers.setdefault(name, value.strip())
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
@@ -571,7 +712,7 @@ class ReproServer:
             raise ServeError(413, "request body too large")
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return method.upper(), path.split("?", 1)[0], body
+        return method.upper(), path.split("?", 1)[0], body, headers
 
     @staticmethod
     def _parse_json(body: bytes) -> Dict[str, Any]:
@@ -583,8 +724,20 @@ class ReproServer:
             raise ServeError(400, "request body must be a JSON object")
         return parsed
 
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, bytes, str]:
+    def _request_deadline(self, headers: Dict[str, str]
+                          ) -> Optional[Deadline]:
+        """The deadline governing one request: the smaller of the
+        client's ``X-Repro-Deadline-Ms`` header and the server's
+        ``--request-timeout`` default (None = unbounded)."""
+        try:
+            return effective_deadline(
+                headers.get("x-repro-deadline-ms"),
+                getattr(self.service, "request_deadline", None))
+        except ValueError as error:
+            raise ServeError(400, str(error))
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        headers: Dict[str, str]) -> Tuple[int, bytes, str]:
         service = self.service
         if path == "/healthz":
             if method != "GET":
@@ -600,12 +753,15 @@ class ReproServer:
             if method != "POST":
                 raise ServeError(405, "use POST /synthesize")
             payload, source = await service.synthesize(
-                self._parse_json(body))
+                self._parse_json(body),
+                deadline=self._request_deadline(headers))
             return 200, payload, source
         if path == "/batch":
             if method != "POST":
                 raise ServeError(405, "use POST /batch")
-            return 200, await service.batch(self._parse_json(body)), ""
+            return 200, await service.batch(
+                self._parse_json(body),
+                deadline=self._request_deadline(headers)), ""
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
                  f"POST /batch, GET /healthz, GET /metrics")
@@ -625,16 +781,16 @@ class ReproServer:
                     # was requested, so nothing lands in the metrics.
                     observed = False
                     return
-                method, path, body = parsed
+                method, path, body, headers = parsed
                 # Metrics keys must not be client-controlled: unknown
                 # paths share one bucket or the by_endpoint dict would
                 # grow per distinct probed path forever.
                 endpoint = path if path in KNOWN_ENDPOINTS else "other"
                 status, payload, source = await self._dispatch(
-                    method, path, body)
+                    method, path, body, headers)
             except ServeError as error:
                 status = error.status
-                payload, source = _error_body(str(error)), ""
+                payload, source = _error_body(str(error), error.payload), ""
             except (asyncio.IncompleteReadError, ConnectionError):
                 observed = False  # client hung up mid-request
                 return
@@ -806,6 +962,9 @@ async def run_server(
     ready_message: bool = True,
     node_store: Any = "auto",
     drain_timeout: float = 10.0,
+    request_timeout: Optional[float] = None,
+    breaker_threshold: int = BREAKER_THRESHOLD,
+    breaker_reset: float = BREAKER_RESET,
 ) -> None:
     """Run the service until cancelled or signalled (the ``repro
     serve`` entry).  SIGTERM/SIGINT trigger a *graceful* stop: the
@@ -813,7 +972,10 @@ async def run_server(
     ``drain_timeout`` seconds), and the stores close cleanly."""
     server = ReproServer(host=host, port=port, store=store,
                          defaults=defaults, engine_workers=engine_workers,
-                         node_store=node_store)
+                         node_store=node_store,
+                         request_timeout=request_timeout,
+                         breaker_threshold=breaker_threshold,
+                         breaker_reset=breaker_reset)
     await server.start()
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()

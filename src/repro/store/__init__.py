@@ -25,6 +25,7 @@ from repro.store.backend import (
     NodeStoreBackend,
     StoreBackend,
     parse_store_url,
+    split_url_query,
     sqlite_url_path,
 )
 from repro.store.fingerprint import (
@@ -58,6 +59,7 @@ __all__ = [
     "PAYLOAD_SCHEMA",
     "StoreBackend",
     "parse_store_url",
+    "split_url_query",
     "sqlite_url_path",
     "STORE_ENV",
     "STORE_SCHEMA",

@@ -64,6 +64,26 @@ def parse_store_url(text: str) -> Optional[Tuple[str, str]]:
     return scheme, match.group("rest")
 
 
+def split_url_query(rest: str, url: str) -> Tuple[str, Dict[str, str]]:
+    """Split a URL rest into ``(path, params)`` at the first ``?``.
+
+    Query items are ``key=value`` pairs joined by ``&``; a malformed
+    item raises ``ValueError`` naming the full URL (the caller's
+    registry error / exit 2).  Duplicate keys keep the last value.
+    """
+    path, sep, query = rest.partition("?")
+    params: Dict[str, str] = {}
+    if sep and query:
+        for item in query.split("&"):
+            key, eq, value = item.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"store URL {url!r} has a malformed query item "
+                    f"{item!r}; expected key=value pairs joined by '&'")
+            params[key] = value
+    return path, params
+
+
 def sqlite_url_path(rest: str, url: str) -> str:
     """The filesystem path inside a ``sqlite:`` URL.
 

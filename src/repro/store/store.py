@@ -110,8 +110,10 @@ class ResultStore(StoreBackend):
 
     scheme = "sqlite"
 
-    def __init__(self, path: Union[str, Path, None] = None) -> None:
+    def __init__(self, path: Union[str, Path, None] = None,
+                 busy_timeout_ms: int = 10_000) -> None:
         self.path = Path(path) if path is not None else default_store_path()
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self._lock = threading.Lock()
         # Everything through the schema setup stays inside one try:
         # sqlite3.connect is lazy, so a corrupt or non-SQLite file only
@@ -121,9 +123,11 @@ class ResultStore(StoreBackend):
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._db = sqlite3.connect(
-                str(self.path), timeout=10.0, check_same_thread=False
+                str(self.path), timeout=self.busy_timeout_ms / 1000.0,
+                check_same_thread=False
             )
-            self._db.execute("PRAGMA busy_timeout=10000")
+            self._db.execute(
+                f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             # WAL turns the hit path's LRU stamp into an append instead
             # of a rollback-journal commit, and NORMAL drops the
             # per-commit fsync -- fine for a cache (a lost stamp costs

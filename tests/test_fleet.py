@@ -435,11 +435,13 @@ def test_server_shutdown_closes_stores_in_process(tmp_path):
 
     remaining = asyncio.run(scenario())
     assert remaining == 0
-    # The store handle is closed: any further use must fail.
+    # The store handle is closed: any further use must fail.  The
+    # service wraps the raw SQLite store in a breaker-guarded
+    # ResilientStore, so reach through ``.inner`` for the handle.
     import sqlite3
 
     with pytest.raises(sqlite3.ProgrammingError):
-        server.service.store._db.execute("SELECT 1")
+        server.service.store.inner._db.execute("SELECT 1")
 
 
 def test_fleet_cli_rejects_bad_worker_count(capsys):

@@ -1,0 +1,567 @@
+"""The resilience layer: deadlines, circuit breakers, fault injection,
+failover retries, and the degraded-serving contract.
+
+Unit tests drive the breaker and fault policy with fake clocks and
+hand-built inner stores, so every state transition is deterministic.
+The integration tests run a real in-process server against
+fault-injected store URLs (seeded, so the walks reproduce), and the
+failover tests pair a dead port with a canned worker to prove the
+retry path without any subprocess timing."""
+
+import asyncio
+import http.client
+import http.server
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import cli, registry
+from repro.fleet import FleetService, WorkerFailure, routing_key
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultPolicy,
+    ResilientStore,
+    effective_deadline,
+    parse_chaos,
+    parse_deadline_ms,
+)
+from repro.serve import ReproServer
+from repro.store import StoreError, split_url_query
+from repro.store.backend import StoreBackend
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker state machine (fake clock)
+# ---------------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_breaker_trips_at_threshold_and_short_circuits():
+    clock = FakeClock()
+    breaker = CircuitBreaker("store", failure_threshold=3,
+                             reset_timeout=30.0, clock=clock)
+    assert breaker.state == "closed"
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"       # one short of the threshold
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    # While open (and before the reset timeout) every call is denied.
+    clock.now += 29.0
+    assert not breaker.allow()
+    assert not breaker.allow()
+    stats = breaker.stats()
+    assert stats["short_circuited"] == 2
+    assert stats["opens"] == 1
+
+
+def test_breaker_half_open_probe_closes_on_success_reopens_on_failure():
+    clock = FakeClock()
+    breaker = CircuitBreaker("store", failure_threshold=1,
+                             reset_timeout=10.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.now += 10.0
+    # Exactly one probe is admitted; concurrent calls stay denied.
+    assert breaker.allow()
+    assert breaker.state == "half_open"
+    assert not breaker.allow()
+    breaker.record_failure()               # probe failed: straight back open
+    assert breaker.state == "open"
+    assert breaker.stats()["opens"] == 2
+    clock.now += 10.0
+    assert breaker.allow()
+    breaker.record_success()               # probe succeeded: closed again
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    stats = breaker.stats()
+    assert stats["closes"] == 1
+    assert stats["half_open_probes"] == 2
+    assert stats["consecutive_failures"] == 0
+
+
+def test_resilient_store_stops_calling_inner_while_open_and_recovers():
+    class FlakyStore(StoreBackend):
+        scheme = "flaky"
+
+        def __init__(self) -> None:
+            self.calls = 0
+            self.failing = True
+
+        @property
+        def path(self):
+            return None
+
+        def get(self, fingerprint):
+            self.calls += 1
+            if self.failing:
+                raise StoreError("down")
+            return {"ok": fingerprint}
+
+        def peek(self, fingerprint):
+            return self.get(fingerprint)
+
+        def put(self, fingerprint, payload, label=""):
+            self.get(fingerprint)
+
+        def __contains__(self, fingerprint):
+            return False
+
+        def __len__(self):
+            return 0
+
+        def entries(self):
+            return []
+
+        def info(self):
+            self.get("info")
+            return {}
+
+        def prune(self, max_mb):
+            return {}
+
+        def clear(self):
+            return 0
+
+        def close(self):
+            pass
+
+    clock = FakeClock()
+    inner = FlakyStore()
+    breaker = CircuitBreaker("store", failure_threshold=2,
+                             reset_timeout=5.0, clock=clock)
+    store = ResilientStore(inner, breaker)
+    # Failures degrade to misses, never raise.
+    assert store.get("a") is None
+    assert store.get("b") is None
+    assert breaker.state == "open"
+    calls_when_open = inner.calls
+    for _ in range(10):
+        assert store.get("c") is None      # short-circuited: inner untouched
+    assert inner.calls == calls_when_open
+    # info() degrades to a stub that says so.
+    info = store.info()
+    assert info["unavailable"] is True
+    assert info["degraded"] is True
+    # After the reset timeout one probe goes through; success closes.
+    inner.failing = False
+    clock.now += 5.0
+    assert store.get("d") == {"ok": "d"}
+    assert breaker.state == "closed"
+    assert store.get("e") == {"ok": "e"}
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+def test_parse_deadline_ms_accepts_positive_finite_only():
+    assert parse_deadline_ms("250") == 250.0
+    assert parse_deadline_ms(" 1.5 ") == 1.5
+    for bad in ("0", "-3", "abc", "inf", "nan", ""):
+        with pytest.raises(ValueError):
+            parse_deadline_ms(bad)
+
+
+def test_effective_deadline_takes_the_tighter_budget():
+    assert effective_deadline(None, None) is None
+    only_default = effective_deadline(None, 2.0)
+    assert only_default.budget_ms == pytest.approx(2000.0)
+    only_header = effective_deadline("500", None)
+    assert only_header.budget_ms == pytest.approx(500.0)
+    tighter_header = effective_deadline("500", 2.0)
+    assert tighter_header.budget_ms == pytest.approx(500.0)
+    tighter_default = effective_deadline("5000", 2.0)
+    assert tighter_default.budget_ms == pytest.approx(2000.0)
+
+
+def test_deadline_remaining_floors_and_expiry():
+    clock = FakeClock()
+    deadline = Deadline(0.5, clock=clock)
+    assert not deadline.expired
+    assert deadline.remaining_ms() >= 1
+    clock.now += 1.0
+    assert deadline.expired
+    assert deadline.remaining() == 0.0
+    assert deadline.remaining_ms() == 1   # floor: a header value of 0 is invalid
+
+
+# ---------------------------------------------------------------------------
+# store URL parameters: busy timeouts and fault injection
+# ---------------------------------------------------------------------------
+
+def test_split_url_query_parses_and_rejects_malformed_items():
+    assert split_url_query("/tmp/x.sqlite", "u") == ("/tmp/x.sqlite", {})
+    path, params = split_url_query("/tmp/x.sqlite?a=1&b=two", "u")
+    assert path == "/tmp/x.sqlite"
+    assert params == {"a": "1", "b": "two"}
+    for bad in ("/x?a", "/x?=1", "/x?a=1&novalue"):
+        with pytest.raises(ValueError):
+            split_url_query(bad, "u")
+
+
+def test_sqlite_url_busy_timeout_is_configurable(tmp_path):
+    store = registry.create_store(
+        f"sqlite://{tmp_path}/bt.sqlite?busy_timeout_ms=500")
+    try:
+        assert store.busy_timeout_ms == 500
+        store.put("fp", {"x": 1})
+        assert store.get("fp") == {"x": 1}
+    finally:
+        store.close()
+    nodes = registry.create_node_store(
+        f"sqlite://{tmp_path}/bt.sqlite?busy_timeout_ms=250")
+    try:
+        assert nodes.busy_timeout_ms == 250
+    finally:
+        nodes.close()
+    default = registry.create_store(f"sqlite://{tmp_path}/plain.sqlite")
+    try:
+        assert default.busy_timeout_ms == 10_000
+    finally:
+        default.close()
+
+
+def test_malformed_store_params_are_registry_errors(tmp_path):
+    base = f"sqlite://{tmp_path}/bad.sqlite"
+    for url in (f"{base}?busy_timeout_ms=abc",
+                f"{base}?busy_timeout_ms=0",
+                f"{base}?bogus_param=1",
+                f"fault+{base}?fail_rate=2.0",
+                f"fault+{base}?fail_rate=abc",
+                f"fault+{base}?unknown=1",
+                "fault+memory://extra/path?fail_rate=0.5"):
+        with pytest.raises(registry.RegistryError):
+            registry.create_store(url)
+
+
+def test_cli_exits_2_on_malformed_resilience_urls(tmp_path, capsys):
+    base = f"sqlite://{tmp_path}/cli.sqlite"
+    for url in (f"{base}?busy_timeout_ms=nope",
+                f"fault+{base}?fail_rate=7"):
+        assert cli.main(["cache", "info", "--store", url]) == 2
+        assert capsys.readouterr().err
+
+
+def test_fault_policy_is_seeded_and_fail_first_is_unconditional():
+    policy = FaultPolicy(fail_rate=0.0, fail_first=2, seed=9)
+    with pytest.raises(StoreError):
+        policy.tick("get")
+    with pytest.raises(StoreError):
+        policy.tick("put")
+    policy.tick("get")                     # op 3: past fail_first, rate 0
+    assert policy.ops == 3
+    assert policy.failures_injected == 2
+    # Same seed, same decision sequence.
+    a = FaultPolicy(fail_rate=0.5, seed=42)
+    b = FaultPolicy(fail_rate=0.5, seed=42)
+
+    def walk(p):
+        outcomes = []
+        for _ in range(32):
+            try:
+                p.tick("get")
+                outcomes.append(True)
+            except StoreError:
+                outcomes.append(False)
+        return outcomes
+
+    assert walk(a) == walk(b)
+    with pytest.raises(ValueError):
+        FaultPolicy(fail_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPolicy(corrupt_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPolicy(latency_ms=-1)
+
+
+def test_fault_store_urls_inject_failures_and_corruption():
+    failing = registry.create_store("fault+memory:?fail_rate=1.0")
+    try:
+        with pytest.raises(StoreError):
+            failing.get("fp")
+        with pytest.raises(StoreError):
+            failing.put("fp", {"x": 1})
+    finally:
+        failing.close()
+    corrupting = registry.create_store("fault+memory:?corrupt_rate=1.0&seed=3")
+    try:
+        corrupting.put("fp", {"schema": "real", "x": 1})
+        payload = corrupting.get("fp")
+        # Corruption never fabricates a plausible payload: the marker
+        # schema is guaranteed to fail validation downstream, so a
+        # corrupt read degrades to a miss, never a wrong answer.
+        assert payload == {"schema": "fault-injected-corruption"}
+        assert corrupting.info()["fault_injection"]["corruptions_injected"] >= 1
+    finally:
+        corrupting.close()
+
+
+def test_parse_chaos():
+    assert parse_chaos("kill-worker:8") == ("kill-worker", 8.0)
+    assert parse_chaos("kill-worker:0.5") == ("kill-worker", 0.5)
+    for bad in ("kill-worker", "kill-worker:", "kill-worker:abc",
+                "kill-worker:0", "kill-worker:-2", "restart-store:5"):
+        with pytest.raises(ValueError):
+            parse_chaos(bad)
+
+
+# ---------------------------------------------------------------------------
+# served degradation: breaker walk, corruption self-healing, deadlines
+# ---------------------------------------------------------------------------
+
+def _request(handle, method, path, body=None, headers=None, timeout=60):
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None,
+                     headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, resp.read(), resp.getheader("X-Repro-Source")
+    finally:
+        conn.close()
+
+
+def test_server_walks_breaker_open_half_open_closed(tmp_path):
+    """With the first K store operations failing unconditionally
+    (seeded fault URL) and a breaker threshold below K, the server must
+    (a) keep answering 200 from the engine the whole time, (b) report
+    ``degraded`` while the breaker is open, and (c) recover through a
+    half-open probe once the faults run out -- all observable in
+    /metrics."""
+    store_url = f"fault+sqlite://{tmp_path}/walk.sqlite?fail_first=6"
+    server = ReproServer(host="127.0.0.1", port=0, store=store_url,
+                         breaker_threshold=2, breaker_reset=0.2)
+    handle = server.run_in_thread()
+    try:
+        saw_degraded = False
+        breaker = {}
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            status, _, _ = _request(handle, "POST", "/synthesize",
+                                    body={"spec": "adder:8"})
+            assert status == 200           # engine-only serving, never 5xx
+            status, data, _ = _request(handle, "GET", "/healthz")
+            assert status == 200
+            health = json.loads(data)
+            if health["degraded"]:
+                saw_degraded = True
+                assert health["status"] == "degraded"
+            status, data, _ = _request(handle, "GET", "/metrics")
+            breaker = json.loads(data)["breakers"]["store"]
+            if breaker["state"] == "closed" and breaker["closes"] >= 1:
+                break
+            time.sleep(0.25)
+        assert saw_degraded, "breaker never opened"
+        assert breaker["state"] == "closed"
+        assert breaker["opens"] >= 1
+        assert breaker["half_open_probes"] >= 1
+        assert breaker["closes"] >= 1
+        # Recovered for real: once a post-recovery evaluation has been
+        # stored, a repeat is served warm (the first repeat may still be
+        # an engine run if the breaker closed on a non-synthesize probe
+        # before anything was put).
+        status, _, source = _request(handle, "POST", "/synthesize",
+                                     body={"spec": "adder:8"})
+        assert status == 200
+        assert source in ("engine", "store")
+        status, _, source = _request(handle, "POST", "/synthesize",
+                                     body={"spec": "adder:8"})
+        assert status == 200
+        assert source == "store"
+        status, data, _ = _request(handle, "GET", "/healthz")
+        assert json.loads(data)["degraded"] is False
+    finally:
+        handle.stop()
+
+
+def test_corrupt_store_reads_self_heal_byte_identical(tmp_path):
+    """Every read corrupted: the marker payload fails validation, the
+    engine recomputes, and cold/warm answers stay byte-identical --
+    corruption can cost work but never change an answer."""
+    store_url = (f"fault+sqlite://{tmp_path}/corrupt.sqlite"
+                 f"?corrupt_rate=1.0&seed=7")
+    server = ReproServer(host="127.0.0.1", port=0, store=store_url)
+    handle = server.run_in_thread()
+    try:
+        body = {"spec": "counter:6"}
+        status, cold, source = _request(handle, "POST", "/synthesize",
+                                        body=body)
+        assert status == 200
+        assert source == "engine"
+        status, warm, source = _request(handle, "POST", "/synthesize",
+                                        body=body)
+        assert status == 200
+        assert source == "engine"          # corrupt hit degraded to a miss
+        # The recompute is bit-identical up to wall-clock runtime (two
+        # genuine engine runs never share runtime_seconds).
+        cold_job, warm_job = json.loads(cold), json.loads(warm)
+        for section in ("alternatives", "space", "request"):
+            assert warm_job[section] == cold_job[section]
+    finally:
+        handle.stop()
+
+
+def test_deadline_header_times_out_with_structured_504(tmp_path):
+    server = ReproServer(host="127.0.0.1", port=0,
+                         store=tmp_path / "deadline.sqlite")
+    handle = server.run_in_thread()
+    try:
+        body = {"spec": "adder:12"}
+        status, data, _ = _request(handle, "POST", "/synthesize", body=body,
+                                   headers={"X-Repro-Deadline-Ms": "1"})
+        assert status == 504
+        payload = json.loads(data)
+        assert "deadline" in payload["error"]
+        assert payload["deadline_ms"] == pytest.approx(1.0)
+        assert payload["elapsed_ms"] >= 1.0
+        status, data, _ = _request(handle, "GET", "/metrics")
+        assert json.loads(data)["timeouts"] >= 1
+        # A malformed header is the client's fault: 400, not 504.
+        status, _, _ = _request(handle, "POST", "/synthesize", body=body,
+                                headers={"X-Repro-Deadline-Ms": "soon"})
+        assert status == 400
+        # Unbounded, the same request completes -- and the abandoned
+        # first attempt warmed the store, so it may even come back warm.
+        status, _, source = _request(handle, "POST", "/synthesize", body=body)
+        assert status == 200
+        assert source in ("engine", "store", "coalesced")
+    finally:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# fleet failover
+# ---------------------------------------------------------------------------
+
+class _CannedWorker(http.server.BaseHTTPRequestHandler):
+    """A worker that answers every POST with a fixed warm payload."""
+
+    payload = json.dumps({"ok": True}).encode("utf-8")
+
+    def do_POST(self):
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(self.payload)))
+        self.send_header("X-Repro-Source", "store")
+        self.end_headers()
+        self.wfile.write(self.payload)
+
+    def log_message(self, *args):
+        pass
+
+
+def _dead_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_fleet_retries_once_against_next_live_slot():
+    """Deterministic failover: the key's owner is a dead port, the
+    other slot is a canned worker.  One WorkerFailure, one retry, one
+    rescued request -- and the counters prove which was which."""
+    fleet = FleetService(workers=2, store=None)
+    canned = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                             _CannedWorker)
+    thread = threading.Thread(target=canned.serve_forever, daemon=True)
+    thread.start()
+    try:
+        body = {"spec": "adder:8"}
+        key = routing_key(body, fleet.defaults)
+        owner = fleet.ring.owner(key)
+        dead, live = fleet.workers[owner], fleet.workers[1 - owner]
+        dead.host, dead.port, dead.ready = "127.0.0.1", _dead_port(), True
+        live.host, live.port = canned.server_address
+        live.ready = True
+        raw = json.dumps(body).encode("utf-8")
+        status, payload, source = asyncio.run(fleet.synthesize(raw, body))
+        assert status == 200
+        assert json.loads(payload) == {"ok": True}
+        assert source == "store"
+        assert fleet.retries == 1
+        assert fleet.failovers == 1
+        assert fleet.proxy_errors == 1
+        stats = fleet.fleet_stats()
+        assert stats["retries"] == 1
+        assert stats["failovers"] == 1
+    finally:
+        canned.shutdown()
+        canned.server_close()
+
+
+def test_fleet_gives_up_after_both_slots_fail():
+    fleet = FleetService(workers=2, store=None)
+    for worker in fleet.workers:
+        worker.host, worker.port, worker.ready = "127.0.0.1", _dead_port(), True
+    with pytest.raises(WorkerFailure) as error:
+        asyncio.run(fleet.synthesize(b'{"spec": "adder:8"}',
+                                     {"spec": "adder:8"}))
+    assert error.value.status == 502
+    assert fleet.retries == 1
+    assert fleet.failovers == 0
+    assert fleet.proxy_errors == 2
+
+
+def test_fleet_on_corrupt_store_file_exits_2(tmp_path, capsys):
+    corrupt = tmp_path / "corrupt.sqlite"
+    corrupt.write_bytes(b"this is not a sqlite database at all\x00\xff" * 8)
+    assert cli.main(["cache", "info", "--store",
+                     f"sqlite://{corrupt}"]) == 2
+    assert capsys.readouterr().err
+    # The fleet path: every worker fails to open the store and exits
+    # before reporting ready, so startup fails with exit 2 -- a broken
+    # store is loud at boot, not a silent degraded fleet.
+    assert cli.main(["fleet", "--workers", "1", "--port", "0",
+                     "--store", f"sqlite://{corrupt}"]) == 2
+    assert capsys.readouterr().err
+
+
+def test_live_kill_mid_request_fails_over_to_warm_survivor(tmp_path):
+    """The acceptance walk: warm a key on a real 2-worker fleet, SIGKILL
+    its owner, and re-request immediately.  The router must rescue the
+    request via the failover retry (200 from the survivor's shared
+    store), never surface a 502."""
+    from repro.fleet import FleetRouter
+
+    fleet = FleetService(workers=2, store=str(tmp_path / "kill.sqlite"),
+                         backoff_base=0.2)
+    router = FleetRouter(fleet, port=0)
+    handle = router.run_in_thread()
+    try:
+        body = {"spec": "adder:8"}
+        status, warm, _ = _request(handle, "POST", "/synthesize", body=body,
+                                   timeout=120)
+        assert status == 200
+        key = routing_key(body, fleet.defaults)
+        # Always strike the key's *true* owner (the full-ring slot),
+        # never the survivor the lookup walks to while the owner is
+        # down -- killing both slots would 503 the whole fleet.
+        victim = fleet.workers[fleet.ring.owner(key)]
+        deadline = time.time() + 60
+        while fleet.failovers < 1 and time.time() < deadline:
+            if not victim.ready or victim.proc is None:
+                time.sleep(0.2)            # owner restarting: wait for ready
+                continue
+            victim.proc.kill()
+            status, data, _ = _request(handle, "POST", "/synthesize",
+                                       body=body, timeout=120)
+            assert status == 200           # rescued or re-sharded, never 5xx
+            assert data == warm            # the shared store keeps it exact
+        assert fleet.failovers >= 1
+        assert fleet.retries >= 1
+    finally:
+        handle.stop()
