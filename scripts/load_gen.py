@@ -67,22 +67,25 @@ def histogram_quantile(counts: List[int], q: float,
 def request(host: str, port: int, method: str, path: str,
             body: Optional[Dict] = None,
             timeout: float = 300.0,
-            headers: Optional[Dict[str, str]] = None) -> Tuple[int, bytes]:
+            headers: Optional[Dict[str, str]] = None
+            ) -> Tuple[int, bytes, Dict[str, str]]:
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         conn.request(method, path,
                      body=json.dumps(body) if body is not None else None,
                      headers=headers or {})
         response = conn.getresponse()
-        return response.status, response.read()
+        response_headers = {name.lower(): value
+                            for name, value in response.getheaders()}
+        return response.status, response.read(), response_headers
     finally:
         conn.close()
 
 
 def fetch_metrics(host: str, port: int) -> Optional[Dict]:
     try:
-        status, payload = request(host, port, "GET", "/metrics",
-                                  timeout=30.0)
+        status, payload, _ = request(host, port, "GET", "/metrics",
+                                     timeout=30.0)
         if status != 200:
             return None
         return json.loads(payload)
@@ -157,6 +160,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     workers = args.concurrency or max(8, min(256, int(4 * args.rps)))
     latencies: List[float] = []
     statuses: Dict[int, int] = {}
+    # (elapsed, trace_id, attempts) per completion, so the summary can
+    # print the trace ids of the slowest requests (server started with
+    # --trace/--trace-sample) and count failover-rescued ones.
+    completions: List[Tuple[float, str, int]] = []
+    rescued = 0
     errors = 0
 
     extra_headers: Dict[str, str] = {}
@@ -164,12 +172,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         extra_headers["X-Repro-Deadline-Ms"] = f"{args.deadline_ms:g}"
 
     def one(body: Dict) -> None:
-        nonlocal errors
+        nonlocal errors, rescued
         started = time.perf_counter()
         try:
-            status, _ = request(host, port, "POST", "/synthesize", body,
-                                timeout=args.timeout,
-                                headers=extra_headers)
+            status, _, response_headers = request(
+                host, port, "POST", "/synthesize", body,
+                timeout=args.timeout, headers=extra_headers)
         except OSError:
             errors += 1
             return
@@ -177,6 +185,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         statuses[status] = statuses.get(status, 0) + 1
         if status == 200:
             latencies.append(elapsed)
+            attempts = int(response_headers.get("x-repro-attempts", 1))
+            if attempts > 1:
+                rescued += 1
+            completions.append(
+                (elapsed, response_headers.get("x-repro-trace-id", ""),
+                 attempts))
 
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -209,7 +223,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "p90": percentile(latencies, 0.90),
             "p99": percentile(latencies, 0.99),
         },
+        "rescued_by_failover": rescued,
     }
+    slowest = [
+        {"elapsed_seconds": round(elapsed, 6), "trace_id": trace_id,
+         "attempts": attempts}
+        for elapsed, trace_id, attempts
+        in sorted(completions, reverse=True)[:5]
+        if trace_id
+    ]
+    if slowest:
+        summary["slowest_traces"] = slowest
 
     if after is not None:
         delta = {
@@ -281,6 +305,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  served by: engine {ratios['engine']:.0%}, "
                   f"store {ratios['store']:.0%}, "
                   f"coalesced {ratios['coalesced']:.0%}")
+        if rescued:
+            print(f"  rescued by failover retry: {rescued} request(s)")
+        if slowest:
+            print("  slowest traces ('repro trace show ID' to inspect):")
+            for entry in slowest:
+                note = (f"  (attempts {entry['attempts']})"
+                        if entry["attempts"] > 1 else "")
+                print(f"    {entry['elapsed_seconds'] * 1e3:9.1f} ms  "
+                      f"{entry['trace_id']}{note}")
         fleet = summary.get("fleet")
         if fleet:
             print(f"  fleet: routed {fleet['workers_routed']}, "

@@ -52,11 +52,12 @@ READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
 
 
 def normalized_body(body: bytes) -> str:
-    """The json body with the wall-clock runtime pinned: two engine
-    runs can never agree on ``runtime_seconds``, and everything else
-    must be byte-identical."""
+    """The json body with the wall-clock fields pinned: two engine
+    runs can never agree on ``runtime_seconds`` or ``phases``, and
+    everything else must be byte-identical."""
     data = json.loads(body)
     data["runtime_seconds"] = 0.0
+    data["phases"] = {}
     return json.dumps(data, sort_keys=True)
 
 

@@ -15,6 +15,9 @@ resolved by name through :mod:`repro.api.registry`::
     python -m repro cache info
     python -m repro cache prune --max-mb 64
     python -m repro cache nodes info
+    python -m repro serve --port 8473 --trace --access-log
+    python -m repro trace tail --url http://127.0.0.1:8473 --min-ms 10
+    python -m repro trace show TRACE_ID --url http://127.0.0.1:8473
 
 Multiple ``--spec``/``--legend`` targets run as one batch through a
 single session, sharing the expanded design space and every compiled
@@ -125,6 +128,35 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
              "(default: 30)")
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="trace every request (shorthand for --trace-sample 1.0)")
+    parser.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="fraction of requests to trace, 0.0-1.0 (default: 0.0 = "
+             "tracing off; traced requests get an X-Repro-Trace-Id "
+             "response header and land in GET /debug/traces)")
+    parser.add_argument(
+        "--trace-ring", type=int, default=256, metavar="N",
+        help="finished spans kept in memory for /debug/traces "
+             "(default: 256)")
+    parser.add_argument(
+        "--trace-export", default=None, metavar="PATH",
+        help="also append every finished span as one JSON line to PATH")
+    parser.add_argument(
+        "--access-log", action="store_true",
+        help="print one structured JSON line per request (endpoint, "
+             "status, duration, source, trace id) to stdout")
+
+
+def _trace_sample(args: argparse.Namespace) -> float:
+    """--trace-sample wins; bare --trace means sample everything."""
+    if args.trace_sample is not None:
+        return args.trace_sample
+    return 1.0 if args.trace else 0.0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=PROG,
@@ -196,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "in-flight requests before closing the stores "
                             "and exiting (default: 10)")
     _add_resilience_args(serve)
+    _add_trace_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -236,6 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "in-flight requests before stopping the "
                             "workers (default: 10)")
     _add_resilience_args(fleet)
+    _add_trace_args(fleet)
     fleet.add_argument(
         "--chaos", default=None, metavar="MODE:PERIOD",
         help="fault-injection harness: kill-worker:PERIOD SIGKILLs one "
@@ -290,6 +324,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-mb", type=float, default=None, metavar="MB",
         help="prune: evict least-recently-used entries until the "
              "payload total fits this many megabytes")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect recent request traces on a running server",
+        description="Query GET /debug/traces on a running 'repro serve' "
+                    "or 'repro fleet' instance (started with --trace or "
+                    "--trace-sample).  'tail' lists recent traces one "
+                    "per line; 'show TRACE_ID' renders one trace's span "
+                    "tree.",
+    )
+    trace.add_argument(
+        "action", choices=["tail", "show"],
+        help="tail: list recent traces; show: render one trace")
+    trace.add_argument(
+        "trace_id", nargs="?", default=None, metavar="TRACE_ID",
+        help="show: the trace id (from tail, a response's "
+             "X-Repro-Trace-Id header, or the access log)")
+    trace.add_argument(
+        "--url", default="http://127.0.0.1:8473", metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8473)")
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0, metavar="MS",
+        help="tail: only traces at least this long (default: 0)")
+    trace.add_argument(
+        "--status", default=None, metavar="CODE",
+        help="tail: only traces whose root finished with this status")
+    trace.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="tail: maximum traces to list (default: 20)")
 
     list_parser = sub.add_parser(
         "list",
@@ -429,6 +492,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request_timeout=args.request_timeout,
             breaker_threshold=args.breaker_threshold,
             breaker_reset=args.breaker_reset,
+            trace_sample=_trace_sample(args),
+            trace_ring=args.trace_ring,
+            trace_export=args.trace_export,
+            access_log=args.access_log,
         ))
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} serve: {error}", file=sys.stderr)
@@ -468,6 +535,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_reset=args.breaker_reset,
             chaos=args.chaos,
+            trace_sample=_trace_sample(args),
+            trace_ring=args.trace_ring,
+            trace_export=args.trace_export,
+            access_log=args.access_log,
         ))
     except (FleetError, KeyError, OSError, ValueError) as error:
         print(f"{PROG} fleet: {error}", file=sys.stderr)
@@ -682,6 +753,75 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace tail|show`` against a running server's
+    ``/debug/traces`` (stdlib http.client; no engine imports)."""
+    import http.client
+    import json as json_module
+    import urllib.parse as parse
+
+    from repro.obs.trace import format_trace
+
+    parsed = parse.urlsplit(args.url if "//" in args.url
+                            else f"http://{args.url}")
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 8473
+
+    query: Dict[str, Any] = {}
+    if args.action == "show":
+        if not args.trace_id:
+            print(f"{PROG} trace show: pass a TRACE_ID "
+                  f"(see 'repro trace tail')", file=sys.stderr)
+            return 2
+        query["trace_id"] = args.trace_id
+        query["limit"] = 1
+    else:
+        if args.min_ms:
+            query["min_ms"] = args.min_ms
+        if args.status is not None:
+            query["status"] = args.status
+        query["limit"] = args.limit
+    path = "/debug/traces"
+    if query:
+        path += "?" + parse.urlencode(query)
+
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=10.0)
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+    except (OSError, http.client.HTTPException) as error:
+        print(f"{PROG} trace: cannot reach {host}:{port}: {error}",
+              file=sys.stderr)
+        return 2
+    if response.status != 200:
+        print(f"{PROG} trace: server answered {response.status}: "
+              f"{body.decode('utf-8', errors='replace')}", file=sys.stderr)
+        return 2
+    traces = json_module.loads(body).get("traces", [])
+
+    if args.action == "show":
+        if not traces:
+            print(f"{PROG} trace show: no trace {args.trace_id!r} in the "
+                  f"server's ring (it may have been evicted; raise "
+                  f"--trace-ring on the server)", file=sys.stderr)
+            return 1
+        print(format_trace(traces[0]))
+        return 0
+    if not traces:
+        print("(no traces recorded; start the server with --trace or "
+              "--trace-sample and send a /synthesize request)")
+        return 0
+    for trace in traces:
+        spans = trace.get("spans", [])
+        print(f"{trace.get('trace_id', ''):<34} "
+              f"{str(trace.get('status')):>5}  "
+              f"{trace.get('duration_ms') or 0.0:10.2f} ms  "
+              f"{len(spans):3d} spans  {trace.get('root') or ''}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     sections = {
         "libraries": registry.LIBRARIES,
@@ -722,6 +862,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_warm(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "list":
         return _cmd_list(args)
     parser.error(f"unknown command {args.command!r}")

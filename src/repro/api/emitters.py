@@ -112,6 +112,10 @@ def emit_json(job: SynthesisJob) -> str:
         ],
         "space": job.stats,
         "runtime_seconds": job.runtime_seconds,
+        # Wall-clock engine-phase breakdown: like runtime_seconds it is
+        # timing, not behavior -- byte-compare tests normalize it away
+        # alongside runtime_seconds.
+        "phases": job.phases,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

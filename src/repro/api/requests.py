@@ -224,6 +224,12 @@ class SynthesisJob:
     def runtime_seconds(self) -> float:
         return self.result.runtime_seconds
 
+    @property
+    def phases(self) -> Dict[str, float]:
+        """Per-phase engine seconds for this request (see
+        :attr:`repro.core.synthesizer.SynthesisResult.phases`)."""
+        return self.result.phases
+
     def __len__(self) -> int:
         return len(self.result)
 

@@ -238,6 +238,7 @@ class Session:
     # accumulates nodes across jobs, and a stored/served result must
     # not depend on what else the producing session happened to run.
     def _synthesize_spec(self, spec: ComponentSpec) -> SynthesisResult:
+        before = self.space.snapshot_phases()
         start = time.perf_counter()
         configs = self.space.alternatives(spec)
         elapsed = time.perf_counter() - start
@@ -246,9 +247,11 @@ class Session:
             for i, config in enumerate(configs)
         ]
         return SynthesisResult(alternatives, self.space.stats_for([spec]),
-                               elapsed, spec)
+                               elapsed, spec,
+                               phases=self._phase_delta(before))
 
     def _synthesize_netlist(self, netlist: Netlist) -> SynthesisResult:
+        before = self.space.snapshot_phases()
         start = time.perf_counter()
         configs = self.space.evaluate_netlist(netlist)
         elapsed = time.perf_counter() - start
@@ -258,7 +261,18 @@ class Session:
         ]
         roots = list(dict.fromkeys(m.spec for m in netlist.modules))
         return SynthesisResult(alternatives, self.space.stats_for(roots),
-                               elapsed)
+                               elapsed, phases=self._phase_delta(before))
+
+    def _phase_delta(self, before: Dict[str, float]) -> Dict[str, float]:
+        """This request's phase breakdown: the space's cumulative phase
+        clocks minus the ``before`` snapshot (memoized subtrees cost
+        nothing, so a warm-space request legitimately shows near-zero
+        phases)."""
+        return {
+            phase: total - before.get(phase, 0.0)
+            for phase, total in sorted(self.space.snapshot_phases().items())
+            if total - before.get(phase, 0.0) > 0.0
+        }
 
     def _elaborate_legend(self, request: SynthesisRequest):
         """LEGEND source -> GENUS component (libraries cached per

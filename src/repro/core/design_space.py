@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -350,11 +351,34 @@ class DesignSpace:
         #: Increments go through the module-level ``_NODE_STATS_LOCK``.
         self.node_stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "published": 0}
+        #: Cumulative per-phase wall time (seconds) spent in this
+        #: space: ``expand`` (rule matching + technology mapping),
+        #: ``node_probe``/``node_publish`` (the per-node option cache),
+        #: ``enumerate_cost`` (the S1 cross product through the timing
+        #: kernels), ``filter`` (S2 selection).  Callers snapshot
+        #: before/after a request to get that request's breakdown
+        #: (:meth:`snapshot_phases`); increments go through the same
+        #: lock as ``node_stats``.  Never nested: ``expand`` recursion
+        #: is guarded per thread, and the other phases do not re-enter
+        #: (child subtrees are evaluated in their own ``configs``
+        #: calls), so summing phases never double-counts.
+        self.phase_seconds: Dict[str, float] = {}
         # Re-entrancy guards are per *thread*: the parallel evaluator
         # runs `configs` from worker threads, and a spec mid-evaluation
         # on another thread is concurrent work, not a decomposition
         # cycle.
         self._tls = threading.local()
+
+    def _phase_add(self, phase: str, seconds: float) -> None:
+        with _NODE_STATS_LOCK:
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds)
+
+    def snapshot_phases(self) -> Dict[str, float]:
+        """A point-in-time copy of the cumulative phase clocks;
+        subtract two snapshots for one request's breakdown."""
+        with _NODE_STATS_LOCK:
+            return dict(self.phase_seconds)
 
     @property
     def _expanding(self) -> set:
@@ -383,6 +407,11 @@ class DesignSpace:
             self.nodes[spec] = node
         if spec in self._expanding:
             return node  # completed by the ancestor call
+        # Only the outermost expansion on this thread clocks the
+        # "expand" phase: recursive child expansions are inside its
+        # window, so timing them too would double-count.
+        outermost = not self._expanding
+        phase_start = time.perf_counter() if outermost else 0.0
         self._expanding.add(spec)
         try:
             impls: List[Implementation] = []
@@ -408,6 +437,9 @@ class DesignSpace:
                         self.expand(module.spec)
         finally:
             self._expanding.discard(spec)
+            if outermost:
+                self._phase_add("expand",
+                                time.perf_counter() - phase_start)
         return node
 
     # ------------------------------------------------------------------
@@ -466,20 +498,26 @@ class DesignSpace:
         materialization are unchanged."""
         if not node.impls or not self._node_cacheable(node):
             return None
-        options = self.node_store.load_options(
-            self._node_key(spec), spec, expected_impls=len(node.impls),
-            space_key=self.node_space_key)
-        if options is None:
+        phase_start = time.perf_counter()
+        try:
+            options = self.node_store.load_options(
+                self._node_key(spec), spec, expected_impls=len(node.impls),
+                space_key=self.node_space_key)
+            if options is None:
+                with _NODE_STATS_LOCK:
+                    self.node_stats["misses"] += 1
+                return None
             with _NODE_STATS_LOCK:
-                self.node_stats["misses"] += 1
-            return None
-        with _NODE_STATS_LOCK:
-            self.node_stats["hits"] += 1
-        for impl in node.impls:
-            if impl.kind == "decomp":
-                for module in impl.netlist.modules:
-                    self._dependents.setdefault(module.spec, set()).add(spec)
-        return options
+                self.node_stats["hits"] += 1
+            for impl in node.impls:
+                if impl.kind == "decomp":
+                    for module in impl.netlist.modules:
+                        self._dependents.setdefault(
+                            module.spec, set()).add(spec)
+            return options
+        finally:
+            self._phase_add("node_probe",
+                            time.perf_counter() - phase_start)
 
     def _node_cache_publish(
         self, spec: ComponentSpec, node: SpecNode,
@@ -487,15 +525,20 @@ class DesignSpace:
     ) -> None:
         if not selected or not self._node_cacheable(node):
             return
-        programs = sum(
-            1 for impl in node.impls if impl.timing_program is not None)
-        if self.node_store.save_options(
-            self._node_key(spec), spec, selected,
-            impls=len(node.impls), programs=programs,
-            space_key=self.node_space_key,
-        ):
-            with _NODE_STATS_LOCK:
-                self.node_stats["published"] += 1
+        phase_start = time.perf_counter()
+        try:
+            programs = sum(
+                1 for impl in node.impls if impl.timing_program is not None)
+            if self.node_store.save_options(
+                self._node_key(spec), spec, selected,
+                impls=len(node.impls), programs=programs,
+                space_key=self.node_space_key,
+            ):
+                with _NODE_STATS_LOCK:
+                    self.node_stats["published"] += 1
+        finally:
+            self._phase_add("node_publish",
+                            time.perf_counter() - phase_start)
 
     # ------------------------------------------------------------------
     # evaluation (costed configurations with S1 + S2)
@@ -546,11 +589,15 @@ class DesignSpace:
         block path (``select_block``) when batching is on.  Both paths
         return bit-identical survivors in identical order; third-party
         filters without ``select_block`` fall back to ``select``."""
-        if self.batch > 1:
-            block = getattr(self.perf_filter, "select_block", None)
-            if block is not None:
-                return block(candidates)
-        return self.perf_filter.select(candidates)
+        phase_start = time.perf_counter()
+        try:
+            if self.batch > 1:
+                block = getattr(self.perf_filter, "select_block", None)
+                if block is not None:
+                    return block(candidates)
+            return self.perf_filter.select(candidates)
+        finally:
+            self._phase_add("filter", time.perf_counter() - phase_start)
 
     def _impl_configs(
         self, spec: ComponentSpec, impl: Implementation
@@ -600,9 +647,14 @@ class DesignSpace:
         and costed through the kernels' vectorized block path --
         bit-identical results in the identical order.
         """
+        phase_start = time.perf_counter()
         if self.batch > 1:
-            return self._evaluate_combinations_batched(
-                program, option_lists, own_choice)
+            try:
+                return self._evaluate_combinations_batched(
+                    program, option_lists, own_choice)
+            finally:
+                self._phase_add("enumerate_cost",
+                                time.perf_counter() - phase_start)
         results: List[Configuration] = []
         for chosen, merged in iter_compatible(
             option_lists,
@@ -628,6 +680,8 @@ class DesignSpace:
             )
             results.append(make_configuration(area, delays, choices))
         self.combinations_costed += len(results)
+        self._phase_add("enumerate_cost",
+                        time.perf_counter() - phase_start)
         return results
 
     def _evaluate_combinations_batched(

@@ -158,6 +158,7 @@ def _thread_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
 _FORK_SPACE: "DesignSpace" = None
 _FORK_SENT_DEPS: Dict[ComponentSpec, Set[ComponentSpec]] = {}
 _FORK_SENT_NODE_STATS: Dict[str, int] = {}
+_FORK_SENT_PHASES: Dict[str, float] = {}
 _FORK_LOCK = threading.Lock()
 
 #: What a process worker ships back: the configurations it computed,
@@ -174,6 +175,7 @@ _WorkerDelta = Tuple[
     Dict[ComponentSpec, List["Configuration"]],
     Dict[ComponentSpec, Set[ComponentSpec]],
     Dict[str, int],
+    Dict[str, float],
 ]
 
 
@@ -202,12 +204,22 @@ def _fork_worker(spec: ComponentSpec) -> _WorkerDelta:
         if value != sent_value:
             node_stats[key] = value - sent_value
             _FORK_SENT_NODE_STATS[key] = value
-    return configs, dependents, node_stats
+    # Phase clocks accumulate in the child exactly like node-cache
+    # counters; ship the per-task increment so the parent's per-request
+    # phase breakdown covers work done inside forked workers.
+    phases: Dict[str, float] = {}
+    for key, value in space.snapshot_phases().items():
+        sent_seconds = _FORK_SENT_PHASES.get(key, 0.0)
+        if value != sent_seconds:
+            phases[key] = value - sent_seconds
+            _FORK_SENT_PHASES[key] = value
+    return configs, dependents, node_stats, phases
 
 
 def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
                      jobs: int) -> None:
-    global _FORK_SPACE, _FORK_SENT_DEPS, _FORK_SENT_NODE_STATS
+    global _FORK_SPACE, _FORK_SENT_DEPS, _FORK_SENT_NODE_STATS, \
+        _FORK_SENT_PHASES
     context = multiprocessing.get_context("fork")
     with _FORK_LOCK:
         _FORK_SPACE = space
@@ -216,11 +228,12 @@ def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
         _FORK_SENT_DEPS = {sub: set(deps)
                            for sub, deps in space._dependents.items()}
         _FORK_SENT_NODE_STATS = dict(space.node_stats)
+        _FORK_SENT_PHASES = space.snapshot_phases()
         try:
             with context.Pool(processes=min(jobs, len(tasks))) as pool:
-                for configs, dependents, node_stats in pool.imap_unordered(
-                    _fork_worker, tasks, chunksize=1
-                ):
+                for configs, dependents, node_stats, phases in \
+                        pool.imap_unordered(
+                            _fork_worker, tasks, chunksize=1):
                     for spec, options in configs.items():
                         # First result wins; every copy is bit-identical,
                         # so arrival order cannot change the outcome.
@@ -240,10 +253,13 @@ def _process_prefill(space: "DesignSpace", tasks: Sequence[ComponentSpec],
                     for key, delta in node_stats.items():
                         space.node_stats[key] = \
                             space.node_stats.get(key, 0) + delta
+                    for key, seconds in phases.items():
+                        space._phase_add(key, seconds)
         finally:
             _FORK_SPACE = None
             _FORK_SENT_DEPS = {}
             _FORK_SENT_NODE_STATS = {}
+            _FORK_SENT_PHASES = {}
 
 
 # ---------------------------------------------------------------------------

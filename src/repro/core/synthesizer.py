@@ -64,6 +64,12 @@ class SynthesisResult:
     stats: Dict[str, int]
     runtime_seconds: float
     spec: Optional[ComponentSpec] = None
+    #: Wall-clock seconds per engine phase for *this* request (expand,
+    #: node_probe, enumerate_cost, filter, node_publish) -- a snapshot
+    #: delta of :attr:`DesignSpace.phase_seconds`, kept separate from
+    #: ``stats`` (which must stay deterministic run to run).  Empty for
+    #: results deserialized from old store payloads.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def smallest(self) -> DesignAlternative:
         return min(self.alternatives, key=lambda a: (a.area, a.delay))

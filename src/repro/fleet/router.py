@@ -46,10 +46,21 @@ import json
 import os
 import re
 import sys
-import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.prom import prometheus_text
+from repro.obs.trace import (
+    ATTEMPTS_HEADER,
+    NULL_SPAN,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Tracer,
+    current_span,
+    filter_traces,
+    group_spans,
+)
 from repro.resilience import (
     BREAKER_RESET,
     BREAKER_THRESHOLD,
@@ -66,6 +77,8 @@ from repro.serve.server import (
     ServeError,
     ServerThread,
     _deadline_error,
+    _query_format,
+    _trace_filters,
     install_signal_handlers,
 )
 
@@ -402,12 +415,14 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
                 "le_seconds": list(hist.get("le_seconds",
                                             LATENCY_BUCKETS)),
                 "counts": [0] * len(counts),
+                "sum_seconds": 0.0,
             })
             if len(merged["counts"]) < len(counts):
                 merged["counts"].extend(
                     [0] * (len(counts) - len(merged["counts"])))
             for i, count in enumerate(counts):
                 merged["counts"][i] += count
+            merged["sum_seconds"] += hist.get("sum_seconds", 0.0)
     latency["mean_seconds"] = (latency["total_seconds"] / latency["count"]
                                if latency["count"] else 0.0)
     agg["requests_by_endpoint"] = by_endpoint
@@ -441,6 +456,10 @@ class FleetService:
         breaker_threshold: int = BREAKER_THRESHOLD,
         breaker_reset: float = BREAKER_RESET,
         chaos: Optional[str] = None,
+        trace_sample: float = 0.0,
+        trace_ring: int = 256,
+        trace_export: Optional[str] = None,
+        access_log: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -474,6 +493,13 @@ class FleetService:
         # ValueError (CLI exit 2), not a surprise mid-run.
         self.chaos = parse_chaos(chaos) if chaos else None
         self.metrics = Metrics()  # the router's own HTTP metrics
+        # The router samples; a sampled trace id is forwarded to the
+        # owning worker, which always records propagated ids, so one
+        # fleet request is one trace across both processes.
+        self.tracer = Tracer(trace_sample, ring=trace_ring,
+                             export_path=trace_export, service="fleet")
+        self.access_log = access_log
+        self.trace_ring_size = max(1, int(trace_ring))
         self.ring = HashRing(workers)
         argv = self._worker_argv()
         env = self._worker_env()
@@ -498,7 +524,11 @@ class FleetService:
                 "--workers", str(self.engine_workers),
                 "--drain-timeout", str(self.worker_drain_timeout),
                 "--breaker-threshold", str(self.breaker_threshold),
-                "--breaker-reset", str(self.breaker_reset)]
+                "--breaker-reset", str(self.breaker_reset),
+                # No --trace-sample: workers record exactly the traces
+                # the router sampled and propagated.  The ring size
+                # matches the router's so neither side evicts first.
+                "--trace-ring", str(self.trace_ring_size)]
         if self.request_deadline is not None:
             argv += ["--request-timeout", str(self.request_deadline)]
         if self.store is None:
@@ -634,7 +664,7 @@ class FleetService:
     # -- endpoints -----------------------------------------------------
     async def synthesize(self, raw: bytes, body: Dict[str, Any],
                          deadline: Optional[Deadline] = None
-                         ) -> Tuple[int, bytes, str]:
+                         ) -> Tuple[int, bytes, str, Dict[str, str]]:
         """Route one request to its owning worker; the original bytes
         are forwarded untouched so worker-side fingerprints (and the
         response body) match a direct single-process run exactly.
@@ -645,8 +675,19 @@ class FleetService:
         first worker got far enough to publish -- served warm from the
         shared store).  The remaining deadline budget rides along as
         ``X-Repro-Deadline-Ms``, recomputed per attempt, so queueing
-        and the failed first attempt shrink what the retry may spend."""
+        and the failed first attempt shrink what the retry may spend.
+
+        Returns ``(status, body, source, response headers)``; a rescued
+        request (success after a failover retry) carries its attempt
+        count in the ``X-Repro-Attempts`` header so clients and the
+        load generator can tell rescues from first-try successes.
+
+        When the request is traced, each attempt gets its own ``proxy``
+        child span (failed attempts finish with status "error"), and
+        the trace id plus the attempt span id ride the trace headers so
+        the worker's spans nest under the right attempt."""
         key = routing_key(body, self.defaults)
+        parent = current_span() or NULL_SPAN
         attempted: Set[int] = set()
         last_failure: Optional[WorkerFailure] = None
         for attempt in range(2):
@@ -663,24 +704,38 @@ class FleetService:
                          "down or restarting); retry shortly")
             worker = self.workers[slot]
             self.routed_by_worker[slot] += 1
-            extra = None
+            extra: Dict[str, str] = {}
             if deadline is not None:
-                extra = {"X-Repro-Deadline-Ms":
-                         str(deadline.remaining_ms())}
+                extra["X-Repro-Deadline-Ms"] = str(deadline.remaining_ms())
+            attempt_span = parent.child("proxy").set(
+                attempt=attempt, worker=slot)
+            if parent:
+                extra[TRACE_HEADER] = parent.trace_id
+                extra[PARENT_HEADER] = attempt_span.span_id
             try:
                 status, headers, payload = await self._proxy(
                     worker, "POST", "/synthesize", raw,
-                    deadline=deadline, extra_headers=extra)
+                    deadline=deadline, extra_headers=extra or None)
             except WorkerFailure as failure:
+                attempt_span.finish("error")
                 attempted.add(slot)
                 last_failure = failure
                 if attempt == 0:
                     self.retries += 1
                     continue
                 raise
+            except BaseException:
+                attempt_span.finish("error")
+                raise
+            source = headers.get("x-repro-source", "")
+            attempt_span.set(source=source).finish(status)
+            response_headers: Dict[str, str] = {}
             if attempt > 0:
                 self.failovers += 1
-            return status, payload, headers.get("x-repro-source", "")
+                response_headers[ATTEMPTS_HEADER] = str(attempt + 1)
+                parent.set(rescued=True)
+            parent.set(worker=slot, attempts=attempt + 1)
+            return status, payload, source, response_headers
         raise last_failure  # unreachable; keeps the checker honest
 
     async def batch(self, body: Dict[str, Any],
@@ -701,7 +756,7 @@ class FleetService:
             # a worker's own /batch applies.
             merged = {**base, **item}
             raw = json.dumps(merged, sort_keys=True).encode("utf-8")
-            status, payload, _ = await self.synthesize(
+            status, payload, _, _ = await self.synthesize(
                 raw, merged, deadline=deadline)
             return status, payload
 
@@ -782,7 +837,8 @@ class FleetService:
         return {
             "status": "degraded" if degraded else "ok",
             "degraded": degraded,
-            "uptime_seconds": time.time() - self.metrics.started,
+            "uptime_seconds": self.metrics.uptime_seconds,
+            "started_at": self.metrics.started_at,
             "workers_live": len(live),
             "workers_total": len(self.workers),
             "workers": [
@@ -811,6 +867,31 @@ class FleetService:
         aggregated = aggregate_metrics(payloads)
         aggregated["fleet"] = self.fleet_stats()
         return aggregated
+
+    async def debug_traces(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Fleet-merged traces: the router's own spans plus every live
+        worker's ring, regrouped by trace id -- a propagated trace id
+        stitches the halves back into one tree."""
+        spans: List[Dict[str, Any]] = list(self.tracer.spans())
+
+        async def fetch(worker: WorkerHandle) -> List[Dict[str, Any]]:
+            try:
+                status, _, payload = await self._proxy(
+                    worker, "GET",
+                    f"/debug/traces?limit={self.trace_ring_size}")
+                if status != 200:
+                    return []
+                traces = json.loads(payload).get("traces", [])
+                return [span for trace in traces
+                        for span in trace.get("spans", [])]
+            except (ServeError, ValueError):
+                return []
+
+        live = [worker for worker in self.workers if worker.ready]
+        for worker_spans in await asyncio.gather(
+                *(fetch(worker) for worker in live)):
+            spans.extend(worker_spans)
+        return filter_traces(group_spans(spans), **filters)
 
     # -- lifecycle -----------------------------------------------------
     async def stop_workers(self, drain_timeout: float = 10.0) -> None:
@@ -872,35 +953,47 @@ class FleetRouter(ReproServer):
         self.service = fleet
         self._server: Optional[asyncio.AbstractServer] = None
 
-    async def _dispatch(self, method: str, path: str, body: bytes,
-                        headers: Dict[str, str]) -> Tuple[int, bytes, str]:
+    async def _dispatch(self, method: str, path: str, query: str,
+                        body: bytes, headers: Dict[str, str]
+                        ) -> Tuple[int, bytes, str, Dict[str, str]]:
         fleet = self.fleet
         if path == "/healthz":
             if method != "GET":
                 raise ServeError(405, "use GET /healthz")
             return 200, json.dumps(await fleet.healthz(), indent=2,
-                                   sort_keys=True).encode("utf-8"), ""
+                                   sort_keys=True).encode("utf-8"), "", {}
         if path == "/metrics":
             if method != "GET":
                 raise ServeError(405, "use GET /metrics")
-            return 200, json.dumps(await fleet.metrics_payload(), indent=2,
-                                   sort_keys=True).encode("utf-8"), ""
+            payload = await fleet.metrics_payload()
+            if _query_format(query) == "prometheus":
+                return (200, prometheus_text(payload).encode("utf-8"), "",
+                        {"Content-Type": PROM_CONTENT_TYPE})
+            return 200, json.dumps(payload, indent=2,
+                                   sort_keys=True).encode("utf-8"), "", {}
+        if path == "/debug/traces":
+            if method != "GET":
+                raise ServeError(405, "use GET /debug/traces")
+            traces = await fleet.debug_traces(**_trace_filters(query))
+            return 200, json.dumps({"traces": traces}, indent=2,
+                                   sort_keys=True).encode("utf-8"), "", {}
         if path == "/synthesize":
             if method != "POST":
                 raise ServeError(405, "use POST /synthesize")
-            status, payload, source = await fleet.synthesize(
+            status, payload, source, extra = await fleet.synthesize(
                 body, self._parse_json(body),
                 deadline=self._request_deadline(headers))
-            return status, payload, source
+            return status, payload, source, extra
         if path == "/batch":
             if method != "POST":
                 raise ServeError(405, "use POST /batch")
             return 200, await fleet.batch(
                 self._parse_json(body),
-                deadline=self._request_deadline(headers)), ""
+                deadline=self._request_deadline(headers)), "", {}
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
-                 f"POST /batch, GET /healthz, GET /metrics")
+                 f"POST /batch, GET /healthz, GET /metrics, "
+                 f"GET /debug/traces")
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -965,6 +1058,10 @@ async def run_fleet(
     breaker_threshold: int = BREAKER_THRESHOLD,
     breaker_reset: float = BREAKER_RESET,
     chaos: Optional[str] = None,
+    trace_sample: float = 0.0,
+    trace_ring: int = 256,
+    trace_export: Optional[str] = None,
+    access_log: bool = False,
 ) -> None:
     """Run the fleet until cancelled or signalled (the ``repro fleet``
     entry).  SIGTERM/SIGINT drain the router, then the workers."""
@@ -977,6 +1074,8 @@ async def run_fleet(
         breaker_threshold=breaker_threshold,
         breaker_reset=breaker_reset,
         chaos=chaos,
+        trace_sample=trace_sample, trace_ring=trace_ring,
+        trace_export=trace_export, access_log=access_log,
     )
     router = FleetRouter(fleet, host=host, port=port)
     await router.start()

@@ -1,0 +1,42 @@
+"""Observability for the serving stack: tracing and metric exposition.
+
+``repro.obs`` is stdlib-only.  :mod:`repro.obs.trace` provides a
+lightweight span tracer (contextvar-scoped current span, monotonic
+clocks, 128-bit trace ids, a bounded in-memory ring, optional JSONL
+export) that the serve and fleet layers wire through every request;
+:mod:`repro.obs.prom` renders the existing ``/metrics`` JSON payload
+in Prometheus text exposition format.
+"""
+
+from repro.obs.trace import (
+    ATTEMPTS_HEADER,
+    NULL_SPAN,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Span,
+    Tracer,
+    bind_span,
+    current_span,
+    filter_traces,
+    format_trace,
+    group_spans,
+    unbind_span,
+)
+from repro.obs.prom import parse_samples, prometheus_text
+
+__all__ = [
+    "ATTEMPTS_HEADER",
+    "NULL_SPAN",
+    "PARENT_HEADER",
+    "TRACE_HEADER",
+    "Span",
+    "Tracer",
+    "bind_span",
+    "current_span",
+    "filter_traces",
+    "format_trace",
+    "group_spans",
+    "unbind_span",
+    "parse_samples",
+    "prometheus_text",
+]

@@ -1,0 +1,317 @@
+"""A lightweight span tracer for the serving stack.
+
+One *trace* is one request end to end: the router's request span, its
+per-attempt proxy spans, the worker's request span, and the engine's
+per-phase spans all share a 128-bit trace id that rides the
+``X-Repro-Trace-Id`` header across process boundaries.  Spans clock
+with :func:`time.perf_counter` (durations never go backwards) and
+carry a wall-clock start stamp for display only.
+
+The tracer is built to be free when off: :meth:`Tracer.start_trace`
+returns the :data:`NULL_SPAN` singleton for unsampled requests, and
+every operation on it is a no-op.  Requests that *arrive* with a trace
+id are always recorded regardless of the local sampling rate -- the
+upstream hop already made the sampling decision, and a trace that
+loses its worker half is useless.
+
+Finished spans land in a bounded ring buffer (``/debug/traces`` serves
+it) and, optionally, as one JSON line per span in an export file.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Request header that carries the 128-bit trace id between processes.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Request header carrying the upstream span id, so a worker's request
+#: span nests under the router's proxy-attempt span in a merged trace.
+PARENT_HEADER = "X-Repro-Parent-Span"
+
+#: Response header counting router attempts (> 1 means failover rescued it).
+ATTEMPTS_HEADER = "X-Repro-Attempts"
+
+_CURRENT: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_current_span", default=None)
+
+
+def current_span() -> Optional["Span"]:
+    """The span bound to the current context, or None."""
+    return _CURRENT.get()
+
+
+def bind_span(span: Optional["Span"]) -> contextvars.Token:
+    """Bind *span* as the current span; returns a token for unbind_span.
+
+    Needed explicitly when crossing an executor boundary: contextvars
+    do not propagate into ``loop.run_in_executor`` threads.
+    """
+    return _CURRENT.set(span)
+
+
+def unbind_span(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled path allocates nothing."""
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
+    name = ""
+    sampled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def child(self, name: str) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, duration_seconds: float,
+              **attrs: Any) -> None:
+        return None
+
+    def finish(self, status: Optional[Any] = None) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed operation within a trace.
+
+    Spans are cheap mutable records; ``finish()`` stamps the duration
+    and hands the span to the owning tracer's ring/export.  ``child``
+    opens a live sub-span; ``event`` records an already-measured one
+    (used for engine phase timings, which are accumulated by the core
+    without any tracing dependency and converted to spans afterwards).
+    """
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_id", "name",
+                 "attrs", "status", "start_unix", "_start", "duration_ms",
+                 "sampled")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[str] = None):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = os.urandom(8).hex()
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = {}
+        self.status: Optional[Any] = None
+        self.start_unix = time.time()
+        self._start = time.perf_counter()
+        self.duration_ms: Optional[float] = None
+        self.sampled = True
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (worker slot, endpoint, source, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def child(self, name: str) -> "Span":
+        return Span(self.tracer, name, self.trace_id,
+                    parent_id=self.span_id)
+
+    def event(self, name: str, duration_seconds: float,
+              **attrs: Any) -> None:
+        """Record an already-measured child span of *duration_seconds*."""
+        span = self.child(name)
+        span.attrs.update(attrs)
+        span.duration_ms = round(duration_seconds * 1000.0, 4)
+        self.tracer._record(span)
+
+    def finish(self, status: Optional[Any] = None) -> None:
+        if self.duration_ms is None:
+            self.duration_ms = round(
+                (time.perf_counter() - self._start) * 1000.0, 4)
+        if status is not None:
+            self.status = status
+        self.tracer._record(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_unix": round(self.start_unix, 6),
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Sampling decisions plus the bounded ring of finished spans."""
+
+    def __init__(self, sample_rate: float = 0.0, ring: int = 256,
+                 export_path: Optional[str] = None,
+                 service: str = "repro"):
+        self.sample_rate = max(0.0, min(1.0, float(sample_rate)))
+        self.service = service
+        self.export_path = export_path
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=max(1, int(ring)))
+        self._lock = threading.Lock()
+        self._random = random.Random()
+        self._export_file = None
+        if export_path:
+            self._export_file = open(export_path, "a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def start_trace(self, name: str, trace_id: Optional[str] = None,
+                    parent_id: Optional[str] = None,
+                    force: bool = False) -> Any:
+        """Root span for a request; NULL_SPAN when the request is unsampled.
+
+        A provided *trace_id* (propagated from upstream) always traces.
+        """
+        if trace_id:
+            return Span(self, name, trace_id, parent_id=parent_id)
+        if force or (self.sample_rate > 0.0
+                     and self._random.random() < self.sample_rate):
+            return Span(self, name, new_trace_id())
+        return NULL_SPAN
+
+    def _record(self, span: Span) -> None:
+        entry = span.to_dict()
+        entry["service"] = self.service
+        with self._lock:
+            self._ring.append(entry)
+            if self._export_file is not None:
+                self._export_file.write(
+                    json.dumps(entry, sort_keys=True) + "\n")
+                self._export_file.flush()
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def traces(self, min_ms: float = 0.0, status: Optional[str] = None,
+               limit: int = 50,
+               trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Spans grouped per trace, newest trace first.
+
+        ``min_ms``/``status`` filter on the trace's *root* spans (spans
+        without a recorded parent); ``trace_id`` selects one trace.
+        """
+        return filter_traces(group_spans(self.spans()), min_ms=min_ms,
+                             status=status, limit=limit,
+                             trace_id=trace_id)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._export_file is not None:
+                self._export_file.close()
+                self._export_file = None
+
+
+def group_spans(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Group flat span dicts into per-trace summaries, oldest first.
+
+    Works on spans from *multiple* tracers (the fleet merges the
+    router's ring with each worker's), so the root is inferred: a span
+    whose parent_id is absent from the group.  Duration/status come
+    from the longest such root (the router's request span on a fleet).
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for span in spans:
+        tid = span.get("trace_id") or ""
+        if tid not in by_trace:
+            by_trace[tid] = []
+            order.append(tid)
+        by_trace[tid].append(span)
+    traces = []
+    for tid in order:
+        group = sorted(by_trace[tid],
+                       key=lambda s: (s.get("start_unix") or 0.0))
+        ids = {s.get("span_id") for s in group}
+        roots = [s for s in group if s.get("parent_id") not in ids]
+        root = max(roots, key=lambda s: s.get("duration_ms") or 0.0) \
+            if roots else None
+        traces.append({
+            "trace_id": tid,
+            "start_unix": group[0].get("start_unix"),
+            "duration_ms": root.get("duration_ms") if root else None,
+            "status": root.get("status") if root else None,
+            "root": root.get("name") if root else None,
+            "spans": group,
+        })
+    return traces
+
+
+def filter_traces(grouped: List[Dict[str, Any]], min_ms: float = 0.0,
+                  status: Optional[str] = None, limit: int = 50,
+                  trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Apply the ``/debug/traces`` filters to grouped traces (oldest
+    first on input, newest first on output)."""
+    out: List[Dict[str, Any]] = []
+    for trace in reversed(grouped):
+        if trace_id and trace["trace_id"] != trace_id:
+            continue
+        if trace["duration_ms"] is not None and \
+                trace["duration_ms"] < min_ms:
+            continue
+        if status is not None and str(trace["status"]) != str(status):
+            continue
+        out.append(trace)
+        if len(out) >= max(1, int(limit)):
+            break
+    return out
+
+
+def format_trace(trace: Dict[str, Any]) -> str:
+    """Render one grouped trace as an indented text tree."""
+    spans = trace.get("spans", [])
+    by_parent: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    ids = {s.get("span_id") for s in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent not in ids:
+            parent = None
+        by_parent.setdefault(parent, []).append(span)
+    lines = ["trace %s  status=%s  %.2f ms" % (
+        trace.get("trace_id", ""), trace.get("status"),
+        trace.get("duration_ms") or 0.0)]
+
+    def walk(parent: Optional[str], depth: int) -> None:
+        for span in sorted(by_parent.get(parent, []),
+                           key=lambda s: (s.get("start_unix") or 0.0)):
+            attrs = span.get("attrs") or {}
+            detail = " ".join(
+                "%s=%s" % (k, attrs[k]) for k in sorted(attrs))
+            lines.append(("%s%-28s %10.3f ms  %s" % (
+                "  " * (depth + 1), span.get("name", ""),
+                span.get("duration_ms") or 0.0, detail)).rstrip())
+            walk(span.get("span_id"), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -47,10 +47,23 @@ import bisect
 import json
 import threading
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.registry import RegistryError
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.prom import prometheus_text
+from repro.obs.trace import (
+    NULL_SPAN,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Tracer,
+    bind_span,
+    current_span,
+    unbind_span,
+)
 from repro.resilience import (
     BREAKER_RESET,
     BREAKER_THRESHOLD,
@@ -83,7 +96,11 @@ MAX_COMBINATIONS_LIMIT = 10_000_000
 
 #: The served paths; anything else lands in the "other" metrics bucket.
 KNOWN_ENDPOINTS = frozenset(
-    {"/synthesize", "/batch", "/healthz", "/metrics"})
+    {"/synthesize", "/batch", "/healthz", "/metrics", "/debug/traces"})
+
+#: The endpoints whose requests get trace spans: the ones that do
+#: work.  Health probes and metric scrapes would only pollute the ring.
+TRACED_ENDPOINTS = frozenset({"/synthesize", "/batch"})
 
 #: Fixed per-endpoint latency histogram bucket bounds (seconds,
 #: ``le`` semantics; one implicit overflow bucket past the last).
@@ -146,7 +163,12 @@ class Metrics:
     which keeps totals monotonic across LRU session eviction."""
 
     def __init__(self) -> None:
-        self.started = time.time()
+        # Uptime comes from the monotonic clock -- a wall-clock step
+        # (NTP, DST, operator) must never make it jump or go negative.
+        # The wall-clock birth stamp is kept separately for display.
+        self.started_monotonic = time.monotonic()
+        self.started_at = datetime.now(timezone.utc).isoformat(
+            timespec="seconds")
         self.requests_total = 0
         self.by_endpoint: Dict[str, int] = {}
         self.responses_by_status: Dict[str, int] = {}
@@ -161,8 +183,14 @@ class Metrics:
         self.latency_max = 0.0
         # Per-endpoint fixed-bucket histograms (endpoint keys are the
         # bounded KNOWN_ENDPOINTS/"other" set, so this cannot grow per
-        # probed path).
+        # probed path).  histogram_sums carries the per-endpoint summed
+        # seconds the Prometheus exposition needs for `_sum` samples.
         self.histograms: Dict[str, List[int]] = {}
+        self.histogram_sums: Dict[str, float] = {}
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_monotonic
 
     def observe(self, endpoint: str, status: int, elapsed: float) -> None:
         self.requests_total += 1
@@ -177,6 +205,8 @@ class Metrics:
             counts = self.histograms[endpoint] = (
                 [0] * (len(LATENCY_BUCKETS) + 1))
         counts[bisect.bisect_left(LATENCY_BUCKETS, elapsed)] += 1
+        self.histogram_sums[endpoint] = (
+            self.histogram_sums.get(endpoint, 0.0) + elapsed)
 
 
 def _retrieve_exception(task: "asyncio.Task") -> None:
@@ -200,10 +230,17 @@ class SynthesisService:
         request_timeout: Optional[float] = None,
         breaker_threshold: int = BREAKER_THRESHOLD,
         breaker_reset: float = BREAKER_RESET,
+        tracer: Optional[Tracer] = None,
+        access_log: bool = False,
     ) -> None:
         from collections import OrderedDict
 
         from repro.api.registry import create_node_store, create_store
+
+        # Tracing defaults off (sample rate 0.0): start_trace returns
+        # the shared NULL_SPAN and the request path allocates nothing.
+        self.tracer = tracer if tracer is not None else Tracer(0.0)
+        self.access_log = access_log
 
         # Both caches sit behind circuit breakers: the session layer
         # already degrades per call (a broken store is a miss), but it
@@ -386,17 +423,40 @@ class SynthesisService:
             return None
         return self._emit(job)
 
-    def _run_job(self, session, request,
-                 fingerprint: Optional[str]) -> Tuple[bytes, str]:
+    def _run_job(self, session, request, fingerprint: Optional[str],
+                 span: Optional[Any] = None) -> Tuple[bytes, str]:
         """Engine-side work (executor thread): synthesize and render.
         The source tag distinguishes a store hit from an engine run.
         The fingerprint computed for coalescing is reused so the
-        session does not hash the request a second time."""
-        if fingerprint is not None:
-            job = session.synthesize(request, fingerprint=fingerprint)
-        else:
-            job = session.synthesize(request)
-        return self._emit(job), "store" if job.from_store else "engine"
+        session does not hash the request a second time.
+
+        ``span`` is the request's engine child span, passed explicitly
+        because contextvars do not cross the executor boundary; it is
+        bound here so engine-side code can reach ``current_span()``.
+        """
+        token = bind_span(span) if span is not None else None
+        try:
+            if fingerprint is not None:
+                job = session.synthesize(request, fingerprint=fingerprint)
+            else:
+                job = session.synthesize(request)
+            source = "store" if job.from_store else "engine"
+            if span is not None:
+                # Phase spans only for live runs: a store hit's
+                # ``phases`` are the *producer's* persisted timings
+                # (kept for body byte-identity), not this request's.
+                if source == "engine":
+                    for phase, seconds in sorted(job.phases.items()):
+                        span.event(f"phase:{phase}", seconds)
+                span.set(source=source).finish()
+            return self._emit(job), source
+        except BaseException as error:
+            if span is not None:
+                span.set(error=type(error).__name__).finish("error")
+            raise
+        finally:
+            if token is not None:
+                unbind_span(token)
 
     async def _await_bounded(self, awaitable,
                              deadline: Optional[Deadline]):
@@ -478,20 +538,31 @@ class SynthesisService:
         from repro.core.design_space import SynthesisError
         from repro.legend.errors import LegendError
 
+        # ensure_future copied the request context at task creation, so
+        # the request span bound in _handle is visible here.
+        parent = current_span() or NULL_SPAN
         try:
             try:
                 result = None
                 if fingerprint is not None:
-                    warm = await loop.run_in_executor(
-                        self._executor, self._probe_store, session,
-                        request, fingerprint)
+                    probe_span = parent.child("store_probe")
+                    try:
+                        warm = await loop.run_in_executor(
+                            self._executor, self._probe_store, session,
+                            request, fingerprint)
+                    except BaseException:
+                        probe_span.finish("error")
+                        raise
+                    probe_span.set(hit=warm is not None).finish()
                     if warm is not None:
                         result = (warm, "store")
                 if result is None:
                     async with lock:
+                        eval_span = (parent.child("engine")
+                                     if parent else None)
                         result = await loop.run_in_executor(
                             self._executor, self._run_job, session,
-                            request, fingerprint)
+                            request, fingerprint, eval_span)
             except (SynthesisError, LegendError, ValueError) as error:
                 # The engine rejecting the request -- unknown generator
                 # parameter, unimplementable spec, malformed LEGEND
@@ -556,7 +627,8 @@ class SynthesisService:
         return {
             "status": "degraded" if degraded else "ok",
             "degraded": degraded,
-            "uptime_seconds": time.time() - self.metrics.started,
+            "uptime_seconds": self.metrics.uptime_seconds,
+            "started_at": self.metrics.started_at,
             "sessions": len(self._sessions),
             "store": self.store.info() if self.store is not None else None,
             "breakers": breakers,
@@ -568,7 +640,8 @@ class SynthesisService:
         m = self.metrics
         mean = m.latency_total / m.latency_count if m.latency_count else 0.0
         return {
-            "uptime_seconds": time.time() - m.started,
+            "uptime_seconds": m.uptime_seconds,
+            "started_at": m.started_at,
             "requests_total": m.requests_total,
             "requests_by_endpoint": dict(m.by_endpoint),
             "responses_by_status": dict(m.responses_by_status),
@@ -604,6 +677,7 @@ class SynthesisService:
                 endpoint: {
                     "le_seconds": list(LATENCY_BUCKETS),
                     "counts": list(counts),
+                    "sum_seconds": m.histogram_sums.get(endpoint, 0.0),
                 }
                 for endpoint, counts in sorted(m.histograms.items())
             },
@@ -634,20 +708,26 @@ class SynthesisService:
 # The HTTP layer
 # ---------------------------------------------------------------------------
 
-def _response(status: int, body: bytes, source: str = "") -> bytes:
+def _response(status: int, body: bytes, source: str = "",
+              extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 413: "Payload Too Large",
                422: "Unprocessable Entity", 500: "Internal Server Error",
                502: "Bad Gateway", 503: "Service Unavailable",
                504: "Gateway Timeout"}
+    extra = dict(extra_headers) if extra_headers else {}
+    content_type = extra.pop(
+        "Content-Type", "application/json; charset=utf-8")
     head = [
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}",
-        "Content-Type: application/json; charset=utf-8",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
     if source:
         head.append(f"X-Repro-Source: {source}")
+    for name in sorted(extra):
+        head.append(f"{name}: {extra[name]}")
     return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
 
 
@@ -656,6 +736,57 @@ def _error_body(message: str,
     body: Dict[str, Any] = dict(extra) if extra else {}
     body["error"] = message
     return json.dumps(body, sort_keys=True).encode("utf-8")
+
+
+def _query_format(query: str) -> str:
+    """The ``format=`` query parameter ("" when absent)."""
+    values = urllib.parse.parse_qs(query).get("format", [])
+    return values[0] if values else ""
+
+
+def _trace_filters(query: str) -> Dict[str, Any]:
+    """``/debug/traces`` query parameters as ``Tracer.traces`` kwargs
+    (shared by the single server and the fleet router)."""
+    params = urllib.parse.parse_qs(query)
+
+    def one(name: str) -> Optional[str]:
+        values = params.get(name, [])
+        return values[0] if values else None
+
+    filters: Dict[str, Any] = {}
+    try:
+        if one("min_ms") is not None:
+            filters["min_ms"] = float(one("min_ms"))
+        if one("limit") is not None:
+            filters["limit"] = int(one("limit"))
+    except ValueError:
+        raise ServeError(400, "min_ms must be a number and limit an integer")
+    if one("status") is not None:
+        filters["status"] = one("status")
+    if one("trace_id") is not None:
+        filters["trace_id"] = one("trace_id")
+    return filters
+
+
+def _access_log_line(endpoint: str, method: str, status: int,
+                     elapsed: float, source: str, trace_id: str,
+                     extra_headers: Dict[str, str]) -> None:
+    """One structured JSON access-log line per request on stdout."""
+    entry = {
+        "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+        "endpoint": endpoint,
+        "method": method,
+        "status": status,
+        "duration_ms": round(elapsed * 1000.0, 3),
+        "source": source,
+        "trace_id": trace_id,
+    }
+    from repro.obs.trace import ATTEMPTS_HEADER
+
+    attempts = extra_headers.get(ATTEMPTS_HEADER)
+    if attempts is not None:
+        entry["attempts"] = int(attempts)
+    print(json.dumps(entry, sort_keys=True), flush=True)
 
 
 class ReproServer:
@@ -672,6 +803,10 @@ class ReproServer:
         request_timeout: Optional[float] = None,
         breaker_threshold: int = BREAKER_THRESHOLD,
         breaker_reset: float = BREAKER_RESET,
+        trace_sample: float = 0.0,
+        trace_ring: int = 256,
+        trace_export: Optional[str] = None,
+        access_log: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -679,7 +814,10 @@ class ReproServer:
             store=store, defaults=defaults, engine_workers=engine_workers,
             node_store=node_store, request_timeout=request_timeout,
             breaker_threshold=breaker_threshold,
-            breaker_reset=breaker_reset)
+            breaker_reset=breaker_reset,
+            tracer=Tracer(trace_sample, ring=trace_ring,
+                          export_path=trace_export, service="serve"),
+            access_log=access_log)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- request plumbing ----------------------------------------------
@@ -712,7 +850,8 @@ class ReproServer:
             raise ServeError(413, "request body too large")
         body = (await reader.readexactly(content_length)
                 if content_length else b"")
-        return method.upper(), path.split("?", 1)[0], body, headers
+        path, _, query = path.partition("?")
+        return method.upper(), path, query, body, headers
 
     @staticmethod
     def _parse_json(body: bytes) -> Dict[str, Any]:
@@ -736,42 +875,59 @@ class ReproServer:
         except ValueError as error:
             raise ServeError(400, str(error))
 
-    async def _dispatch(self, method: str, path: str, body: bytes,
-                        headers: Dict[str, str]) -> Tuple[int, bytes, str]:
+    async def _dispatch(self, method: str, path: str, query: str,
+                        body: bytes, headers: Dict[str, str]
+                        ) -> Tuple[int, bytes, str, Dict[str, str]]:
         service = self.service
         if path == "/healthz":
             if method != "GET":
                 raise ServeError(405, "use GET /healthz")
             return 200, json.dumps(service.healthz(), indent=2,
-                                   sort_keys=True).encode("utf-8"), ""
+                                   sort_keys=True).encode("utf-8"), "", {}
         if path == "/metrics":
             if method != "GET":
                 raise ServeError(405, "use GET /metrics")
-            return 200, json.dumps(service.metrics_payload(), indent=2,
-                                   sort_keys=True).encode("utf-8"), ""
+            payload = service.metrics_payload()
+            if _query_format(query) == "prometheus":
+                return (200, prometheus_text(payload).encode("utf-8"), "",
+                        {"Content-Type": PROM_CONTENT_TYPE})
+            return 200, json.dumps(payload, indent=2,
+                                   sort_keys=True).encode("utf-8"), "", {}
+        if path == "/debug/traces":
+            if method != "GET":
+                raise ServeError(405, "use GET /debug/traces")
+            traces = service.tracer.traces(**_trace_filters(query))
+            return 200, json.dumps({"traces": traces}, indent=2,
+                                   sort_keys=True).encode("utf-8"), "", {}
         if path == "/synthesize":
             if method != "POST":
                 raise ServeError(405, "use POST /synthesize")
             payload, source = await service.synthesize(
                 self._parse_json(body),
                 deadline=self._request_deadline(headers))
-            return 200, payload, source
+            return 200, payload, source, {}
         if path == "/batch":
             if method != "POST":
                 raise ServeError(405, "use POST /batch")
             return 200, await service.batch(
                 self._parse_json(body),
-                deadline=self._request_deadline(headers)), ""
+                deadline=self._request_deadline(headers)), "", {}
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
-                 f"POST /batch, GET /healthz, GET /metrics")
+                 f"POST /batch, GET /healthz, GET /metrics, "
+                 f"GET /debug/traces")
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         started = time.perf_counter()
         endpoint = "?"
+        method = "?"
         status = 500
         observed = True
+        span = NULL_SPAN
+        token = None
+        source = ""
+        extra: Dict[str, str] = {}
         self.service.metrics.in_flight += 1
         try:
             try:
@@ -781,16 +937,27 @@ class ReproServer:
                     # was requested, so nothing lands in the metrics.
                     observed = False
                     return
-                method, path, body, headers = parsed
+                method, path, query, body, headers = parsed
                 # Metrics keys must not be client-controlled: unknown
                 # paths share one bucket or the by_endpoint dict would
                 # grow per distinct probed path forever.
                 endpoint = path if path in KNOWN_ENDPOINTS else "other"
-                status, payload, source = await self._dispatch(
-                    method, path, body, headers)
+                if path in TRACED_ENDPOINTS:
+                    # A propagated trace id (fleet router upstream)
+                    # always records, whatever the local sample rate.
+                    span = self.service.tracer.start_trace(
+                        f"request {path}",
+                        trace_id=headers.get("x-repro-trace-id") or None,
+                        parent_id=headers.get("x-repro-parent-span")
+                        or None)
+                    if span:
+                        token = bind_span(span)
+                status, payload, source, extra = await self._dispatch(
+                    method, path, query, body, headers)
             except ServeError as error:
                 status = error.status
                 payload, source = _error_body(str(error), error.payload), ""
+                extra = {}
             except (asyncio.IncompleteReadError, ConnectionError):
                 observed = False  # client hung up mid-request
                 return
@@ -798,15 +965,26 @@ class ReproServer:
                 status = 500
                 payload = _error_body(f"{type(error).__name__}: {error}")
                 source = ""
-            writer.write(_response(status, payload, source))
+                extra = {}
+            if span:
+                extra.setdefault(TRACE_HEADER, span.trace_id)
+            writer.write(_response(status, payload, source, extra))
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
             self.service.metrics.in_flight -= 1
+            elapsed = time.perf_counter() - started
             if observed:
-                self.service.metrics.observe(
-                    endpoint, status, time.perf_counter() - started)
+                self.service.metrics.observe(endpoint, status, elapsed)
+                if span:
+                    span.set(endpoint=endpoint, source=source)
+                    span.finish(status)
+                if self.service.access_log:
+                    _access_log_line(endpoint, method, status, elapsed,
+                                     source, span.trace_id, extra)
+            if token is not None:
+                unbind_span(token)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -965,6 +1143,10 @@ async def run_server(
     request_timeout: Optional[float] = None,
     breaker_threshold: int = BREAKER_THRESHOLD,
     breaker_reset: float = BREAKER_RESET,
+    trace_sample: float = 0.0,
+    trace_ring: int = 256,
+    trace_export: Optional[str] = None,
+    access_log: bool = False,
 ) -> None:
     """Run the service until cancelled or signalled (the ``repro
     serve`` entry).  SIGTERM/SIGINT trigger a *graceful* stop: the
@@ -975,7 +1157,9 @@ async def run_server(
                          node_store=node_store,
                          request_timeout=request_timeout,
                          breaker_threshold=breaker_threshold,
-                         breaker_reset=breaker_reset)
+                         breaker_reset=breaker_reset,
+                         trace_sample=trace_sample, trace_ring=trace_ring,
+                         trace_export=trace_export, access_log=access_log)
     await server.start()
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()

@@ -26,7 +26,10 @@ from repro.store.fingerprint import spec_token
 #: Payload format version (stored inside every payload *and* folded
 #: into the fingerprint via FINGERPRINT_SCHEMA; the double check makes
 #: a mixed-version store fail safe on both paths).
-PAYLOAD_SCHEMA = 1
+#: v2 added ``phases`` (the producer's per-phase engine timing, so a
+#: warm body stays byte-identical to the body the engine run emitted);
+#: v1 entries self-heal to a miss.
+PAYLOAD_SCHEMA = 2
 
 
 # ---------------------------------------------------------------------------
@@ -116,6 +119,7 @@ def job_to_payload(job) -> Dict[str, Any]:
                          for alt in job.alternatives],
         "stats": dict(job.stats),
         "runtime_seconds": job.runtime_seconds,
+        "phases": dict(job.phases),
         "report": job.report(),
         "timing": _timing_metadata(job, space),
     }
@@ -152,6 +156,7 @@ def payload_to_job(payload: Dict[str, Any], request, session):
         dict(payload["stats"]),
         payload["runtime_seconds"],
         spec,
+        phases=dict(payload.get("phases", {})),
     )
     stored_label = payload.get("request", {}).get("label", "")
     if stored_label and stored_label != request.label:

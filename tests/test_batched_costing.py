@@ -129,6 +129,7 @@ def test_batched_parity_with_jobs_and_emitters(jobs, backend):
     for job in (scalar, batched):
         payload = json_module.loads(job.emit("json"))
         payload.pop("runtime_seconds", None)  # wall clock, never parity
+        payload.pop("phases", None)           # wall clock too
         bodies.append(payload)
     assert bodies[0] == bodies[1]
 

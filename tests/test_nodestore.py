@@ -34,11 +34,12 @@ def _nodes(tmp_path, name="nodes.sqlite") -> NodeStore:
 
 
 def _normalized_body(job) -> str:
-    """The json emitter's body with the one nondeterministic field
-    (wall-clock runtime) pinned: everything else must be byte-identical
-    across cache states."""
+    """The json emitter's body with the nondeterministic fields
+    (wall-clock runtime and per-phase timings) pinned: everything else
+    must be byte-identical across cache states."""
     data = json.loads(EMITTERS.create("json", job))
     data["runtime_seconds"] = 0.0
+    data["phases"] = {}
     return json.dumps(data, sort_keys=True)
 
 
@@ -243,6 +244,7 @@ def test_cross_process_subtree_reuse(tmp_path):
         "job = session.synthesize(sys.argv[2])\n"
         "body = json.loads(EMITTERS.create('json', job))\n"
         "body['runtime_seconds'] = 0.0\n"
+        "body['phases'] = {}\n"
         "print(json.dumps({'stats': session.node_cache_stats(),\n"
         "                  'body': body}, sort_keys=True))\n"
     )
@@ -628,6 +630,7 @@ def test_cli_synth_node_store_flag_half_warms_overlap(tmp_path, capsys):
                      "--node-store", node_arg]) == 0
     second = json.loads(capsys.readouterr().out)
     first["runtime_seconds"] = second["runtime_seconds"] = 0.0
+    first["phases"] = second["phases"] = {}
     assert first == second
     assert len(NodeStore(tmp_path / "synth-nodes.sqlite")) >= 1
 

@@ -488,10 +488,13 @@ def test_fleet_retries_once_against_next_live_slot():
         live.host, live.port = canned.server_address
         live.ready = True
         raw = json.dumps(body).encode("utf-8")
-        status, payload, source = asyncio.run(fleet.synthesize(raw, body))
+        status, payload, source, response_headers = asyncio.run(
+            fleet.synthesize(raw, body))
         assert status == 200
         assert json.loads(payload) == {"ok": True}
         assert source == "store"
+        # A rescued request is marked: attempts > 1 rides the response.
+        assert response_headers.get("X-Repro-Attempts") == "2"
         assert fleet.retries == 1
         assert fleet.failovers == 1
         assert fleet.proxy_errors == 1
