@@ -20,7 +20,10 @@ Stdlib only.  Usage::
         --url http://127.0.0.1:8473 --rps 20 --duration 10 \
         --mix adder:8,counter:8,mux:8 --filter pareto
 
-Exits 1 when nothing completed successfully, else 0.
+Exits 1 when nothing completed successfully, else 0.  With
+``--slo-check`` the generator also fetches ``GET /slo`` after the
+run, prints the burn-rate table, and exits 3 when any objective is
+paging (the server must have been started with ``--slo``).
 """
 
 from __future__ import annotations
@@ -82,6 +85,50 @@ def request(host: str, port: int, method: str, path: str,
         conn.close()
 
 
+def slo_check(host: str, port: int) -> int:
+    """Fetch ``GET /slo``, print the burn-rate table, and return the
+    exit code: 0 (ok or warn), 3 (any objective paging), 2 when the
+    endpoint is unreachable or SLOs are not configured."""
+    try:
+        status, payload, _ = request(host, port, "GET", "/slo",
+                                     timeout=30.0)
+    except OSError as error:
+        print(f"load_gen: --slo-check: cannot fetch /slo: {error}",
+              file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"load_gen: --slo-check: /slo answered {status} "
+              f"(start the server with --slo)", file=sys.stderr)
+        return 2
+    try:
+        body = json.loads(payload)
+    except ValueError:
+        print("load_gen: --slo-check: /slo returned invalid JSON",
+              file=sys.stderr)
+        return 2
+    objectives = body.get("objectives", [])
+    overall = body.get("overall", "ok")
+    print(f"slo: overall {overall}")
+    header = (f"  {'objective':<20} {'state':<6} {'burn':>8} "
+              f"{'fast':>8} {'slow':>8} {'bad%':>7}  window")
+    print(header)
+    for entry in objectives:
+        window = entry.get("window_seconds", 0)
+        bad = 100.0 * float(entry.get("bad_fraction") or 0.0)
+        print(f"  {entry.get('name', '?'):<20} "
+              f"{entry.get('state', '?'):<6} "
+              f"{float(entry.get('burn') or 0.0):8.2f} "
+              f"{float(entry.get('burn_fast') or 0.0):8.2f} "
+              f"{float(entry.get('burn_slow') or 0.0):8.2f} "
+              f"{bad:7.2f}  {window:g}s")
+    if overall == "page" or any(entry.get("state") == "page"
+                                for entry in objectives):
+        print("load_gen: --slo-check: objective(s) paging",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
 def fetch_metrics(host: str, port: int) -> Optional[Dict]:
     try:
         status, payload, _ = request(host, port, "GET", "/metrics",
@@ -132,6 +179,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "min(256, 4 * rps), at least 8)")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
+    parser.add_argument("--slo-check", action="store_true",
+                        help="after the run, fetch GET /slo, print the "
+                             "burn-rate table, and exit 3 if any "
+                             "objective is paging (server must run "
+                             "with --slo)")
     args = parser.parse_args(argv)
 
     parsed = urlparse(args.url)
@@ -322,7 +374,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"retries {fleet['retries']}, "
                   f"failovers {fleet['failovers']}, "
                   f"504s {fleet['timeouts_504']}")
-    return 0 if completed else 1
+    code = 0 if completed else 1
+    if args.slo_check:
+        slo_code = slo_check(host, port)
+        code = max(code, slo_code)
+    return code
 
 
 if __name__ == "__main__":

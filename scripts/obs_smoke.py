@@ -46,9 +46,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 READY_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
 
-#: Exposition text grammar: comment lines or ``name[{labels}] value``.
+#: Exposition text grammar: comment lines or ``name[{labels}] value``,
+#: optionally followed by an OpenMetrics exemplar
+#: (`` # {trace_id="..."} value ts``) on ``_bucket`` samples.
 SAMPLE_PATTERN = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$")
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+"
+    r"( # \{[^{}]*\} [^ ]+ [^ ]+)?$")
 
 COLD_SPEC = {"spec": "adder:8", "filter": "tradeoff:0.05"}
 DISTINCT_SPEC = {"spec": "counter:8", "filter": "tradeoff:0.05"}

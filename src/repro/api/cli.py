@@ -145,9 +145,42 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         "--trace-export", default=None, metavar="PATH",
         help="also append every finished span as one JSON line to PATH")
     parser.add_argument(
-        "--access-log", action="store_true",
-        help="print one structured JSON line per request (endpoint, "
-             "status, duration, source, trace id) to stdout")
+        "--access-log", nargs="?", const="-", default=None, metavar="PATH",
+        help="write one structured JSON line per request (endpoint, "
+             "status, duration, source, trace id); with no PATH (or "
+             "'-') lines go to stdout, otherwise to PATH with "
+             "size-bounded rotation (see --access-log-max-mb)")
+    parser.add_argument(
+        "--access-log-max-mb", type=float, default=64.0, metavar="MB",
+        help="rotate a file access log to PATH.1 when it would exceed "
+             "MB megabytes (default: 64; 0 = never rotate)")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """History sampling + SLO flags (shared by serve and fleet)."""
+    parser.add_argument(
+        "--history", action="store_true",
+        help="sample /metrics into bounded in-process time-series "
+             "rings and serve GET /metrics/history (the data source "
+             "for /debug/dashboard and 'repro top')")
+    parser.add_argument(
+        "--history-interval", type=float, default=5.0, metavar="S",
+        help="seconds between history samples (default: 5)")
+    parser.add_argument(
+        "--history-retention", type=float, default=3600.0, metavar="S",
+        help="seconds of history kept per series (default: 3600)")
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="declare an SLO, repeatable; SPEC is "
+             "[NAME=]availability:TARGET:WINDOW (e.g. "
+             "availability:99.9:5m) or [NAME=]latency:pQQ:THRESHOLD:"
+             "WINDOW[:ENDPOINT] (e.g. latency:p99:250ms:5m); "
+             "objectives are burn-rate evaluated and served at "
+             "GET /slo (implies --history)")
+    parser.add_argument(
+        "--slo-file", default=None, metavar="PATH",
+        help="load objectives from a JSON file "
+             "({\"objectives\": [...]}; see README)")
 
 
 def _trace_sample(args: argparse.Namespace) -> float:
@@ -229,6 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "and exiting (default: 10)")
     _add_resilience_args(serve)
     _add_trace_args(serve)
+    _add_obs_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -270,6 +304,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "workers (default: 10)")
     _add_resilience_args(fleet)
     _add_trace_args(fleet)
+    _add_obs_args(fleet)
     fleet.add_argument(
         "--chaos", default=None, metavar="MODE:PERIOD",
         help="fault-injection harness: kill-worker:PERIOD SIGKILLs one "
@@ -353,6 +388,32 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--limit", type=int, default=20, metavar="N",
         help="tail: maximum traces to list (default: 20)")
+
+    top = sub.add_parser(
+        "top",
+        help="live ANSI terminal view of a running serving tier",
+        description="Poll GET /metrics/history (and /slo) on a running "
+                    "'repro serve' or 'repro fleet' started with "
+                    "--history or --slo, and redraw an ANSI frame with "
+                    "request-rate/p99/hit sparklines, gauges, SLO burn "
+                    "states, and recent events.  --once prints a single "
+                    "frame and exits (CI-friendly).",
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8473", metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8473)")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between redraws (default: 2)")
+    top.add_argument(
+        "--window", type=float, default=300.0, metavar="S",
+        help="seconds of history per sparkline (default: 300)")
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit")
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI colors (frames still render)")
 
     list_parser = sub.add_parser(
         "list",
@@ -496,6 +557,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_ring=args.trace_ring,
             trace_export=args.trace_export,
             access_log=args.access_log,
+            access_log_max_mb=args.access_log_max_mb,
+            history=args.history,
+            history_interval=args.history_interval,
+            history_retention=args.history_retention,
+            slo=args.slo,
+            slo_file=args.slo_file,
         ))
     except (KeyError, OSError, ValueError) as error:
         print(f"{PROG} serve: {error}", file=sys.stderr)
@@ -539,6 +606,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             trace_ring=args.trace_ring,
             trace_export=args.trace_export,
             access_log=args.access_log,
+            access_log_max_mb=args.access_log_max_mb,
+            history=args.history,
+            history_interval=args.history_interval,
+            history_retention=args.history_retention,
+            slo=args.slo,
+            slo_file=args.slo_file,
         ))
     except (FleetError, KeyError, OSError, ValueError) as error:
         print(f"{PROG} fleet: {error}", file=sys.stderr)
@@ -822,6 +895,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top`` — ANSI terminal view over ``/metrics/history``."""
+    from repro.obs.top import run_top
+
+    url = args.url if "//" in args.url else f"http://{args.url}"
+    return run_top(url, interval=args.interval, once=args.once,
+                   window=args.window, color=not args.no_color)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     sections = {
         "libraries": registry.LIBRARIES,
@@ -864,6 +946,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "list":
         return _cmd_list(args)
     parser.error(f"unknown command {args.command!r}")

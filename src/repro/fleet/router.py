@@ -67,6 +67,9 @@ from repro.resilience import (
     Deadline,
     parse_chaos,
 )
+from repro.obs.accesslog import AccessLog
+from repro.obs.slo import SLOEngine
+from repro.obs.timeseries import HistorySampler, MetricsHistory
 from repro.serve.server import (
     DEFAULT_PORT,
     LATENCY_BUCKETS,
@@ -77,7 +80,11 @@ from repro.serve.server import (
     ServeError,
     ServerThread,
     _deadline_error,
+    _dashboard_body,
+    _history_body,
     _query_format,
+    _resolve_objectives,
+    _slo_body,
     _trace_filters,
     install_signal_handlers,
 )
@@ -373,6 +380,8 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
     agg["uptime_seconds"] = 0.0
     by_endpoint: Dict[str, int] = {}
     by_status: Dict[str, int] = {}
+    traffic_by_status: Dict[str, int] = {}
+    phase_seconds: Dict[str, float] = {}
     breakers: Dict[str, Dict[str, Any]] = {}
     node = {"hits": 0, "misses": 0, "published": 0, "errors": 0,
             "hot_entries": 0}
@@ -386,9 +395,13 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
         for source, target in (
             (payload.get("requests_by_endpoint", {}), by_endpoint),
             (payload.get("responses_by_status", {}), by_status),
+            (payload.get("traffic_by_status", {}), traffic_by_status),
         ):
             for key, value in source.items():
                 target[key] = target.get(key, 0) + value
+        for phase, seconds in payload.get(
+                "engine_phase_seconds", {}).items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
         for key in node:
             node[key] += payload.get("node_cache", {}).get(key, 0)
         # Breakers merge as state *counts* plus summed transition
@@ -416,6 +429,7 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
                                             LATENCY_BUCKETS)),
                 "counts": [0] * len(counts),
                 "sum_seconds": 0.0,
+                "exemplars": {},
             })
             if len(merged["counts"]) < len(counts):
                 merged["counts"].extend(
@@ -423,10 +437,20 @@ def aggregate_metrics(payloads: List[Dict[str, Any]]) -> Dict[str, Any]:
             for i, count in enumerate(counts):
                 merged["counts"][i] += count
             merged["sum_seconds"] += hist.get("sum_seconds", 0.0)
+            # Exemplars merge most-recent-wins per bucket: the fleet
+            # view should link each bucket to the newest trace any
+            # worker sampled into it.
+            for bucket, exemplar in hist.get("exemplars", {}).items():
+                kept = merged["exemplars"].get(bucket)
+                if kept is None or exemplar.get("timestamp", 0.0) > \
+                        kept.get("timestamp", 0.0):
+                    merged["exemplars"][bucket] = dict(exemplar)
     latency["mean_seconds"] = (latency["total_seconds"] / latency["count"]
                                if latency["count"] else 0.0)
     agg["requests_by_endpoint"] = by_endpoint
     agg["responses_by_status"] = by_status
+    agg["traffic_by_status"] = traffic_by_status
+    agg["engine_phase_seconds"] = phase_seconds
     agg["breakers"] = breakers
     agg["node_cache"] = node
     agg["latency"] = latency
@@ -459,7 +483,8 @@ class FleetService:
         trace_sample: float = 0.0,
         trace_ring: int = 256,
         trace_export: Optional[str] = None,
-        access_log: bool = False,
+        access_log: Any = False,
+        access_log_max_mb: float = 64.0,
     ) -> None:
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -498,7 +523,11 @@ class FleetService:
         # fleet request is one trace across both processes.
         self.tracer = Tracer(trace_sample, ring=trace_ring,
                              export_path=trace_export, service="fleet")
-        self.access_log = access_log
+        # Same sink contract as the single server: bool (stdout), "-",
+        # a file path with size-bounded rotation, or a ready AccessLog.
+        self.access_log = (access_log if isinstance(access_log, AccessLog)
+                           else AccessLog(access_log,
+                                          max_mb=access_log_max_mb))
         self.trace_ring_size = max(1, int(trace_ring))
         self.ring = HashRing(workers)
         argv = self._worker_argv()
@@ -865,6 +894,17 @@ class FleetService:
         payloads = [p for p in await asyncio.gather(
             *(fetch(worker) for worker in live)) if p is not None]
         aggregated = aggregate_metrics(payloads)
+        # Router-*originated* serving errors (503 with no live owner,
+        # 504 on a router-side deadline, 502 mid-proxy) never reach a
+        # worker's counters; fold them in so fleet-level availability
+        # sees every bad event a client saw.  Proxied worker errors
+        # are already in the workers' own traffic counts.
+        traffic = aggregated.setdefault("traffic_by_status", {})
+        for status, count in (("502", self.proxy_errors),
+                              ("503", self.unrouted),
+                              ("504", self.timeouts_504)):
+            if count:
+                traffic[status] = traffic.get(status, 0) + count
         aggregated["fleet"] = self.fleet_stats()
         return aggregated
 
@@ -920,6 +960,7 @@ class FleetService:
             except (asyncio.TimeoutError, TimeoutError):
                 for worker in self.workers:
                     worker.kill()
+        self.access_log.close()
 
     def close(self, close_stores: bool = False) -> None:
         """Sync best-effort teardown (the embedded/abnormal path; the
@@ -933,6 +974,7 @@ class FleetService:
             task.cancel()
         for worker in self.workers:
             worker.terminate()
+        self.access_log.close()
 
 
 class FleetRouter(ReproServer):
@@ -943,7 +985,12 @@ class FleetRouter(ReproServer):
     unchanged."""
 
     def __init__(self, fleet: FleetService, host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT) -> None:
+                 port: int = DEFAULT_PORT,
+                 history: bool = False,
+                 history_interval: float = 5.0,
+                 history_retention: float = 3600.0,
+                 slo: Optional[List[Any]] = None,
+                 slo_file: Optional[str] = None) -> None:
         # Deliberately NOT calling ReproServer.__init__: the fleet has
         # no local SynthesisService.  self.service is the FleetService
         # -- _handle only touches service.metrics, which it provides.
@@ -952,6 +999,21 @@ class FleetRouter(ReproServer):
         self.fleet = fleet
         self.service = fleet
         self._server: Optional[asyncio.AbstractServer] = None
+        # History samples the *aggregated* payload, so fleet-wide and
+        # per-worker series coexist in one ring; SLOs imply history.
+        self.history: Optional[MetricsHistory] = None
+        self.slo_engine: Optional[SLOEngine] = None
+        self._sampler: Optional[HistorySampler] = None
+        objectives = _resolve_objectives(slo, slo_file)
+        if history or objectives:
+            self.history = MetricsHistory(interval=history_interval,
+                                          retention=history_retention)
+            if objectives:
+                self.slo_engine = SLOEngine(
+                    self.history, objectives, tracer=fleet.tracer)
+            self._sampler = HistorySampler(
+                self.history, fleet.metrics_payload,
+                slo_engine=self.slo_engine)
 
     async def _dispatch(self, method: str, path: str, query: str,
                         body: bytes, headers: Dict[str, str]
@@ -960,17 +1022,35 @@ class FleetRouter(ReproServer):
         if path == "/healthz":
             if method != "GET":
                 raise ServeError(405, "use GET /healthz")
-            return 200, json.dumps(await fleet.healthz(), indent=2,
+            health = await fleet.healthz()
+            if self.slo_engine is not None:
+                health["slo"] = self.slo_engine.overall_state()
+            return 200, json.dumps(health, indent=2,
                                    sort_keys=True).encode("utf-8"), "", {}
         if path == "/metrics":
             if method != "GET":
                 raise ServeError(405, "use GET /metrics")
             payload = await fleet.metrics_payload()
+            if self.slo_engine is not None:
+                payload["slo"] = self.slo_engine.metrics_section()
             if _query_format(query) == "prometheus":
                 return (200, prometheus_text(payload).encode("utf-8"), "",
                         {"Content-Type": PROM_CONTENT_TYPE})
             return 200, json.dumps(payload, indent=2,
                                    sort_keys=True).encode("utf-8"), "", {}
+        if path == "/metrics/history":
+            if method != "GET":
+                raise ServeError(405, "use GET /metrics/history")
+            return 200, _history_body(self.history, query), "", {}
+        if path == "/slo":
+            if method != "GET":
+                raise ServeError(405, "use GET /slo")
+            return 200, _slo_body(self.slo_engine), "", {}
+        if path == "/debug/dashboard":
+            if method != "GET":
+                raise ServeError(405, "use GET /debug/dashboard")
+            dash_body, dash_headers = _dashboard_body()
+            return 200, dash_body, "", dash_headers
         if path == "/debug/traces":
             if method != "GET":
                 raise ServeError(405, "use GET /debug/traces")
@@ -993,7 +1073,8 @@ class FleetRouter(ReproServer):
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
                  f"POST /batch, GET /healthz, GET /metrics, "
-                 f"GET /debug/traces")
+                 f"GET /metrics/history, GET /slo, GET /debug/traces, "
+                 f"GET /debug/dashboard")
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -1005,6 +1086,8 @@ class FleetRouter(ReproServer):
             raise
 
     async def stop(self) -> None:
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._server is not None:
             self._server.close()
             try:
@@ -1022,6 +1105,8 @@ class FleetRouter(ReproServer):
         runs its own drain and closes its stores.  Returns the requests
         still in flight when the drain window closed."""
         loop = asyncio.get_running_loop()
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._server is not None:
             self._server.close()
         deadline = loop.time() + max(0.0, drain_timeout)
@@ -1061,7 +1146,13 @@ async def run_fleet(
     trace_sample: float = 0.0,
     trace_ring: int = 256,
     trace_export: Optional[str] = None,
-    access_log: bool = False,
+    access_log: Any = False,
+    access_log_max_mb: float = 64.0,
+    history: bool = False,
+    history_interval: float = 5.0,
+    history_retention: float = 3600.0,
+    slo: Optional[List[Any]] = None,
+    slo_file: Optional[str] = None,
 ) -> None:
     """Run the fleet until cancelled or signalled (the ``repro fleet``
     entry).  SIGTERM/SIGINT drain the router, then the workers."""
@@ -1076,8 +1167,13 @@ async def run_fleet(
         chaos=chaos,
         trace_sample=trace_sample, trace_ring=trace_ring,
         trace_export=trace_export, access_log=access_log,
+        access_log_max_mb=access_log_max_mb,
     )
-    router = FleetRouter(fleet, host=host, port=port)
+    router = FleetRouter(fleet, host=host, port=port,
+                         history=history,
+                         history_interval=history_interval,
+                         history_retention=history_retention,
+                         slo=slo, slo_file=slo_file)
     await router.start()
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()

@@ -1,0 +1,95 @@
+"""Structured access-log sink with size-bounded rotation.
+
+The serving tiers emit one JSON object per request.  Historically
+that went straight to stdout; a long-running fleet pointed at a file
+would grow it without bound.  :class:`AccessLog` keeps the stdout
+behavior (target ``"-"`` or ``True``) and adds a file mode with
+single-generation rotation: when the file would exceed
+``max_mb`` megabytes, it is renamed to ``<path>.1`` (replacing any
+previous ``.1``) and a fresh file is started -- so the worst-case
+disk footprint is ~``2 * max_mb`` and recent history always survives
+in one of the two generations.
+
+Writes are serialized by a lock: the event loop owns the hot path,
+but the fleet's worker-supervision threads log too."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["AccessLog"]
+
+
+class AccessLog:
+    """JSON-lines access-log writer.
+
+    ``target``: ``None``/``False`` disables, ``True`` or ``"-"``
+    writes to stdout, any other string is a file path with rotation
+    governed by ``max_mb`` (``0`` = never rotate).
+    """
+
+    def __init__(self, target: Union[None, bool, str] = None,
+                 max_mb: float = 64.0) -> None:
+        self.path: Optional[str] = None
+        self._stdout = False
+        self._handle = None
+        self._lock = threading.Lock()
+        self.max_bytes = max(0, int(float(max_mb) * 1024 * 1024))
+        self.rotations = 0
+        if target is True or target == "-":
+            self._stdout = True
+        elif isinstance(target, str) and target:
+            self.path = target
+            self._handle = open(target, "a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self._stdout or self._handle is not None
+
+    def __bool__(self) -> bool:
+        # The request path guards on truthiness (`if service.access_log:`).
+        return self.enabled
+
+    def _rotate_locked(self, incoming: int) -> None:
+        if self._handle is None or self.max_bytes <= 0:
+            return
+        try:
+            size = self._handle.tell()
+        except (OSError, ValueError):
+            size = 0
+        if size + incoming <= self.max_bytes:
+            return
+        self._handle.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # rotation is best-effort; keep appending regardless
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+
+    def write(self, entry: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        line = json.dumps(entry, sort_keys=True)
+        if self._stdout:
+            print(line, flush=True)
+            return
+        data = line + "\n"
+        with self._lock:
+            if self._handle is None:
+                return
+            self._rotate_locked(len(data.encode("utf-8")))
+            self._handle.write(data)
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None

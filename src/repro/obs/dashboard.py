@@ -1,0 +1,215 @@
+"""The ``GET /debug/dashboard`` page: one self-contained HTML file.
+
+No external assets, no frameworks, no build step -- the returned
+document embeds its own CSS and a small vanilla-JS poller that hits
+``/metrics/history`` (and ``/slo`` when SLOs are configured) on the
+same origin and draws sparkline panels on ``<canvas>`` elements:
+requests/s, p99 latency, store hit ratio, 5xx errors/s, breaker /
+worker state, and SLO burn.  When history is disabled the page still
+loads and says so (the poller surfaces the 400 from
+``/metrics/history`` instead of erroring out).
+
+Kept as a module-level template so ``render_dashboard`` stays a pure
+function of its arguments -- unit tests assert on the bytes without a
+server."""
+
+from __future__ import annotations
+
+__all__ = ["render_dashboard"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  :root { color-scheme: dark; }
+  body { background: #10131a; color: #d7dce5; margin: 0;
+         font: 13px/1.4 ui-monospace, SFMono-Regular, Menlo, monospace; }
+  header { padding: 10px 16px; border-bottom: 1px solid #2a3040;
+           display: flex; gap: 16px; align-items: baseline; }
+  header h1 { font-size: 15px; margin: 0; color: #7fd1b9; }
+  header .meta { color: #7a8499; }
+  #status { margin-left: auto; }
+  #status.err { color: #ff7b72; }
+  .grid { display: grid; gap: 12px; padding: 16px;
+          grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); }
+  .panel { background: #161b24; border: 1px solid #2a3040;
+           border-radius: 6px; padding: 10px 12px; }
+  .panel h2 { font-size: 12px; margin: 0 0 2px;
+              color: #9aa4b8; font-weight: normal; }
+  .panel .value { font-size: 18px; color: #e6edf3; min-height: 24px; }
+  canvas { width: 100%; height: 64px; display: block; margin-top: 6px; }
+  table { border-collapse: collapse; width: 100%; margin-top: 6px; }
+  td, th { text-align: left; padding: 2px 8px 2px 0; color: #9aa4b8; }
+  td.num { color: #e6edf3; }
+  .state-ok { color: #7fd1b9; } .state-warn { color: #e3b341; }
+  .state-page { color: #ff7b72; }
+  #events { padding: 0 16px 16px; color: #9aa4b8; }
+  #events li { list-style: none; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro dashboard</h1>
+  <span class="meta" id="meta">connecting&hellip;</span>
+  <span id="status"></span>
+</header>
+<div class="grid">
+  <div class="panel"><h2>requests / s</h2>
+    <div class="value" id="v-rps">&ndash;</div><canvas id="c-rps"></canvas>
+  </div>
+  <div class="panel"><h2>p99 latency (s, /synthesize)</h2>
+    <div class="value" id="v-p99">&ndash;</div><canvas id="c-p99"></canvas>
+  </div>
+  <div class="panel"><h2>store hit ratio</h2>
+    <div class="value" id="v-hit">&ndash;</div><canvas id="c-hit"></canvas>
+  </div>
+  <div class="panel"><h2>5xx / s</h2>
+    <div class="value" id="v-err">&ndash;</div><canvas id="c-err"></canvas>
+  </div>
+  <div class="panel"><h2>breakers open / workers ready</h2>
+    <div class="value" id="v-brk">&ndash;</div><canvas id="c-brk"></canvas>
+  </div>
+  <div class="panel"><h2>SLO</h2>
+    <div class="value" id="v-slo">&ndash;</div>
+    <table id="t-slo"></table>
+  </div>
+</div>
+<ul id="events"></ul>
+<script>
+"use strict";
+var POLL_MS = __POLL_MS__;
+var SERIES = ["rate:requests_total", "p99:/synthesize",
+              "rate:store_hits", "rate:jobs_run", "rate:traffic:5xx",
+              "rate:errors_5xx", "breaker:store:open",
+              "fleet:workers_ready"];
+
+function $(id) { return document.getElementById(id); }
+
+function spark(canvas, points, color) {
+  var ctx = canvas.getContext("2d");
+  var w = canvas.width = canvas.clientWidth * 2;
+  var h = canvas.height = canvas.clientHeight * 2;
+  ctx.clearRect(0, 0, w, h);
+  if (!points || points.length < 2) return;
+  var t0 = points[0][0], t1 = points[points.length - 1][0];
+  var max = 0;
+  points.forEach(function (p) { if (p[1] > max) max = p[1]; });
+  if (max <= 0) max = 1;
+  ctx.beginPath();
+  points.forEach(function (p, i) {
+    var x = t1 > t0 ? (p[0] - t0) / (t1 - t0) * (w - 4) + 2 : 2;
+    var y = h - 4 - (p[1] / max) * (h - 8);
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  });
+  ctx.strokeStyle = color; ctx.lineWidth = 2; ctx.stroke();
+}
+
+function last(series, name) {
+  var s = series[name];
+  if (!s || !s.points.length) return null;
+  return s.points[s.points.length - 1][1];
+}
+
+function fmt(v, digits) {
+  return v === null || v === undefined ? "\\u2013"
+       : Number(v).toFixed(digits === undefined ? 2 : digits);
+}
+
+function ratioSeries(num, den) {
+  if (!num || !den) return [];
+  var byTs = {};
+  den.points.forEach(function (p) { byTs[p[0]] = p[1]; });
+  return num.points.filter(function (p) { return byTs[p[0]] > 0; })
+    .map(function (p) { return [p[0], p[1] / byTs[p[0]]]; });
+}
+
+function drawHistory(data) {
+  var s = data.series;
+  $("meta").textContent = "interval " + data.interval_seconds + "s \\u00b7 "
+    + data.samples_taken + " samples \\u00b7 "
+    + Object.keys(s).length + " series";
+  spark($("c-rps"), (s["rate:requests_total"] || {points: []}).points,
+        "#7fd1b9");
+  $("v-rps").textContent = fmt(last(s, "rate:requests_total"));
+  spark($("c-p99"), (s["p99:/synthesize"] || {points: []}).points,
+        "#e3b341");
+  $("v-p99").textContent = fmt(last(s, "p99:/synthesize"), 3);
+  var hits = ratioSeries(s["rate:store_hits"], s["rate:jobs_run"]);
+  spark($("c-hit"), hits, "#79c0ff");
+  $("v-hit").textContent = hits.length
+    ? fmt(hits[hits.length - 1][1]) : "\\u2013";
+  var errs = s["rate:traffic:5xx"] && s["rate:traffic:5xx"].points.length
+    ? s["rate:traffic:5xx"] : s["rate:errors_5xx"];
+  spark($("c-err"), (errs || {points: []}).points, "#ff7b72");
+  $("v-err").textContent = fmt(last(s, errs === s["rate:errors_5xx"]
+    ? "rate:errors_5xx" : "rate:traffic:5xx"));
+  spark($("c-brk"), (s["breaker:store:open"] || {points: []}).points,
+        "#ff7b72");
+  var ready = last(s, "fleet:workers_ready");
+  var brk = last(s, "breaker:store:open");
+  $("v-brk").textContent = (brk === null ? "\\u2013" : brk) + " open"
+    + (ready === null ? "" : " \\u00b7 " + ready + " ready");
+  var ev = $("events"); ev.innerHTML = "";
+  (data.events || []).slice(-8).reverse().forEach(function (e) {
+    var li = document.createElement("li");
+    li.textContent = new Date(e.ts * 1000).toISOString() + "  " + e.kind
+      + (e.objective ? "  " + e.objective + ": " + e.from + " \\u2192 "
+         + e.to + " (burn " + e.burn + ")" : "");
+    ev.appendChild(li);
+  });
+}
+
+function drawSlo(data) {
+  var v = $("v-slo");
+  v.textContent = data.overall;
+  v.className = "value state-" + data.overall;
+  var t = $("t-slo"); t.innerHTML = "";
+  data.objectives.forEach(function (o) {
+    var row = t.insertRow();
+    row.insertCell().textContent = o.name;
+    var cell = row.insertCell();
+    cell.textContent = o.state;
+    cell.className = "state-" + o.state;
+    row.insertCell().textContent =
+      "burn " + fmt(o.burn_fast, 1) + "/" + fmt(o.burn_slow, 1);
+    row.insertCell().textContent = o.transitions + " transitions";
+  });
+}
+
+function poll() {
+  fetch("/metrics/history?series=" + encodeURIComponent(SERIES.join(",")))
+    .then(function (r) {
+      if (r.status === 400) throw new Error(
+        "history sampling is off \\u2014 start with --history or --slo");
+      if (!r.ok) throw new Error("history HTTP " + r.status);
+      return r.json();
+    })
+    .then(function (data) {
+      drawHistory(data);
+      $("status").textContent = "live"; $("status").className = "";
+    })
+    .catch(function (err) {
+      $("status").textContent = String(err.message || err);
+      $("status").className = "err";
+    });
+  fetch("/slo").then(function (r) { return r.ok ? r.json() : null; })
+    .then(function (data) { if (data) drawSlo(data); })
+    .catch(function () {});
+}
+
+poll();
+setInterval(poll, POLL_MS);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(title: str = "repro dashboard",
+                     poll_ms: int = 2000) -> str:
+    """The dashboard document (pure function of its arguments)."""
+    return (_PAGE
+            .replace("__TITLE__", title)
+            .replace("__POLL_MS__", str(int(poll_ms))))

@@ -9,7 +9,11 @@ rendering, not a second set of counters.  Served at
 
 Exposition format 0.0.4: ``# TYPE`` comments, one ``name{labels}
 value`` sample per line, histograms as cumulative ``_bucket`` samples
-with an ``+Inf`` bucket plus ``_sum``/``_count``.
+with an ``+Inf`` bucket plus ``_sum``/``_count``.  Histogram buckets
+additionally carry OpenMetrics-style **exemplars** when the payload
+has them (`` # {trace_id="..."} value timestamp`` appended to the
+``_bucket`` sample), bridging each latency bucket to the most recent
+trace that landed in it.
 """
 
 from __future__ import annotations
@@ -93,9 +97,17 @@ class _Writer:
         self.lines.append("# TYPE %s %s" % (name, kind))
 
     def sample(self, name: str, labels: Optional[Dict[str, Any]],
-               value: Any) -> None:
-        self.lines.append(
-            "%s%s %s" % (name, _labels(labels or {}), _fmt(value)))
+               value: Any, exemplar: Optional[Dict[str, Any]] = None
+               ) -> None:
+        line = "%s%s %s" % (name, _labels(labels or {}), _fmt(value))
+        if exemplar and exemplar.get("trace_id"):
+            # OpenMetrics exemplar syntax: `# {labels} value timestamp`
+            # appended to the sample line.
+            line += " # %s %s %s" % (
+                _labels({"trace_id": exemplar["trace_id"]}),
+                _fmt(exemplar.get("value_seconds", 0.0)),
+                _fmt(exemplar.get("timestamp", 0.0)))
+        self.lines.append(line)
 
 
 def _breaker_lines(w: _Writer, breakers: Dict[str, Any]) -> None:
@@ -135,14 +147,17 @@ def _histogram_lines(w: _Writer, histograms: Dict[str, Any]) -> None:
         hist = histograms[endpoint]
         edges = hist.get("le_seconds", [])
         counts = hist.get("counts", [])
+        exemplars = hist.get("exemplars", {})
         cumulative = 0
         for i, edge in enumerate(edges):
             cumulative += counts[i] if i < len(counts) else 0
             w.sample(name + "_bucket",
-                     {"endpoint": endpoint, "le": _fmt(edge)}, cumulative)
+                     {"endpoint": endpoint, "le": _fmt(edge)}, cumulative,
+                     exemplar=exemplars.get(str(i)))
         total = sum(counts)
         w.sample(name + "_bucket",
-                 {"endpoint": endpoint, "le": "+Inf"}, total)
+                 {"endpoint": endpoint, "le": "+Inf"}, total,
+                 exemplar=exemplars.get(str(len(edges))))
         if "sum_seconds" in hist:
             w.sample(name + "_sum", {"endpoint": endpoint},
                      hist["sum_seconds"])
@@ -176,6 +191,21 @@ def prometheus_text(payload: Dict[str, Any]) -> str:
         for status in sorted(by_status):
             w.sample("repro_responses_total", {"status": status},
                      by_status[status])
+    traffic = payload.get("traffic_by_status", {})
+    if traffic:
+        w.family("repro_traffic_total", "counter",
+                 "Serving-endpoint responses per HTTP status "
+                 "(scrapes and debug endpoints excluded).")
+        for status in sorted(traffic):
+            w.sample("repro_traffic_total", {"status": status},
+                     traffic[status])
+    phases = payload.get("engine_phase_seconds", {})
+    if phases:
+        w.family("repro_engine_phase_seconds_total", "counter",
+                 "Cumulative engine seconds per synthesis phase.")
+        for phase in sorted(phases):
+            w.sample("repro_engine_phase_seconds_total",
+                     {"phase": phase}, phases[phase])
 
     node = payload.get("node_cache", {})
     if node:
@@ -221,6 +251,31 @@ def prometheus_text(payload: Dict[str, Any]) -> str:
 
     _histogram_lines(w, payload.get("latency_histograms", {}))
 
+    slo = payload.get("slo", {})
+    if slo and slo.get("objectives"):
+        w.family("repro_slo_state", "gauge",
+                 "SLO objective state (one-hot over ok/warn/page).")
+        for objective in slo["objectives"]:
+            for state in ("ok", "warn", "page"):
+                w.sample("repro_slo_state",
+                         {"objective": objective["name"], "state": state},
+                         1 if objective.get("state") == state else 0)
+        w.family("repro_slo_burn_rate", "gauge",
+                 "SLO error-budget burn rate per evaluation window.")
+        for objective in slo["objectives"]:
+            w.sample("repro_slo_burn_rate",
+                     {"objective": objective["name"], "window": "fast"},
+                     objective.get("burn_fast", 0.0))
+            w.sample("repro_slo_burn_rate",
+                     {"objective": objective["name"], "window": "slow"},
+                     objective.get("burn_slow", 0.0))
+        w.family("repro_slo_transitions_total", "counter",
+                 "SLO state transitions since start.")
+        for objective in slo["objectives"]:
+            w.sample("repro_slo_transitions_total",
+                     {"objective": objective["name"]},
+                     objective.get("transitions", 0))
+
     if "workers_reporting" in payload:
         w.family("repro_fleet_workers_reporting", "gauge",
                  "Workers whose /metrics answered the aggregation.")
@@ -260,11 +315,15 @@ def parse_samples(text: str) -> Dict[str, float]:
     """Parse exposition text back into ``{'name{labels}': value}``.
 
     The inverse the parity tests need -- deliberately strict: any
-    non-comment line that is not ``name[{labels}] value`` raises."""
+    non-comment line that is not ``name[{labels}] value`` (with an
+    optional `` # {...} value ts`` exemplar suffix) raises."""
     samples: Dict[str, float] = {}
     for line in text.splitlines():
         if not line or line.startswith("#"):
             continue
+        # Exemplars ride after ` # ` on bucket samples; the sample
+        # value is everything before the suffix.
+        line = line.split(" # ", 1)[0]
         series, _, value = line.rpartition(" ")
         if not series:
             raise ValueError("malformed exposition line: %r" % line)

@@ -1,0 +1,164 @@
+"""``repro top``: a curses-free ANSI terminal view of a serving tier.
+
+Polls ``GET /metrics/history`` (plus ``/slo`` when configured) and
+redraws one frame per interval using nothing but ANSI escapes and
+unicode block characters -- so it works over ssh, inside CI logs, and
+in the ``--once`` mode where a single frame is printed and the
+process exits 0 (the smoke tests drive that).
+
+``render_frame`` is a pure function of the fetched payloads; the
+polling loop is the only part that touches sockets or the clock."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_frame", "sparkline", "run_top", "fetch_json"]
+
+#: The series one frame renders.
+TOP_SERIES = (
+    "rate:requests_total", "p99:/synthesize", "rate:store_hits",
+    "rate:jobs_run", "rate:traffic:5xx", "rate:errors_5xx",
+    "in_flight", "fleet:workers_ready", "breaker:store:open",
+)
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_STATE_COLOR = {"ok": "\x1b[32m", "warn": "\x1b[33m", "page": "\x1b[31m"}
+_RESET = "\x1b[0m"
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """A unicode sparkline of the trailing ``width`` values (scaled to
+    the window's own max; empty input renders as spaces)."""
+    tail = list(values)[-width:]
+    if not tail:
+        return " " * width
+    top = max(tail)
+    if top <= 0:
+        return ("▁" * len(tail)).rjust(width)
+    chars = [_BLOCKS[min(len(_BLOCKS) - 1,
+                         int(value / top * (len(_BLOCKS) - 1)))]
+             for value in tail]
+    return "".join(chars).rjust(width)
+
+
+def _points(history: Dict[str, Any], name: str) -> List[float]:
+    series = (history.get("series") or {}).get(name) or {}
+    return [point[1] for point in series.get("points", [])]
+
+
+def _last(history: Dict[str, Any], name: str) -> Optional[float]:
+    values = _points(history, name)
+    return values[-1] if values else None
+
+
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def render_frame(history: Dict[str, Any],
+                 slo: Optional[Dict[str, Any]] = None,
+                 url: str = "", width: int = 32,
+                 color: bool = True) -> str:
+    """One full frame (no cursor movement -- the caller prepends the
+    clear sequence when looping)."""
+
+    def paint(state: str) -> str:
+        if not color:
+            return state
+        return _STATE_COLOR.get(state, "") + state + _RESET
+
+    lines: List[str] = []
+    lines.append(
+        f"repro top — {url or 'local'} — interval "
+        f"{history.get('interval_seconds', '?')}s, "
+        f"{history.get('samples_taken', 0)} samples")
+    lines.append("")
+    rows = [
+        ("req/s   ", "rate:requests_total", 2),
+        ("p99 s   ", "p99:/synthesize", 3),
+        ("hits/s  ", "rate:store_hits", 2),
+        ("jobs/s  ", "rate:jobs_run", 2),
+    ]
+    err_name = ("rate:traffic:5xx"
+                if _points(history, "rate:traffic:5xx")
+                else "rate:errors_5xx")
+    rows.append(("5xx/s   ", err_name, 2))
+    for label, name, digits in rows:
+        values = _points(history, name)
+        lines.append(f"  {label}{_fmt(values[-1] if values else None, digits):>10}  "
+                     f"{sparkline(values, width)}")
+    lines.append("")
+    gauges = []
+    for label, name in (("in-flight", "in_flight"),
+                        ("workers ready", "fleet:workers_ready"),
+                        ("breakers open", "breaker:store:open")):
+        value = _last(history, name)
+        if value is not None:
+            gauges.append(f"{label} {value:g}")
+    if gauges:
+        lines.append("  " + "  ·  ".join(gauges))
+    if slo and slo.get("objectives"):
+        lines.append("")
+        lines.append(f"  SLO: {paint(slo.get('overall', 'ok'))}")
+        for objective in slo["objectives"]:
+            lines.append(
+                f"    {objective['name']:<28} {paint(objective['state']):<16}"
+                f" burn {objective['burn_fast']:.1f}/"
+                f"{objective['burn_slow']:.1f}"
+                f"  transitions {objective['transitions']}")
+    events = history.get("events") or []
+    if events:
+        lines.append("")
+        lines.append("  recent events:")
+        for event in events[-4:]:
+            detail = ""
+            if event.get("objective"):
+                detail = (f" {event['objective']}: {event.get('from')}"
+                          f" → {event.get('to')} (burn {event.get('burn')})")
+            lines.append(f"    {event.get('kind', '?')}{detail}")
+    return "\n".join(lines)
+
+
+def fetch_json(url: str, timeout: float = 10.0) -> Optional[Dict[str, Any]]:
+    """GET + parse, ``None`` on any failure (the loop keeps going)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def run_top(url: str, interval: float = 2.0, once: bool = False,
+            window: float = 300.0, color: bool = True) -> int:
+    """The ``repro top`` loop.  Returns an exit status: 0 once a frame
+    has rendered (``--once``), 1 when the server is unreachable or has
+    history sampling off."""
+    base = url.rstrip("/")
+    series = ",".join(TOP_SERIES)
+    history_url = (f"{base}/metrics/history?"
+                   + urllib.parse.urlencode(
+                       {"series": series, "since": window}))
+    while True:
+        history = fetch_json(history_url)
+        if history is None or "series" not in history:
+            print(f"repro top: no history from {base} "
+                  f"(is the server running with --history or --slo?)",
+                  flush=True)
+            return 1
+        slo = fetch_json(f"{base}/slo")
+        frame = render_frame(history, slo, url=base, color=color)
+        if once:
+            print(frame, flush=True)
+            return 0
+        print(_CLEAR + frame, flush=True)
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -53,8 +53,11 @@ from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.registry import RegistryError
+from repro.obs.accesslog import AccessLog
 from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.obs.prom import prometheus_text
+from repro.obs.slo import SLOEngine, load_objectives
+from repro.obs.timeseries import HistorySampler, MetricsHistory
 from repro.obs.trace import (
     NULL_SPAN,
     PARENT_HEADER,
@@ -96,7 +99,8 @@ MAX_COMBINATIONS_LIMIT = 10_000_000
 
 #: The served paths; anything else lands in the "other" metrics bucket.
 KNOWN_ENDPOINTS = frozenset(
-    {"/synthesize", "/batch", "/healthz", "/metrics", "/debug/traces"})
+    {"/synthesize", "/batch", "/healthz", "/metrics", "/metrics/history",
+     "/slo", "/debug/traces", "/debug/dashboard"})
 
 #: The endpoints whose requests get trace spans: the ones that do
 #: work.  Health probes and metric scrapes would only pollute the ring.
@@ -178,6 +182,17 @@ class Metrics:
         self.coalesced = 0
         self.timeouts = 0
         self.in_flight = 0
+        # Serving-endpoint traffic only (/synthesize, /batch): the SLO
+        # availability denominator must not be diluted by health
+        # probes, scrapes, or dashboard polls.
+        self.traffic_by_status: Dict[str, int] = {}
+        # Cumulative engine seconds per synthesis phase, accumulated
+        # on the event loop when an engine evaluation resolves.
+        self.engine_phase_seconds: Dict[str, float] = {}
+        # Most recent sampled trace id per (endpoint, bucket index):
+        # the OpenMetrics exemplar bridging a latency bucket to
+        # /debug/traces.  Bounded by endpoints x buckets.
+        self.exemplars: Dict[str, Dict[int, Dict[str, Any]]] = {}
         self.latency_count = 0
         self.latency_total = 0.0
         self.latency_max = 0.0
@@ -192,11 +207,15 @@ class Metrics:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self.started_monotonic
 
-    def observe(self, endpoint: str, status: int, elapsed: float) -> None:
+    def observe(self, endpoint: str, status: int, elapsed: float,
+                trace_id: str = "") -> None:
         self.requests_total += 1
         self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
         key = str(status)
         self.responses_by_status[key] = self.responses_by_status.get(key, 0) + 1
+        if endpoint in TRACED_ENDPOINTS:
+            self.traffic_by_status[key] = (
+                self.traffic_by_status.get(key, 0) + 1)
         self.latency_count += 1
         self.latency_total += elapsed
         self.latency_max = max(self.latency_max, elapsed)
@@ -204,9 +223,19 @@ class Metrics:
         if counts is None:
             counts = self.histograms[endpoint] = (
                 [0] * (len(LATENCY_BUCKETS) + 1))
-        counts[bisect.bisect_left(LATENCY_BUCKETS, elapsed)] += 1
+        bucket = bisect.bisect_left(LATENCY_BUCKETS, elapsed)
+        counts[bucket] += 1
         self.histogram_sums[endpoint] = (
             self.histogram_sums.get(endpoint, 0.0) + elapsed)
+        if trace_id:
+            # Most-recent-wins exemplar for the bucket this request
+            # landed in; only sampled requests carry a trace id, so
+            # the exemplar always resolves in /debug/traces.
+            self.exemplars.setdefault(endpoint, {})[bucket] = {
+                "trace_id": trace_id,
+                "value_seconds": elapsed,
+                "timestamp": time.time(),
+            }
 
 
 def _retrieve_exception(task: "asyncio.Task") -> None:
@@ -231,7 +260,8 @@ class SynthesisService:
         breaker_threshold: int = BREAKER_THRESHOLD,
         breaker_reset: float = BREAKER_RESET,
         tracer: Optional[Tracer] = None,
-        access_log: bool = False,
+        access_log: Any = False,
+        access_log_max_mb: float = 64.0,
     ) -> None:
         from collections import OrderedDict
 
@@ -240,7 +270,12 @@ class SynthesisService:
         # Tracing defaults off (sample rate 0.0): start_trace returns
         # the shared NULL_SPAN and the request path allocates nothing.
         self.tracer = tracer if tracer is not None else Tracer(0.0)
-        self.access_log = access_log
+        # ``access_log`` accepts the legacy bool (True = stdout), a
+        # file path (rotated at ``access_log_max_mb``), "-" for
+        # stdout, or a pre-built AccessLog.  Falsy stays disabled.
+        self.access_log = (access_log if isinstance(access_log, AccessLog)
+                           else AccessLog(access_log,
+                                          max_mb=access_log_max_mb))
 
         # Both caches sit behind circuit breakers: the session layer
         # already degrades per call (a broken store is a miss), but it
@@ -424,7 +459,8 @@ class SynthesisService:
         return self._emit(job)
 
     def _run_job(self, session, request, fingerprint: Optional[str],
-                 span: Optional[Any] = None) -> Tuple[bytes, str]:
+                 span: Optional[Any] = None
+                 ) -> Tuple[bytes, str, Optional[Dict[str, float]]]:
         """Engine-side work (executor thread): synthesize and render.
         The source tag distinguishes a store hit from an engine run.
         The fingerprint computed for coalescing is reused so the
@@ -433,6 +469,12 @@ class SynthesisService:
         ``span`` is the request's engine child span, passed explicitly
         because contextvars do not cross the executor boundary; it is
         bound here so engine-side code can reach ``current_span()``.
+
+        Returns ``(payload, source, phases)`` where ``phases`` is the
+        live run's per-phase seconds (``None`` for a store hit) --
+        accumulated into the metrics by :meth:`_evaluate` on the event
+        loop, because this method runs on an executor thread and the
+        metrics are loop-owned.
         """
         token = bind_span(span) if span is not None else None
         try:
@@ -441,15 +483,18 @@ class SynthesisService:
             else:
                 job = session.synthesize(request)
             source = "store" if job.from_store else "engine"
-            if span is not None:
-                # Phase spans only for live runs: a store hit's
+            phases: Optional[Dict[str, float]] = None
+            if source == "engine":
+                # Phase timings only for live runs: a store hit's
                 # ``phases`` are the *producer's* persisted timings
                 # (kept for body byte-identity), not this request's.
-                if source == "engine":
-                    for phase, seconds in sorted(job.phases.items()):
+                phases = dict(job.phases)
+            if span is not None:
+                if phases:
+                    for phase, seconds in sorted(phases.items()):
                         span.event(f"phase:{phase}", seconds)
                 span.set(source=source).finish()
-            return self._emit(job), source
+            return self._emit(job), source, phases
         except BaseException as error:
             if span is not None:
                 span.set(error=type(error).__name__).finish("error")
@@ -560,9 +605,18 @@ class SynthesisService:
                     async with lock:
                         eval_span = (parent.child("engine")
                                      if parent else None)
-                        result = await loop.run_in_executor(
+                        payload, source, phases = await loop.run_in_executor(
                             self._executor, self._run_job, session,
                             request, fingerprint, eval_span)
+                        if phases:
+                            # Back on the event loop: safe to fold the
+                            # run's per-phase seconds into the
+                            # loop-owned counters.
+                            totals = self.metrics.engine_phase_seconds
+                            for phase, seconds in phases.items():
+                                totals[phase] = (
+                                    totals.get(phase, 0.0) + seconds)
+                        result = (payload, source)
             except (SynthesisError, LegendError, ValueError) as error:
                 # The engine rejecting the request -- unknown generator
                 # parameter, unimplementable spec, malformed LEGEND
@@ -652,6 +706,8 @@ class SynthesisService:
             "coalesced": m.coalesced,
             "timeouts": m.timeouts,
             "in_flight": m.in_flight,
+            "traffic_by_status": dict(m.traffic_by_status),
+            "engine_phase_seconds": dict(m.engine_phase_seconds),
             "sessions": len(self._sessions),
             "breakers": self.breaker_stats(),
             # Per-node option-cache traffic: with the node cache on, a
@@ -678,6 +734,13 @@ class SynthesisService:
                     "le_seconds": list(LATENCY_BUCKETS),
                     "counts": list(counts),
                     "sum_seconds": m.histogram_sums.get(endpoint, 0.0),
+                    # Bucket-index -> most recent sampled trace
+                    # (rendered as OpenMetrics exemplars).
+                    "exemplars": {
+                        str(bucket): dict(exemplar)
+                        for bucket, exemplar in sorted(
+                            m.exemplars.get(endpoint, {}).items())
+                    },
                 }
                 for endpoint, counts in sorted(m.histograms.items())
             },
@@ -689,6 +752,7 @@ class SynthesisService:
         # will receive (concurrent.futures joins worker threads at
         # interpreter exit).
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self.access_log.close()
         if not close_stores:
             return
         # The graceful-shutdown path (after the drain): flush and
@@ -768,10 +832,70 @@ def _trace_filters(query: str) -> Dict[str, Any]:
     return filters
 
 
-def _access_log_line(endpoint: str, method: str, status: int,
-                     elapsed: float, source: str, trace_id: str,
+def _history_body(history: Optional[MetricsHistory], query: str) -> bytes:
+    """The ``GET /metrics/history`` response body (shared by the
+    single server and the fleet router).  400 when sampling is off --
+    the dashboard surfaces that message verbatim."""
+    if history is None:
+        raise ServeError(
+            400, "history sampling is off; start the server with "
+                 "--history or --slo")
+    params = urllib.parse.parse_qs(query)
+
+    def one_float(name: str) -> Optional[float]:
+        values = params.get(name, [])
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise ServeError(400, f"{name} must be a number")
+
+    series_values = params.get("series", [])
+    names = [name for value in series_values
+             for name in value.split(",") if name] or None
+    payload = history.query(names, since=one_float("since"),
+                            step=one_float("step"))
+    return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+
+
+def _slo_body(engine: Optional[SLOEngine]) -> bytes:
+    """The ``GET /slo`` response body (404 when no objectives are
+    configured -- pollers treat that as "feature off", not an error)."""
+    if engine is None:
+        raise ServeError(
+            404, "no SLOs configured; start the server with --slo or "
+                 "--slo-file")
+    return json.dumps(engine.payload(), indent=2,
+                      sort_keys=True).encode("utf-8")
+
+
+def _resolve_objectives(slo: Optional[List[Any]],
+                        slo_file: Optional[str]) -> List[Any]:
+    """``--slo`` values (spec strings or pre-built Objectives) plus an
+    optional JSON file -> Objective list.  Raises ValueError on a bad
+    spec so a typo fails server startup loudly, not at first scrape."""
+    from repro.obs.slo import Objective
+
+    prebuilt = [item for item in (slo or []) if isinstance(item, Objective)]
+    specs = [item for item in (slo or []) if not isinstance(item, Objective)]
+    return prebuilt + load_objectives(specs, slo_file)
+
+
+def _dashboard_body() -> Tuple[bytes, Dict[str, str]]:
+    """The ``GET /debug/dashboard`` document + its content type."""
+    from repro.obs.dashboard import render_dashboard
+
+    return (render_dashboard().encode("utf-8"),
+            {"Content-Type": "text/html; charset=utf-8"})
+
+
+def _access_log_line(log: AccessLog, endpoint: str, method: str,
+                     status: int, elapsed: float, source: str,
+                     trace_id: str,
                      extra_headers: Dict[str, str]) -> None:
-    """One structured JSON access-log line per request on stdout."""
+    """One structured JSON access-log line per request, written to the
+    configured sink (stdout or a size-rotated file)."""
     entry = {
         "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
         "endpoint": endpoint,
@@ -786,7 +910,7 @@ def _access_log_line(endpoint: str, method: str, status: int,
     attempts = extra_headers.get(ATTEMPTS_HEADER)
     if attempts is not None:
         entry["attempts"] = int(attempts)
-    print(json.dumps(entry, sort_keys=True), flush=True)
+    log.write(entry)
 
 
 class ReproServer:
@@ -806,7 +930,13 @@ class ReproServer:
         trace_sample: float = 0.0,
         trace_ring: int = 256,
         trace_export: Optional[str] = None,
-        access_log: bool = False,
+        access_log: Any = False,
+        access_log_max_mb: float = 64.0,
+        history: bool = False,
+        history_interval: float = 5.0,
+        history_retention: float = 3600.0,
+        slo: Optional[List[Any]] = None,
+        slo_file: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -817,8 +947,24 @@ class ReproServer:
             breaker_reset=breaker_reset,
             tracer=Tracer(trace_sample, ring=trace_ring,
                           export_path=trace_export, service="serve"),
-            access_log=access_log)
+            access_log=access_log, access_log_max_mb=access_log_max_mb)
         self._server: Optional[asyncio.AbstractServer] = None
+        # History sampling and SLOs are strictly opt-in: with both off
+        # nothing is allocated and the request path is untouched.
+        # Configured SLOs imply history (burn rates read the rings).
+        self.history: Optional[MetricsHistory] = None
+        self.slo_engine: Optional[SLOEngine] = None
+        self._sampler: Optional[HistorySampler] = None
+        objectives = _resolve_objectives(slo, slo_file)
+        if history or objectives:
+            self.history = MetricsHistory(interval=history_interval,
+                                          retention=history_retention)
+            if objectives:
+                self.slo_engine = SLOEngine(
+                    self.history, objectives, tracer=self.service.tracer)
+            self._sampler = HistorySampler(
+                self.history, self.service.metrics_payload,
+                slo_engine=self.slo_engine)
 
     # -- request plumbing ----------------------------------------------
     async def _read_request(self, reader: asyncio.StreamReader):
@@ -882,17 +1028,37 @@ class ReproServer:
         if path == "/healthz":
             if method != "GET":
                 raise ServeError(405, "use GET /healthz")
-            return 200, json.dumps(service.healthz(), indent=2,
+            health = service.healthz()
+            if self.slo_engine is not None:
+                # Additive: liveness semantics are unchanged, the SLO
+                # state rides along for operators and probes.
+                health["slo"] = self.slo_engine.overall_state()
+            return 200, json.dumps(health, indent=2,
                                    sort_keys=True).encode("utf-8"), "", {}
         if path == "/metrics":
             if method != "GET":
                 raise ServeError(405, "use GET /metrics")
             payload = service.metrics_payload()
+            if self.slo_engine is not None:
+                payload["slo"] = self.slo_engine.metrics_section()
             if _query_format(query) == "prometheus":
                 return (200, prometheus_text(payload).encode("utf-8"), "",
                         {"Content-Type": PROM_CONTENT_TYPE})
             return 200, json.dumps(payload, indent=2,
                                    sort_keys=True).encode("utf-8"), "", {}
+        if path == "/metrics/history":
+            if method != "GET":
+                raise ServeError(405, "use GET /metrics/history")
+            return 200, _history_body(self.history, query), "", {}
+        if path == "/slo":
+            if method != "GET":
+                raise ServeError(405, "use GET /slo")
+            return 200, _slo_body(self.slo_engine), "", {}
+        if path == "/debug/dashboard":
+            if method != "GET":
+                raise ServeError(405, "use GET /debug/dashboard")
+            body, headers = _dashboard_body()
+            return 200, body, "", headers
         if path == "/debug/traces":
             if method != "GET":
                 raise ServeError(405, "use GET /debug/traces")
@@ -915,7 +1081,8 @@ class ReproServer:
         raise ServeError(
             404, f"unknown path {path!r}; endpoints: POST /synthesize, "
                  f"POST /batch, GET /healthz, GET /metrics, "
-                 f"GET /debug/traces")
+                 f"GET /metrics/history, GET /slo, GET /debug/traces, "
+                 f"GET /debug/dashboard")
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
@@ -976,13 +1143,16 @@ class ReproServer:
             self.service.metrics.in_flight -= 1
             elapsed = time.perf_counter() - started
             if observed:
-                self.service.metrics.observe(endpoint, status, elapsed)
+                self.service.metrics.observe(
+                    endpoint, status, elapsed,
+                    trace_id=span.trace_id if span else "")
                 if span:
                     span.set(endpoint=endpoint, source=source)
                     span.finish(status)
                 if self.service.access_log:
-                    _access_log_line(endpoint, method, status, elapsed,
-                                     source, span.trace_id, extra)
+                    _access_log_line(self.service.access_log, endpoint,
+                                     method, status, elapsed, source,
+                                     span.trace_id, extra)
             if token is not None:
                 unbind_span(token)
             try:
@@ -996,6 +1166,8 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._sampler is not None:
+            self._sampler.start()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -1004,6 +1176,8 @@ class ReproServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -1017,6 +1191,8 @@ class ReproServer:
         the store handles.  Returns how many requests were still in
         flight when the drain window closed (0 = clean drain)."""
         loop = asyncio.get_running_loop()
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._server is not None:
             self._server.close()
         deadline = loop.time() + max(0.0, drain_timeout)
@@ -1146,7 +1322,13 @@ async def run_server(
     trace_sample: float = 0.0,
     trace_ring: int = 256,
     trace_export: Optional[str] = None,
-    access_log: bool = False,
+    access_log: Any = False,
+    access_log_max_mb: float = 64.0,
+    history: bool = False,
+    history_interval: float = 5.0,
+    history_retention: float = 3600.0,
+    slo: Optional[List[Any]] = None,
+    slo_file: Optional[str] = None,
 ) -> None:
     """Run the service until cancelled or signalled (the ``repro
     serve`` entry).  SIGTERM/SIGINT trigger a *graceful* stop: the
@@ -1159,7 +1341,12 @@ async def run_server(
                          breaker_threshold=breaker_threshold,
                          breaker_reset=breaker_reset,
                          trace_sample=trace_sample, trace_ring=trace_ring,
-                         trace_export=trace_export, access_log=access_log)
+                         trace_export=trace_export, access_log=access_log,
+                         access_log_max_mb=access_log_max_mb,
+                         history=history,
+                         history_interval=history_interval,
+                         history_retention=history_retention,
+                         slo=slo, slo_file=slo_file)
     await server.start()
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
